@@ -1,0 +1,117 @@
+"""Shared infrastructure for the benchmark harness.
+
+The benchmarks reproduce the paper's §6 evaluation on the scaled
+datasets (DESIGN.md documents the substitutions).  Table 2 parameters
+are used verbatim where tractable:
+
+    maxR/ē      : 5, 10, 20, **40**
+    #keywords   : 3, 5, 7, **7**, 9, 11
+    #fragments  : 2, 4, 8, 12, **16**
+    r           : maxR, maxR/2, maxR/3, maxR/4 (and 40ē)
+
+Engines are memoised per (dataset, fragments, λ, policy) so sweeps that
+share a deployment never rebuild it.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from functools import lru_cache
+
+from repro import DisksEngine, EngineConfig
+from repro.baselines import CentralizedEvaluator
+from repro.core import QClassQuery
+from repro.core.npd import DLNodePolicy
+from repro.partition import MultilevelPartitioner
+from repro.workloads import Dataset, QueryGenConfig, QueryGenerator, load_dataset
+
+# Table 2 defaults (bold values).
+DEFAULT_LAMBDA = 40.0
+DEFAULT_KEYWORDS = 7
+DEFAULT_FRAGMENTS = 16
+LAMBDA_SWEEP = (5.0, 10.0, 20.0, 40.0)
+KEYWORD_SWEEP = (3, 5, 7, 9, 11)
+FRAGMENT_SWEEP = (2, 4, 8, 12, 16)
+
+QUERIES_PER_POINT = 5  # queries averaged per sweep point
+
+
+@lru_cache(maxsize=None)
+def dataset(name: str) -> Dataset:
+    """Memoised dataset by preset name."""
+    return load_dataset(name)
+
+
+@lru_cache(maxsize=None)
+def engine(
+    dataset_name: str,
+    num_fragments: int = DEFAULT_FRAGMENTS,
+    lambda_factor: float = DEFAULT_LAMBDA,
+    policy: DLNodePolicy = DLNodePolicy.OBJECTS,
+) -> DisksEngine:
+    """Memoised deployment for one parameter combination."""
+    net = dataset(dataset_name).network
+    lam: float | None = lambda_factor
+    max_radius: float | None = None
+    if math.isinf(lambda_factor):
+        lam, max_radius = None, math.inf
+    return DisksEngine.build(
+        net,
+        EngineConfig(
+            num_fragments=num_fragments,
+            lambda_factor=lam,
+            max_radius=max_radius,
+            node_policy=policy,
+            partitioner=MultilevelPartitioner(seed=0),
+        ),
+    )
+
+
+@lru_cache(maxsize=None)
+def centralized(dataset_name: str) -> CentralizedEvaluator:
+    """Memoised centralized evaluator (the '1 fragment' reference)."""
+    return CentralizedEvaluator(dataset(dataset_name).network)
+
+
+def sgkq_batch(
+    dataset_name: str, num_keywords: int, radius: float, seed: int = 1
+) -> list[QClassQuery]:
+    """A reproducible SGKQ batch from the §6 generator."""
+    gen = QueryGenerator(dataset(dataset_name).network, QueryGenConfig(seed=seed))
+    return gen.sgkq_batch(QUERIES_PER_POINT, num_keywords, radius)
+
+
+def rkq_batch(
+    dataset_name: str, num_keywords: int, radius: float, seed: int = 1
+) -> list[QClassQuery]:
+    """A reproducible RKQ batch."""
+    gen = QueryGenerator(dataset(dataset_name).network, QueryGenConfig(seed=seed))
+    return gen.rkq_batch(QUERIES_PER_POINT, num_keywords, radius)
+
+
+def warm_up(eng: DisksEngine, dataset_name: str) -> None:
+    """Run one throwaway query on both paths (distributed + centralized)
+    so sweeps measure steady-state times."""
+    batch = sgkq_batch(dataset_name, 2, eng.max_radius / 4, seed=987)
+    eng.execute(batch[0])
+    centralized(dataset_name).execute(batch[0])
+
+
+def mean_distributed_ms(eng: DisksEngine, queries: list[QClassQuery]) -> float:
+    """Central tendency of distributed response time over a batch, ms.
+
+    The median is used (despite the historical name) so that one
+    OS-noise outlier cannot flip a sweep's shape assertion.
+    """
+    return statistics.median(
+        eng.execute(query).response_seconds * 1000.0 for query in queries
+    )
+
+
+def mean_centralized_ms(dataset_name: str, queries: list[QClassQuery]) -> float:
+    """Central tendency of single-machine evaluation time, ms (median)."""
+    oracle = centralized(dataset_name)
+    return statistics.median(
+        oracle.execute(query).wall_seconds * 1000.0 for query in queries
+    )

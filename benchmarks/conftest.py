@@ -1,0 +1,12 @@
+"""Benchmark-suite configuration.
+
+Adds this directory to the import path (for ``common``) and forces
+``-s``-like output so the paper-style tables always reach the terminal.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,69 @@
+"""Ablation: NPD-index vs the multi-round BSP strawman (§2.3).
+
+The paper motivates the NPD-index by the communication cost general
+graph engines pay: every superstep whose relaxations cross a fragment
+boundary is network traffic, and rounds grow with the radius in hops.
+This bench puts numbers on that: the same query batch through (a) the
+NPD engine — one round, coordinator-only bytes — and (b) a Pregel-style
+BSP SSSP — many rounds, worker-to-worker bytes.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.baselines import BSPQueryEvaluator
+
+from common import DEFAULT_FRAGMENTS, DEFAULT_LAMBDA, dataset, engine, sgkq_batch
+from repro.bench_support import Table, print_experiment_header
+
+
+def test_ablation_communication_cost(benchmark):
+    print_experiment_header(
+        "ABLATION",
+        "§2.3 communication argument",
+        "AUS: NPD (0 worker-to-worker bytes) vs BSP supersteps/messages.",
+    )
+    deployment = engine("aus_mini", DEFAULT_FRAGMENTS, DEFAULT_LAMBDA)
+    bsp = BSPQueryEvaluator(dataset("aus_mini").network, deployment.partition)
+    batch = sgkq_batch("aus_mini", 5, deployment.max_radius / 2)
+
+    table = Table(
+        "Per-query communication: NPD engine vs BSP baseline (AUS)",
+        [
+            "query",
+            "NPD coord bytes",
+            "NPD w2w bytes",
+            "BSP supersteps",
+            "BSP cross msgs",
+            "BSP w2w bytes",
+        ],
+    )
+    supersteps, cross_bytes = [], []
+    for i, query in enumerate(batch):
+        report = deployment.execute(query)
+        bsp_result = bsp.execute(query)
+        assert report.result_nodes == bsp_result.result_nodes
+        supersteps.append(bsp_result.stats.supersteps)
+        cross_bytes.append(bsp_result.stats.cross_worker_bytes)
+        table.add_row(
+            i,
+            report.total_message_bytes,
+            0,
+            bsp_result.stats.supersteps,
+            bsp_result.stats.cross_worker_messages,
+            bsp_result.stats.cross_worker_bytes,
+        )
+    table.show()
+    print(
+        f"BSP needs {statistics.mean(supersteps):.0f} supersteps and "
+        f"{statistics.mean(cross_bytes):,.0f} worker-to-worker bytes per query "
+        "on average; the NPD engine needs one round and zero."
+    )
+
+    # The headline claim, asserted.
+    assert deployment.cluster.ledger.worker_to_worker_bytes() == 0
+    assert all(s > 1 for s in supersteps)
+    assert all(b > 0 for b in cross_bytes)
+
+    benchmark(lambda: bsp.execute(batch[0]))

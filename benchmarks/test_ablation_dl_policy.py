@@ -1,0 +1,59 @@
+"""Ablation: DL node-entry policy (§3.7 pruning).
+
+The paper prunes DL entries to keyword nodes; we expose the dial as
+:class:`DLNodePolicy`.  This bench quantifies the trade: index size
+(NONE < OBJECTS < ALL) vs capability (RKQ locations supported) and
+query time.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.core.npd import DLNodePolicy
+from repro.storage import index_file_size
+
+from common import DEFAULT_FRAGMENTS, dataset, engine, mean_distributed_ms, sgkq_batch
+from repro.bench_support import Table, print_experiment_header
+
+LAMBDA = 10.0
+
+
+def test_ablation_dl_node_policy(benchmark):
+    print_experiment_header(
+        "ABLATION",
+        "§3.7 DL pruning",
+        "AUS: index size and SGKQ time under DL node policies NONE/OBJECTS/ALL.",
+    )
+    sizes = {}
+    times = {}
+    base = engine("aus_mini", DEFAULT_FRAGMENTS, LAMBDA, DLNodePolicy.OBJECTS)
+    batch = sgkq_batch("aus_mini", 5, base.max_radius / 2)
+    table = Table(
+        "DL policy ablation (AUS, maxR=10e)",
+        ["policy", "avg IND KiB", "node entries/frag", "SGKQ time (ms)"],
+    )
+    for policy in (DLNodePolicy.NONE, DLNodePolicy.OBJECTS, DLNodePolicy.ALL):
+        deployment = engine("aus_mini", DEFAULT_FRAGMENTS, LAMBDA, policy)
+        kib = statistics.mean(index_file_size(i) for i in deployment.indexes) / 1024
+        entries = statistics.mean(len(i.node_entries) for i in deployment.indexes)
+        ms = mean_distributed_ms(deployment, batch)
+        sizes[policy] = kib
+        times[policy] = ms
+        table.add_row(policy.value, kib, int(entries), ms)
+    table.show()
+
+    # Size ordering is structural; query time should be barely affected
+    # (SGKQ never touches node entries).
+    assert sizes[DLNodePolicy.NONE] <= sizes[DLNodePolicy.OBJECTS] <= sizes[DLNodePolicy.ALL]
+    assert max(times.values()) < min(times.values()) * 3.0
+
+    # Answers are identical across policies for SGKQ.
+    reference = engine("aus_mini", DEFAULT_FRAGMENTS, LAMBDA, DLNodePolicy.NONE)
+    for query in batch[:2]:
+        assert (
+            engine("aus_mini", DEFAULT_FRAGMENTS, LAMBDA, DLNodePolicy.ALL).results(query)
+            == reference.results(query)
+        )
+
+    benchmark(lambda: index_file_size(engine("aus_mini", DEFAULT_FRAGMENTS, LAMBDA).indexes[0]))

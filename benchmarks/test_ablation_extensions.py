@@ -1,0 +1,146 @@
+"""Ablation: the extension features built on the NPD-index.
+
+* **Top-k** (§8 future work) — cost vs k, and vs an equivalent-radius
+  coverage query.
+* **Incremental maintenance** — patching a keyword in vs rebuilding the
+  fragment indexes from scratch.
+* **Theorem-5 cost model** — predicted operation counts vs measured
+  task times across a query batch (rank correlation).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.core import (
+    KeywordMaintainer,
+    KeywordSource,
+    NPDBuildConfig,
+    TopKQuery,
+    build_all_indexes,
+    build_npd_index,
+    theorem5_cost,
+)
+
+from common import DEFAULT_FRAGMENTS, dataset, engine, sgkq_batch
+from repro.bench_support import Table, print_experiment_header
+
+LAMBDA = 20.0
+
+
+def test_ablation_topk_cost(benchmark):
+    print_experiment_header(
+        "ABLATION",
+        "§8 top-k extension",
+        "AUS: top-k nearest-keyword query cost vs k.",
+    )
+    deployment = engine("aus_mini", DEFAULT_FRAGMENTS, LAMBDA)
+    keyword = dataset("aus_mini").frequent_keywords(1)[0]
+    radius = deployment.max_radius
+
+    table = Table("Top-k query time (ms) vs k, AUS", ["k", "time (ms)", "saturated"])
+    for k in (1, 10, 100, 1000):
+        query = TopKQuery(KeywordSource(keyword), k, radius)
+        started = time.perf_counter()
+        result = deployment.top_k(query)
+        ms = (time.perf_counter() - started) * 1000
+        table.add_row(k, ms, result.saturated)
+        # Ranking is sorted and within the radius.
+        dists = [d for _n, d in result.ranking]
+        assert dists == sorted(dists)
+        assert all(d <= radius for d in dists)
+    table.show()
+
+    benchmark(lambda: deployment.top_k(TopKQuery(KeywordSource(keyword), 10, radius)))
+
+
+def test_ablation_incremental_maintenance_vs_rebuild(benchmark):
+    print_experiment_header(
+        "ABLATION",
+        "incremental maintenance",
+        "AUS: patching one keyword update vs rebuilding all fragment indexes.",
+    )
+    deployment = engine("aus_mini", DEFAULT_FRAGMENTS, LAMBDA)
+    net = dataset("aus_mini").network
+    # Build fresh index copies so the memoised engine stays pristine.
+    fresh_indexes = [
+        build_npd_index(net, fragment, NPDBuildConfig(lambda_factor=LAMBDA))[0]
+        for fragment in deployment.fragments
+    ]
+    maintainer = KeywordMaintainer(
+        net, deployment.partition, list(deployment.fragments), fresh_indexes
+    )
+    node = next(iter(net.object_nodes()))
+
+    started = time.perf_counter()
+    maintainer.add_keyword(node, "bench-kw")
+    patch_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    build_all_indexes(
+        maintainer.network, maintainer.fragments, NPDBuildConfig(lambda_factor=LAMBDA)
+    )
+    rebuild_seconds = time.perf_counter() - started
+
+    table = Table(
+        "One keyword addition: incremental patch vs full rebuild (AUS)",
+        ["approach", "seconds"],
+    )
+    table.add_row("incremental patch", patch_seconds)
+    table.add_row("full rebuild", rebuild_seconds)
+    table.show()
+
+    assert patch_seconds < rebuild_seconds / 5, (
+        f"patching ({patch_seconds:.3f}s) should beat rebuilding "
+        f"({rebuild_seconds:.3f}s) comfortably"
+    )
+
+    benchmark(lambda: maintainer.add_keyword(node, "bench-kw"))  # idempotent no-op path
+
+
+def test_ablation_theorem5_cost_model(benchmark):
+    print_experiment_header(
+        "ABLATION",
+        "Theorem 5 cost model",
+        "AUS: predicted per-fragment operation count vs measured task time.",
+    )
+    deployment = engine("aus_mini", DEFAULT_FRAGMENTS, LAMBDA)
+    batch = sgkq_batch("aus_mini", 7, deployment.max_radius, seed=5)
+
+    predictions: list[float] = []
+    measurements: list[float] = []
+    for query in batch:
+        report = deployment.execute(query)
+        keywords = query.keywords()
+        for index in deployment.indexes:
+            fragment_id = index.fragment_id
+            sizes = report.coverage_sizes[fragment_id]
+            predictions.append(theorem5_cost(index, keywords, list(sizes)))
+            measurements.append(report.fragment_seconds[fragment_id])
+
+    # Spearman rank correlation, computed by hand (no scipy dependency
+    # needed here, though it is available).
+    def ranks(values: list[float]) -> list[float]:
+        order = sorted(range(len(values)), key=lambda i: values[i])
+        result = [0.0] * len(values)
+        for rank, i in enumerate(order):
+            result[i] = float(rank)
+        return result
+
+    rp, rm = ranks(predictions), ranks(measurements)
+    n = len(rp)
+    mean_p, mean_m = statistics.mean(rp), statistics.mean(rm)
+    cov = sum((a - mean_p) * (b - mean_m) for a, b in zip(rp, rm)) / n
+    var_p = sum((a - mean_p) ** 2 for a in rp) / n
+    var_m = sum((b - mean_m) ** 2 for b in rm) / n
+    rho = cov / (var_p * var_m) ** 0.5
+
+    table = Table("Theorem-5 model fidelity", ["samples", "Spearman rho"])
+    table.add_row(n, rho)
+    table.show()
+
+    assert rho > 0.5, f"cost model should rank fragment costs usefully, rho={rho:.2f}"
+
+    query = batch[0]
+    benchmark(lambda: deployment.execute(query))

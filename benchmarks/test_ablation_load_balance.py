@@ -1,0 +1,55 @@
+"""Ablation: load balance (Theorem 6, §5.2).
+
+Measures the observed unbalance factor U across machines for query
+batches, checks it against Theorem 6's bound ``1 + max/min`` of
+per-fragment task costs, and shows how balance behaves when machines
+are scarcer than fragments (list-scheduling regime).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.core.cost import assign_tasks, theorem6_bound, unbalance_factor
+
+from common import DEFAULT_KEYWORDS, DEFAULT_LAMBDA, engine, sgkq_batch
+from repro.bench_support import Table, print_experiment_header
+
+
+def test_ablation_unbalance_factor(benchmark):
+    print_experiment_header(
+        "ABLATION",
+        "Theorem 6 load balance",
+        "AUS: observed unbalance U vs the 1 + max/min bound.",
+    )
+    deployment = engine("aus_mini", 16, DEFAULT_LAMBDA)
+    batch = sgkq_batch("aus_mini", DEFAULT_KEYWORDS, deployment.max_radius)
+
+    table = Table(
+        "Observed vs bounded unbalance (16 machines, AUS)",
+        ["query", "U observed", "Theorem 6 bound", "holds"],
+    )
+    for i, query in enumerate(batch):
+        report = deployment.execute(query)
+        observed = report.unbalance
+        bound = report.unbalance_bound
+        table.add_row(i, observed, bound, observed <= bound + 1e-9)
+        assert observed <= bound + 1e-9
+    table.show()
+
+    # Scarce-machine regime: schedule measured task costs onto fewer
+    # machines and watch U tighten toward 1 (more tasks smooth the load).
+    report = deployment.execute(batch[0])
+    task_costs = [report.fragment_seconds[f] for f in sorted(report.fragment_seconds)]
+    table2 = Table(
+        "List scheduling of one query's 16 tasks onto fewer machines",
+        ["#machines", "U observed", "bound"],
+    )
+    for machines in (2, 4, 8, 16):
+        plan = assign_tasks(task_costs, machines)
+        loads = [sum(task_costs[t] for t in tasks) for tasks in plan if tasks]
+        table2.add_row(machines, unbalance_factor(loads), theorem6_bound(task_costs))
+        assert unbalance_factor(loads) <= theorem6_bound(task_costs) + 1e-9
+    table2.show()
+
+    benchmark(lambda: deployment.execute(batch[0]))

@@ -1,0 +1,108 @@
+"""Ablation: partitioner choice (the ParMETIS substitution, DESIGN.md §4).
+
+The paper uses ParMETIS "for a balanced fragmenting"; portal counts
+drive NPD-index size and construction cost (§3.3/§4.1).  This ablation
+quantifies that chain on AUS: edge cut -> portals -> index size ->
+build time, for each partitioner, including the random worst case.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.core import NPDBuildConfig, build_all_indexes, build_fragments
+from repro.partition import (
+    BfsPartitioner,
+    MultilevelPartitioner,
+    RandomPartitioner,
+    SpatialPartitioner,
+    evaluate_partition,
+)
+from repro.storage import index_file_size
+
+from common import dataset
+from repro.bench_support import Table, print_experiment_header
+
+K = 8
+LAMBDA = 10.0
+
+
+def _measure(partitioner):
+    net = dataset("aus_mini").network
+    partition = partitioner.partition(net, K)
+    quality = evaluate_partition(net, partition)
+    fragments = build_fragments(net, partition)
+    indexes, stats = build_all_indexes(net, fragments, NPDBuildConfig(lambda_factor=LAMBDA))
+    return {
+        "cut": quality.edge_cut,
+        "portals": quality.total_portals,
+        "balance": quality.balance,
+        "kib": statistics.mean(index_file_size(i) for i in indexes) / 1024,
+        "build_s": statistics.mean(s.wall_seconds for s in stats),
+    }
+
+
+def test_ablation_partitioner_quality_drives_index_cost(benchmark):
+    print_experiment_header(
+        "ABLATION",
+        "DESIGN.md partitioner study",
+        f"AUS, k={K}, maxR={int(LAMBDA)}e: cut -> portals -> index size -> build time.",
+    )
+    rows = {
+        "multilevel": _measure(MultilevelPartitioner(seed=1)),
+        "bfs-grow": _measure(BfsPartitioner(seed=1)),
+        "spatial": _measure(SpatialPartitioner()),
+        "random": _measure(RandomPartitioner(seed=1)),
+    }
+    table = Table(
+        "Partitioner ablation (AUS)",
+        ["partitioner", "edge cut", "portals", "balance", "avg IND KiB", "build s/frag"],
+    )
+    for name, m in rows.items():
+        table.add_row(name, m["cut"], m["portals"], m["balance"], m["kib"], m["build_s"])
+    table.show()
+
+    # The causal chain: random's huge cut must inflate portals, index
+    # size and build time relative to every locality-aware partitioner.
+    for name in ("multilevel", "bfs-grow", "spatial"):
+        assert rows[name]["cut"] < rows["random"]["cut"] / 2
+        assert rows[name]["portals"] < rows["random"]["portals"]
+        assert rows[name]["kib"] < rows["random"]["kib"]
+
+    benchmark(lambda: MultilevelPartitioner(seed=1).partition(dataset("aus_mini").network, K))
+
+
+def test_ablation_portal_refinement(benchmark):
+    """Portal-minimising refinement on top of each partitioner."""
+    from repro.partition import refine_portals
+
+    print_experiment_header(
+        "ABLATION",
+        "portal-minimising refinement",
+        f"AUS, k={K}: total portals before/after refine_portals().",
+    )
+    net = dataset("aus_mini").network
+    table = Table(
+        "Portal refinement (AUS)",
+        ["partitioner", "portals before", "portals after", "reduction"],
+    )
+    for name, partitioner in (
+        ("multilevel", MultilevelPartitioner(seed=1)),
+        ("bfs-grow", BfsPartitioner(seed=1)),
+        ("spatial", SpatialPartitioner()),
+    ):
+        before = partitioner.partition(net, K)
+        after = refine_portals(net, before)
+        p_before = evaluate_partition(net, before).total_portals
+        p_after = evaluate_partition(net, after).total_portals
+        table.add_row(
+            name,
+            p_before,
+            p_after,
+            f"{(p_before - p_after) / p_before:.1%}" if p_before else "0%",
+        )
+        assert p_after <= p_before
+    table.show()
+
+    partition = MultilevelPartitioner(seed=1).partition(net, K)
+    benchmark(lambda: refine_portals(net, partition, max_sweeps=1))

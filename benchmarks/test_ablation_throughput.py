@@ -1,0 +1,53 @@
+"""Ablation: query throughput vs fragment count (the paper's §1 motivation).
+
+"Many applications … may need to handle heavy query load … it is
+natural to develop distributed techniques … to improve the throughput
+of query processing."  This bench replays the same open-loop query
+stream against deployments of 1–16 fragments and reports sustained
+throughput and tail latency.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import WorkloadDriver, WorkloadSpec
+
+from common import DEFAULT_LAMBDA, engine
+from repro.bench_support import Table, print_experiment_header
+
+SPEC = WorkloadSpec(
+    num_queries=25,
+    arrival_rate_qps=10_000.0,  # saturating load: measures capacity
+    rkq_fraction=0.2,
+    min_keywords=3,
+    max_keywords=7,
+    seed=42,
+)
+
+
+def test_ablation_throughput_vs_fragments(benchmark):
+    print_experiment_header(
+        "ABLATION",
+        "§1 throughput motivation",
+        "AUS: sustained throughput of the same saturating stream vs #fragments.",
+    )
+    table = Table(
+        "Open-loop replay, 25 mixed queries at saturating load (AUS)",
+        ["#fragments", "throughput (q/s)", "p50 (ms)", "p95 (ms)"],
+    )
+    throughputs = []
+    for fragments in (1, 4, 16):
+        deployment = engine("aus_mini", fragments, DEFAULT_LAMBDA)
+        report = WorkloadDriver(deployment, SPEC).replay()
+        throughputs.append(report.throughput_qps)
+        table.add_row(fragments, report.throughput_qps, report.p50_ms, report.p95_ms)
+    table.show()
+
+    # More fragments -> more capacity under the same stream.
+    assert throughputs[-1] > throughputs[0] * 1.5, (
+        f"16 fragments should outpace 1 fragment: {throughputs}"
+    )
+
+    deployment = engine("aus_mini", 16, DEFAULT_LAMBDA)
+    driver = WorkloadDriver(deployment, SPEC)
+    stream = driver.generate()
+    benchmark(lambda: driver.replay(stream))

@@ -1,0 +1,92 @@
+"""EXP 1 (Fig. 7a, Fig. 7b, Fig. 8): NPD-index storage cost.
+
+Paper: "the average storage cost in each machine is within 21MB for BRI,
+and below 8MB for AUS … increases when maxR becomes larger … no regular
+tendency as the number of machines varies.  Even to set maxR to
+infinity, the index size is still acceptable."
+
+Reproduced here as the average per-machine ``IND(P)`` file size over the
+``maxR/ē`` and ``#fragments`` sweeps, plus the Fig. 8 curve including
+``maxR = ∞`` on AUS.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+from repro.storage import index_file_size
+
+from common import DEFAULT_FRAGMENTS, DEFAULT_LAMBDA, FRAGMENT_SWEEP, LAMBDA_SWEEP, engine
+from repro.bench_support import Table, print_experiment_header
+
+
+def _avg_index_kib(dataset_name: str, fragments: int, lam: float) -> float:
+    deployment = engine(dataset_name, fragments, lam)
+    sizes = [index_file_size(index) for index in deployment.indexes]
+    return statistics.mean(sizes) / 1024.0
+
+
+def test_exp1_fig7_size_vs_maxr_and_fragments(benchmark):
+    print_experiment_header(
+        "EXP 1",
+        "Fig. 7(a)/(b)",
+        "Average per-machine index size (KiB) vs maxR/ē and #fragments.",
+    )
+    for dataset_name, figure in (("bri_mini", "Fig. 7(a) BRI"), ("aus_mini", "Fig. 7(b) AUS")):
+        table = Table(
+            f"{figure} — avg IND(P) size per machine (KiB)",
+            ["#fragments"] + [f"maxR={int(lam)}e" for lam in LAMBDA_SWEEP],
+        )
+        for fragments in FRAGMENT_SWEEP:
+            row = [fragments]
+            for lam in LAMBDA_SWEEP:
+                row.append(_avg_index_kib(dataset_name, fragments, lam))
+            table.add_row(*row)
+        table.show()
+
+    benchmark(
+        lambda: statistics.mean(
+            index_file_size(i)
+            for i in engine("aus_mini", DEFAULT_FRAGMENTS, DEFAULT_LAMBDA).indexes
+        )
+    )
+
+
+def test_exp1_fig8_size_vs_maxr_including_infinity(benchmark):
+    print_experiment_header(
+        "EXP 1",
+        "Fig. 8",
+        "AUS index size vs maxR, including the untruncated maxR=∞ index.",
+    )
+    table = Table(
+        "Fig. 8 — AUS avg IND(P) per machine (KiB), 16 fragments",
+        ["maxR/avg-edge", "size (KiB)", "recorded distances"],
+    )
+    for lam in list(LAMBDA_SWEEP) + [math.inf]:
+        deployment = engine("aus_mini", DEFAULT_FRAGMENTS, lam)
+        kib = statistics.mean(index_file_size(i) for i in deployment.indexes) / 1024.0
+        distances = statistics.mean(
+            i.num_recorded_distances for i in deployment.indexes
+        )
+        label = "inf" if math.isinf(lam) else f"{int(lam)}"
+        table.add_row(label, kib, int(distances))
+    table.show()
+
+    finite = _avg_index_kib("aus_mini", DEFAULT_FRAGMENTS, DEFAULT_LAMBDA)
+    infinite = statistics.mean(
+        index_file_size(i) for i in engine("aus_mini", DEFAULT_FRAGMENTS, math.inf).indexes
+    ) / 1024.0
+    # Paper shape: size grows with maxR but the untruncated index stays
+    # within the same order of magnitude.
+    assert infinite >= finite
+    assert infinite < finite * 50
+
+    benchmark(lambda: index_file_size(engine("aus_mini").indexes[0]))
+
+
+def test_exp1_size_grows_with_maxr(benchmark):
+    """The Fig. 7 monotone trend: bigger maxR, bigger index."""
+    sizes = [_avg_index_kib("aus_mini", DEFAULT_FRAGMENTS, lam) for lam in LAMBDA_SWEEP]
+    assert sizes == sorted(sizes), f"index size not monotone in maxR: {sizes}"
+    benchmark(lambda: _avg_index_kib("aus_mini", DEFAULT_FRAGMENTS, 5.0))

@@ -1,0 +1,67 @@
+"""EXP 2 (Table 3): per-fragment indexing time.
+
+Paper (AUS): indexing time per fragment falls as the fragment count
+rises (6.2–25.8 minutes over their sweep) and grows with maxR; the
+process is offline and fragment-parallel.
+
+Reproduced as mean per-fragment construction seconds over the
+``#fragments × maxR`` grid on the scaled AUS dataset.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.core import NPDBuildConfig, build_all_indexes, build_fragments, build_npd_index
+from repro.partition import MultilevelPartitioner
+
+from common import dataset
+from repro.bench_support import Table, print_experiment_header
+
+MAXR_COLUMNS = (10.0, 20.0, 40.0)
+FRAGMENT_ROWS = (4, 8, 12, 16)
+
+
+def _per_fragment_seconds(num_fragments: int, lam: float) -> float:
+    net = dataset("aus_mini").network
+    partition = MultilevelPartitioner(seed=0).partition(net, num_fragments)
+    fragments = build_fragments(net, partition)
+    _indexes, stats = build_all_indexes(
+        net, fragments, NPDBuildConfig(lambda_factor=lam)
+    )
+    return statistics.mean(s.wall_seconds for s in stats)
+
+
+def test_exp2_table3_indexing_time(benchmark):
+    print_experiment_header(
+        "EXP 2",
+        "Table 3",
+        "Per-fragment indexing time (seconds) on AUS, by #fragments and maxR.",
+    )
+    table = Table(
+        "Table 3 — indexing time per fragment (seconds, AUS)",
+        ["#fragments"] + [f"maxR={int(l)}e" for l in MAXR_COLUMNS],
+    )
+    grid: dict[tuple[int, float], float] = {}
+    for rows in FRAGMENT_ROWS:
+        row: list[object] = [rows]
+        for lam in MAXR_COLUMNS:
+            seconds = _per_fragment_seconds(rows, lam)
+            grid[(rows, lam)] = seconds
+            row.append(seconds)
+        table.add_row(*row)
+    table.show()
+
+    # Paper shape 1: more fragments -> less time per fragment (at default maxR).
+    col = [grid[(rows, 40.0)] for rows in FRAGMENT_ROWS]
+    assert col[0] > col[-1], f"per-fragment time should fall with #fragments: {col}"
+    # Paper shape 2: larger maxR -> more time (at default #fragments).
+    row16 = [grid[(16, lam)] for lam in MAXR_COLUMNS]
+    assert row16[0] < row16[-1], f"time should grow with maxR: {row16}"
+
+    # Register one representative unit: a single fragment's build.
+    net = dataset("aus_mini").network
+    partition = MultilevelPartitioner(seed=0).partition(net, 16)
+    fragments = build_fragments(net, partition)
+    config = NPDBuildConfig(lambda_factor=10.0)
+    benchmark(lambda: build_npd_index(net, fragments[0], config))

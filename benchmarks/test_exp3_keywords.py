@@ -1,0 +1,70 @@
+"""EXP 3 (Fig. 10, Fig. 11): query time vs the number of keywords.
+
+Paper: both the distributed method and the 1-fragment reference grow
+with the keyword count, but the distributed method scales much better
+because the NPD-index lets every fragment run independently.
+
+Reproduced on both scaled datasets at the Table-2 defaults
+(16 fragments, r = maxR): mean distributed response time vs the
+1-fragment (centralized) time for 3–11 keywords.
+"""
+
+from __future__ import annotations
+
+from common import (
+    DEFAULT_FRAGMENTS,
+    DEFAULT_LAMBDA,
+    KEYWORD_SWEEP,
+    engine,
+    mean_centralized_ms,
+    mean_distributed_ms,
+    sgkq_batch,
+    warm_up,
+)
+from repro.bench_support import Table, print_experiment_header
+
+
+def _sweep(dataset_name: str) -> tuple[list[float], list[float]]:
+    deployment = engine(dataset_name, DEFAULT_FRAGMENTS, DEFAULT_LAMBDA)
+    warm_up(deployment, dataset_name)
+    radius = deployment.max_radius
+    distributed, central = [], []
+    for num_keywords in KEYWORD_SWEEP:
+        batch = sgkq_batch(dataset_name, num_keywords, radius)
+        distributed.append(mean_distributed_ms(deployment, batch))
+        central.append(mean_centralized_ms(dataset_name, batch))
+    return distributed, central
+
+
+def _run(dataset_name: str, figure: str, benchmark) -> None:
+    print_experiment_header(
+        "EXP 3",
+        figure,
+        f"{dataset_name}: SGKQ time vs #keywords; 16 fragments, r = maxR.",
+    )
+    distributed, central = _sweep(dataset_name)
+    table = Table(
+        f"{figure} — mean query time (ms), {dataset_name}",
+        ["#keywords", "distributed (16 frags)", "1 fragment", "ratio"],
+    )
+    for nk, d, c in zip(KEYWORD_SWEEP, distributed, central):
+        table.add_row(nk, d, c, c / d if d else float("inf"))
+    table.show()
+
+    # Paper shapes: cost grows with keyword count; distributed wins, and
+    # the gap widens (better scalability with #keywords).
+    assert distributed[-1] > min(distributed) * 1.1
+    assert central[-1] > central[0] * 1.2
+    assert all(d < c for d, c in zip(distributed, central))
+
+    deployment = engine(dataset_name, DEFAULT_FRAGMENTS, DEFAULT_LAMBDA)
+    batch = sgkq_batch(dataset_name, 7, deployment.max_radius)
+    benchmark(lambda: [deployment.execute(q) for q in batch])
+
+
+def test_exp3_fig10_bri(benchmark):
+    _run("bri_mini", "Fig. 10 (BRI)", benchmark)
+
+
+def test_exp3_fig11_aus(benchmark):
+    _run("aus_mini", "Fig. 11 (AUS)", benchmark)

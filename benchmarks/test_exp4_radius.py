@@ -1,0 +1,72 @@
+"""EXP 4 (Fig. 14, Fig. 15): effect of the query radius r.
+
+Paper: response time grows with r (a larger r means a larger keyword
+coverage), and r affects the distributed method far less than the
+centralized one — "this reflects the robustness of our method".
+
+Reproduced for r ∈ {maxR/4, maxR/3, maxR/2, maxR} at the Table-2
+defaults on both datasets.
+"""
+
+from __future__ import annotations
+
+from common import (
+    DEFAULT_FRAGMENTS,
+    DEFAULT_KEYWORDS,
+    DEFAULT_LAMBDA,
+    engine,
+    mean_centralized_ms,
+    mean_distributed_ms,
+    sgkq_batch,
+    warm_up,
+)
+from repro.bench_support import Table, print_experiment_header
+
+RADIUS_FRACTIONS = ((0.25, "maxR/4"), (1 / 3, "maxR/3"), (0.5, "maxR/2"), (1.0, "maxR"))
+
+
+def _run(dataset_name: str, figure: str, benchmark) -> None:
+    print_experiment_header(
+        "EXP 4",
+        figure,
+        f"{dataset_name}: SGKQ time vs radius r; 16 fragments, 7 keywords.",
+    )
+    deployment = engine(dataset_name, DEFAULT_FRAGMENTS, DEFAULT_LAMBDA)
+    warm_up(deployment, dataset_name)
+    table = Table(
+        f"{figure} — mean query time (ms), {dataset_name}",
+        ["r", "distributed (16 frags)", "1 fragment", "ratio"],
+    )
+    distributed, central = [], []
+    for fraction, label in RADIUS_FRACTIONS:
+        radius = deployment.max_radius * fraction
+        batch = sgkq_batch(dataset_name, DEFAULT_KEYWORDS, radius)
+        d = mean_distributed_ms(deployment, batch)
+        c = mean_centralized_ms(dataset_name, batch)
+        distributed.append(d)
+        central.append(c)
+        table.add_row(label, d, c, c / d if d else float("inf"))
+    table.show()
+
+    # Paper shapes: both grow with r, and r affects the distributed
+    # method much less than the centralized one (robustness claim) —
+    # compare the absolute slowdown from maxR/4 to maxR.
+    assert distributed[-1] >= distributed[0]
+    assert central[-1] > central[0]
+    dist_delta = distributed[-1] - distributed[0]
+    central_delta = central[-1] - central[0]
+    assert dist_delta < central_delta, (
+        f"radius should cost the distributed method less: +{dist_delta:.1f}ms "
+        f"distributed vs +{central_delta:.1f}ms centralized"
+    )
+
+    batch = sgkq_batch(dataset_name, DEFAULT_KEYWORDS, deployment.max_radius / 2)
+    benchmark(lambda: [deployment.execute(q) for q in batch])
+
+
+def test_exp4_fig14_bri(benchmark):
+    _run("bri_mini", "Fig. 14 (BRI)", benchmark)
+
+
+def test_exp4_fig15_aus(benchmark):
+    _run("aus_mini", "Fig. 15 (AUS)", benchmark)

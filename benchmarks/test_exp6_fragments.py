@@ -1,0 +1,66 @@
+"""EXP 6 (Fig. 12, Fig. 13): effect of the number of fragments.
+
+Paper: "the response time is approximately cut by half when the
+fragments are doubled, demonstrating a good scalability."
+
+Reproduced on both datasets: mean distributed response time (machine
+makespan + modelled communication) for 2–16 fragments, one machine per
+fragment, at the Table-2 defaults.
+"""
+
+from __future__ import annotations
+
+from common import (
+    DEFAULT_KEYWORDS,
+    DEFAULT_LAMBDA,
+    FRAGMENT_SWEEP,
+    engine,
+    mean_distributed_ms,
+    sgkq_batch,
+)
+from repro.bench_support import Table, print_experiment_header
+
+
+def _run(dataset_name: str, figure: str, benchmark) -> None:
+    print_experiment_header(
+        "EXP 6",
+        figure,
+        f"{dataset_name}: response time vs #fragments; 7 keywords, r = maxR.",
+    )
+    table = Table(
+        f"{figure} — mean response time (ms), {dataset_name}",
+        ["#fragments", "response (ms)", "total work (ms)"],
+    )
+    responses = []
+    for fragments in FRAGMENT_SWEEP:
+        deployment = engine(dataset_name, fragments, DEFAULT_LAMBDA)
+        batch = sgkq_batch(dataset_name, DEFAULT_KEYWORDS, deployment.max_radius)
+        reports = [deployment.execute(q) for q in batch]
+        response = sum(r.response_seconds for r in reports) / len(reports) * 1000
+        work = sum(r.total_task_seconds for r in reports) / len(reports) * 1000
+        responses.append(response)
+        table.add_row(fragments, response, work)
+    table.show()
+
+    # Paper shape: response time falls monotonically as fragments are
+    # added, with a substantial overall win from 2 to 16.  (The paper's
+    # "halves per doubling" holds best on its million-node graphs; on
+    # the scaled datasets per-fragment fixed costs flatten the tail, so
+    # require >=2x overall plus monotone non-increase within 10% noise.)
+    assert responses[0] > responses[-1] * 2.0, (
+        f"response should drop substantially with fragments: {responses}"
+    )
+    for earlier, later in zip(responses, responses[1:]):
+        assert later <= earlier * 1.1, f"response must not regress: {responses}"
+
+    deployment = engine(dataset_name, 16, DEFAULT_LAMBDA)
+    batch = sgkq_batch(dataset_name, DEFAULT_KEYWORDS, deployment.max_radius)
+    benchmark(lambda: [deployment.execute(q) for q in batch])
+
+
+def test_exp6_fig12_bri(benchmark):
+    _run("bri_mini", "Fig. 12 (BRI)", benchmark)
+
+
+def test_exp6_fig13_aus(benchmark):
+    _run("aus_mini", "Fig. 13 (AUS)", benchmark)

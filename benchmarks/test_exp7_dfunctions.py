@@ -1,0 +1,54 @@
+"""EXP 7 (Fig. 16): effect of different D-functions.
+
+Paper: with 7 keywords and θᵢ drawn from {∩, −}, varying the number of
+subtraction operators from 0 to 6 has a *minor* effect — evaluating the
+keyword coverages dominates (>95% of the cost), not the set algebra.
+
+Reproduced on AUS at the Table-2 defaults.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.workloads import QueryGenConfig, QueryGenerator
+
+from common import DEFAULT_FRAGMENTS, DEFAULT_LAMBDA, dataset, engine
+from repro.bench_support import Table, print_experiment_header
+
+NUM_KEYWORDS = 7
+
+
+def test_exp7_fig16_operator_mix(benchmark):
+    print_experiment_header(
+        "EXP 7",
+        "Fig. 16",
+        "AUS: SGKQ chain of 7 coverages with 0-6 subtraction operators.",
+    )
+    deployment = engine("aus_mini", DEFAULT_FRAGMENTS, DEFAULT_LAMBDA)
+    radius = deployment.max_radius / 2
+    generator = QueryGenerator(dataset("aus_mini").network, QueryGenConfig(seed=3))
+
+    table = Table(
+        "Fig. 16 — mean query time (ms) by #subtraction operators, AUS",
+        ["#subtractions", "query time (ms)", "mean |results|"],
+    )
+    times = []
+    for minus in range(0, NUM_KEYWORDS):
+        queries = [
+            generator.dfunction_mix(NUM_KEYWORDS, radius, minus) for _ in range(4)
+        ]
+        reports = [deployment.execute(q) for q in queries]
+        ms = statistics.mean(r.response_seconds for r in reports) * 1000
+        results = statistics.mean(r.num_results for r in reports)
+        times.append(ms)
+        table.add_row(minus, ms, results)
+    table.show()
+
+    # Paper shape: the operator mix has only a minor effect.
+    assert max(times) < min(times) * 3.0, (
+        f"D-function mix should not dominate cost: {times}"
+    )
+
+    queries = [generator.dfunction_mix(NUM_KEYWORDS, radius, 3) for _ in range(4)]
+    benchmark(lambda: [deployment.execute(q) for q in queries])

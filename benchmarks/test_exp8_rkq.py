@@ -1,0 +1,51 @@
+"""EXP 8 (Fig. 17): range keyword query performance.
+
+Paper: RKQ is a Q-class query handled by the same machinery; its
+performance "scales well with the number of keywords" (the extra
+keywords only add radius-0 containment terms, so the R(l, r) range term
+dominates).
+
+Reproduced on AUS at the Table-2 defaults for 3-11 keywords.
+"""
+
+from __future__ import annotations
+
+from common import (
+    DEFAULT_FRAGMENTS,
+    DEFAULT_LAMBDA,
+    KEYWORD_SWEEP,
+    engine,
+    mean_distributed_ms,
+    rkq_batch,
+)
+from repro.bench_support import Table, print_experiment_header
+
+
+def test_exp8_fig17_rkq_vs_keywords(benchmark):
+    print_experiment_header(
+        "EXP 8",
+        "Fig. 17",
+        "AUS: RKQ time vs #keywords; 16 fragments, r = maxR/2.",
+    )
+    deployment = engine("aus_mini", DEFAULT_FRAGMENTS, DEFAULT_LAMBDA)
+    radius = deployment.max_radius / 2
+
+    table = Table(
+        "Fig. 17 — mean RKQ time (ms) by #keywords, AUS",
+        ["#keywords", "query time (ms)"],
+    )
+    times = []
+    for num_keywords in KEYWORD_SWEEP:
+        batch = rkq_batch("aus_mini", num_keywords, radius)
+        ms = mean_distributed_ms(deployment, batch)
+        times.append(ms)
+        table.add_row(num_keywords, ms)
+    table.show()
+
+    # Paper shape: scales well — going from 3 to 11 keywords should not
+    # blow the time up (the range term dominates; keyword terms are
+    # radius-0 lookups).
+    assert times[-1] < times[0] * 4.0, f"RKQ should scale well with keywords: {times}"
+
+    batch = rkq_batch("aus_mini", 7, radius)
+    benchmark(lambda: [deployment.execute(q) for q in batch])

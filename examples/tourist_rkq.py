@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The paper's Q3: a tourist's range keyword query from a hotel.
+
+    "A tourist wants to find a restaurant offering both seafood and
+     Chinese food within 500 meters from his hotel."  (paper §1, Q3)
+
+An RKQ: the query location is a hotel node; results must lie within the
+radius *and* contain every query keyword.  §3.1 reduces it to
+``R(hotel, r) ∩ R(restaurant, 0) ∩ R(seafood, 0) ∩ R(chinese food, 0)``.
+
+Run:  python examples/tourist_rkq.py
+"""
+
+from __future__ import annotations
+
+from city_common import build_gridford, describe
+
+from repro import DisksEngine, EngineConfig, rkq
+from repro.baselines import CentralizedEvaluator
+
+
+def main() -> None:
+    city = build_gridford()
+    print(describe(city))
+    engine = DisksEngine.build(city, EngineConfig(num_fragments=8, lambda_factor=15.0))
+    oracle = CentralizedEvaluator(city)
+
+    hotels = list(city.keyword_nodes("hotel"))
+    print(f"{len(hotels)} hotels in town; maxR = {engine.max_radius:.1f}\n")
+
+    unit = city.average_edge_weight
+    wanted = ["restaurant", "seafood"]
+    print(f"Restaurants serving {' + '.join(wanted[1:])} within r of each hotel:")
+    print(f"{'hotel':>6}  {'r':>6}  {'matches':>8}  nearest match")
+    for hotel in hotels[:6]:
+        for factor in (5.0, 10.0):
+            radius = factor * unit
+            query = rkq(hotel, wanted, radius, label=f"Q3 hotel={hotel}")
+            result = engine.results(query)
+            assert result == oracle.results(query)
+            nearest = ""
+            if result:
+                from repro.search import shortest_path_distances
+
+                dists = shortest_path_distances(
+                    city.neighbors, [hotel], bound=radius
+                )
+                best = min(result, key=lambda n: dists.get(n, float("inf")))
+                nearest = f"node {best} at distance {dists[best]:.1f}"
+            print(f"{hotel:>6}  {radius:6.1f}  {len(result):8}  {nearest}")
+
+    # Widening the cuisine: any hotel, three keywords.
+    radius = 12.0 * unit
+    hotel = hotels[0]
+    for keywords in (["restaurant"], ["restaurant", "seafood"],
+                     ["restaurant", "seafood", "chinese food"]):
+        query = rkq(hotel, keywords, radius)
+        result = engine.results(query)
+        print(f"\nHotel {hotel}, r={radius:.1f}, must contain {keywords}: "
+              f"{len(result)} places")
+
+
+if __name__ == "__main__":
+    main()

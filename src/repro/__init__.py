@@ -1,0 +1,96 @@
+"""DiSKS — Distributed Spatial Keyword Search on road networks.
+
+A complete reproduction of *"Distributed Spatial Keyword Querying on
+Road Networks"* (EDBT 2014): the NPD-index, the keyword-coverage /
+D-function query framework, and every substrate the paper's evaluation
+depends on (road networks, partitioning, a simulated share-nothing
+cluster, baselines, workload generators).
+
+Quick start::
+
+    from repro import DisksEngine, EngineConfig, sgkq
+    from repro.workloads import load_dataset
+
+    network = load_dataset("aus_mini").network
+    engine = DisksEngine.build(network, EngineConfig(num_fragments=8))
+    report = engine.execute(sgkq(["kw0001", "kw0004"], radius=12.0))
+    print(report.num_results, report.response_seconds)
+"""
+
+from repro.core import (
+    BiLevelIndex,
+    CoverageTerm,
+    DFunction,
+    DisksEngine,
+    DLNodePolicy,
+    EngineConfig,
+    Fragment,
+    KeywordSource,
+    NodeSource,
+    NPDBuildConfig,
+    NPDIndex,
+    QClassQuery,
+    QueryReport,
+    SetOp,
+    build_all_indexes,
+    build_fragments,
+    build_npd_index,
+    rkq,
+    sgkq,
+    sgkq_extended,
+)
+from repro.exceptions import DisksError
+from repro.graph import (
+    GeneratorConfig,
+    NodeKind,
+    RoadNetwork,
+    RoadNetworkBuilder,
+    generate_road_network,
+)
+from repro.partition import (
+    BfsPartitioner,
+    MultilevelPartitioner,
+    Partition,
+    RandomPartitioner,
+    SpatialPartitioner,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "DisksError",
+    # graph
+    "NodeKind",
+    "RoadNetwork",
+    "RoadNetworkBuilder",
+    "GeneratorConfig",
+    "generate_road_network",
+    # partitioning
+    "Partition",
+    "MultilevelPartitioner",
+    "BfsPartitioner",
+    "SpatialPartitioner",
+    "RandomPartitioner",
+    # core
+    "Fragment",
+    "build_fragments",
+    "NPDIndex",
+    "NPDBuildConfig",
+    "DLNodePolicy",
+    "BiLevelIndex",
+    "build_npd_index",
+    "build_all_indexes",
+    "SetOp",
+    "DFunction",
+    "CoverageTerm",
+    "KeywordSource",
+    "NodeSource",
+    "QClassQuery",
+    "sgkq",
+    "sgkq_extended",
+    "rkq",
+    "DisksEngine",
+    "EngineConfig",
+    "QueryReport",
+]

@@ -1,0 +1,25 @@
+"""Comparison systems: the centralized evaluator and the BSP strawman.
+
+* :class:`CentralizedEvaluator` — single-machine whole-graph evaluation
+  (the paper's "1 fragment" reference curves in EXP 3/4) and the exact
+  ground truth the test suite checks the distributed engine against.
+* :mod:`repro.baselines.bsp` — a miniature Pregel-style bulk-synchronous
+  engine, and :mod:`repro.baselines.bsp_queries` which answers the same
+  queries with multi-round message passing (§2.3's strawman), exposing
+  the superstep/communication cost the NPD-index eliminates.
+"""
+
+from repro.baselines.centralized import CentralizedEvaluator
+from repro.baselines.bsp import BSPEngine, BSPStats, Halt
+from repro.baselines.bsp_queries import BSPQueryEvaluator
+from repro.baselines.portal_graph import PortalGraphIndex, PortalGraphStats
+
+__all__ = [
+    "CentralizedEvaluator",
+    "BSPEngine",
+    "BSPStats",
+    "Halt",
+    "BSPQueryEvaluator",
+    "PortalGraphIndex",
+    "PortalGraphStats",
+]

@@ -1,0 +1,85 @@
+"""Single-machine whole-graph query evaluation.
+
+This is the algorithm a deployment without fragments runs — the "1
+fragment" reference of EXP 3/4 — and, because it evaluates Definition 4
+directly with plain Dijkstra over the full network, it is also the exact
+ground truth the distributed engine is tested against.
+
+Directionality note: in directed mode every coverage is the set of nodes
+within ``r`` *from* the source along forward arcs, i.e.
+``R(ω, r) = {A : d(ω → A) ≤ r}``.  The NPD builder and fragment
+executor use the same convention, and on undirected networks (the
+paper's setting) it coincides with ``d(A, ω)``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.queries import CoverageTerm, KeywordSource, NodeSource, QClassQuery
+from repro.exceptions import NodeNotFoundError, QueryError, UnknownKeywordError
+from repro.graph.road_network import RoadNetwork
+from repro.search.dijkstra import shortest_path_distances
+from repro.text.inverted import InvertedIndex
+
+__all__ = ["CentralizedResult", "CentralizedEvaluator"]
+
+
+@dataclass(frozen=True)
+class CentralizedResult:
+    """Answer and timing of one centralized evaluation."""
+
+    result_nodes: frozenset[int]
+    wall_seconds: float
+    coverage_sizes: tuple[int, ...]
+
+
+class CentralizedEvaluator:
+    """Answers Q-class queries on the whole, unpartitioned network."""
+
+    def __init__(self, network: RoadNetwork, *, strict_keywords: bool = True) -> None:
+        self._network = network
+        self._inverted = InvertedIndex(network)
+        self._strict = strict_keywords
+
+    @property
+    def network(self) -> RoadNetwork:
+        """The underlying network."""
+        return self._network
+
+    def coverage(self, term: CoverageTerm) -> set[int]:
+        """Evaluate one keyword coverage ``R(source, r)`` exactly."""
+        source = term.source
+        if isinstance(source, KeywordSource):
+            seeds = self._inverted.nodes_with(source.keyword)
+            if not seeds and self._strict and source.keyword not in self._inverted:
+                raise UnknownKeywordError(source.keyword)
+        elif isinstance(source, NodeSource):
+            if not (0 <= source.node < self._network.num_nodes):
+                raise NodeNotFoundError(source.node)
+            seeds = (source.node,)
+        else:  # pragma: no cover - the Source union is closed
+            raise QueryError(f"unsupported coverage source {source!r}")
+        if not seeds:
+            return set()
+        distances = shortest_path_distances(
+            self._network.neighbors, list(seeds), bound=term.radius
+        )
+        return set(distances)
+
+    def execute(self, query: QClassQuery) -> CentralizedResult:
+        """Answer ``query`` and time the evaluation."""
+        started = time.perf_counter()
+        coverages = [self.coverage(term) for term in query.terms]
+        result = query.expression.evaluate(coverages)
+        elapsed = time.perf_counter() - started
+        return CentralizedResult(
+            result_nodes=frozenset(result),
+            wall_seconds=elapsed,
+            coverage_sizes=tuple(len(c) for c in coverages),
+        )
+
+    def results(self, query: QClassQuery) -> frozenset[int]:
+        """Just the answer node set."""
+        return self.execute(query).result_nodes

@@ -1,0 +1,197 @@
+"""A BLINKS/HiTi-style partition-based *centralized* index (paper §3.6).
+
+The paper's Remark contrasts the NPD-index with earlier partition-based
+schemes [11, 10] that record (1) distances between boundary (portal)
+nodes and (2) distances between each node and the boundary nodes *of its
+own partition*; a distance between two nodes is then assembled *via the
+boundary nodes of both partitions*.  Those schemes are exact and fast in
+a centralized setting, but the assembly step runs over a **global portal
+graph** spanning every partition — the "extensive interactions between
+partitions" that make them unsuitable for share-nothing distribution.
+
+This module implements that scheme faithfully (undirected networks):
+
+* per fragment, restricted shortest distances from every portal to every
+  member (computed within the fragment subgraph only);
+* a portal graph whose edges are the original cross-partition edges plus
+  intra-fragment portal-to-portal restricted distances.
+
+Coverage evaluation stitches three phases — local multi-source, portal-
+graph relaxation, local re-entry — and the stats expose exactly how much
+of the work happened on the global portal graph, i.e. what a distributed
+port would have to ship between machines.  It also serves as a third
+independent oracle in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.core.fragment import Fragment, build_fragments
+from repro.core.queries import CoverageTerm, KeywordSource, NodeSource, QClassQuery
+from repro.exceptions import GraphError, NodeNotFoundError, QueryError
+from repro.graph.road_network import RoadNetwork
+from repro.partition.base import Partition
+from repro.search.dijkstra import shortest_path_distances
+
+__all__ = ["PortalGraphStats", "PortalGraphIndex"]
+
+
+@dataclass
+class PortalGraphStats:
+    """Work accounting of one evaluation; the portal-graph share is the
+    part a distributed deployment would pay in communication."""
+
+    local_settled: int = 0
+    portal_graph_settled: int = 0
+    portal_graph_edges: int = 0
+
+
+class PortalGraphIndex:
+    """Centralized partition-based index and evaluator (§3.6 comparison)."""
+
+    def __init__(self, network: RoadNetwork, partition: Partition) -> None:
+        if network.directed:
+            raise GraphError("PortalGraphIndex supports undirected networks only")
+        self._network = network
+        self._partition = partition
+        self._fragments: list[Fragment] = build_fragments(network, partition)
+
+        # (2) restricted portal -> member distances, per fragment.
+        self._intra: list[dict[int, dict[int, float]]] = []
+        for fragment in self._fragments:
+            per_portal: dict[int, dict[int, float]] = {}
+            for portal in sorted(fragment.portals):
+                per_portal[portal] = shortest_path_distances(
+                    lambda u: fragment.adjacency.get(u, ()), [portal]
+                )
+            self._intra.append(per_portal)
+
+        # (1) the global portal graph: cross edges + intra portal pairs.
+        portal_adjacency: dict[int, dict[int, float]] = {}
+
+        def add_edge(u: int, v: int, w: float) -> None:
+            row = portal_adjacency.setdefault(u, {})
+            if w < row.get(v, math.inf):
+                row[v] = w
+
+        for u, v, w in network.edges():
+            if partition.fragment_of(u) != partition.fragment_of(v):
+                add_edge(u, v, w)
+                add_edge(v, u, w)
+        for fragment, per_portal in zip(self._fragments, self._intra):
+            portals = sorted(fragment.portals)
+            for i, p in enumerate(portals):
+                for q in portals[i + 1 :]:
+                    dist = per_portal[p].get(q, math.inf)
+                    if math.isfinite(dist):
+                        add_edge(p, q, dist)
+                        add_edge(q, p, dist)
+        self._portal_adjacency = {
+            u: tuple(edges.items()) for u, edges in portal_adjacency.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_portals(self) -> int:
+        """Portal-node count of the whole deployment."""
+        return len(self._portal_adjacency)
+
+    @property
+    def portal_graph_edges(self) -> int:
+        """Arc count of the global portal graph."""
+        return sum(len(edges) for edges in self._portal_adjacency.values())
+
+    @property
+    def num_recorded_distances(self) -> int:
+        """Stored distances — comparable to NPDIndex's size measure."""
+        intra = sum(
+            len(dists) for per_portal in self._intra for dists in per_portal.values()
+        )
+        return intra + self.portal_graph_edges
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _seeds_of(self, term: CoverageTerm) -> list[int]:
+        source = term.source
+        if isinstance(source, KeywordSource):
+            return [
+                node
+                for node in self._network.nodes()
+                if source.keyword in self._network.keywords(node)
+            ]
+        if isinstance(source, NodeSource):
+            if not (0 <= source.node < self._network.num_nodes):
+                raise NodeNotFoundError(source.node)
+            return [source.node]
+        raise QueryError(f"unsupported source {source!r}")  # pragma: no cover
+
+    def coverage(self, term: CoverageTerm, stats: PortalGraphStats | None = None) -> set[int]:
+        """Exact ``R(source, r)`` via the three-phase portal assembly."""
+        seeds = self._seeds_of(term)
+        if not seeds:
+            return set()
+        radius = term.radius
+
+        # Phase 1 — per fragment, restricted multi-source from local seeds.
+        local_dist: list[dict[int, float]] = []
+        portal_seeds: dict[int, float] = {}
+        for fragment in self._fragments:
+            local_seeds = [s for s in seeds if s in fragment.members]
+            if local_seeds:
+                dist = shortest_path_distances(
+                    lambda u, f=fragment: f.adjacency.get(u, ()), local_seeds
+                )
+            else:
+                dist = {}
+            local_dist.append(dist)
+            if stats is not None:
+                stats.local_settled += len(dist)
+            for portal in fragment.portals:
+                d = dist.get(portal)
+                if d is not None and d < portal_seeds.get(portal, math.inf):
+                    portal_seeds[portal] = d
+
+        # Phase 2 — relax over the GLOBAL portal graph (the step that
+        # needs cross-partition interaction in a distributed port).
+        portal_dist = shortest_path_distances(
+            lambda u: self._portal_adjacency.get(u, ()),
+            portal_seeds,
+            bound=radius,
+        )
+        if stats is not None:
+            stats.portal_graph_settled += len(portal_dist)
+            stats.portal_graph_edges = self.portal_graph_edges
+
+        # Phase 3 — re-enter each fragment through its portals.
+        result: set[int] = set()
+        for fragment, per_portal, dist in zip(self._fragments, self._intra, local_dist):
+            for node in fragment.members:
+                best = dist.get(node, math.inf)
+                for portal in fragment.portals:
+                    pd = portal_dist.get(portal)
+                    if pd is None:
+                        continue
+                    through = pd + per_portal[portal].get(node, math.inf)
+                    if through < best:
+                        best = through
+                if best <= radius:
+                    result.add(node)
+        return result
+
+    def execute(self, query: QClassQuery) -> tuple[frozenset[int], PortalGraphStats, float]:
+        """Answer a Q-class query; returns (result, stats, wall seconds)."""
+        started = time.perf_counter()
+        stats = PortalGraphStats()
+        coverages = [self.coverage(term, stats) for term in query.terms]
+        result = query.expression.evaluate(coverages)
+        return frozenset(result), stats, time.perf_counter() - started
+
+    def results(self, query: QClassQuery) -> frozenset[int]:
+        """Just the answer node set."""
+        return self.execute(query)[0]

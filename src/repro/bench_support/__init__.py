@@ -1,0 +1,12 @@
+"""Shared helpers for the benchmark harness (timing, table rendering)."""
+
+from repro.bench_support.timing import time_call, repeat_median
+from repro.bench_support.reporting import Table, format_series, print_experiment_header
+
+__all__ = [
+    "time_call",
+    "repeat_median",
+    "Table",
+    "format_series",
+    "print_experiment_header",
+]

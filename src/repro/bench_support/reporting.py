@@ -1,0 +1,84 @@
+"""Paper-style table and series rendering for the benchmark reports.
+
+Every EXP benchmark prints the rows/series the corresponding paper table
+or figure reports, via these helpers, so `pytest benchmarks/
+--benchmark-only -s` doubles as the experiment log that EXPERIMENTS.md
+records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Table", "format_series", "print_experiment_header"]
+
+
+@dataclass
+class Table:
+    """A fixed-column text table."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values but the table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def render(self) -> str:
+        """Render as aligned monospace text."""
+        formatted_rows = [
+            [_format_cell(value) for value in row] for row in self.rows
+        ]
+        widths = [len(str(c)) for c in self.columns]
+        for row in formatted_rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title]
+        header = "  ".join(str(c).ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in formatted_rows:
+            lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        """Print the rendered table, framed by blank lines."""
+        print()
+        print(self.render())
+        print()
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[float]) -> str:
+    """One figure series as ``name: x=y, x=y, ...``."""
+    pairs = ", ".join(f"{x}={_format_cell(float(y))}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def print_experiment_header(exp_id: str, paper_artifact: str, description: str) -> None:
+    """Banner identifying which paper table/figure a bench reproduces."""
+    print()
+    print("=" * 72)
+    print(f"{exp_id} — reproduces {paper_artifact}")
+    print(description)
+    print("=" * 72)

@@ -1,0 +1,29 @@
+"""Timing helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Any, Callable, TypeVar
+
+__all__ = ["time_call", "repeat_median"]
+
+T = TypeVar("T")
+
+
+def time_call(fn: Callable[[], T]) -> tuple[T, float]:
+    """Call ``fn`` once; return ``(result, wall_seconds)``."""
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def repeat_median(fn: Callable[[], Any], repeats: int = 3) -> float:
+    """Median wall time of ``repeats`` calls to ``fn``."""
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    times = []
+    for _ in range(repeats):
+        _result, seconds = time_call(fn)
+        times.append(seconds)
+    return statistics.median(times)

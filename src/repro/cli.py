@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``   — Table-1-style statistics of a dataset preset.
+``build``  — partition a preset, build every ``IND(P)``, write the
+             per-machine files (fragment + index) into a directory.
+``query``  — cold-start workers from a built directory and answer an
+             SGKQ or RKQ, printing results and accounting.
+``demo``   — an end-to-end run on the paper's Fig. 1 network.
+
+The CLI drives exactly the public library API; it exists so the system
+can be exercised without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro import DisksEngine, EngineConfig, rkq, sgkq
+from repro.core import build_fragments, deployment_report, parse_query
+from repro.core.coverage import FragmentRuntime
+from repro.core.executor import execute_fragment_task
+from repro.dist import SimulatedCluster
+from repro.exceptions import DisksError
+from repro.partition import MultilevelPartitioner
+from repro.storage import (
+    read_fragment_file,
+    read_index_file,
+    write_fragment_file,
+    write_index_file,
+)
+from repro.workloads import DATASET_PRESETS, load_dataset, toy_figure1
+
+__all__ = ["main", "build_parser"]
+
+_MANIFEST = "manifest.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DiSKS: distributed spatial keyword querying on road networks",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="show dataset statistics")
+    info.add_argument("--dataset", default="aus_tiny", choices=sorted(DATASET_PRESETS))
+
+    build = sub.add_parser("build", help="build per-machine index files")
+    build.add_argument("--dataset", default="aus_tiny", choices=sorted(DATASET_PRESETS))
+    build.add_argument("--fragments", type=int, default=8)
+    build.add_argument("--lambda-factor", type=float, default=20.0, dest="lambda_factor")
+    build.add_argument("--out", required=True, help="output directory")
+
+    query = sub.add_parser("query", help="answer a query from built files")
+    query.add_argument("--dir", required=True, help="directory produced by `build`")
+    group = query.add_mutually_exclusive_group(required=True)
+    group.add_argument("--keywords", help="comma-separated keywords (SGKQ/RKQ form)")
+    group.add_argument(
+        "--expr",
+        help="query-language expression, e.g. "
+        "'NEAR(kw0001, 5) AND NEAR(kw0002, 5) NOT NEAR(kw0003, 1)'",
+    )
+    query.add_argument("--radius", type=float, default=None)
+    query.add_argument(
+        "--location",
+        type=int,
+        default=None,
+        help="node id: if given, run an RKQ from this location instead of an SGKQ",
+    )
+
+    sub.add_parser("demo", help="run the paper's Fig. 1 worked examples")
+    return parser
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    stats = dataset.stats
+    print(f"{'name':<10} {'nodes':>10} {'objects':>9} {'edges':>10} {'keywords':>9}")
+    print(stats.as_table_row(dataset.name))
+    print(
+        f"\navg degree {stats.avg_degree:.2f}, avg edge weight "
+        f"{stats.avg_edge_weight:.3f}, avg keywords/object "
+        f"{stats.avg_keywords_per_object:.2f}, connected: {stats.connected}"
+    )
+    print("top keywords:", ", ".join(dataset.frequent_keywords(8)))
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    engine = DisksEngine.build(
+        dataset.network,
+        EngineConfig(
+            num_fragments=args.fragments,
+            lambda_factor=args.lambda_factor,
+            partitioner=MultilevelPartitioner(seed=0),
+        ),
+    )
+    total = 0
+    for fragment, index in zip(engine.fragments, engine.indexes):
+        total += write_fragment_file(fragment, out / f"fragment-{fragment.fragment_id}.npf")
+        total += write_index_file(index, out / f"index-{index.fragment_id}.npd")
+    manifest = {
+        "dataset": args.dataset,
+        "fragments": args.fragments,
+        "lambda_factor": args.lambda_factor,
+        "max_radius": engine.max_radius,
+    }
+    (out / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    print(
+        f"built {args.fragments} fragments of {args.dataset} "
+        f"(maxR={engine.max_radius:.2f}) into {out} — {total / 1024:.1f} KiB total"
+    )
+    print(deployment_report(engine).render())
+    return 0
+
+
+def _load_runtimes(directory: Path) -> tuple[dict, list[FragmentRuntime]]:
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.exists():
+        raise DisksError(f"{directory} has no {_MANIFEST}; run `repro build` first")
+    manifest = json.loads(manifest_path.read_text())
+    runtimes = []
+    for i in range(manifest["fragments"]):
+        fragment = read_fragment_file(directory / f"fragment-{i}.npf")
+        index = read_index_file(directory / f"index-{i}.npd")
+        runtimes.append(FragmentRuntime(fragment, index))
+    return manifest, runtimes
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    manifest, runtimes = _load_runtimes(Path(args.dir))
+    if args.expr is not None:
+        query = parse_query(args.expr)
+    else:
+        if args.radius is None:
+            print("error: --keywords queries need --radius", file=sys.stderr)
+            return 2
+        keywords = [kw.strip() for kw in args.keywords.split(",") if kw.strip()]
+        if args.location is not None:
+            query = rkq(args.location, keywords, args.radius)
+        else:
+            query = sgkq(keywords, args.radius)
+    if query.max_radius > manifest["max_radius"]:
+        print(
+            f"error: radius {query.max_radius} exceeds the built maxR "
+            f"{manifest['max_radius']:.2f}",
+            file=sys.stderr,
+        )
+        return 2
+
+    merged: set[int] = set()
+    slowest = 0.0
+    for runtime in runtimes:
+        result = execute_fragment_task(runtime, query)
+        merged |= set(result.local_result)
+        slowest = max(slowest, result.wall_seconds)
+    print(f"{query.label}: {len(merged)} results (slowest task {slowest * 1000:.1f}ms)")
+    for node in sorted(merged)[:20]:
+        print(f"  node {node}")
+    if len(merged) > 20:
+        print(f"  ... and {len(merged) - 20} more")
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    names = {0: "A", 1: "B", 2: "C", 3: "D", 4: "E"}
+    engine = DisksEngine.build(toy_figure1(), EngineConfig(num_fragments=2, lambda_factor=10.0))
+    ex1 = engine.results(sgkq(["museum", "school"], 3.0))
+    ex2 = engine.results(rkq(1, ["museum"], 4.0))
+    print("Fig. 1 network, 2 fragments")
+    print(f"  SGKQ({{museum, school}}, 3) = {{{', '.join(sorted(names[n] for n in ex1))}}}")
+    print(f"  RKQ(B, {{museum}}, 4)       = {{{', '.join(sorted(names[n] for n in ex2))}}}")
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "build": _cmd_build,
+    "query": _cmd_query,
+    "demo": _cmd_demo,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except DisksError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

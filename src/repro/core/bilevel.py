@@ -1,0 +1,67 @@
+"""The bi-level index of §5.5: a bounded index plus an unbounded twin.
+
+``maxR`` truncation keeps the everyday index small, but the rare query
+with ``r > maxR`` still needs serving.  The paper's remedy is to hold
+two index sets per machine: one built with the application's ``maxR``
+and one built without the restriction; the router picks per query.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.npd import NPDIndex
+from repro.exceptions import IndexBuildError, RadiusExceededError
+
+__all__ = ["BiLevelIndex"]
+
+
+@dataclass(frozen=True)
+class BiLevelIndex:
+    """Bounded and (optionally) unbounded NPD-indexes for one deployment.
+
+    Both lists are ordered by fragment id.  ``unbounded`` may be ``None``
+    for single-level deployments; routing then raises
+    :class:`RadiusExceededError` for oversized radiuses instead of
+    silently degrading.
+    """
+
+    bounded: tuple[NPDIndex, ...]
+    unbounded: tuple[NPDIndex, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.bounded:
+            raise IndexBuildError("a bi-level index needs at least one fragment index")
+        if self.unbounded is not None:
+            if len(self.unbounded) != len(self.bounded):
+                raise IndexBuildError(
+                    "bounded and unbounded levels must cover the same fragments"
+                )
+            for index in self.unbounded:
+                if index.max_radius != math.inf:
+                    raise IndexBuildError(
+                        "the second level must be built without a maxR restriction"
+                    )
+
+    @property
+    def max_radius(self) -> float:
+        """The bounded level's ``maxR``."""
+        return self.bounded[0].max_radius
+
+    @property
+    def has_unbounded_level(self) -> bool:
+        """Whether an unbounded second level exists."""
+        return self.unbounded is not None
+
+    def needs_unbounded(self, radius: float) -> bool:
+        """Whether ``radius`` exceeds the bounded level."""
+        return radius > self.max_radius
+
+    def level_for(self, radius: float) -> tuple[NPDIndex, ...]:
+        """The index set that serves a query of radius ``radius``."""
+        if not self.needs_unbounded(radius):
+            return self.bounded
+        if self.unbounded is None:
+            raise RadiusExceededError(radius, self.max_radius)
+        return self.unbounded

@@ -1,0 +1,255 @@
+"""NPD-index construction (paper Algorithm 1, §4.1).
+
+The builder runs a bounded *backward* Dijkstra from every portal node of
+the fragment.  Along each shortest-path tree branch it propagates a
+``clean`` flag — true while no node of ``P`` lies strictly between the
+portal and the current node — which is exactly the bookkeeping the
+paper's ``visitedParts`` performs, reduced to the only membership that
+matters (membership in ``P`` itself):
+
+* a settled member node with a clean path and no original edge to the
+  portal yields an ``SC`` shortcut (Rule 1);
+* a settled outside node with a clean path yields ``DL`` records
+  (Rule 2): per-keyword minima (the §3.7 virtual-keyword-node form) and,
+  per :class:`DLNodePolicy`, a concrete node entry.
+
+Because Dijkstra settles nodes in non-decreasing distance order, the
+per-keyword minimum for a portal is simply the *first* qualifying
+occurrence — recorded with a set-if-absent.
+
+Under shortest-path ties the tree realises one of the tied paths, so the
+builder records a pair whenever *some* shortest path qualifies.  That is
+a superset of Rules 3/4's minimal sets but every recorded value is an
+exact distance along a real path, and the query-time Dijkstra takes
+minima — correctness is unaffected (§5.3); tests pin this down.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from heapq import heappop, heappush
+
+from repro.exceptions import IndexBuildError
+from repro.core.fragment import Fragment
+from repro.core.npd import DLNodePolicy, NPDIndex
+from repro.graph.road_network import RoadNetwork
+
+__all__ = ["NPDBuildConfig", "BuildStats", "build_npd_index", "build_all_indexes"]
+
+
+@dataclass(frozen=True)
+class NPDBuildConfig:
+    """Parameters of NPD-index construction.
+
+    Exactly one of ``max_radius`` (absolute) or ``lambda_factor``
+    (``maxR = λ·ē``, the paper's Table-2 parameterisation with default
+    λ=40) should be set; ``lambda_factor`` wins if both are given.
+    ``math.inf`` (the default ``max_radius`` when both are ``None``)
+    builds the untruncated index of §5.5.
+
+    ``strict_tie_rules`` selects the §5.3 variant: under shortest-path
+    ties the default builder records a pair whenever *some* shortest
+    path qualifies (a safe superset, see the module docstring); the
+    strict mode implements Rules 3/4 literally — record only when
+    *every* shortest path avoids interior members — yielding the
+    minimal index at the cost of tracking tie cleanliness.
+    """
+
+    max_radius: float | None = None
+    lambda_factor: float | None = None
+    node_policy: DLNodePolicy = DLNodePolicy.OBJECTS
+    strict_tie_rules: bool = False
+
+    def resolve_max_radius(self, network: RoadNetwork) -> float:
+        """The absolute ``maxR`` for ``network``."""
+        if self.lambda_factor is not None:
+            if self.lambda_factor <= 0:
+                raise IndexBuildError("lambda_factor must be positive")
+            return self.lambda_factor * network.average_edge_weight
+        if self.max_radius is not None:
+            if self.max_radius < 0:
+                raise IndexBuildError("max_radius must be non-negative")
+            return self.max_radius
+        return math.inf
+
+
+@dataclass
+class BuildStats:
+    """Construction-cost accounting for one fragment (Table 3 / EXP 2)."""
+
+    fragment_id: int
+    num_portals: int
+    settled_nodes: int = 0
+    relaxed_edges: int = 0
+    wall_seconds: float = 0.0
+
+
+def _portal_search(
+    network: RoadNetwork,
+    members: frozenset[int],
+    portal: int,
+    max_radius: float,
+    index: NPDIndex,
+    keyword_pairs: dict[str, dict[int, float]],
+    node_pairs: dict[int, list[tuple[int, float]]],
+    stats: BuildStats,
+    *,
+    strict: bool = False,
+) -> None:
+    """One bounded backward Dijkstra from ``portal``, applying Rules 1–2.
+
+    With ``strict`` the cleanliness flag aggregates over *all* tight
+    predecessors (every shortest path must avoid interior members —
+    Rules 3/4); otherwise it follows the single tree path.
+    """
+    node_policy = index.node_policy
+    directed = network.directed
+    # Backward search: distances computed are d(p -> portal).  On the
+    # undirected graphs the forward CSR is the reverse graph too.
+    row_of = network.in_neighbor_slice if directed else network.neighbor_slice
+
+    best: dict[int, float] = {portal: 0.0}
+    pred: dict[int, int] = {portal: -1}
+    clean: dict[int, bool] = {portal: True}
+    dist: dict[int, float] = {}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, portal)]
+
+    def all_paths_clean(p: int, d: float) -> bool:
+        """Rule 3/4 cleanliness: every tight predecessor path is clean.
+
+        In the search graph a predecessor of ``p`` is any ``q`` with a
+        (reverse-direction) arc ``q -> p``, i.e. an original arc
+        ``p -> q`` — so scanning ``network.neighbors(p)`` enumerates
+        candidates in both modes.
+        """
+        found = False
+        for q, w in network.neighbors(p):
+            dq = dist.get(q)
+            if dq is None or dq + w != d:
+                continue
+            found = True
+            if not (clean[q] and (q == portal or q not in members)):
+                return False
+        return found
+
+    while heap:
+        d, p = heappop(heap)
+        if p in settled or d > best[p]:
+            continue
+        settled.add(p)
+        dist[p] = d
+        stats.settled_nodes += 1
+
+        q = pred[p]
+        if q == -1:
+            is_clean = True
+        elif strict:
+            is_clean = all_paths_clean(p, d)
+        else:
+            is_clean = clean[q] and (q == portal or q not in members)
+        clean[p] = is_clean
+
+        if p != portal and is_clean:
+            if p in members:
+                # Rule 1: member-to-portal shortcut.  Condition 2 excludes
+                # the pair only when (p, portal, d(p, portal)) is an edge
+                # of G *with that weight* — an original edge longer than
+                # the shortest path does not make the shortcut redundant.
+                if not (
+                    network.has_edge(p, portal)
+                    and network.edge_weight(p, portal) <= d * (1.0 + 1e-12)
+                ):
+                    index.add_shortcut(p, portal, d)
+            else:
+                # Rule 2: outside node whose shortest path first touches
+                # P at this portal.
+                keywords = network.keywords(p)
+                for keyword in keywords:
+                    per_portal = keyword_pairs.setdefault(keyword, {})
+                    if portal not in per_portal:  # first settle == minimum
+                        per_portal[portal] = d
+                if node_policy is DLNodePolicy.ALL or (
+                    node_policy is DLNodePolicy.OBJECTS and network.is_object(p)
+                ):
+                    node_pairs.setdefault(p, []).append((portal, d))
+
+        nbrs, wts, lo, hi = row_of(p)
+        for i in range(lo, hi):
+            v = nbrs[i]
+            if v in settled:
+                continue
+            nd = d + wts[i]
+            stats.relaxed_edges += 1
+            if nd <= max_radius and nd < best.get(v, math.inf):
+                best[v] = nd
+                pred[v] = p
+                heappush(heap, (nd, v))
+
+
+def build_npd_index(
+    network: RoadNetwork,
+    fragment: Fragment,
+    config: NPDBuildConfig | None = None,
+) -> tuple[NPDIndex, BuildStats]:
+    """Build ``IND(P)`` for one fragment (Algorithm 1).
+
+    Returns the sealed index together with construction statistics.  The
+    search touches the whole network (construction is an offline, global
+    computation — §4.1) but the *output* concerns only ``fragment``,
+    which is what makes construction fragment-parallel.
+    """
+    config = config or NPDBuildConfig()
+    max_radius = config.resolve_max_radius(network)
+    index = NPDIndex(
+        fragment_id=fragment.fragment_id,
+        max_radius=max_radius,
+        node_policy=config.node_policy,
+        directed=network.directed,
+    )
+    stats = BuildStats(fragment_id=fragment.fragment_id, num_portals=fragment.num_portals)
+    keyword_pairs: dict[str, dict[int, float]] = {}
+    node_pairs: dict[int, list[tuple[int, float]]] = {}
+
+    started = time.perf_counter()
+    for portal in sorted(fragment.portals):
+        _portal_search(
+            network,
+            fragment.members,
+            portal,
+            max_radius,
+            index,
+            keyword_pairs,
+            node_pairs,
+            stats,
+            strict=config.strict_tie_rules,
+        )
+    index.seal(
+        {kw: list(per_portal.items()) for kw, per_portal in keyword_pairs.items()},
+        node_pairs,
+    )
+    stats.wall_seconds = time.perf_counter() - started
+    return index, stats
+
+
+def build_all_indexes(
+    network: RoadNetwork,
+    fragments: list[Fragment],
+    config: NPDBuildConfig | None = None,
+) -> tuple[list[NPDIndex], list[BuildStats]]:
+    """Build the NPD-index of every fragment (serially, in fragment order).
+
+    The per-fragment builds are independent — the paper runs one per
+    machine; :mod:`repro.dist.parallel` offers a process-parallel
+    driver — but this serial form is what the deterministic tests and
+    single-process benchmarks use.
+    """
+    indexes: list[NPDIndex] = []
+    stats: list[BuildStats] = []
+    for fragment in fragments:
+        index, stat = build_npd_index(network, fragment, config)
+        indexes.append(index)
+        stats.append(stat)
+    return indexes, stats

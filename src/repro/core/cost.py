@@ -1,0 +1,108 @@
+"""Cost model and load-balance analysis (paper §5.1–§5.2).
+
+* :func:`theorem5_cost` — the per-fragment time-complexity estimate
+  ``Σⱼ (αⱼ + β + |P ∩ R(ωⱼ,r)| · log |P ∩ R(ωⱼ,r)|)``;
+* :func:`makespan` — list-scheduling of task costs onto machines under
+  the paper's strategy ("an un-assigned task must be assigned to certain
+  idle machine if there are idle machines");
+* :func:`unbalance_factor` — the observed ``U = max cost(Mᵢ)/cost(Mⱼ)``;
+* :func:`theorem6_bound` — the guaranteed bound
+  ``U ≤ 1 + max cost(Pₖ) / min cost(Pₖ)``.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+from typing import Sequence
+
+from repro.core.npd import NPDIndex
+from repro.exceptions import DisksError
+
+__all__ = [
+    "theorem5_cost",
+    "makespan",
+    "assign_tasks",
+    "unbalance_factor",
+    "theorem6_bound",
+]
+
+
+def theorem5_cost(
+    index: NPDIndex,
+    keywords: Sequence[str],
+    coverage_sizes: Sequence[int],
+) -> float:
+    """Theorem 5's abstract operation count for one fragment task.
+
+    ``keywords`` are the query's keyword sources; ``coverage_sizes`` the
+    corresponding measured ``|P ∩ R(ωⱼ, r)|`` values.
+    """
+    if len(keywords) != len(coverage_sizes):
+        raise DisksError("keywords and coverage_sizes must align")
+    beta = index.num_shortcuts
+    total = 0.0
+    for keyword, size in zip(keywords, coverage_sizes):
+        alpha = index.alpha(keyword)
+        total += alpha + beta
+        if size > 1:
+            total += size * math.log2(size)
+    return total
+
+
+def assign_tasks(task_costs: Sequence[float], num_machines: int) -> list[list[int]]:
+    """Assign tasks (in arrival order) to the earliest-idle machine.
+
+    Returns the task indexes handled by each machine.  This is the
+    paper's §5.2 strategy, i.e. classic list scheduling.
+    """
+    if num_machines < 1:
+        raise DisksError("need at least one machine")
+    finish: list[tuple[float, int]] = [(0.0, m) for m in range(num_machines)]
+    plan: list[list[int]] = [[] for _ in range(num_machines)]
+    for task, cost in enumerate(task_costs):
+        if cost < 0:
+            raise DisksError(f"task {task} has negative cost {cost}")
+        idle_at, machine = heappop(finish)
+        plan[machine].append(task)
+        heappush(finish, (idle_at + cost, machine))
+    return plan
+
+
+def makespan(task_costs: Sequence[float], num_machines: int) -> float:
+    """Response time of the task set under list scheduling.
+
+    With ``num_machines >= len(task_costs)`` (the paper's default of one
+    fragment per machine) this is simply the slowest task.
+    """
+    plan = assign_tasks(task_costs, num_machines)
+    return max(
+        (sum(task_costs[t] for t in tasks) for tasks in plan if tasks),
+        default=0.0,
+    )
+
+
+def unbalance_factor(machine_costs: Sequence[float]) -> float:
+    """Observed unbalance ``U`` over machines that received work (§5.2).
+
+    ``U = max_{i≠j} cost(Mᵢ)/cost(Mⱼ)``; returns 1.0 for fewer than two
+    loaded machines and ``inf`` if some loaded machine cost is zero while
+    another is positive.
+    """
+    costs = list(machine_costs)
+    if len(costs) < 2:
+        return 1.0
+    top, bottom = max(costs), min(costs)
+    if top <= 0.0:
+        return 1.0
+    if bottom <= 0.0:
+        return math.inf
+    return top / bottom
+
+
+def theorem6_bound(task_costs: Sequence[float]) -> float:
+    """Theorem 6's bound ``U ≤ 1 + max cost(Pₖ)/min cost(Pₖ)``."""
+    positive = [c for c in task_costs if c > 0.0]
+    if not positive:
+        return 1.0
+    return 1.0 + max(positive) / min(positive)

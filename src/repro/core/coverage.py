@@ -1,0 +1,206 @@
+"""Keyword-coverage evaluation on one fragment (paper Alg. 2, §4.2).
+
+:class:`FragmentRuntime` is the query-time state a worker machine keeps
+for its fragment: the *extended fragment* adjacency (``P ∪ SC(P)``,
+Alg. 2 step 1 — built once and reused across queries) plus the DL lookup
+side of the index.  :func:`local_coverage` then evaluates one coverage
+term ``R(source, r) ∩ P``:
+
+1. **Search from index** (step 2) — DL entry pairs with distance ≤ r
+   become weighted virtual-source seeds;
+2. **Extend** (step 3) — fragment-local source nodes become zero-weight
+   seeds (the directed virtual edges of Fig. 5);
+3. a bounded Dijkstra over the extended fragment settles exactly the
+   member nodes within ``r`` of the source (Theorem 3 guarantees the
+   distances are globally exact).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.fragment import Fragment
+from repro.core.npd import NPDIndex
+from repro.core.queries import CoverageTerm, KeywordSource, NodeSource
+from repro.exceptions import QueryError
+from repro.search.dijkstra import shortest_path_distances
+
+__all__ = ["FragmentRuntime", "local_coverage", "local_distance_map"]
+
+
+@dataclass
+class CoverageStats:
+    """Work counters for one coverage evaluation (Theorem 5 bookkeeping)."""
+
+    seeds_from_dl: int = 0
+    seeds_local: int = 0
+    settled_nodes: int = 0
+
+
+class FragmentRuntime:
+    """Query-time view of one fragment: ``P ∪ SC(P)`` plus DL lookups.
+
+    ``cache_capacity`` enables an LRU cache of coverage distance maps
+    keyed by ``(source, radius)`` — query workloads repeat popular
+    keywords at common radiuses, so hits skip the whole local Dijkstra.
+    The cache must be invalidated (or the runtime rebuilt) after any
+    index maintenance; :class:`repro.core.maintenance.KeywordMaintainer`
+    operates on fragments/indexes, so runtimes built before an update
+    are stale by construction.
+    """
+
+    def __init__(
+        self, fragment: Fragment, index: NPDIndex, *, cache_capacity: int = 0
+    ) -> None:
+        if fragment.fragment_id != index.fragment_id:
+            raise QueryError(
+                f"fragment {fragment.fragment_id} paired with index for "
+                f"fragment {index.fragment_id}"
+            )
+        self._fragment = fragment
+        self._index = index
+        self._cache_capacity = max(0, cache_capacity)
+        self._cache: "dict[tuple[object, float], dict[int, float]]" = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+        # Alg. 2 step 1: read the edges of the complete fragment P ∪ SC(P).
+        extended: dict[int, list[tuple[int, float]]] = {
+            node: list(edges) for node, edges in fragment.adjacency.items()
+        }
+        for (u, v), w in index.shortcuts.items():
+            extended.setdefault(u, []).append((v, w))
+            if not fragment.directed:
+                extended.setdefault(v, []).append((u, w))
+        self._extended: dict[int, tuple[tuple[int, float], ...]] = {
+            node: tuple(edges) for node, edges in extended.items()
+        }
+
+    @property
+    def fragment(self) -> Fragment:
+        """The underlying fragment ``P``."""
+        return self._fragment
+
+    @property
+    def index(self) -> NPDIndex:
+        """The fragment's NPD-index ``IND(P)``."""
+        return self._index
+
+    @property
+    def max_radius(self) -> float:
+        """The ``maxR`` this runtime can serve."""
+        return self._index.max_radius
+
+    def adjacency(self, node: int) -> tuple[tuple[int, float], ...]:
+        """Out-edges of ``node`` in the complete fragment ``P ∪ SC(P)``."""
+        return self._extended.get(node, ())
+
+    # ------------------------------------------------------------------
+    # Coverage cache
+    # ------------------------------------------------------------------
+    @property
+    def cache_stats(self) -> tuple[int, int]:
+        """``(hits, misses)`` of the coverage cache."""
+        return self._cache_hits, self._cache_misses
+
+    def invalidate_cache(self) -> None:
+        """Drop every cached coverage (call after index maintenance)."""
+        self._cache.clear()
+
+    def _cache_key(self, term: CoverageTerm) -> tuple[object, float]:
+        source = term.source
+        if isinstance(source, KeywordSource):
+            return ("kw", source.keyword), term.radius
+        assert isinstance(source, NodeSource)
+        return ("node", source.node), term.radius
+
+    def cached_distance_map(self, term: CoverageTerm) -> dict[int, float] | None:
+        """A cached distance map for ``term``, refreshing its LRU slot."""
+        if not self._cache_capacity:
+            return None
+        key = self._cache_key(term)
+        cached = self._cache.pop(key, None)
+        if cached is None:
+            self._cache_misses += 1
+            return None
+        self._cache[key] = cached  # reinsert: most recently used
+        self._cache_hits += 1
+        return cached
+
+    def store_distance_map(self, term: CoverageTerm, distances: dict[int, float]) -> None:
+        """Cache a computed distance map, evicting the LRU entry if full."""
+        if not self._cache_capacity:
+            return
+        key = self._cache_key(term)
+        self._cache.pop(key, None)
+        while len(self._cache) >= self._cache_capacity:
+            oldest = next(iter(self._cache))
+            del self._cache[oldest]
+        self._cache[key] = distances
+
+    def seeds_for(self, term: CoverageTerm) -> dict[int, float]:
+        """Virtual-source seeds for one coverage term (Alg. 2 steps 2–3).
+
+        Keys are member nodes of ``P``; values are exact global distances
+        from the term's source.  Zero-weight local seeds and weighted DL
+        portal seeds are merged, the smaller distance winning.
+        """
+        source = term.source
+        seeds: dict[int, float] = {}
+        if isinstance(source, KeywordSource):
+            for node in self._fragment.keyword_index.local_nodes_with(source.keyword):
+                seeds[node] = 0.0
+            for portal, dist in self._index.keyword_seeds(source.keyword, term.radius).items():
+                if dist < seeds.get(portal, math.inf):
+                    seeds[portal] = dist
+        elif isinstance(source, NodeSource):
+            if source.node in self._fragment.members:
+                seeds[source.node] = 0.0
+            else:
+                seeds.update(self._index.node_seeds(source.node, term.radius))
+        else:  # pragma: no cover - the Source union is closed
+            raise QueryError(f"unsupported coverage source {source!r}")
+        return seeds
+
+
+def local_distance_map(
+    runtime: FragmentRuntime,
+    term: CoverageTerm,
+    stats: CoverageStats | None = None,
+) -> dict[int, float]:
+    """Exact distances from the term's source to members within the radius.
+
+    The returned map is ``{A ∈ P : d(A, source) ≤ r} -> d(A, source)``.
+    """
+    if term.radius > runtime.max_radius:
+        from repro.exceptions import RadiusExceededError
+
+        raise RadiusExceededError(term.radius, runtime.max_radius)
+    cached = runtime.cached_distance_map(term)
+    if cached is not None:
+        if stats is not None:
+            stats.settled_nodes += len(cached)
+        return cached
+    seeds = runtime.seeds_for(term)
+    if stats is not None:
+        stats.seeds_from_dl += sum(1 for d in seeds.values() if d > 0.0)
+        stats.seeds_local += sum(1 for d in seeds.values() if d == 0.0)
+    if not seeds:
+        runtime.store_distance_map(term, {})
+        return {}
+    distances = shortest_path_distances(runtime.adjacency, seeds, bound=term.radius)
+    if stats is not None:
+        stats.settled_nodes += len(distances)
+    # Shortcut endpoints are always members, so every settled node is a
+    # member of P already; assert-by-construction in tests.
+    runtime.store_distance_map(term, distances)
+    return distances
+
+
+def local_coverage(
+    runtime: FragmentRuntime,
+    term: CoverageTerm,
+    stats: CoverageStats | None = None,
+) -> set[int]:
+    """The fragment-local keyword coverage ``R(source, r) ∩ P``."""
+    return set(local_distance_map(runtime, term, stats))

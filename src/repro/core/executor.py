@@ -1,0 +1,102 @@
+"""Per-fragment query task (paper Alg. 2 end-to-end).
+
+A *task* is "the computation on a fragment" (§4.2): evaluate every
+coverage term of the query locally, then apply the D-function to the
+local coverages.  Lemma 1 guarantees the union of per-fragment results
+is the global answer, so a task never needs data from another machine.
+
+:func:`execute_fragment_task_explained` additionally keeps the exact
+per-term distances of every result node (Theorem 3 makes them globally
+correct), powering the engine's ``explain`` mode.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.coverage import (
+    CoverageStats,
+    FragmentRuntime,
+    local_coverage,
+    local_distance_map,
+)
+from repro.core.queries import QClassQuery
+
+__all__ = [
+    "FragmentTaskResult",
+    "execute_fragment_task",
+    "execute_fragment_task_explained",
+]
+
+
+@dataclass
+class FragmentTaskResult:
+    """Outcome of one fragment task.
+
+    Attributes
+    ----------
+    fragment_id:
+        The fragment the task ran on.
+    local_result:
+        ``F(X₁ ∩ P, …, Xₖ ∩ P)`` — this fragment's share of the answer.
+    coverage_sizes:
+        ``|R(term) ∩ P|`` per term, in term order (Theorem 5's
+        ``|P ∩ R(ω, r)|`` factors).
+    wall_seconds:
+        Measured task time; the distributed response time is the
+        makespan of these across machines (§5.1).
+    stats:
+        Seed/settle counters summed over all terms.
+    """
+
+    fragment_id: int
+    local_result: frozenset[int]
+    coverage_sizes: tuple[int, ...]
+    wall_seconds: float
+    stats: CoverageStats = field(default_factory=CoverageStats)
+
+
+def execute_fragment_task(runtime: FragmentRuntime, query: QClassQuery) -> FragmentTaskResult:
+    """Run ``query`` on one fragment and return its local result."""
+    started = time.perf_counter()
+    stats = CoverageStats()
+    coverages = [local_coverage(runtime, term, stats) for term in query.terms]
+    local = query.expression.evaluate(coverages)
+    elapsed = time.perf_counter() - started
+    return FragmentTaskResult(
+        fragment_id=runtime.fragment.fragment_id,
+        local_result=frozenset(local),
+        coverage_sizes=tuple(len(c) for c in coverages),
+        wall_seconds=elapsed,
+        stats=stats,
+    )
+
+
+def execute_fragment_task_explained(
+    runtime: FragmentRuntime, query: QClassQuery
+) -> tuple[FragmentTaskResult, dict[int, tuple[float | None, ...]]]:
+    """Like :func:`execute_fragment_task`, plus per-term result distances.
+
+    The second return value maps each local result node to one distance
+    per query term — ``d(node, source_i)`` where the node lies inside
+    that term's coverage, ``None`` where it does not (e.g. the excluded
+    side of a subtraction term).
+    """
+    started = time.perf_counter()
+    stats = CoverageStats()
+    distance_maps = [local_distance_map(runtime, term, stats) for term in query.terms]
+    coverages = [set(m) for m in distance_maps]
+    local = query.expression.evaluate(coverages)
+    explanations = {
+        node: tuple(m.get(node) for m in distance_maps) for node in local
+    }
+    elapsed = time.perf_counter() - started
+    result = FragmentTaskResult(
+        fragment_id=runtime.fragment.fragment_id,
+        local_result=frozenset(local),
+        coverage_sizes=tuple(len(c) for c in coverages),
+        wall_seconds=elapsed,
+        stats=stats,
+    )
+    return result, explanations

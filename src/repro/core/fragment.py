@@ -1,0 +1,124 @@
+"""Fragments of a partitioned road network (paper §3.2 notation).
+
+A *fragment* ``P`` is the subgraph induced by one partition class: its
+member nodes plus every edge whose two endpoints are both members.  An
+edge whose endpoints lie in different fragments makes both endpoints
+*portal nodes*; ``port(P)`` is the portal set of ``P``.
+
+:class:`Fragment` materialises exactly the state a worker machine holds
+about its own share of the network — member set, local adjacency, portal
+set and the fragment-local keyword postings — independent of every other
+fragment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.graph.road_network import RoadNetwork
+from repro.partition.base import Partition, validate_partition
+from repro.text.inverted import FragmentKeywordIndex
+
+__all__ = ["Fragment", "build_fragments"]
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One fragment ``P`` of the road network.
+
+    Attributes
+    ----------
+    fragment_id:
+        Index of this fragment within its partition.
+    members:
+        The node set of ``P`` (frozen).
+    portals:
+        ``port(P)``: members with at least one cross-fragment edge.
+    adjacency:
+        Local adjacency restricted to edges inside ``P``, as
+        ``{u: ((v, w), ...)}``.  For directed networks these are
+        out-edges.
+    keyword_index:
+        Fragment-local keyword postings.
+    directed:
+        Whether the parent network is directed.
+    """
+
+    fragment_id: int
+    members: frozenset[int]
+    portals: frozenset[int]
+    adjacency: dict[int, tuple[tuple[int, float], ...]]
+    keyword_index: FragmentKeywordIndex
+    directed: bool = False
+
+    @property
+    def num_members(self) -> int:
+        """Node count of the fragment."""
+        return len(self.members)
+
+    @property
+    def num_portals(self) -> int:
+        """Portal-node count of the fragment."""
+        return len(self.portals)
+
+    @property
+    def num_local_edges(self) -> int:
+        """Edges fully inside the fragment (undirected counted once)."""
+        arcs = sum(len(row) for row in self.adjacency.values())
+        return arcs if self.directed else arcs // 2
+
+    def contains(self, node: int) -> bool:
+        """Whether ``node`` belongs to this fragment (``part(node) == P``)."""
+        return node in self.members
+
+    def local_neighbors(self, node: int) -> tuple[tuple[int, float], ...]:
+        """Fragment-internal out-edges of ``node``."""
+        return self.adjacency.get(node, ())
+
+
+def build_fragments(network: RoadNetwork, partition: Partition) -> list[Fragment]:
+    """Materialise every fragment of ``partition`` over ``network``.
+
+    Validates the partition first; the result list is indexed by
+    fragment id.
+    """
+    validate_partition(network, partition)
+    assignment = partition.assignment
+    k = partition.num_fragments
+
+    adjacency: list[dict[int, list[tuple[int, float]]]] = [dict() for _ in range(k)]
+    portal_sets: list[set[int]] = [set() for _ in range(k)]
+
+    for node in network.nodes():
+        frag = assignment[node]
+        row = adjacency[frag].setdefault(node, [])
+        for v, w in network.neighbors(node):
+            if assignment[v] == frag:
+                row.append((v, w))
+            else:
+                portal_sets[frag].add(node)
+                portal_sets[assignment[v]].add(v)
+        if network.directed:
+            # An incoming cross-edge also makes both endpoints portals.
+            for v, w in network.in_neighbors(node):
+                if assignment[v] != frag:
+                    portal_sets[frag].add(node)
+                    portal_sets[assignment[v]].add(v)
+
+    members = partition.all_members()
+    fragments: list[Fragment] = []
+    for frag in range(k):
+        fragments.append(
+            Fragment(
+                fragment_id=frag,
+                members=frozenset(members[frag]),
+                portals=frozenset(portal_sets[frag]),
+                adjacency={
+                    node: tuple(edges) for node, edges in adjacency[frag].items()
+                },
+                keyword_index=FragmentKeywordIndex(network, members[frag]),
+                directed=network.directed,
+            )
+        )
+    return fragments

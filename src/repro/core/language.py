@@ -1,0 +1,234 @@
+"""A small text query language for Q-class queries.
+
+Applications (and the CLI) often want queries as strings rather than
+Python constructors.  The grammar covers the whole Q-class of §5.4:
+
+.. code-block:: text
+
+    query   := expr
+    expr    := term (('AND' | 'OR' | 'NOT') term)*      # left-associative
+    term    := coverage | '(' expr ')'
+    coverage:= 'NEAR' '(' source ',' radius ')'
+             | 'HAS' '(' keyword ')'                    # sugar: NEAR(kw, 0)
+             | 'WITHIN' '(' radius 'OF' node-id ')'     # node source
+    source  := keyword | '#' node-id
+    keyword := bare word or "quoted string"
+
+``AND``/``OR``/``NOT`` map to ∩/∪/− (``NOT`` is the *binary* subtraction
+of the paper's D-functions: ``a NOT b`` = a − b).  Examples::
+
+    NEAR(supermarket, 5) AND NEAR(gym, 5) AND NEAR(hospital, 5)
+    HAS("shopping mall") NOT NEAR("pizza shop", 1.0)
+    WITHIN(4 OF #17) AND HAS(museum)
+    (NEAR(university, 0.5) OR NEAR(park, 0.5)) NOT NEAR(highway, 0.1)
+
+The parser is a classic hand-rolled tokenizer + recursive-descent with
+precise error positions; identical coverage terms are deduplicated so
+the expression tree can reference one term twice without evaluating it
+twice.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.dfunction import DExpression, SetOp, term
+from repro.core.queries import CoverageTerm, KeywordSource, NodeSource, QClassQuery
+from repro.exceptions import QueryError
+
+__all__ = ["parse_query", "QueryParseError"]
+
+
+class QueryParseError(QueryError):
+    """A query string failed to parse; carries the offending position."""
+
+    def __init__(self, message: str, position: int, text: str) -> None:
+        pointer = " " * position + "^"
+        super().__init__(f"{message} at position {position}\n  {text}\n  {pointer}")
+        self.position = position
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<hash>\#)
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<quoted>"(?:[^"\\]|\\.)*")
+  | (?P<word>[A-Za-z_][A-Za-z0-9_\-]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"AND", "OR", "NOT", "NEAR", "HAS", "WITHIN", "OF"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    value: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise QueryParseError(f"unexpected character {text[position]!r}", position, text)
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind != "ws":
+            if kind == "word" and value.upper() in _KEYWORDS:
+                tokens.append(_Token(value.upper(), value, position))
+            else:
+                tokens.append(_Token(kind, value, position))
+        position = match.end()
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = _tokenize(text)
+        self._index = 0
+        self._terms: list[CoverageTerm] = []
+        self._term_ids: dict[CoverageTerm, int] = {}
+
+    # Token plumbing ----------------------------------------------------
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise QueryParseError(
+                f"expected {kind!r}, found {token.value or 'end of input'!r}",
+                token.position,
+                self._text,
+            )
+        return self._advance()
+
+    def _fail(self, message: str) -> "QueryParseError":
+        token = self._peek()
+        return QueryParseError(message, token.position, self._text)
+
+    # Grammar -----------------------------------------------------------
+    def parse(self) -> QClassQuery:
+        expr = self._parse_expr()
+        if self._peek().kind != "eof":
+            raise self._fail(f"unexpected trailing input {self._peek().value!r}")
+        return QClassQuery(tuple(self._terms), expr, label=self._text.strip())
+
+    def _parse_expr(self) -> DExpression:
+        left = self._parse_term()
+        while self._peek().kind in ("AND", "OR", "NOT"):
+            op_token = self._advance()
+            right = self._parse_term()
+            op = {
+                "AND": SetOp.INTERSECT,
+                "OR": SetOp.UNION,
+                "NOT": SetOp.SUBTRACT,
+            }[op_token.kind]
+            left = DExpression(op=op, left=left, right=right)
+        return left
+
+    def _parse_term(self) -> DExpression:
+        token = self._peek()
+        if token.kind == "lparen":
+            self._advance()
+            inner = self._parse_expr()
+            self._expect("rparen")
+            return inner
+        if token.kind == "NEAR":
+            return self._parse_near()
+        if token.kind == "HAS":
+            return self._parse_has()
+        if token.kind == "WITHIN":
+            return self._parse_within()
+        raise self._fail(
+            f"expected NEAR/HAS/WITHIN or '(', found {token.value or 'end of input'!r}"
+        )
+
+    def _parse_near(self) -> DExpression:
+        self._expect("NEAR")
+        self._expect("lparen")
+        source = self._parse_source()
+        self._expect("comma")
+        radius = self._parse_number()
+        self._expect("rparen")
+        return self._register(CoverageTerm(source, radius))
+
+    def _parse_has(self) -> DExpression:
+        self._expect("HAS")
+        self._expect("lparen")
+        keyword = self._parse_keyword()
+        self._expect("rparen")
+        return self._register(CoverageTerm(KeywordSource(keyword), 0.0))
+
+    def _parse_within(self) -> DExpression:
+        self._expect("WITHIN")
+        self._expect("lparen")
+        radius = self._parse_number()
+        self._expect("OF")
+        self._expect("hash")
+        node = int(self._expect("number").value)
+        self._expect("rparen")
+        return self._register(CoverageTerm(NodeSource(node), radius))
+
+    def _parse_source(self):
+        if self._peek().kind == "hash":
+            self._advance()
+            node_token = self._expect("number")
+            if "." in node_token.value:
+                raise QueryParseError(
+                    "node ids must be integers", node_token.position, self._text
+                )
+            return NodeSource(int(node_token.value))
+        return KeywordSource(self._parse_keyword())
+
+    def _parse_keyword(self) -> str:
+        token = self._peek()
+        if token.kind == "quoted":
+            self._advance()
+            body = token.value[1:-1]
+            return body.replace('\\"', '"').replace("\\\\", "\\")
+        if token.kind == "word":
+            self._advance()
+            return token.value
+        raise self._fail(f"expected a keyword, found {token.value or 'end of input'!r}")
+
+    def _parse_number(self) -> float:
+        return float(self._expect("number").value)
+
+    def _register(self, coverage: CoverageTerm) -> DExpression:
+        existing = self._term_ids.get(coverage)
+        if existing is not None:
+            return term(existing)
+        index = len(self._terms)
+        self._terms.append(coverage)
+        self._term_ids[coverage] = index
+        return term(index)
+
+
+def parse_query(text: str) -> QClassQuery:
+    """Parse a query string into a :class:`QClassQuery`.
+
+    Raises :class:`QueryParseError` (a :class:`QueryError`) with the
+    offending position on malformed input.
+    """
+    if not text or not text.strip():
+        raise QueryParseError("empty query", 0, text)
+    return _Parser(text).parse()

@@ -1,0 +1,237 @@
+"""Incremental NPD-index maintenance for keyword updates.
+
+The paper builds its index offline over a static network.  A deployed
+system, however, sees object metadata churn constantly (a restaurant
+closes, a shop gains a tag) even while the *road graph* stays put.  This
+module keeps the NPD-index exact under exactly that class of change:
+
+* **adding** a keyword to an object — one bounded forward Dijkstra from
+  the object computes its Rule-2 contributions to every fragment's DL
+  (the per-fragment first-entry portals), which are merged as minima;
+* **removing** a keyword — the affected keyword's DL entries are
+  recomputed from the remaining carriers' contributions (each one
+  bounded search; documented O(|carriers|) cost);
+* **structural** changes (new roads, new objects) alter distances and
+  therefore SC; those route to a per-fragment rebuild, which is exactly
+  one Algorithm-1 run.
+
+SC(P) never depends on keywords, so keyword maintenance touches only DL
+— the reason this can be incremental at all.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from heapq import heappop, heappush
+
+from repro.core.builder import NPDBuildConfig, build_npd_index
+from repro.core.fragment import Fragment
+from repro.core.npd import DLNodePolicy, NPDIndex, PortalDistance
+from repro.exceptions import DisksError, GraphError
+from repro.graph.road_network import RoadNetwork
+from repro.partition.base import Partition
+from repro.text.inverted import FragmentKeywordIndex
+
+__all__ = ["node_dl_contributions", "KeywordMaintainer"]
+
+
+def node_dl_contributions(
+    network: RoadNetwork,
+    partition: Partition,
+    source: int,
+    max_radius: float,
+) -> dict[int, dict[int, float]]:
+    """Rule-2 contributions of one source node to every fragment's DL.
+
+    Runs a bounded forward Dijkstra from ``source`` while tracking the
+    fragments visited strictly between the source and each settled node
+    (the paper's ``visitedParts``).  A settled node ``p`` contributes
+    the pair ``(p, d(source, p))`` to fragment ``part(p)`` iff that
+    fragment was not entered earlier on the tree path and the source
+    lies outside it — i.e. ``p`` is the first-entry portal of its
+    fragment along the path (Rule 2).
+
+    Returns ``{fragment_id: {portal: distance}}``.
+    """
+    assignment = partition.assignment
+    source_fragment = assignment[source]
+
+    best: dict[int, float] = {source: 0.0}
+    pred: dict[int, int] = {source: -1}
+    visited_parts: dict[int, frozenset[int]] = {source: frozenset()}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    contributions: dict[int, dict[int, float]] = {}
+
+    while heap:
+        d, p = heappop(heap)
+        if p in settled or d > best[p]:
+            continue
+        settled.add(p)
+
+        q = pred[p]
+        if q == -1:
+            parts = frozenset()
+        elif q == source:
+            parts = frozenset()
+        else:
+            parts = visited_parts[q] | {assignment[q]}
+        visited_parts[p] = parts
+
+        fragment = assignment[p]
+        if p != source and fragment != source_fragment and fragment not in parts:
+            bucket = contributions.setdefault(fragment, {})
+            if p not in bucket:  # settled in distance order: first is min
+                bucket[p] = d
+
+        for v, w in network.neighbors(p):
+            if v in settled:
+                continue
+            nd = d + w
+            if nd <= max_radius and nd < best.get(v, math.inf):
+                best[v] = nd
+                pred[v] = p
+                heappush(heap, (nd, v))
+    return contributions
+
+
+def _merge_sorted(
+    pairs: tuple[PortalDistance, ...], updates: dict[int, float]
+) -> tuple[PortalDistance, ...]:
+    """Merge minimum-per-portal ``updates`` into a sorted DL value list."""
+    merged: dict[int, float] = {pd.portal: pd.distance for pd in pairs}
+    for portal, dist in updates.items():
+        if dist < merged.get(portal, math.inf):
+            merged[portal] = dist
+    return tuple(
+        PortalDistance(portal, dist)
+        for portal, dist in sorted(merged.items(), key=lambda kv: (kv[1], kv[0]))
+    )
+
+
+@dataclass
+class KeywordMaintainer:
+    """Keeps (network, fragments, indexes) exact under keyword updates.
+
+    Owns mutable references to the deployment state; after any update
+    the properties expose the refreshed objects, from which a new
+    :class:`~repro.core.engine.DisksEngine` (or raw runtimes) can be
+    assembled.  All updates preserve the exactness invariants — the test
+    suite checks every operation against a from-scratch rebuild.
+    """
+
+    network: RoadNetwork
+    partition: Partition
+    fragments: list[Fragment]
+    indexes: list[NPDIndex]
+
+    def __post_init__(self) -> None:
+        if len(self.fragments) != len(self.indexes):
+            raise DisksError("fragments and indexes must align")
+        if self.partition.num_nodes != self.network.num_nodes:
+            raise DisksError("partition does not fit the network")
+
+    @property
+    def max_radius(self) -> float:
+        """The deployment's ``maxR``."""
+        return self.indexes[0].max_radius
+
+    # ------------------------------------------------------------------
+    # Keyword additions
+    # ------------------------------------------------------------------
+    def add_keyword(self, node: int, keyword: str) -> None:
+        """Attach ``keyword`` to object ``node`` and patch every DL."""
+        current = self.network.keywords(node)
+        if keyword in current:
+            return
+        if not self.network.is_object(node):
+            raise GraphError(f"node {node} is a junction; only objects carry keywords")
+        self.network = self.network.with_node_keywords(node, current | {keyword})
+        self._refresh_fragment_keyword_index(self.partition.fragment_of(node))
+
+        contributions = node_dl_contributions(
+            self.network, self.partition, node, self.max_radius
+        )
+        home = self.partition.fragment_of(node)
+        for fragment_id, portal_distances in contributions.items():
+            if fragment_id == home:
+                continue
+            index = self.indexes[fragment_id]
+            index.keyword_entries[keyword] = _merge_sorted(
+                index.keyword_entries.get(keyword, ()), portal_distances
+            )
+            self._ensure_node_entry(index, node, portal_distances)
+
+    def _ensure_node_entry(
+        self, index: NPDIndex, node: int, portal_distances: dict[int, float]
+    ) -> None:
+        """Give a newly keyword-bearing object its DL node entry if due."""
+        if index.node_policy is DLNodePolicy.NONE:
+            return
+        if index.node_policy is DLNodePolicy.OBJECTS and not self.network.is_object(node):
+            return
+        if node not in index.node_entries:
+            index.node_entries[node] = _merge_sorted((), portal_distances)
+
+    # ------------------------------------------------------------------
+    # Keyword removals
+    # ------------------------------------------------------------------
+    def remove_keyword(self, node: int, keyword: str) -> None:
+        """Detach ``keyword`` from ``node`` and recompute its DL entries.
+
+        Cost: one bounded search per remaining carrier of ``keyword``
+        (the aggregated minima may have come from the removed node, so
+        they cannot be patched in place).
+        """
+        current = self.network.keywords(node)
+        if keyword not in current:
+            return
+        self.network = self.network.with_node_keywords(node, current - {keyword})
+        self._refresh_fragment_keyword_index(self.partition.fragment_of(node))
+        self._recompute_keyword_entries(keyword)
+
+    def _recompute_keyword_entries(self, keyword: str) -> None:
+        carriers = [
+            n for n in self.network.nodes() if keyword in self.network.keywords(n)
+        ]
+        per_fragment: dict[int, dict[int, float]] = {}
+        for carrier in carriers:
+            contributions = node_dl_contributions(
+                self.network, self.partition, carrier, self.max_radius
+            )
+            for fragment_id, portal_distances in contributions.items():
+                bucket = per_fragment.setdefault(fragment_id, {})
+                for portal, dist in portal_distances.items():
+                    if dist < bucket.get(portal, math.inf):
+                        bucket[portal] = dist
+        for index in self.indexes:
+            fresh = per_fragment.get(index.fragment_id)
+            if fresh:
+                index.keyword_entries[keyword] = _merge_sorted((), fresh)
+            else:
+                index.keyword_entries.pop(keyword, None)
+
+    # ------------------------------------------------------------------
+    # Structural fallback
+    # ------------------------------------------------------------------
+    def rebuild_fragment(self, fragment_id: int, config: NPDBuildConfig | None = None) -> None:
+        """Re-run Algorithm 1 for one fragment (structural-change path)."""
+        if not (0 <= fragment_id < len(self.fragments)):
+            raise DisksError(f"no fragment {fragment_id}")
+        config = config or NPDBuildConfig(
+            max_radius=self.max_radius,
+            node_policy=self.indexes[fragment_id].node_policy,
+        )
+        index, _stats = build_npd_index(self.network, self.fragments[fragment_id], config)
+        self.indexes[fragment_id] = index
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _refresh_fragment_keyword_index(self, fragment_id: int) -> None:
+        fragment = self.fragments[fragment_id]
+        self.fragments[fragment_id] = replace(
+            fragment,
+            keyword_index=FragmentKeywordIndex(self.network, sorted(fragment.members)),
+        )

@@ -1,0 +1,199 @@
+"""The NPD-index (Node-Partition-Distance index) data structure (paper §3).
+
+``IND(P) = SC(P) ∪ DL(P)``:
+
+* **SC** (*ShortCut*, §3.3) — shortcut edges between members of ``P``
+  whose global shortest path contains no other node of ``P`` (Rule 1).
+  ``P ∪ SC(P)`` is a *complete fragment*: every intra-fragment distance
+  is computable locally (Theorem 1), and the set is minimal (Theorem 2).
+* **DL** (*Distance List*, §3.4) — entry-value lists mapping an outside
+  source to sorted ``(portal, distance)`` pairs whose shortest path first
+  touches ``P`` at that portal (Rule 2).  Two entry families are kept:
+
+  - *keyword entries* ``(ω, P)`` — the §3.7 virtual-keyword-node form:
+    per portal, the minimum qualifying distance from any outside node
+    carrying ``ω``.  These answer SGKQ terms.
+  - *node entries* ``(A, P)`` — per concrete outside node ``A``; needed
+    by RKQ whose query location is a node.  Which nodes get entries is a
+    :class:`DLNodePolicy` choice (the paper prunes to keyword nodes,
+    §3.7; we additionally support *all* and *none* for ablation).
+
+All recorded distances are truncated at ``max_radius`` (the paper's
+``maxR = λ·ē``, §3.7); ``math.inf`` disables truncation (§5.5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Mapping
+
+from repro.exceptions import IndexBuildError
+
+__all__ = ["DLNodePolicy", "PortalDistance", "NPDIndex"]
+
+
+class DLNodePolicy(Enum):
+    """Which concrete nodes receive DL node entries.
+
+    * ``NONE`` — only keyword entries (smallest index; RKQ limited to
+      locations inside the queried fragment or carrying keywords).
+    * ``OBJECTS`` — every object node gets an entry (the paper's §3.7
+      pruning: objects are exactly the keyword-bearing nodes).  Default.
+    * ``ALL`` — every node, junctions included (largest index; supports
+      RKQ from arbitrary junctions; the "no pruning" ablation).
+    """
+
+    NONE = "none"
+    OBJECTS = "objects"
+    ALL = "all"
+
+
+@dataclass(frozen=True)
+class PortalDistance:
+    """One ``(N_i, d_i)`` pair of a DL value list."""
+
+    portal: int
+    distance: float
+
+
+@dataclass
+class NPDIndex:
+    """The per-fragment NPD-index ``IND(P)``.
+
+    Instances are produced by :func:`repro.core.builder.build_npd_index`
+    and are immutable by convention once built (the builder calls
+    :meth:`seal`).
+
+    Attributes
+    ----------
+    fragment_id:
+        Which fragment this index belongs to.
+    max_radius:
+        The ``maxR`` every recorded distance is truncated at
+        (``math.inf`` when built without truncation).
+    node_policy:
+        Which node entries were materialised.
+    shortcuts:
+        ``SC(P)`` as ``{(u, v): weight}``.  For undirected networks the
+        key is normalised with ``u < v``; for directed networks the key
+        is the arc direction ``u -> v``.
+    keyword_entries:
+        ``DL(P)`` keyword entries: ``{keyword: (PortalDistance, ...)}``
+        sorted by distance (Rule 2 condition 3).
+    node_entries:
+        ``DL(P)`` node entries: ``{node: (PortalDistance, ...)}`` sorted
+        by distance.
+    directed:
+        Whether the parent network is directed.
+    """
+
+    fragment_id: int
+    max_radius: float
+    node_policy: DLNodePolicy
+    directed: bool = False
+    shortcuts: dict[tuple[int, int], float] = field(default_factory=dict)
+    keyword_entries: dict[str, tuple[PortalDistance, ...]] = field(default_factory=dict)
+    node_entries: dict[int, tuple[PortalDistance, ...]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction-time mutation (builder only)
+    # ------------------------------------------------------------------
+    def add_shortcut(self, u: int, v: int, distance: float) -> None:
+        """Record a Rule-1 shortcut edge; idempotent for equal distances."""
+        key = (u, v) if self.directed or u < v else (v, u)
+        existing = self.shortcuts.get(key)
+        if existing is not None:
+            if not math.isclose(existing, distance, rel_tol=1e-9, abs_tol=1e-9):
+                raise IndexBuildError(
+                    f"conflicting shortcut distances for {key}: {existing} vs {distance}"
+                )
+            return
+        self.shortcuts[key] = distance
+
+    def seal(
+        self,
+        keyword_lists: Mapping[str, Iterable[tuple[int, float]]],
+        node_lists: Mapping[int, Iterable[tuple[int, float]]],
+    ) -> None:
+        """Finalise DL entries, sorting each value list by distance."""
+        self.keyword_entries = {
+            kw: tuple(
+                PortalDistance(portal, dist)
+                for portal, dist in sorted(pairs, key=lambda pd: (pd[1], pd[0]))
+            )
+            for kw, pairs in keyword_lists.items()
+        }
+        self.node_entries = {
+            node: tuple(
+                PortalDistance(portal, dist)
+                for portal, dist in sorted(pairs, key=lambda pd: (pd[1], pd[0]))
+            )
+            for node, pairs in node_lists.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Query-time lookups (Alg. 2 step 2)
+    # ------------------------------------------------------------------
+    def keyword_seeds(self, keyword: str, radius: float) -> dict[int, float]:
+        """Portal seeds for keyword ``keyword`` within ``radius``.
+
+        Returns ``{portal: distance}`` — the retained node-distance pairs
+        of Alg. 2 step 2, exploiting the sorted order to stop early.
+        """
+        seeds: dict[int, float] = {}
+        for pd in self.keyword_entries.get(keyword, ()):
+            if pd.distance > radius:
+                break
+            current = seeds.get(pd.portal)
+            if current is None or pd.distance < current:
+                seeds[pd.portal] = pd.distance
+        return seeds
+
+    def node_seeds(self, node: int, radius: float) -> dict[int, float]:
+        """Portal seeds for an outside source node within ``radius``."""
+        seeds: dict[int, float] = {}
+        for pd in self.node_entries.get(node, ()):
+            if pd.distance > radius:
+                break
+            current = seeds.get(pd.portal)
+            if current is None or pd.distance < current:
+                seeds[pd.portal] = pd.distance
+        return seeds
+
+    def has_node_entry(self, node: int) -> bool:
+        """Whether a node entry exists for ``node``."""
+        return node in self.node_entries
+
+    # ------------------------------------------------------------------
+    # Size accounting (EXP 1 / Theorem 5's α and β)
+    # ------------------------------------------------------------------
+    @property
+    def num_shortcuts(self) -> int:
+        """β = |SC(P)|."""
+        return len(self.shortcuts)
+
+    def alpha(self, keyword: str) -> int:
+        """α_ω: node-distance pairs in entry ``(ω, P)`` (Theorem 5)."""
+        return len(self.keyword_entries.get(keyword, ()))
+
+    @property
+    def num_recorded_distances(self) -> int:
+        """Total distances recorded — the paper's index-size measure (Thm 4)."""
+        return (
+            len(self.shortcuts)
+            + sum(len(v) for v in self.keyword_entries.values())
+            + sum(len(v) for v in self.node_entries.values())
+        )
+
+    def size_summary(self) -> dict[str, int]:
+        """Breakdown used by the EXP-1 storage-cost report."""
+        return {
+            "shortcuts": len(self.shortcuts),
+            "keyword_entries": len(self.keyword_entries),
+            "keyword_pairs": sum(len(v) for v in self.keyword_entries.values()),
+            "node_entries": len(self.node_entries),
+            "node_pairs": sum(len(v) for v in self.node_entries.values()),
+            "total_distances": self.num_recorded_distances,
+        }

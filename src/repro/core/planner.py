@@ -1,0 +1,110 @@
+"""Coordinator-side query planning and validation.
+
+The coordinator receives a :class:`QClassQuery`, checks it against the
+dataset and index metadata it holds (vocabulary, DL node policy, index
+``maxR``), and decides which index level serves it — the bounded
+``maxR`` index for ordinary radiuses or the unbounded twin of a bi-level
+deployment for the rare ``r > maxR`` query (§5.5).  Worker machines then
+execute the *same* query object; planning never needs fragment data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.npd import DLNodePolicy
+from repro.core.queries import KeywordSource, NodeSource, QClassQuery
+from repro.exceptions import (
+    NodeNotFoundError,
+    QueryError,
+    RadiusExceededError,
+    UnknownKeywordError,
+)
+from repro.graph.road_network import RoadNetwork
+
+__all__ = ["QueryPlan", "plan_query"]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A validated query plus routing decisions.
+
+    Attributes
+    ----------
+    query:
+        The validated query (unchanged).
+    use_unbounded:
+        Whether the bi-level unbounded index must serve it.
+    empty_keyword_terms:
+        Indexes of keyword terms whose keyword occurs nowhere in the
+        dataset — their coverages are necessarily empty, which workers
+        can exploit without a search.
+    """
+
+    query: QClassQuery
+    use_unbounded: bool = False
+    empty_keyword_terms: tuple[int, ...] = ()
+
+
+def plan_query(
+    query: QClassQuery,
+    network: RoadNetwork,
+    *,
+    max_radius: float,
+    node_policy: DLNodePolicy,
+    has_unbounded_level: bool = False,
+    strict_keywords: bool = True,
+) -> QueryPlan:
+    """Validate ``query`` and route it to an index level.
+
+    Raises
+    ------
+    UnknownKeywordError
+        A keyword source is absent from the dataset and
+        ``strict_keywords`` is set.
+    NodeNotFoundError
+        A node source references a nonexistent node.
+    QueryError
+        A node source cannot be answered under the built
+        :class:`DLNodePolicy` (e.g. a junction location with the
+        ``OBJECTS`` policy) — the index physically lacks its DL entries.
+    RadiusExceededError
+        ``query.max_radius > max_radius`` and no unbounded level exists.
+    """
+    vocabulary = network.all_keywords()
+    empty_terms: list[int] = []
+    for i, term in enumerate(query.terms):
+        source = term.source
+        if isinstance(source, KeywordSource):
+            if source.keyword not in vocabulary:
+                if strict_keywords:
+                    raise UnknownKeywordError(source.keyword)
+                empty_terms.append(i)
+        elif isinstance(source, NodeSource):
+            if not (0 <= source.node < network.num_nodes):
+                raise NodeNotFoundError(source.node)
+            if node_policy is DLNodePolicy.NONE:
+                raise QueryError(
+                    f"term {i} uses node source {source.node} but the index was "
+                    "built with DLNodePolicy.NONE; rebuild with OBJECTS or ALL"
+                )
+            if node_policy is DLNodePolicy.OBJECTS and not network.is_object(source.node):
+                raise QueryError(
+                    f"term {i} uses junction node {source.node} as its location "
+                    "but the index only carries DL entries for objects "
+                    "(DLNodePolicy.OBJECTS); rebuild with DLNodePolicy.ALL or "
+                    "use an object node"
+                )
+
+    use_unbounded = False
+    if query.max_radius > max_radius:
+        if not has_unbounded_level:
+            raise RadiusExceededError(query.max_radius, max_radius)
+        use_unbounded = True
+
+    return QueryPlan(
+        query=query,
+        use_unbounded=use_unbounded,
+        empty_keyword_terms=tuple(empty_terms),
+    )

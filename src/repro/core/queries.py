@@ -1,0 +1,213 @@
+"""Query objects: SGKQ, extended SGKQ, RKQ and the general Q-class (§2.2, §5.4).
+
+Every supported query reduces to a :class:`QClassQuery`: a list of
+*coverage terms* — each a (source, radius) pair whose evaluation is a
+keyword coverage ``R(ω, r)`` (Definition 4) — combined by a D-function.
+
+The reductions implemented here follow §3.1 exactly:
+
+* ``SGKQ(ω₁,…,ωₖ, r)``      → ``R(ω₁,r) ∩ … ∩ R(ωₖ,r)``
+* far-away extension (Q2)    → ``R(ω_keep, 0) − R(ω_avoid, r)``
+* any-of extension (Q5)      → ``R(ω₁,r) ∪ R(ω₂,r)``
+* ``RKQ(l, ω₁,…,ωₖ, r)``     → ``R(l, r) ∩ R(ω₁,0) ∩ … ∩ R(ωₖ,0)``
+  (the query location is "treated as a keyword", i.e. becomes a node
+  source term).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.exceptions import QueryError
+from repro.core.dfunction import DExpression, DFunction, SetOp, term
+
+__all__ = [
+    "KeywordSource",
+    "NodeSource",
+    "CoverageTerm",
+    "QClassQuery",
+    "sgkq",
+    "sgkq_extended",
+    "rkq",
+]
+
+
+@dataclass(frozen=True)
+class KeywordSource:
+    """A coverage source that is a keyword ``ω``."""
+
+    keyword: str
+
+    def __post_init__(self) -> None:
+        if not self.keyword:
+            raise QueryError("keyword sources need a non-empty keyword")
+
+    def __str__(self) -> str:
+        return f"kw:{self.keyword}"
+
+
+@dataclass(frozen=True)
+class NodeSource:
+    """A coverage source that is a concrete node (an RKQ query location)."""
+
+    node: int
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise QueryError("node sources need a non-negative node id")
+
+    def __str__(self) -> str:
+        return f"node:{self.node}"
+
+
+Source = KeywordSource | NodeSource
+
+
+@dataclass(frozen=True)
+class CoverageTerm:
+    """One keyword-coverage operand ``R(source, radius)``."""
+
+    source: Source
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise QueryError("coverage radius must be non-negative")
+
+    def __str__(self) -> str:
+        return f"R({self.source}, {self.radius:g})"
+
+
+@dataclass(frozen=True)
+class QClassQuery:
+    """A Q-class query: coverage terms combined by a D-function (§5.4).
+
+    ``expression`` may be any D-expression over the terms; the plain
+    constructors build the paper's left-associative chains.  ``label``
+    is carried through reports for benchmark readability.
+    """
+
+    terms: tuple[CoverageTerm, ...]
+    expression: DExpression
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise QueryError("a query needs at least one coverage term")
+        referenced = self.expression.referenced_terms()
+        if max(referenced) >= len(self.terms):
+            raise QueryError(
+                f"expression references term {max(referenced)} but the query has "
+                f"only {len(self.terms)} terms"
+            )
+
+    @classmethod
+    def from_chain(
+        cls,
+        terms: Sequence[CoverageTerm],
+        ops: Sequence[SetOp],
+        label: str = "",
+    ) -> "QClassQuery":
+        """Build from the paper's chain form ``X₁ θ₁ … θₖ₋₁ Xₖ``."""
+        if len(ops) != len(terms) - 1:
+            raise QueryError(
+                f"a chain over {len(terms)} terms needs {len(terms) - 1} operators, "
+                f"got {len(ops)}"
+            )
+        chain = DFunction(tuple(ops)) if ops else DFunction(())
+        return cls(tuple(terms), chain.to_expression(), label)
+
+    @property
+    def max_radius(self) -> float:
+        """Largest term radius — what must fit under the index ``maxR``."""
+        return max(t.radius for t in self.terms)
+
+    def keywords(self) -> list[str]:
+        """All keyword-source keywords, in term order."""
+        return [t.source.keyword for t in self.terms if isinstance(t.source, KeywordSource)]
+
+    def node_sources(self) -> list[int]:
+        """All node-source ids, in term order."""
+        return [t.source.node for t in self.terms if isinstance(t.source, NodeSource)]
+
+    def __str__(self) -> str:
+        terms = ", ".join(str(t) for t in self.terms)
+        return f"QClassQuery[{self.label or 'anon'}]({terms}; {self.expression})"
+
+
+def sgkq(keywords: Iterable[str], radius: float, label: str = "") -> QClassQuery:
+    """Spatial group keyword query (Definition 2).
+
+    A node ``A`` is a result iff ``d(A, ωᵢ) ≤ radius`` for *every* query
+    keyword — the intersection of the keyword coverages (§3.1).
+    """
+    kws = list(keywords)
+    if not kws:
+        raise QueryError("SGKQ needs at least one keyword")
+    if len(set(kws)) != len(kws):
+        raise QueryError("SGKQ keywords must be distinct")
+    terms = tuple(CoverageTerm(KeywordSource(kw), radius) for kw in kws)
+    ops = [SetOp.INTERSECT] * (len(terms) - 1)
+    return QClassQuery.from_chain(terms, ops, label or f"SGKQ({len(kws)} kw, r={radius:g})")
+
+
+def sgkq_extended(
+    *,
+    all_within: Sequence[tuple[str, float]] = (),
+    any_within: Sequence[tuple[str, float]] = (),
+    none_within: Sequence[tuple[str, float]] = (),
+    label: str = "",
+) -> QClassQuery:
+    """The generalised SGKQ of §2.2 with per-keyword radiuses.
+
+    ``all_within`` keywords must all be within their radius (∩);
+    ``any_within`` keywords form a disjunction (∪); ``none_within``
+    keywords are excluded zones (−), e.g. the paper's Q2
+    ``R("shopping mall", 0) − R("pizza shop", 1km)``.
+    """
+    if not all_within and not any_within:
+        raise QueryError("the query needs at least one positive condition")
+
+    terms: list[CoverageTerm] = []
+    expr: DExpression | None = None
+
+    for keyword, radius in all_within:
+        terms.append(CoverageTerm(KeywordSource(keyword), radius))
+        leaf = term(len(terms) - 1)
+        expr = leaf if expr is None else (expr & leaf)
+
+    any_expr: DExpression | None = None
+    for keyword, radius in any_within:
+        terms.append(CoverageTerm(KeywordSource(keyword), radius))
+        leaf = term(len(terms) - 1)
+        any_expr = leaf if any_expr is None else (any_expr | leaf)
+    if any_expr is not None:
+        expr = any_expr if expr is None else (expr & any_expr)
+
+    assert expr is not None
+    for keyword, radius in none_within:
+        terms.append(CoverageTerm(KeywordSource(keyword), radius))
+        expr = expr - term(len(terms) - 1)
+
+    return QClassQuery(tuple(terms), expr, label or "SGKQ-extended")
+
+
+def rkq(location: int, keywords: Iterable[str], radius: float, label: str = "") -> QClassQuery:
+    """Range keyword query (Definition 3).
+
+    A node ``A`` is a result iff ``d(location, A) ≤ radius`` and ``A``
+    contains every query keyword.  Reduced per §3.1 (Example 2):
+    ``R(location, radius) ∩ R(ω₁, 0) ∩ … ∩ R(ωₖ, 0)``.
+    """
+    kws = list(keywords)
+    if not kws:
+        raise QueryError("RKQ needs at least one keyword")
+    if len(set(kws)) != len(kws):
+        raise QueryError("RKQ keywords must be distinct")
+    terms = [CoverageTerm(NodeSource(location), radius)]
+    terms.extend(CoverageTerm(KeywordSource(kw), 0.0) for kw in kws)
+    ops = [SetOp.INTERSECT] * (len(terms) - 1)
+    return QClassQuery.from_chain(
+        terms, ops, label or f"RKQ(node {location}, {len(kws)} kw, r={radius:g})"
+    )

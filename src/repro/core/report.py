@@ -1,0 +1,104 @@
+"""Deployment inspection: a structured snapshot of a built engine.
+
+Operators need one view answering "what did the build produce?" —
+partition quality (edge cut, balance, portals), per-machine index sizes
+(the EXP-1 storage measure), construction cost, and the Theorem-5
+parameters (α/β magnitudes) that predict query cost.  ``render()``
+produces the text form the CLI prints after ``repro build``.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+
+from repro.core.engine import DisksEngine
+from repro.partition.metrics import PartitionQuality, evaluate_partition
+from repro.storage.index_files import index_file_size
+
+__all__ = ["FragmentReport", "DeploymentReport", "deployment_report"]
+
+
+@dataclass(frozen=True)
+class FragmentReport:
+    """Per-fragment snapshot."""
+
+    fragment_id: int
+    num_members: int
+    num_portals: int
+    num_shortcuts: int
+    keyword_entries: int
+    keyword_pairs: int
+    node_entries: int
+    index_bytes: int
+    build_seconds: float
+
+
+@dataclass(frozen=True)
+class DeploymentReport:
+    """Whole-deployment snapshot."""
+
+    num_nodes: int
+    num_objects: int
+    num_fragments: int
+    max_radius: float
+    partition_quality: PartitionQuality
+    fragments: tuple[FragmentReport, ...]
+    total_index_bytes: int
+    mean_index_bytes: float
+    total_build_seconds: float
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"Deployment: {self.num_fragments} fragments over "
+            f"{self.num_nodes:,} nodes ({self.num_objects:,} objects)",
+            f"  maxR: {'∞' if math.isinf(self.max_radius) else f'{self.max_radius:.2f}'}",
+            f"  partition: {self.partition_quality.summary()}",
+            f"  index: {self.total_index_bytes / 1024:.1f} KiB total, "
+            f"{self.mean_index_bytes / 1024:.1f} KiB/machine, built in "
+            f"{self.total_build_seconds:.2f}s",
+            "  per fragment (id: members/portals, SC, DL kw entries, size):",
+        ]
+        for fr in self.fragments:
+            lines.append(
+                f"    P{fr.fragment_id}: {fr.num_members}/{fr.num_portals}, "
+                f"SC={fr.num_shortcuts}, DLkw={fr.keyword_entries} "
+                f"({fr.keyword_pairs} pairs), {fr.index_bytes / 1024:.1f} KiB"
+            )
+        return "\n".join(lines)
+
+
+def deployment_report(engine: DisksEngine) -> DeploymentReport:
+    """Snapshot ``engine``'s deployment (bounded index level)."""
+    quality = evaluate_partition(engine.network, engine.partition)
+    build_seconds = {s.fragment_id: s.wall_seconds for s in engine.build_stats}
+    fragments = []
+    for fragment, index in zip(engine.fragments, engine.indexes):
+        sizes = index.size_summary()
+        fragments.append(
+            FragmentReport(
+                fragment_id=fragment.fragment_id,
+                num_members=fragment.num_members,
+                num_portals=fragment.num_portals,
+                num_shortcuts=sizes["shortcuts"],
+                keyword_entries=sizes["keyword_entries"],
+                keyword_pairs=sizes["keyword_pairs"],
+                node_entries=sizes["node_entries"],
+                index_bytes=index_file_size(index),
+                build_seconds=build_seconds.get(fragment.fragment_id, 0.0),
+            )
+        )
+    total_bytes = sum(fr.index_bytes for fr in fragments)
+    return DeploymentReport(
+        num_nodes=engine.network.num_nodes,
+        num_objects=engine.network.num_objects(),
+        num_fragments=len(fragments),
+        max_radius=engine.max_radius,
+        partition_quality=quality,
+        fragments=tuple(fragments),
+        total_index_bytes=total_bytes,
+        mean_index_bytes=total_bytes / len(fragments) if fragments else 0.0,
+        total_build_seconds=sum(fr.build_seconds for fr in fragments),
+    )

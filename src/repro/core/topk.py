@@ -1,0 +1,99 @@
+"""Top-k nearest keyword queries on the NPD-index (a §8 future-work item).
+
+The paper closes with "it remains open whether other types of queries
+can benefit from NPD-index."  Top-k *does*: because Theorem 3 makes
+every fragment-local distance globally exact, a fragment can rank its
+own members by distance from the source and return only its best ``k``;
+the coordinator merges ``N`` sorted lists and keeps the global ``k``.
+Still one round, still zero worker-to-worker communication.
+
+Exactness caveat (inherited from ``maxR`` truncation): candidates
+farther than the index ``maxR`` are invisible, so the result is the
+top-k *within* ``maxR``.  ``TopKResult.saturated`` reports whether the
+full ``k`` was reached; an unsaturated result on a bounded index may be
+missing farther matches (route to a bi-level deployment for those).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+
+from repro.core.coverage import FragmentRuntime, local_distance_map
+from repro.core.queries import CoverageTerm, KeywordSource, NodeSource, Source
+from repro.exceptions import QueryError
+
+__all__ = ["TopKQuery", "TopKTaskResult", "TopKResult", "execute_topk_task", "merge_topk"]
+
+
+@dataclass(frozen=True)
+class TopKQuery:
+    """Find the ``k`` nodes nearest to ``source`` (by network distance).
+
+    ``radius`` bounds the search; it must not exceed the index ``maxR``.
+    With a :class:`KeywordSource` this is "the k closest places to any
+    supermarket"; with a :class:`NodeSource` it is classic kNN from a
+    location.
+    """
+
+    source: Source
+    k: int
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise QueryError("top-k queries need k >= 1")
+        if self.radius < 0:
+            raise QueryError("top-k radius must be non-negative")
+
+    @property
+    def term(self) -> CoverageTerm:
+        """The coverage term whose distance map ranks candidates."""
+        return CoverageTerm(self.source, self.radius)
+
+
+@dataclass(frozen=True)
+class TopKTaskResult:
+    """One fragment's candidate list: its local top-k, sorted."""
+
+    fragment_id: int
+    candidates: tuple[tuple[int, float], ...]  # (node, distance), ascending
+    wall_seconds: float
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """The merged global answer."""
+
+    ranking: tuple[tuple[int, float], ...]
+    saturated: bool  # True iff the full k was found within the radius
+
+    def nodes(self) -> list[int]:
+        """Just the node ids, nearest first."""
+        return [node for node, _d in self.ranking]
+
+
+def execute_topk_task(runtime: FragmentRuntime, query: TopKQuery) -> TopKTaskResult:
+    """Run the top-k task on one fragment (exact by Theorem 3)."""
+    started = time.perf_counter()
+    distances = local_distance_map(runtime, query.term)
+    best = heapq.nsmallest(query.k, distances.items(), key=lambda kv: (kv[1], kv[0]))
+    return TopKTaskResult(
+        fragment_id=runtime.fragment.fragment_id,
+        candidates=tuple(best),
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def merge_topk(query: TopKQuery, results: list[TopKTaskResult]) -> TopKResult:
+    """Coordinator-side merge of the per-fragment candidate lists."""
+    merged = heapq.merge(
+        *(result.candidates for result in results), key=lambda kv: (kv[1], kv[0])
+    )
+    ranking = []
+    for node, dist in merged:
+        ranking.append((node, dist))
+        if len(ranking) == query.k:
+            break
+    return TopKResult(ranking=tuple(ranking), saturated=len(ranking) == query.k)

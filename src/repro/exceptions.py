@@ -1,0 +1,124 @@
+"""Exception hierarchy for the DiSKS library.
+
+Every error raised deliberately by this library derives from
+:class:`DisksError`, so callers can catch a single base class at API
+boundaries while still being able to discriminate failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DisksError",
+    "GraphError",
+    "NodeNotFoundError",
+    "EdgeError",
+    "DisconnectedGraphError",
+    "PartitionError",
+    "IndexBuildError",
+    "IndexLookupError",
+    "QueryError",
+    "UnknownKeywordError",
+    "RadiusExceededError",
+    "StorageError",
+    "CodecError",
+    "ChecksumError",
+    "ClusterError",
+    "CommunicationViolationError",
+]
+
+
+class DisksError(Exception):
+    """Base class for all DiSKS library errors."""
+
+
+class GraphError(DisksError):
+    """A road-network graph is malformed or an operation on it is invalid."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A referenced node id does not exist in the graph."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(f"node {node_id!r} does not exist in the road network")
+        self.node_id = node_id
+
+    def __reduce__(self):
+        """Rebuild from the original argument (pickles across processes)."""
+        return (type(self), (self.node_id,))
+
+
+class EdgeError(GraphError):
+    """An edge is invalid (negative weight, self loop, duplicate, ...)."""
+
+
+class DisconnectedGraphError(GraphError):
+    """An operation required a connected graph but the graph is not connected."""
+
+
+class PartitionError(DisksError):
+    """A fragmentation of the road network is invalid or cannot be produced."""
+
+
+class IndexBuildError(DisksError):
+    """NPD-index construction failed or was mis-parameterised."""
+
+
+class IndexLookupError(DisksError, KeyError):
+    """A lookup into an NPD-index referenced a missing entry."""
+
+
+class QueryError(DisksError):
+    """A query object is malformed or cannot be planned/executed."""
+
+
+class UnknownKeywordError(QueryError):
+    """A query referenced a keyword absent from the vocabulary."""
+
+    def __init__(self, keyword: str) -> None:
+        super().__init__(f"keyword {keyword!r} is not in the vocabulary")
+        self.keyword = keyword
+
+    def __reduce__(self):
+        """Rebuild from the original argument (pickles across processes)."""
+        return (type(self), (self.keyword,))
+
+
+class RadiusExceededError(QueryError):
+    """A query radius exceeds the index ``maxR`` and no fallback index exists."""
+
+    def __init__(self, radius: float, max_radius: float) -> None:
+        super().__init__(
+            f"query radius {radius} exceeds index maxR {max_radius}; "
+            "build a bi-level index (see repro.core.bilevel) to serve it"
+        )
+        self.radius = radius
+        self.max_radius = max_radius
+
+    def __reduce__(self):
+        """Rebuild from the original arguments (pickles across processes)."""
+        return (type(self), (self.radius, self.max_radius))
+
+
+class StorageError(DisksError):
+    """On-disk index file operations failed."""
+
+
+class CodecError(StorageError):
+    """A binary record could not be encoded or decoded."""
+
+
+class ChecksumError(CodecError):
+    """A stored record failed checksum validation."""
+
+
+class ClusterError(DisksError):
+    """The simulated cluster was driven into an invalid state."""
+
+
+class CommunicationViolationError(ClusterError):
+    """Inter-machine communication happened where the design forbids it.
+
+    The NPD-index design guarantees that query evaluation requires no
+    machine-to-machine traffic (paper Theorem 3); the message accountant
+    raises this error if any such transfer is attempted.
+    """

@@ -1,0 +1,226 @@
+"""Synthetic road-network generators.
+
+The paper evaluates on OpenStreetMap extracts of Britain and Australia
+(Table 1).  Those datasets cannot be bundled here, so these generators
+produce structurally comparable stand-ins: connected, planar-ish,
+low-degree graphs with metric (Euclidean-length) edge weights.
+
+Two families are provided:
+
+* :func:`generate_grid_network` — a perturbed lattice resembling an urban
+  street grid (most of a country road network by node count).
+* :func:`generate_delaunay_network` — a Delaunay triangulation of random
+  points with long edges pruned, resembling inter-town road webs.
+
+:func:`generate_road_network` dispatches on a :class:`GeneratorConfig`.
+Keyword/object placement is deliberately *not* done here — see
+:mod:`repro.workloads.datasets`, which composes a generator with the
+clustered Zipf keyword placer to reproduce the paper's dataset shape.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.exceptions import GraphError
+from repro.graph.build import RoadNetworkBuilder
+from repro.graph.road_network import RoadNetwork
+
+__all__ = [
+    "GeneratorConfig",
+    "generate_grid_network",
+    "generate_delaunay_network",
+    "generate_road_network",
+]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Parameters for :func:`generate_road_network`.
+
+    Attributes
+    ----------
+    kind:
+        ``"grid"`` or ``"delaunay"``.
+    num_nodes:
+        Target junction count.  Grid networks round up to the nearest
+        full rectangle.
+    seed:
+        RNG seed; generation is fully deterministic given the config.
+    drop_fraction:
+        Fraction of *removable* edges (those outside a spanning tree) to
+        delete, creating dead ends and detours as in real road networks.
+    jitter:
+        Positional jitter applied to lattice points, as a fraction of the
+        unit spacing (grid networks only).
+    weight_noise:
+        Multiplicative weight noise amplitude: each edge weight is scaled
+        by ``uniform(1, 1 + weight_noise)``, modelling speed/curvature
+        differences between segments of equal geometric length.
+    directed:
+        Build a directed network (each road becomes two anti-parallel
+        arcs; a small fraction may be made one-way via ``oneway_fraction``).
+    oneway_fraction:
+        Fraction of roads kept as a single direction when ``directed``.
+    """
+
+    kind: str = "grid"
+    num_nodes: int = 1024
+    seed: int = 0
+    drop_fraction: float = 0.12
+    jitter: float = 0.25
+    weight_noise: float = 0.3
+    directed: bool = False
+    oneway_fraction: float = 0.05
+
+
+def _spanning_tree_edges(
+    num_nodes: int,
+    edges: list[tuple[int, int]],
+    rng: random.Random,
+) -> set[tuple[int, int]]:
+    """Return the edges of a random spanning forest over ``edges``.
+
+    Implemented as Kruskal over a shuffled edge list with union-find; used
+    to mark edges that must be kept so that dropping the rest cannot
+    disconnect the graph.
+    """
+    parent = list(range(num_nodes))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    shuffled = list(edges)
+    rng.shuffle(shuffled)
+    tree: set[tuple[int, int]] = set()
+    for u, v in shuffled:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            tree.add((u, v))
+    return tree
+
+
+def _assemble(
+    positions: list[tuple[float, float]],
+    edges: list[tuple[int, int]],
+    config: GeneratorConfig,
+    rng: random.Random,
+) -> RoadNetwork:
+    """Drop non-tree edges, apply weight noise and lower into a network."""
+    tree = _spanning_tree_edges(len(positions), edges, rng)
+    builder = RoadNetworkBuilder(directed=config.directed)
+    for pos in positions:
+        builder.add_junction(pos)
+    for u, v in edges:
+        if (u, v) not in tree and rng.random() < config.drop_fraction:
+            continue
+        base = math.hypot(
+            positions[u][0] - positions[v][0], positions[u][1] - positions[v][1]
+        )
+        weight = max(base, 1e-9) * rng.uniform(1.0, 1.0 + max(0.0, config.weight_noise))
+        if config.directed:
+            builder.add_edge(u, v, weight)
+            if (u, v) in tree or rng.random() >= config.oneway_fraction:
+                builder.add_edge(v, u, weight)
+        else:
+            builder.add_edge(u, v, weight)
+    return builder.build()
+
+
+def generate_grid_network(config: GeneratorConfig) -> RoadNetwork:
+    """Generate a perturbed street-grid network.
+
+    Junctions sit near the points of a ``rows x cols`` unit lattice
+    (jittered); edges connect lattice neighbours.  A random spanning tree
+    is always retained so the result is connected.
+    """
+    if config.num_nodes < 2:
+        raise GraphError("a road network needs at least two junctions")
+    rows = max(2, int(math.sqrt(config.num_nodes)))
+    cols = max(2, (config.num_nodes + rows - 1) // rows)
+    rng = random.Random(config.seed)
+
+    positions: list[tuple[float, float]] = []
+    for r in range(rows):
+        for c in range(cols):
+            jx = rng.uniform(-config.jitter, config.jitter)
+            jy = rng.uniform(-config.jitter, config.jitter)
+            positions.append((c + jx, r + jy))
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges: list[tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((node(r, c), node(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((node(r, c), node(r + 1, c)))
+    return _assemble(positions, edges, config, rng)
+
+
+def generate_delaunay_network(config: GeneratorConfig) -> RoadNetwork:
+    """Generate a road network from a Delaunay triangulation.
+
+    Random points are triangulated (via :mod:`scipy.spatial`); the longest
+    edges are discarded first when applying ``drop_fraction``, which
+    mimics how real road networks avoid long direct links, while a random
+    spanning tree keeps the result connected.
+    """
+    try:
+        from scipy.spatial import Delaunay  # imported lazily: optional dependency
+    except ImportError as exc:  # pragma: no cover - scipy is present in CI
+        raise GraphError("generate_delaunay_network requires scipy") from exc
+
+    if config.num_nodes < 4:
+        raise GraphError("Delaunay generation needs at least four points")
+    rng = random.Random(config.seed)
+    side = math.sqrt(config.num_nodes)
+    positions = [
+        (rng.uniform(0.0, side), rng.uniform(0.0, side)) for _ in range(config.num_nodes)
+    ]
+    tri = Delaunay(positions)
+    edge_set: set[tuple[int, int]] = set()
+    for simplex in tri.simplices:
+        a, b, c = int(simplex[0]), int(simplex[1]), int(simplex[2])
+        for u, v in ((a, b), (b, c), (a, c)):
+            edge_set.add((u, v) if u < v else (v, u))
+
+    def length(edge: tuple[int, int]) -> float:
+        (ux, uy), (vx, vy) = positions[edge[0]], positions[edge[1]]
+        return math.hypot(ux - vx, uy - vy)
+
+    # Longest edges are the least road-like: sort so that the drop pass
+    # (random per edge) is biased toward them via a length-rank threshold.
+    edges = sorted(edge_set, key=length)
+    keep_count = int(len(edges) * (1.0 - config.drop_fraction))
+    tree = _spanning_tree_edges(config.num_nodes, edges, rng)
+    kept = [e for e in edges[:keep_count]] + [e for e in edges[keep_count:] if e in tree]
+
+    trimmed = GeneratorConfig(
+        kind=config.kind,
+        num_nodes=config.num_nodes,
+        seed=config.seed,
+        drop_fraction=0.0,  # dropping already happened above
+        jitter=config.jitter,
+        weight_noise=config.weight_noise,
+        directed=config.directed,
+        oneway_fraction=config.oneway_fraction,
+    )
+    return _assemble(positions, kept, trimmed, rng)
+
+
+def generate_road_network(config: GeneratorConfig) -> RoadNetwork:
+    """Generate a junction-only road network according to ``config``."""
+    if config.kind == "grid":
+        return generate_grid_network(config)
+    if config.kind == "delaunay":
+        return generate_delaunay_network(config)
+    raise GraphError(f"unknown generator kind {config.kind!r}")

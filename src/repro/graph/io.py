@@ -1,0 +1,154 @@
+"""Serialisation of road networks.
+
+Two formats are supported:
+
+* a human-readable edge-list text format (one ``node``/``edge`` record per
+  line), convenient for small fixtures and interoperability;
+* a JSON document (:func:`network_to_dict` / :func:`network_from_dict`),
+  used by the example scripts and by the dataset cache.
+
+Both round-trip exactly (node ids, kinds, keywords, positions, weights,
+directedness).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from urllib.parse import quote, unquote
+from typing import Any, TextIO
+
+from repro.exceptions import GraphError
+from repro.graph.build import RoadNetworkBuilder
+from repro.graph.road_network import NodeKind, RoadNetwork
+
+__all__ = [
+    "write_edge_list",
+    "read_edge_list",
+    "network_to_dict",
+    "network_from_dict",
+    "save_network_json",
+    "load_network_json",
+]
+
+_FORMAT_VERSION = 1
+
+
+def write_edge_list(network: RoadNetwork, stream: TextIO) -> None:
+    """Write ``network`` to ``stream`` in the text edge-list format.
+
+    Lines are::
+
+        H <version> <directed:0|1> <num_nodes> <has_positions:0|1>
+        N <id> <kind> [x y] [keyword ...]
+        E <u> <v> <weight>
+
+    Keywords are percent-encoded so they may contain whitespace.
+    """
+    stream.write(
+        f"H {_FORMAT_VERSION} {int(network.directed)} {network.num_nodes} "
+        f"{int(network.has_positions)}\n"
+    )
+    for node in network.nodes():
+        parts = ["N", str(node), str(int(network.kind(node)))]
+        if network.has_positions:
+            x, y = network.position(node)
+            parts.append(repr(x))
+            parts.append(repr(y))
+        for kw in sorted(network.keywords(node)):
+            parts.append(quote(kw, safe=""))
+        stream.write(" ".join(parts) + "\n")
+    for u, v, w in network.edges():
+        stream.write(f"E {u} {v} {w!r}\n")
+
+
+def read_edge_list(stream: TextIO) -> RoadNetwork:
+    """Parse the text edge-list format written by :func:`write_edge_list`."""
+    header = stream.readline().split()
+    if len(header) != 5 or header[0] != "H":
+        raise GraphError("missing or malformed edge-list header")
+    version = int(header[1])
+    if version != _FORMAT_VERSION:
+        raise GraphError(f"unsupported edge-list version {version}")
+    directed = bool(int(header[2]))
+    num_nodes = int(header[3])
+    has_positions = bool(int(header[4]))
+
+    builder = RoadNetworkBuilder(directed=directed)
+    seen_nodes = 0
+    for line in stream:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        tag, rest = line[0], line[2:]
+        if tag == "N":
+            fields = rest.split(" ")
+            node_id = int(fields[0])
+            kind = NodeKind(int(fields[1]))
+            cursor = 2
+            position = None
+            if has_positions:
+                position = (float(fields[2]), float(fields[3]))
+                cursor = 4
+            keywords = [unquote(tok) for tok in fields[cursor:] if tok]
+            created = builder.add_node(kind, keywords, position)
+            if created != node_id:
+                raise GraphError(
+                    f"node records must be contiguous and ordered; expected id "
+                    f"{created}, got {node_id}"
+                )
+            seen_nodes += 1
+        elif tag == "E":
+            u_s, v_s, w_s = rest.split(" ")
+            builder.add_edge(int(u_s), int(v_s), float(w_s))
+        else:
+            raise GraphError(f"unknown record tag {tag!r}")
+    if seen_nodes != num_nodes:
+        raise GraphError(f"header declared {num_nodes} nodes but found {seen_nodes}")
+    return builder.build()
+
+
+def network_to_dict(network: RoadNetwork) -> dict[str, Any]:
+    """Represent ``network`` as a JSON-serialisable dictionary."""
+    nodes = []
+    for node in network.nodes():
+        record: dict[str, Any] = {
+            "kind": int(network.kind(node)),
+            "keywords": sorted(network.keywords(node)),
+        }
+        if network.has_positions:
+            record["pos"] = list(network.position(node))
+        nodes.append(record)
+    return {
+        "version": _FORMAT_VERSION,
+        "directed": network.directed,
+        "nodes": nodes,
+        "edges": [[u, v, w] for u, v, w in network.edges()],
+    }
+
+
+def network_from_dict(payload: dict[str, Any]) -> RoadNetwork:
+    """Rebuild a road network from :func:`network_to_dict` output."""
+    if payload.get("version") != _FORMAT_VERSION:
+        raise GraphError(f"unsupported payload version {payload.get('version')!r}")
+    builder = RoadNetworkBuilder(directed=bool(payload["directed"]))
+    for record in payload["nodes"]:
+        pos = record.get("pos")
+        builder.add_node(
+            NodeKind(record["kind"]),
+            record.get("keywords", ()),
+            tuple(pos) if pos is not None else None,
+        )
+    for u, v, w in payload["edges"]:
+        builder.add_edge(int(u), int(v), float(w))
+    return builder.build()
+
+
+def save_network_json(network: RoadNetwork, path: str | Path) -> None:
+    """Write ``network`` to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(network_to_dict(network)))
+
+
+def load_network_json(path: str | Path) -> RoadNetwork:
+    """Load a road network previously written by :func:`save_network_json`."""
+    return network_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,61 @@
+"""Summary statistics of a road network.
+
+Used to check that synthetic datasets match the structural profile of the
+paper's Table 1 (node/object/edge/keyword counts, degree and weight
+distributions) and by the benchmark reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.road_network import RoadNetwork
+
+__all__ = ["NetworkStats", "compute_stats"]
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """A Table-1-style summary of a road network."""
+
+    num_nodes: int
+    num_objects: int
+    num_edges: int
+    num_keywords: int
+    avg_degree: float
+    max_degree: int
+    avg_edge_weight: float
+    min_edge_weight: float
+    max_edge_weight: float
+    avg_keywords_per_object: float
+    connected: bool
+
+    def as_table_row(self, name: str) -> str:
+        """Format like the paper's Table 1 (name, nodes, objects, edges, keywords)."""
+        return (
+            f"{name:<10} {self.num_nodes:>10,} {self.num_objects:>9,} "
+            f"{self.num_edges:>10,} {self.num_keywords:>9,}"
+        )
+
+
+def compute_stats(network: RoadNetwork) -> NetworkStats:
+    """Compute :class:`NetworkStats` for ``network``."""
+    n = network.num_nodes
+    degrees = [network.degree(u) for u in network.nodes()] if n else [0]
+    weights = [w for _u, _v, w in network.edges()]
+    num_objects = network.num_objects()
+    kw_counts = [len(network.keywords(u)) for u in network.object_nodes()]
+    vocabulary = network.all_keywords()
+    return NetworkStats(
+        num_nodes=n,
+        num_objects=num_objects,
+        num_edges=network.num_edges,
+        num_keywords=len(vocabulary),
+        avg_degree=(sum(degrees) / n) if n else 0.0,
+        max_degree=max(degrees) if degrees else 0,
+        avg_edge_weight=(sum(weights) / len(weights)) if weights else 0.0,
+        min_edge_weight=min(weights) if weights else 0.0,
+        max_edge_weight=max(weights) if weights else 0.0,
+        avg_keywords_per_object=(sum(kw_counts) / num_objects) if num_objects else 0.0,
+        connected=network.is_connected(),
+    )

@@ -1,0 +1,36 @@
+"""Graph-partitioning substrate (the paper's ParMETIS stand-in).
+
+The paper fragments each road network into ``N`` node-disjoint fragments
+"aiming at minimizing cross-partition edges" with balanced sizes (§6).
+This subpackage provides that capability from scratch:
+
+* :class:`MultilevelPartitioner` — METIS-style multilevel k-way
+  partitioning (heavy-edge-matching coarsening, greedy-growing initial
+  partition, boundary FM refinement); the default.
+* :class:`BfsPartitioner` — seeded region growing; fast, decent locality.
+* :class:`SpatialPartitioner` — recursive coordinate bisection; needs
+  node positions.
+* :class:`RandomPartitioner` — balanced random assignment; the ablation
+  worst case (maximal portal counts).
+"""
+
+from repro.partition.base import Partition, Partitioner, validate_partition
+from repro.partition.metrics import PartitionQuality, evaluate_partition
+from repro.partition.random_parts import RandomPartitioner
+from repro.partition.bfs import BfsPartitioner
+from repro.partition.spatial import SpatialPartitioner
+from repro.partition.multilevel import MultilevelPartitioner
+from repro.partition.portal_refine import refine_portals
+
+__all__ = [
+    "refine_portals",
+    "Partition",
+    "Partitioner",
+    "validate_partition",
+    "PartitionQuality",
+    "evaluate_partition",
+    "RandomPartitioner",
+    "BfsPartitioner",
+    "SpatialPartitioner",
+    "MultilevelPartitioner",
+]

@@ -1,0 +1,110 @@
+"""Seeded BFS region-growing partitioner.
+
+Seeds are spread with a farthest-point sweep (in BFS hops), then the
+``k`` regions grow breadth-first, always expanding the currently
+smallest fragment.  The result is balanced and spatially contiguous,
+cutting far fewer edges than random assignment; the multilevel
+partitioner also uses it to seed coarse-level partitions.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from heapq import heappop, heappush
+
+from repro.exceptions import PartitionError
+from repro.graph.road_network import RoadNetwork
+from repro.partition.base import Partition
+
+__all__ = ["BfsPartitioner"]
+
+
+class BfsPartitioner:
+    """Balanced BFS region growing from farthest-point seeds."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+
+    def _spread_seeds(self, network: RoadNetwork, k: int, rng: random.Random) -> list[int]:
+        """Pick ``k`` seed nodes pairwise far apart (BFS-hop metric)."""
+        n = network.num_nodes
+        seeds = [rng.randrange(n)]
+        hop_dist = [0] * n  # min hops to any chosen seed
+
+        def bfs_update(source: int) -> None:
+            dist = {source: 0}
+            queue = deque([source])
+            while queue:
+                u = queue.popleft()
+                for v, _w in network.neighbors(u):
+                    if v not in dist:
+                        dist[v] = dist[u] + 1
+                        queue.append(v)
+            for node in range(n):
+                d = dist.get(node, n)
+                if len(seeds) == 1:
+                    hop_dist[node] = d
+                else:
+                    hop_dist[node] = min(hop_dist[node], d)
+
+        bfs_update(seeds[0])
+        while len(seeds) < k:
+            candidate = max(range(n), key=lambda node: (hop_dist[node], node))
+            if candidate in seeds:  # graph smaller than hoped; fall back to random
+                remaining = [node for node in range(n) if node not in seeds]
+                candidate = rng.choice(remaining)
+            seeds.append(candidate)
+            bfs_update(candidate)
+        return seeds
+
+    def partition(self, network: RoadNetwork, k: int) -> Partition:
+        """Partition ``network`` into ``k`` contiguous balanced fragments."""
+        n = network.num_nodes
+        if k < 1 or k > n:
+            raise PartitionError(f"cannot split {n} nodes into {k} fragments")
+        rng = random.Random(self._seed)
+        assignment = [-1] * n
+        seeds = self._spread_seeds(network, k, rng)
+
+        frontiers: list[deque[int]] = [deque([s]) for s in seeds]
+        sizes = [0] * k
+        # Heap keyed by (fragment size, fragment id): always grow the
+        # smallest fragment next, which keeps the result balanced.
+        heap: list[tuple[int, int]] = [(0, frag) for frag in range(k)]
+        unassigned = n
+
+        while unassigned:
+            progressed = False
+            while heap:
+                size, frag = heappop(heap)
+                if size != sizes[frag]:
+                    continue  # stale entry
+                frontier = frontiers[frag]
+                node = -1
+                while frontier:
+                    candidate = frontier.popleft()
+                    if assignment[candidate] == -1:
+                        node = candidate
+                        break
+                if node == -1:
+                    # Frontier exhausted: steal an arbitrary unassigned node
+                    # (covers disconnected components and boxed-in seeds).
+                    for candidate in range(n):
+                        if assignment[candidate] == -1:
+                            node = candidate
+                            break
+                if node == -1:
+                    break
+                assignment[node] = frag
+                sizes[frag] += 1
+                unassigned -= 1
+                progressed = True
+                for v, _w in network.neighbors(node):
+                    if assignment[v] == -1:
+                        frontiers[frag].append(v)
+                heappush(heap, (sizes[frag], frag))
+                break
+            if not progressed:  # pragma: no cover - defensive guard
+                raise PartitionError("region growing stalled with unassigned nodes")
+        return Partition.from_assignment(assignment, k)

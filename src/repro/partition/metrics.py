@@ -1,0 +1,69 @@
+"""Quality metrics for a fragmentation.
+
+The two quantities the paper cares about are the *edge cut* (cross-
+fragment edges create portal nodes, and portal count drives both index
+size and construction cost — §3.3/§4.1) and *balance* (Theorem 6 ties
+the unbalance factor to per-fragment task costs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.road_network import RoadNetwork
+from repro.partition.base import Partition
+
+__all__ = ["PartitionQuality", "evaluate_partition"]
+
+
+@dataclass(frozen=True)
+class PartitionQuality:
+    """Metrics of one partition of one network."""
+
+    num_fragments: int
+    edge_cut: int
+    cut_fraction: float
+    sizes: tuple[int, ...]
+    balance: float
+    total_portals: int
+    portals_per_fragment: tuple[int, ...]
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        return (
+            f"k={self.num_fragments} cut={self.edge_cut} "
+            f"({self.cut_fraction:.2%} of edges) balance={self.balance:.3f} "
+            f"portals={self.total_portals}"
+        )
+
+
+def evaluate_partition(network: RoadNetwork, partition: Partition) -> PartitionQuality:
+    """Compute :class:`PartitionQuality` for ``partition`` on ``network``.
+
+    * ``edge_cut`` — number of edges whose endpoints lie in different
+      fragments (each such endpoint is a *portal node*, §3.2).
+    * ``balance`` — ``max fragment size / ideal size``; 1.0 is perfect.
+    * ``portals_per_fragment`` — portal-node count of each fragment.
+    """
+    assignment = partition.assignment
+    cut = 0
+    portal_sets: list[set[int]] = [set() for _ in range(partition.num_fragments)]
+    for u, v, _w in network.edges():
+        fu, fv = assignment[u], assignment[v]
+        if fu != fv:
+            cut += 1
+            portal_sets[fu].add(u)
+            portal_sets[fv].add(v)
+    sizes = tuple(partition.sizes())
+    ideal = network.num_nodes / partition.num_fragments if partition.num_fragments else 1.0
+    balance = (max(sizes) / ideal) if ideal > 0 and sizes else 1.0
+    portals = tuple(len(s) for s in portal_sets)
+    return PartitionQuality(
+        num_fragments=partition.num_fragments,
+        edge_cut=cut,
+        cut_fraction=(cut / network.num_edges) if network.num_edges else 0.0,
+        sizes=sizes,
+        balance=balance,
+        total_portals=sum(portals),
+        portals_per_fragment=portals,
+    )

@@ -1,0 +1,92 @@
+"""Bidirectional Dijkstra for point-to-point distances.
+
+The index builder and coverage evaluation are single-source searches,
+but utilities (object attachment diagnostics, examples, oracles) often
+need one ``d(s, t)``.  Bidirectional search meets in the middle,
+exploring roughly two balls of half the radius instead of one full ball
+— a substantial constant-factor win on road networks.
+
+Termination uses the standard criterion: once the smallest keys of the
+two frontiers sum past the best meeting distance found so far, no
+shorter ``s -> t`` path can exist.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+
+from repro.graph.road_network import RoadNetwork
+
+__all__ = ["bidirectional_distance"]
+
+
+def bidirectional_distance(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    *,
+    bound: float = math.inf,
+) -> float:
+    """Exact ``d(source, target)`` or ``inf`` beyond ``bound``.
+
+    Works on directed networks (the backward frontier follows in-edges).
+    """
+    if source == target:
+        return 0.0
+
+    dist_f: dict[int, float] = {source: 0.0}
+    dist_b: dict[int, float] = {target: 0.0}
+    settled_f: set[int] = set()
+    settled_b: set[int] = set()
+    heap_f: list[tuple[float, int]] = [(0.0, source)]
+    heap_b: list[tuple[float, int]] = [(0.0, target)]
+    best = math.inf
+
+    def expand_forward() -> None:
+        nonlocal best
+        d, u = heappop(heap_f)
+        if u in settled_f or d > dist_f.get(u, math.inf):
+            return
+        settled_f.add(u)
+        nbrs, wts, lo, hi = network.neighbor_slice(u)
+        for i in range(lo, hi):
+            v = nbrs[i]
+            nd = d + wts[i]
+            if nd <= bound and nd < dist_f.get(v, math.inf):
+                dist_f[v] = nd
+                heappush(heap_f, (nd, v))
+            meet = dist_f.get(v, math.inf) if v in dist_f else math.inf
+            other = dist_b.get(v)
+            if other is not None and meet + other < best:
+                best = meet + other
+
+    def expand_backward() -> None:
+        nonlocal best
+        d, u = heappop(heap_b)
+        if u in settled_b or d > dist_b.get(u, math.inf):
+            return
+        settled_b.add(u)
+        nbrs, wts, lo, hi = network.in_neighbor_slice(u)
+        for i in range(lo, hi):
+            v = nbrs[i]
+            nd = d + wts[i]
+            if nd <= bound and nd < dist_b.get(v, math.inf):
+                dist_b[v] = nd
+                heappush(heap_b, (nd, v))
+            meet = dist_b.get(v, math.inf) if v in dist_b else math.inf
+            other = dist_f.get(v)
+            if other is not None and meet + other < best:
+                best = meet + other
+
+    while heap_f and heap_b:
+        top_f = heap_f[0][0]
+        top_b = heap_b[0][0]
+        if top_f + top_b >= best:
+            break
+        if top_f <= top_b:
+            expand_forward()
+        else:
+            expand_backward()
+
+    return best if best <= bound else math.inf

@@ -1,0 +1,164 @@
+"""Dijkstra's algorithm (paper reference [7]) in the variants the system needs.
+
+All functions work on an *adjacency callable* ``adj(u) -> iterable of
+(v, w)`` so the same code serves a bare :class:`RoadNetwork`, the
+reverse graph during backward index construction, and the *extended
+fragment* of query time (fragment + SC shortcuts + DL virtual edges).
+
+Multi-source searches are expressed through *seeds*: a mapping from node
+to initial distance.  Seeding ``{v: d(v)}`` is exactly equivalent to the
+paper's virtual-source construction (§3.7 / Fig. 5) where a virtual node
+connects to each ``v`` with a directed zero- or ``d(v)``-weight edge —
+without materialising the virtual node.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Callable, Iterable, Mapping
+
+__all__ = [
+    "Adjacency",
+    "DijkstraRun",
+    "shortest_path_distances",
+    "shortest_paths_with_predecessors",
+    "distance_between",
+    "reconstruct_path",
+]
+
+Adjacency = Callable[[int], Iterable[tuple[int, float]]]
+
+
+@dataclass
+class DijkstraRun:
+    """Outcome of a predecessor-tracking Dijkstra run.
+
+    Attributes
+    ----------
+    distances:
+        Settled node -> shortest distance from the seed set.
+    predecessors:
+        Settled node -> predecessor on (one of) the shortest path(s);
+        seed nodes map to ``-1``.
+    settled_order:
+        Nodes in the order they were settled (non-decreasing distance).
+    """
+
+    distances: dict[int, float]
+    predecessors: dict[int, int]
+    settled_order: list[int] = field(default_factory=list)
+
+
+def _normalize_seeds(seeds: Mapping[int, float] | Iterable[int]) -> dict[int, float]:
+    if isinstance(seeds, Mapping):
+        return dict(seeds)
+    return {node: 0.0 for node in seeds}
+
+
+def shortest_path_distances(
+    adj: Adjacency,
+    seeds: Mapping[int, float] | Iterable[int],
+    *,
+    bound: float = math.inf,
+    targets: Iterable[int] | None = None,
+) -> dict[int, float]:
+    """Distances from a seed set, truncated at ``bound``.
+
+    Parameters
+    ----------
+    adj:
+        Adjacency callable for the graph to search.
+    seeds:
+        Either node ids (all at distance 0) or a ``{node: initial}``
+        mapping (virtual-source search).
+    bound:
+        Nodes farther than ``bound`` are neither settled nor reported.
+        This is the paper's ``maxR`` / query-``r`` truncation.
+    targets:
+        If given, the search stops once every target is settled (early
+        exit for point-to-point queries).
+
+    Returns the ``{node: distance}`` map of all settled nodes.
+    """
+    dist: dict[int, float] = {}
+    seed_map = _normalize_seeds(seeds)
+    remaining = set(targets) if targets is not None else None
+    heap: list[tuple[float, int]] = []
+    best: dict[int, float] = {}
+    for node, d0 in seed_map.items():
+        if d0 <= bound and d0 < best.get(node, math.inf):
+            best[node] = d0
+            heappush(heap, (d0, node))
+    while heap:
+        d, u = heappop(heap)
+        if u in dist or d > bound:
+            continue
+        dist[u] = d
+        if remaining is not None:
+            remaining.discard(u)
+            if not remaining:
+                break
+        for v, w in adj(u):
+            nd = d + w
+            if nd <= bound and nd < best.get(v, math.inf) and v not in dist:
+                best[v] = nd
+                heappush(heap, (nd, v))
+    return dist
+
+
+def shortest_paths_with_predecessors(
+    adj: Adjacency,
+    seeds: Mapping[int, float] | Iterable[int],
+    *,
+    bound: float = math.inf,
+) -> DijkstraRun:
+    """Like :func:`shortest_path_distances` but also records the SSSP tree."""
+    run = DijkstraRun(distances={}, predecessors={})
+    seed_map = _normalize_seeds(seeds)
+    heap: list[tuple[float, int]] = []
+    best: dict[int, float] = {}
+    pred: dict[int, int] = {}
+    for node, d0 in seed_map.items():
+        if d0 <= bound and d0 < best.get(node, math.inf):
+            best[node] = d0
+            pred[node] = -1
+            heappush(heap, (d0, node))
+    dist = run.distances
+    while heap:
+        d, u = heappop(heap)
+        if u in dist or d > bound:
+            continue
+        dist[u] = d
+        run.predecessors[u] = pred[u]
+        run.settled_order.append(u)
+        for v, w in adj(u):
+            nd = d + w
+            if nd <= bound and nd < best.get(v, math.inf) and v not in dist:
+                best[v] = nd
+                pred[v] = u
+                heappush(heap, (nd, v))
+    return run
+
+
+def distance_between(adj: Adjacency, source: int, target: int, *, bound: float = math.inf) -> float:
+    """Shortest distance ``source -> target`` or ``inf`` if unreachable within ``bound``."""
+    dist = shortest_path_distances(adj, [source], bound=bound, targets=[target])
+    return dist.get(target, math.inf)
+
+
+def reconstruct_path(run: DijkstraRun, target: int) -> list[int]:
+    """Recover the node sequence from a seed to ``target``.
+
+    Raises ``KeyError`` when ``target`` was not settled.
+    """
+    if target not in run.distances:
+        raise KeyError(f"node {target} was not reached by the search")
+    path = [target]
+    node = target
+    while run.predecessors[node] != -1:
+        node = run.predecessors[node]
+        path.append(node)
+    path.reverse()
+    return path

@@ -1,0 +1,167 @@
+"""An indexed (addressable) binary min-heap with decrease-key.
+
+The Dijkstra implementations in :mod:`repro.search.dijkstra` use the
+standard-library ``heapq`` with lazy deletion, which is faster in
+CPython for sparse graphs.  This class exists for the places that need a
+*true* addressable priority queue — the FM refinement pass of the
+multilevel partitioner moves items' priorities up *and* down — and as a
+well-tested reference implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterator, TypeVar
+
+__all__ = ["IndexedBinaryHeap"]
+
+K = TypeVar("K", bound=Hashable)
+
+
+class IndexedBinaryHeap(Generic[K]):
+    """Min-heap of ``(priority, key)`` supporting O(log n) priority updates.
+
+    Keys are arbitrary hashable values; each key appears at most once.
+    ``update`` accepts both decreases and increases.
+
+    Example
+    -------
+    >>> h = IndexedBinaryHeap()
+    >>> h.push("a", 3.0); h.push("b", 1.0); h.push("c", 2.0)
+    >>> h.update("a", 0.5)
+    >>> [h.pop()[0] for _ in range(len(h))]
+    ['a', 'b', 'c']
+    """
+
+    def __init__(self) -> None:
+        self._keys: list[K] = []
+        self._priorities: list[float] = []
+        self._index: dict[K, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __bool__(self) -> bool:
+        return bool(self._keys)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._index
+
+    def __iter__(self) -> Iterator[K]:
+        """Iterate keys in storage (not priority) order."""
+        return iter(list(self._keys))
+
+    def priority(self, key: K) -> float:
+        """Current priority of ``key``; raises ``KeyError`` if absent."""
+        return self._priorities[self._index[key]]
+
+    def push(self, key: K, priority: float) -> None:
+        """Insert a new key; raises ``KeyError`` if it is already present."""
+        if key in self._index:
+            raise KeyError(f"key {key!r} is already in the heap")
+        self._keys.append(key)
+        self._priorities.append(priority)
+        self._index[key] = len(self._keys) - 1
+        self._sift_up(len(self._keys) - 1)
+
+    def update(self, key: K, priority: float) -> None:
+        """Change the priority of an existing key (any direction)."""
+        i = self._index[key]
+        old = self._priorities[i]
+        self._priorities[i] = priority
+        if priority < old:
+            self._sift_up(i)
+        elif priority > old:
+            self._sift_down(i)
+
+    def push_or_update(self, key: K, priority: float) -> None:
+        """Insert ``key`` or update its priority if already present."""
+        if key in self._index:
+            self.update(key, priority)
+        else:
+            self.push(key, priority)
+
+    def decrease(self, key: K, priority: float) -> bool:
+        """Lower the priority of ``key`` if ``priority`` is smaller.
+
+        Returns whether a change was made.  Missing keys are inserted.
+        """
+        if key not in self._index:
+            self.push(key, priority)
+            return True
+        if priority < self._priorities[self._index[key]]:
+            self.update(key, priority)
+            return True
+        return False
+
+    def peek(self) -> tuple[K, float]:
+        """The minimum ``(key, priority)`` without removing it."""
+        if not self._keys:
+            raise IndexError("peek from an empty heap")
+        return self._keys[0], self._priorities[0]
+
+    def pop(self) -> tuple[K, float]:
+        """Remove and return the minimum ``(key, priority)``."""
+        if not self._keys:
+            raise IndexError("pop from an empty heap")
+        key, priority = self._keys[0], self._priorities[0]
+        self._remove_at(0)
+        return key, priority
+
+    def remove(self, key: K) -> float:
+        """Remove ``key``, returning its priority."""
+        i = self._index[key]
+        priority = self._priorities[i]
+        self._remove_at(i)
+        return priority
+
+    def clear(self) -> None:
+        """Empty the heap."""
+        self._keys.clear()
+        self._priorities.clear()
+        self._index.clear()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _remove_at(self, i: int) -> None:
+        last = len(self._keys) - 1
+        self._swap(i, last)
+        removed = self._keys.pop()
+        self._priorities.pop()
+        del self._index[removed]
+        if i <= last - 1 and self._keys:
+            if i < len(self._keys):
+                self._sift_down(i)
+                self._sift_up(i)
+
+    def _swap(self, i: int, j: int) -> None:
+        if i == j:
+            return
+        self._keys[i], self._keys[j] = self._keys[j], self._keys[i]
+        self._priorities[i], self._priorities[j] = self._priorities[j], self._priorities[i]
+        self._index[self._keys[i]] = i
+        self._index[self._keys[j]] = j
+
+    def _sift_up(self, i: int) -> None:
+        while i > 0:
+            parent = (i - 1) >> 1
+            if self._priorities[i] < self._priorities[parent]:
+                self._swap(i, parent)
+                i = parent
+            else:
+                break
+
+    def _sift_down(self, i: int) -> None:
+        n = len(self._keys)
+        while True:
+            left = 2 * i + 1
+            right = left + 1
+            smallest = i
+            if left < n and self._priorities[left] < self._priorities[smallest]:
+                smallest = left
+            if right < n and self._priorities[right] < self._priorities[smallest]:
+                smallest = right
+            if smallest == i:
+                return
+            self._swap(i, smallest)
+            i = smallest

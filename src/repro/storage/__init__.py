@@ -1,0 +1,35 @@
+"""On-disk storage: binary record codec and per-fragment index files.
+
+The paper stores one index file ``IND(P)`` per fragment, holding the SC
+file and the DL file (EXP 1 measures their size on each machine).  This
+subpackage implements that: a checksummed binary record codec
+(:mod:`repro.storage.codec`) and the ``IND(P)`` / fragment file formats
+(:mod:`repro.storage.index_files`), so a worker machine can be cold-
+started from its two files alone.
+"""
+
+from repro.storage.codec import (
+    RecordWriter,
+    RecordReader,
+    encode_record,
+    decode_record,
+)
+from repro.storage.index_files import (
+    write_index_file,
+    read_index_file,
+    write_fragment_file,
+    read_fragment_file,
+    index_file_size,
+)
+
+__all__ = [
+    "RecordWriter",
+    "RecordReader",
+    "encode_record",
+    "decode_record",
+    "write_index_file",
+    "read_index_file",
+    "write_fragment_file",
+    "read_fragment_file",
+    "index_file_size",
+]

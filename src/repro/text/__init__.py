@@ -1,0 +1,21 @@
+"""Keyword substrate: vocabulary, inverted indexes, Zipf placement.
+
+The paper's road networks carry OSM keyword tags (Table 1: 57,600 /
+18,750 distinct keywords).  This subpackage provides keyword interning,
+the node<->keyword inverted maps used at query time, and the clustered
+Zipf placement model used to synthesise keyword data with realistic
+frequency skew and spatial correlation.
+"""
+
+from repro.text.vocabulary import Vocabulary
+from repro.text.inverted import InvertedIndex, FragmentKeywordIndex
+from repro.text.zipf import ZipfSampler, ClusteredKeywordPlacer, PlacementConfig
+
+__all__ = [
+    "Vocabulary",
+    "InvertedIndex",
+    "FragmentKeywordIndex",
+    "ZipfSampler",
+    "ClusteredKeywordPlacer",
+    "PlacementConfig",
+]

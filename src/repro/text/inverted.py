@@ -1,0 +1,95 @@
+"""Inverted keyword indexes over a road network and its fragments.
+
+:class:`InvertedIndex` maps keywords to the nodes carrying them over a
+whole network (used by the centralized baseline and index construction);
+:class:`FragmentKeywordIndex` is the per-fragment restriction each worker
+machine holds, so Alg. 2 can seed its local virtual-source search without
+touching any other machine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.graph.road_network import RoadNetwork
+from repro.text.vocabulary import Vocabulary
+
+__all__ = ["InvertedIndex", "FragmentKeywordIndex"]
+
+
+class InvertedIndex:
+    """Keyword -> sorted node-id postings for a whole road network."""
+
+    def __init__(self, network: RoadNetwork) -> None:
+        self._vocabulary = Vocabulary()
+        postings: dict[int, list[int]] = {}
+        for node in network.nodes():
+            for keyword in network.keywords(node):
+                kw_id = self._vocabulary.intern(keyword, count=1)
+                postings.setdefault(kw_id, []).append(node)
+        self._postings: dict[int, tuple[int, ...]] = {
+            kw_id: tuple(sorted(nodes)) for kw_id, nodes in postings.items()
+        }
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """The interned vocabulary (with occurrence counts)."""
+        return self._vocabulary
+
+    def __contains__(self, keyword: object) -> bool:
+        return isinstance(keyword, str) and keyword in self._vocabulary
+
+    def nodes_with(self, keyword: str) -> tuple[int, ...]:
+        """All nodes carrying ``keyword`` (empty tuple when unknown)."""
+        if keyword not in self._vocabulary:
+            return ()
+        return self._postings.get(self._vocabulary.id_of(keyword), ())
+
+    def frequency(self, keyword: str) -> int:
+        """Number of nodes carrying ``keyword``."""
+        return len(self.nodes_with(keyword))
+
+    def keywords(self) -> list[str]:
+        """All indexed keywords in id order."""
+        return list(self._vocabulary)
+
+
+class FragmentKeywordIndex:
+    """Keyword -> local node postings restricted to one fragment.
+
+    This is the keyword side of what a worker machine stores next to its
+    fragment: enough to find the *local* keyword nodes of any query
+    keyword (the zero-seeds of the virtual-source search) with no
+    communication.
+    """
+
+    def __init__(self, network: RoadNetwork, member_nodes: Iterable[int]) -> None:
+        self._postings: dict[str, tuple[int, ...]] = {}
+        buckets: dict[str, list[int]] = {}
+        for node in member_nodes:
+            for keyword in network.keywords(node):
+                buckets.setdefault(keyword, []).append(node)
+        for keyword, nodes in buckets.items():
+            self._postings[keyword] = tuple(sorted(nodes))
+
+    @classmethod
+    def from_postings(cls, postings: Mapping[str, Iterable[int]]) -> "FragmentKeywordIndex":
+        """Rebuild from serialised postings (used by index-file loading)."""
+        instance = cls.__new__(cls)
+        instance._postings = {kw: tuple(nodes) for kw, nodes in postings.items()}
+        return instance
+
+    def local_nodes_with(self, keyword: str) -> tuple[int, ...]:
+        """Fragment-local nodes carrying ``keyword``."""
+        return self._postings.get(keyword, ())
+
+    def local_keywords(self) -> list[str]:
+        """All keywords present in this fragment, sorted."""
+        return sorted(self._postings)
+
+    def to_postings(self) -> dict[str, tuple[int, ...]]:
+        """Serialisable ``{keyword: nodes}`` view."""
+        return dict(self._postings)
+
+    def __len__(self) -> int:
+        return len(self._postings)

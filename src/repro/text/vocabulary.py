@@ -1,0 +1,88 @@
+"""Keyword vocabulary with interning and frequency statistics.
+
+The paper's ``K`` is a vocabulary of keywords and ``L`` maps nodes to
+keyword sets (Definition 1).  The engine stores keywords as strings at
+API boundaries but interns them to dense integer ids internally so that
+index files and message payloads stay compact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.exceptions import UnknownKeywordError
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """A bidirectional keyword <-> id mapping with occurrence counts.
+
+    Ids are assigned densely in first-seen order, which makes them stable
+    for a given construction order and suitable for on-disk storage.
+    """
+
+    def __init__(self, keywords: Iterable[str] = ()) -> None:
+        self._id_of: dict[str, int] = {}
+        self._word_of: list[str] = []
+        self._counts: list[int] = []
+        for kw in keywords:
+            self.intern(kw)
+
+    def __len__(self) -> int:
+        return len(self._word_of)
+
+    def __contains__(self, keyword: object) -> bool:
+        return keyword in self._id_of
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._word_of)
+
+    def intern(self, keyword: str, *, count: int = 0) -> int:
+        """Return the id of ``keyword``, creating it if needed.
+
+        ``count`` increments the keyword's occurrence counter, so callers
+        indexing nodes can intern and count in one call.
+        """
+        kw_id = self._id_of.get(keyword)
+        if kw_id is None:
+            kw_id = len(self._word_of)
+            self._id_of[keyword] = kw_id
+            self._word_of.append(keyword)
+            self._counts.append(0)
+        self._counts[kw_id] += count
+        return kw_id
+
+    def id_of(self, keyword: str) -> int:
+        """Id of a known keyword; raises :class:`UnknownKeywordError` otherwise."""
+        try:
+            return self._id_of[keyword]
+        except KeyError:
+            raise UnknownKeywordError(keyword) from None
+
+    def word_of(self, kw_id: int) -> str:
+        """Keyword string for ``kw_id``."""
+        if not (0 <= kw_id < len(self._word_of)):
+            raise UnknownKeywordError(f"<id {kw_id}>")
+        return self._word_of[kw_id]
+
+    def count(self, keyword: str) -> int:
+        """Occurrence count recorded for ``keyword`` (0 for unknown)."""
+        kw_id = self._id_of.get(keyword)
+        return self._counts[kw_id] if kw_id is not None else 0
+
+    def frequencies(self) -> dict[str, int]:
+        """All ``keyword -> count`` pairs."""
+        return {self._word_of[i]: self._counts[i] for i in range(len(self._word_of))}
+
+    def to_list(self) -> list[tuple[str, int]]:
+        """Serialise as ``[(keyword, count), ...]`` in id order."""
+        return [(self._word_of[i], self._counts[i]) for i in range(len(self._word_of))]
+
+    @classmethod
+    def from_list(cls, items: Iterable[tuple[str, int]]) -> "Vocabulary":
+        """Rebuild from :meth:`to_list` output."""
+        vocab = cls()
+        for keyword, count in items:
+            vocab.intern(keyword, count=count)
+        return vocab

@@ -1,0 +1,32 @@
+"""Workloads: the paper's query generator and synthetic dataset presets."""
+
+from repro.workloads.querygen import QueryGenerator, QueryGenConfig
+from repro.workloads.driver import (
+    TimedQuery,
+    WorkloadDriver,
+    WorkloadReport,
+    WorkloadSpec,
+)
+from repro.workloads.datasets import (
+    Dataset,
+    DatasetConfig,
+    build_dataset,
+    load_dataset,
+    toy_figure1,
+    DATASET_PRESETS,
+)
+
+__all__ = [
+    "QueryGenerator",
+    "QueryGenConfig",
+    "TimedQuery",
+    "WorkloadDriver",
+    "WorkloadReport",
+    "WorkloadSpec",
+    "Dataset",
+    "DatasetConfig",
+    "build_dataset",
+    "load_dataset",
+    "toy_figure1",
+    "DATASET_PRESETS",
+]

@@ -1,0 +1,176 @@
+"""Synthetic dataset presets standing in for the paper's OSM extracts.
+
+Table 1 of the paper:
+
+    ========  =========  =======  =========  ========
+    name      nodes      objects  edges      keywords
+    ========  =========  =======  =========  ========
+    BRI       3,760,213  300,891  9,730,188    57,600
+    AUS       1,223,171   70,064  3,364,364    18,750
+    ========  =========  =======  =========  ========
+
+The presets below reproduce the *structure* of those datasets — the
+object/node ratio (~8% / ~5.7%), keyword-vocabulary scale, Zipf keyword
+skew with spatial clustering, and the paper's preprocessing ("take each
+object as a node and let it connect to its nearest network node") — at
+~1/250 scale so pure-Python benchmark sweeps stay tractable.  ``BRI``
+uses the perturbed-grid generator (dense, urban); ``AUS`` the Delaunay
+generator (sparser, long links); see DESIGN.md for the substitution
+rationale.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.exceptions import DisksError
+from repro.graph.build import ObjectSpec, RoadNetworkBuilder, attach_objects
+from repro.graph.generators import GeneratorConfig, generate_road_network
+from repro.graph.road_network import NodeKind, RoadNetwork
+from repro.graph.stats import NetworkStats, compute_stats
+from repro.text.zipf import ClusteredKeywordPlacer, PlacementConfig
+
+__all__ = [
+    "DatasetConfig",
+    "Dataset",
+    "build_dataset",
+    "load_dataset",
+    "toy_figure1",
+    "DATASET_PRESETS",
+]
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Recipe for one synthetic dataset."""
+
+    name: str
+    generator: GeneratorConfig
+    num_objects: int
+    placement: PlacementConfig
+    object_seed: int = 0
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A built dataset: the network plus its summary statistics."""
+
+    name: str
+    network: RoadNetwork
+    stats: NetworkStats
+
+    def frequent_keywords(self, count: int) -> list[str]:
+        """The ``count`` most frequent keywords (useful in examples)."""
+        freq = self.network.keyword_frequencies()
+        ranked = sorted(freq.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [kw for kw, _n in ranked[:count]]
+
+
+def build_dataset(config: DatasetConfig) -> Dataset:
+    """Generate the road network, place objects, attach them (paper §6)."""
+    junction_net = generate_road_network(config.generator)
+    builder = RoadNetworkBuilder(directed=config.generator.directed)
+    for node in junction_net.nodes():
+        builder.add_junction(junction_net.position(node))
+    for u, v, w in junction_net.edges():
+        builder.add_edge(u, v, w)
+
+    rng = random.Random(config.object_seed)
+    xs = [junction_net.position(n)[0] for n in junction_net.nodes()]
+    ys = [junction_net.position(n)[1] for n in junction_net.nodes()]
+    area = (min(xs), min(ys), max(xs), max(ys))
+    placer = ClusteredKeywordPlacer(config.placement, area)
+
+    specs = []
+    for _ in range(config.num_objects):
+        # Objects cluster near network nodes (shops sit on streets):
+        # jitter around a random junction rather than uniform placement.
+        anchor = rng.randrange(junction_net.num_nodes)
+        ax, ay = junction_net.position(anchor)
+        pos = (ax + rng.uniform(-0.5, 0.5), ay + rng.uniform(-0.5, 0.5))
+        specs.append(ObjectSpec(pos, placer.keywords_for(pos)))
+    attach_objects(builder, specs)
+
+    network = builder.build()
+    return Dataset(name=config.name, network=network, stats=compute_stats(network))
+
+
+DATASET_PRESETS: dict[str, DatasetConfig] = {
+    # ~1/250-scale BRI: dense urban grid, ~8% objects, 576-keyword vocabulary.
+    "bri_mini": DatasetConfig(
+        name="bri_mini",
+        generator=GeneratorConfig(kind="grid", num_nodes=13_800, seed=11),
+        num_objects=1_200,
+        placement=PlacementConfig(
+            vocabulary_size=576, num_clusters=24, topic_size=30, seed=12
+        ),
+        object_seed=13,
+    ),
+    # ~1/250-scale AUS: sparser Delaunay web, ~5.7% objects, 187 keywords.
+    "aus_mini": DatasetConfig(
+        name="aus_mini",
+        generator=GeneratorConfig(kind="delaunay", num_nodes=4_600, seed=21),
+        num_objects=280,
+        placement=PlacementConfig(
+            vocabulary_size=187, num_clusters=10, topic_size=24, seed=22
+        ),
+        object_seed=23,
+    ),
+    # Small variants for unit/integration tests and quick examples.
+    "bri_tiny": DatasetConfig(
+        name="bri_tiny",
+        generator=GeneratorConfig(kind="grid", num_nodes=1_600, seed=31),
+        num_objects=160,
+        placement=PlacementConfig(
+            vocabulary_size=80, num_clusters=8, topic_size=16, seed=32
+        ),
+        object_seed=33,
+    ),
+    "aus_tiny": DatasetConfig(
+        name="aus_tiny",
+        generator=GeneratorConfig(kind="delaunay", num_nodes=900, seed=41),
+        num_objects=90,
+        placement=PlacementConfig(
+            vocabulary_size=48, num_clusters=6, topic_size=12, seed=42
+        ),
+        object_seed=43,
+    ),
+}
+
+
+@lru_cache(maxsize=None)
+def load_dataset(name: str) -> Dataset:
+    """Build (and memoise) a preset dataset by name."""
+    try:
+        config = DATASET_PRESETS[name]
+    except KeyError:
+        raise DisksError(
+            f"unknown dataset {name!r}; presets: {sorted(DATASET_PRESETS)}"
+        ) from None
+    return build_dataset(config)
+
+
+def toy_figure1() -> RoadNetwork:
+    """The five-node example network of the paper's Fig. 1.
+
+    Nodes: A(school), B(hospital), C(park), D(museum), E(junction),
+    with edge weights chosen so the paper's worked examples hold:
+
+    * Example 1: ``SGKQ({museum, school}, 3) = {B, E}``;
+    * Example 2: ``RKQ(B, {museum}, 4) = {D}``;
+    * Example 3: ``R(school, 3) = {A, B, E}``.
+    """
+    builder = RoadNetworkBuilder()
+    a = builder.add_object({"school"}, position=(0.0, 1.0))  # A = 0
+    b = builder.add_object({"hospital"}, position=(1.0, 2.0))  # B = 1
+    c = builder.add_object({"park"}, position=(3.0, 2.0))  # C = 2
+    d = builder.add_object({"museum"}, position=(2.0, 0.0))  # D = 3
+    e = builder.add_junction(position=(1.0, 1.0))  # E = 4
+    builder.add_edge(a, e, 2.0)
+    builder.add_edge(b, e, 1.0)
+    builder.add_edge(b, c, 4.0)
+    builder.add_edge(e, d, 2.0)
+    builder.add_edge(c, d, 3.0)
+    return builder.build()

@@ -1,0 +1,164 @@
+"""Query-stream driver: open-loop load testing of a deployment.
+
+The paper motivates distribution with *query throughput* under heavy
+load (§1).  This driver makes that measurable: it synthesises a query
+stream (mixed SGKQ/RKQ, Poisson arrivals) and replays it against a
+:class:`~repro.core.engine.DisksEngine`, modelling an open-loop system
+where the coordinator serves queries one at a time — each query's
+latency is its queueing delay plus its distributed response time.
+
+The result reports the latency distribution (p50/p95/p99), sustained
+throughput, and whether the offered load saturated the deployment.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.core.engine import DisksEngine
+from repro.core.queries import QClassQuery
+from repro.exceptions import DisksError
+from repro.workloads.querygen import QueryGenConfig, QueryGenerator
+
+__all__ = ["WorkloadSpec", "TimedQuery", "WorkloadReport", "WorkloadDriver"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of a synthetic query stream.
+
+    ``arrival_rate_qps`` is the offered load (Poisson); ``rkq_fraction``
+    of queries are RKQs, the rest SGKQs.  Keyword counts and radii are
+    drawn uniformly from the given ranges (radii as fractions of the
+    deployment's ``maxR``).
+    """
+
+    num_queries: int = 50
+    arrival_rate_qps: float = 100.0
+    rkq_fraction: float = 0.25
+    min_keywords: int = 2
+    max_keywords: int = 5
+    min_radius_fraction: float = 0.25
+    max_radius_fraction: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_queries < 1:
+            raise DisksError("a workload needs at least one query")
+        if self.arrival_rate_qps <= 0:
+            raise DisksError("arrival rate must be positive")
+        if not (0.0 <= self.rkq_fraction <= 1.0):
+            raise DisksError("rkq_fraction must lie in [0, 1]")
+        if self.min_keywords < 1 or self.max_keywords < self.min_keywords:
+            raise DisksError("keyword-count range is invalid")
+        if not (0.0 < self.min_radius_fraction <= self.max_radius_fraction <= 1.0):
+            raise DisksError("radius-fraction range is invalid")
+
+
+@dataclass(frozen=True)
+class TimedQuery:
+    """One query with its (modelled) arrival time."""
+
+    arrival_seconds: float
+    query: QClassQuery
+
+
+@dataclass(frozen=True)
+class WorkloadReport:
+    """Outcome of one replay."""
+
+    latencies_seconds: tuple[float, ...]
+    throughput_qps: float
+    offered_qps: float
+    saturated: bool
+    total_busy_seconds: float
+
+    def percentile(self, fraction: float) -> float:
+        """Latency percentile, e.g. ``percentile(0.95)``."""
+        if not (0.0 <= fraction <= 1.0):
+            raise DisksError("percentile fraction must lie in [0, 1]")
+        ordered = sorted(self.latencies_seconds)
+        if not ordered:
+            return 0.0
+        index = min(len(ordered) - 1, int(math.ceil(fraction * len(ordered))) - 1)
+        return ordered[max(0, index)]
+
+    @property
+    def p50_ms(self) -> float:
+        """Median latency in milliseconds."""
+        return self.percentile(0.50) * 1000
+
+    @property
+    def p95_ms(self) -> float:
+        """95th-percentile latency in milliseconds."""
+        return self.percentile(0.95) * 1000
+
+    @property
+    def p99_ms(self) -> float:
+        """99th-percentile latency in milliseconds."""
+        return self.percentile(0.99) * 1000
+
+
+class WorkloadDriver:
+    """Generates and replays query streams against a deployment."""
+
+    def __init__(self, engine: DisksEngine, spec: WorkloadSpec | None = None) -> None:
+        self._engine = engine
+        self._spec = spec or WorkloadSpec()
+        self._rng = random.Random(self._spec.seed)
+        self._generator = QueryGenerator(
+            engine.network, QueryGenConfig(seed=self._spec.seed)
+        )
+
+    def generate(self) -> list[TimedQuery]:
+        """Synthesise the stream (Poisson arrivals, mixed query types)."""
+        spec = self._spec
+        max_radius = self._engine.max_radius
+        clock = 0.0
+        stream: list[TimedQuery] = []
+        for _ in range(spec.num_queries):
+            clock += self._rng.expovariate(spec.arrival_rate_qps)
+            num_keywords = self._rng.randint(spec.min_keywords, spec.max_keywords)
+            radius = max_radius * self._rng.uniform(
+                spec.min_radius_fraction, spec.max_radius_fraction
+            )
+            if self._rng.random() < spec.rkq_fraction:
+                query = self._generator.rkq(num_keywords, radius)
+            else:
+                query = self._generator.sgkq(num_keywords, radius)
+            stream.append(TimedQuery(clock, query))
+        return stream
+
+    def replay(self, stream: list[TimedQuery] | None = None) -> WorkloadReport:
+        """Replay the stream; latency = queueing delay + response time.
+
+        The coordinator serves queries in arrival order, one at a time
+        (each query already parallelises across the worker machines);
+        response times are the engine's measured distributed response
+        times, arrivals are modelled.
+        """
+        if stream is None:
+            stream = self.generate()
+        if not stream:
+            raise DisksError("cannot replay an empty stream")
+        finish = 0.0
+        busy = 0.0
+        latencies: list[float] = []
+        for timed in stream:
+            start = max(timed.arrival_seconds, finish)
+            response = self._engine.execute(timed.query).response_seconds
+            finish = start + response
+            busy += response
+            latencies.append(finish - timed.arrival_seconds)
+        span = finish - stream[0].arrival_seconds
+        throughput = len(stream) / span if span > 0 else math.inf
+        offered = self._spec.arrival_rate_qps
+        return WorkloadReport(
+            latencies_seconds=tuple(latencies),
+            throughput_qps=throughput,
+            offered_qps=offered,
+            saturated=throughput < offered * 0.95,
+            total_busy_seconds=busy,
+        )

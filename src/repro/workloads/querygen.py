@@ -1,0 +1,152 @@
+"""Query generation following the paper's §6 protocol.
+
+    "We first select a circle range centered by a random node.  Then,
+    within the range we choose the keywords according to their
+    frequency.  Keywords with higher frequency have a larger chance to
+    be chosen."
+
+The generator picks a random center node, collects the keywords of the
+objects inside a (Euclidean) circle around it — growing the circle until
+enough *distinct* keywords are available — and samples without
+replacement proportionally to global keyword frequency.  RKQ locations
+are objects drawn from the same circle, and the EXP-7 operator-mix
+queries reuse the SGKQ keyword selection with a chosen ∩/− split.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.dfunction import SetOp
+from repro.core.queries import CoverageTerm, KeywordSource, QClassQuery, rkq, sgkq
+from repro.exceptions import QueryError
+from repro.graph.road_network import RoadNetwork
+from repro.text.inverted import InvertedIndex
+
+__all__ = ["QueryGenConfig", "QueryGenerator"]
+
+
+@dataclass(frozen=True)
+class QueryGenConfig:
+    """Knobs of the query generator.
+
+    ``initial_range`` is the starting circle radius in coordinate units;
+    it doubles (up to ``max_range_doublings`` times) whenever the circle
+    holds fewer distinct keywords than requested.
+    """
+
+    seed: int = 0
+    initial_range: float = 5.0
+    max_range_doublings: int = 12
+
+
+class QueryGenerator:
+    """Deterministic (seeded) generator of benchmark queries."""
+
+    def __init__(self, network: RoadNetwork, config: QueryGenConfig | None = None) -> None:
+        if not network.has_positions:
+            raise QueryError("the query generator needs node coordinates")
+        self._network = network
+        self._config = config or QueryGenConfig()
+        self._rng = random.Random(self._config.seed)
+        self._inverted = InvertedIndex(network)
+        self._objects = list(network.object_nodes())
+        if not self._objects:
+            raise QueryError("the network has no object nodes to draw keywords from")
+
+    # ------------------------------------------------------------------
+    # The §6 selection protocol
+    # ------------------------------------------------------------------
+    def _objects_in_circle(self, center: int, radius: float) -> list[int]:
+        cx, cy = self._network.position(center)
+        selected = []
+        for node in self._objects:
+            x, y = self._network.position(node)
+            if math.hypot(x - cx, y - cy) <= radius:
+                selected.append(node)
+        return selected
+
+    def _candidate_pool(self, num_keywords: int) -> tuple[int, list[int], list[str]]:
+        """Pick a center and grow the circle until enough keywords exist.
+
+        Returns ``(center, objects_in_range, distinct_keywords)``.
+        """
+        for _attempt in range(50):
+            center = self._rng.randrange(self._network.num_nodes)
+            radius = self._config.initial_range
+            for _ in range(self._config.max_range_doublings + 1):
+                objects = self._objects_in_circle(center, radius)
+                keywords = sorted({kw for node in objects for kw in self._network.keywords(node)})
+                if len(keywords) >= num_keywords:
+                    return center, objects, keywords
+                radius *= 2.0
+        raise QueryError(
+            f"could not find {num_keywords} distinct keywords near any center; "
+            "the dataset vocabulary may be too small"
+        )
+
+    def _frequency_weighted_sample(self, keywords: list[str], count: int) -> list[str]:
+        """Sample ``count`` distinct keywords ∝ global frequency."""
+        pool = list(keywords)
+        weights = [max(1, self._inverted.frequency(kw)) for kw in pool]
+        chosen: list[str] = []
+        for _ in range(count):
+            total = float(sum(weights))
+            pick = self._rng.random() * total
+            acc = 0.0
+            index = len(pool) - 1
+            for i, w in enumerate(weights):
+                acc += w
+                if pick <= acc:
+                    index = i
+                    break
+            chosen.append(pool.pop(index))
+            weights.pop(index)
+        return chosen
+
+    # ------------------------------------------------------------------
+    # Query constructors
+    # ------------------------------------------------------------------
+    def sgkq(self, num_keywords: int, radius: float) -> QClassQuery:
+        """One SGKQ with ``num_keywords`` frequency-weighted keywords."""
+        _center, _objects, keywords = self._candidate_pool(num_keywords)
+        return sgkq(self._frequency_weighted_sample(keywords, num_keywords), radius)
+
+    def rkq(self, num_keywords: int, radius: float) -> QClassQuery:
+        """One RKQ whose location is an object from the selected range."""
+        _center, objects, keywords = self._candidate_pool(num_keywords)
+        location = objects[self._rng.randrange(len(objects))]
+        return rkq(location, self._frequency_weighted_sample(keywords, num_keywords), radius)
+
+    def dfunction_mix(
+        self, num_keywords: int, radius: float, num_subtractions: int
+    ) -> QClassQuery:
+        """The EXP-7 query shape: a ∩/− chain with a chosen operator split.
+
+        Operators θ₁…θₖ₋₁ contain exactly ``num_subtractions`` ``−``
+        operators (placed at the chain tail so the positive conditions
+        come first, as in the paper's Q2-style reductions).
+        """
+        if not (0 <= num_subtractions <= num_keywords - 1):
+            raise QueryError(
+                f"num_subtractions must be in [0, {num_keywords - 1}], "
+                f"got {num_subtractions}"
+            )
+        _center, _objects, keywords = self._candidate_pool(num_keywords)
+        chosen = self._frequency_weighted_sample(keywords, num_keywords)
+        terms = tuple(CoverageTerm(KeywordSource(kw), radius) for kw in chosen)
+        ops = [SetOp.INTERSECT] * (num_keywords - 1 - num_subtractions)
+        ops += [SetOp.SUBTRACT] * num_subtractions
+        return QClassQuery.from_chain(
+            terms, ops, label=f"mix({num_keywords} kw, {num_subtractions} minus)"
+        )
+
+    def sgkq_batch(self, count: int, num_keywords: int, radius: float) -> list[QClassQuery]:
+        """A batch of SGKQs (distinct centers, same shape)."""
+        return [self.sgkq(num_keywords, radius) for _ in range(count)]
+
+    def rkq_batch(self, count: int, num_keywords: int, radius: float) -> list[QClassQuery]:
+        """A batch of RKQs."""
+        return [self.rkq(num_keywords, radius) for _ in range(count)]

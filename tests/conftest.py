@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DisksEngine, EngineConfig
+from repro.baselines import CentralizedEvaluator
+from repro.graph import GeneratorConfig, generate_road_network
+from repro.workloads import load_dataset, toy_figure1
+
+from helpers import make_random_network
+
+
+@pytest.fixture(scope="session")
+def figure1():
+    """The paper's Fig. 1 five-node network."""
+    return toy_figure1()
+
+
+@pytest.fixture(scope="session")
+def small_network():
+    """A 60-node random keyword network used across unit tests."""
+    return make_random_network(seed=100, num_junctions=40, num_objects=20, vocabulary=8)
+
+@pytest.fixture(scope="session")
+def grid_network():
+    """A keyword-free generated grid for partitioner/search tests."""
+    return generate_road_network(GeneratorConfig(kind="grid", num_nodes=400, seed=9))
+
+
+@pytest.fixture(scope="session")
+def aus_tiny():
+    """The aus_tiny preset dataset (memoised globally)."""
+    return load_dataset("aus_tiny")
+
+
+@pytest.fixture(scope="session")
+def tiny_engine(aus_tiny):
+    """A built engine over aus_tiny with 4 fragments."""
+    return DisksEngine.build(
+        aus_tiny.network, EngineConfig(num_fragments=4, lambda_factor=12.0)
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_oracle(aus_tiny):
+    """Centralized ground truth over aus_tiny."""
+    return CentralizedEvaluator(aus_tiny.network)

@@ -1,0 +1,140 @@
+"""Tests for the centralized evaluator and the BSP strawman."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import BSPEngine, BSPQueryEvaluator, BSPStats, CentralizedEvaluator
+from repro.core import CoverageTerm, KeywordSource, NodeSource, rkq, sgkq
+from repro.exceptions import ClusterError, NodeNotFoundError, UnknownKeywordError
+from repro.partition import BfsPartitioner, Partition, RandomPartitioner
+from repro.workloads import toy_figure1
+
+from helpers import make_random_network, oracle_coverage
+
+
+class TestCentralized:
+    def test_figure1_examples(self):
+        evaluator = CentralizedEvaluator(toy_figure1())
+        assert evaluator.results(sgkq(["museum", "school"], 3.0)) == {1, 4}
+        assert evaluator.results(rkq(1, ["museum"], 4.0)) == {3}
+
+    def test_keyword_coverage_matches_definition(self):
+        net = make_random_network(seed=5, num_junctions=15, num_objects=8, vocabulary=3)
+        evaluator = CentralizedEvaluator(net)
+        for kw in sorted(net.all_keywords()):
+            term = CoverageTerm(KeywordSource(kw), 3.0)
+            assert evaluator.coverage(term) == oracle_coverage(net, term)
+
+    def test_node_coverage(self):
+        net = toy_figure1()
+        evaluator = CentralizedEvaluator(net)
+        assert evaluator.coverage(CoverageTerm(NodeSource(4), 2.0)) == {0, 1, 3, 4}
+
+    def test_unknown_keyword_strict(self):
+        evaluator = CentralizedEvaluator(toy_figure1())
+        with pytest.raises(UnknownKeywordError):
+            evaluator.results(sgkq(["nothing"], 1.0))
+
+    def test_unknown_keyword_lenient(self):
+        evaluator = CentralizedEvaluator(toy_figure1(), strict_keywords=False)
+        assert evaluator.results(sgkq(["nothing"], 1.0)) == frozenset()
+
+    def test_bad_node(self):
+        evaluator = CentralizedEvaluator(toy_figure1())
+        with pytest.raises(NodeNotFoundError):
+            evaluator.results(rkq(99, ["museum"], 1.0))
+
+    def test_result_includes_timing_and_sizes(self):
+        evaluator = CentralizedEvaluator(toy_figure1())
+        result = evaluator.execute(sgkq(["school", "museum"], 3.0))
+        assert result.wall_seconds >= 0
+        assert len(result.coverage_sizes) == 2
+
+
+class TestBSPEngine:
+    def test_requires_matching_assignment(self):
+        net = toy_figure1()
+        with pytest.raises(ClusterError):
+            BSPEngine(net, [0, 0])
+
+    def test_sssp_semantics(self):
+        net = toy_figure1()
+        engine: BSPEngine[float, float] = BSPEngine(net, [0] * net.num_nodes)
+
+        def compute(node, value, messages):
+            best = min(messages) if messages else 0.0
+            if value is not None and value <= best:
+                return None, ()
+            return best, [(v, best + w) for v, w in net.neighbors(node)]
+
+        values, stats = engine.run({0: 0.0}, compute)
+        assert values == {0: 0.0, 4: 2.0, 1: 3.0, 3: 4.0, 2: 7.0}
+        assert stats.supersteps >= 3
+        assert stats.cross_worker_messages == 0  # single worker
+
+    def test_superstep_cap(self):
+        net = toy_figure1()
+        engine: BSPEngine[int, int] = BSPEngine(net, [0] * net.num_nodes)
+
+        def forever(node, value, messages):
+            return 0, [(0, 1)]  # ping-pong forever
+
+        with pytest.raises(ClusterError):
+            engine.run({0: 0}, forever, max_supersteps=5)
+
+    def test_stats_merge(self):
+        a = BSPStats(supersteps=2, total_messages=5, cross_worker_messages=1)
+        b = BSPStats(supersteps=3, total_messages=2, cross_worker_messages=2)
+        merged = a.merged_with(b)
+        assert merged.supersteps == 5
+        assert merged.total_messages == 7
+        assert merged.cross_worker_messages == 3
+
+
+class TestBSPQueries:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000), radius=st.floats(min_value=0.0, max_value=6.0))
+    def test_matches_centralized(self, seed, radius):
+        net = make_random_network(seed=seed, num_junctions=16, num_objects=8, vocabulary=4)
+        partition = BfsPartitioner(seed=seed).partition(net, 3)
+        bsp = BSPQueryEvaluator(net, partition)
+        central = CentralizedEvaluator(net)
+        query = sgkq(sorted(net.all_keywords())[:2], radius)
+        assert bsp.execute(query).result_nodes == central.results(query)
+
+    def test_rkq_matches(self):
+        net = make_random_network(seed=7, num_junctions=16, num_objects=8, vocabulary=4)
+        partition = BfsPartitioner(seed=7).partition(net, 3)
+        bsp = BSPQueryEvaluator(net, partition)
+        central = CentralizedEvaluator(net)
+        location = next(iter(net.object_nodes()))
+        query = rkq(location, ["w0"], 4.0)
+        assert bsp.execute(query).result_nodes == central.results(query)
+
+    def test_cross_worker_traffic_grows_with_cut(self):
+        """More cut edges => more BSP communication (the §2.3 point)."""
+        net = make_random_network(seed=9, num_junctions=30, num_objects=15, vocabulary=4)
+        query = sgkq(["w0", "w1"], 5.0)
+        good = BSPQueryEvaluator(net, BfsPartitioner(seed=1).partition(net, 4))
+        bad = BSPQueryEvaluator(net, RandomPartitioner(seed=1).partition(net, 4))
+        good_stats = good.execute(query).stats
+        bad_stats = bad.execute(query).stats
+        assert bad_stats.cross_worker_messages > good_stats.cross_worker_messages
+
+    def test_single_fragment_has_zero_cross_traffic(self):
+        net = make_random_network(seed=10, num_junctions=15, num_objects=8)
+        partition = Partition.from_assignment([0] * net.num_nodes, 1)
+        bsp = BSPQueryEvaluator(net, partition)
+        result = bsp.execute(sgkq(["w0"], 4.0))
+        assert result.stats.cross_worker_messages == 0
+        assert result.stats.total_messages > 0
+
+    def test_empty_keyword_coverage(self):
+        net = make_random_network(seed=11, num_junctions=12, num_objects=6)
+        partition = BfsPartitioner(seed=1).partition(net, 2)
+        bsp = BSPQueryEvaluator(net, partition)
+        coverage, stats = bsp.coverage(CoverageTerm(KeywordSource("missing"), 3.0))
+        assert coverage == set()
+        assert stats.supersteps == 0

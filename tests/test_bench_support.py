@@ -1,0 +1,68 @@
+"""Tests for the benchmark-support helpers (tables, timing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench_support import Table, format_series, repeat_median, time_call
+from repro.bench_support.reporting import print_experiment_header
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("Title", ["name", "value"])
+        table.add_row("alpha", 1)
+        table.add_row("b", 12345)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "12,345" in text
+
+    def test_row_arity_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_float_formatting(self):
+        table = Table("t", ["x"])
+        table.add_row(0.123456)
+        table.add_row(12.3456)
+        table.add_row(12345.6)
+        table.add_row(0.0)
+        text = table.render()
+        assert "0.1235" in text
+        assert "12.3" in text
+        assert "12,346" in text
+        assert "0" in text
+
+    def test_show_prints(self, capsys):
+        table = Table("Visible", ["c"])
+        table.add_row("x")
+        table.show()
+        assert "Visible" in capsys.readouterr().out
+
+    def test_format_series(self):
+        line = format_series("latency", [1, 2], [0.5, 1.5])
+        assert line.startswith("latency:")
+        assert "1=" in line and "2=" in line
+
+    def test_experiment_header(self, capsys):
+        print_experiment_header("EXP X", "Fig. 0", "desc")
+        out = capsys.readouterr().out
+        assert "EXP X" in out and "Fig. 0" in out and "desc" in out
+
+
+class TestTiming:
+    def test_time_call_returns_result(self):
+        result, seconds = time_call(lambda: 41 + 1)
+        assert result == 42
+        assert seconds >= 0
+
+    def test_repeat_median(self):
+        value = repeat_median(lambda: sum(range(100)), repeats=3)
+        assert value >= 0
+
+    def test_repeat_median_validation(self):
+        with pytest.raises(ValueError):
+            repeat_median(lambda: None, repeats=0)

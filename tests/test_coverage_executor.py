@@ -1,0 +1,158 @@
+"""Tests for the fragment runtime, local coverage, and task executor."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    CoverageTerm,
+    KeywordSource,
+    NodeSource,
+    NPDBuildConfig,
+    build_all_indexes,
+    build_fragments,
+    sgkq,
+)
+from repro.core.coverage import (
+    CoverageStats,
+    FragmentRuntime,
+    local_coverage,
+    local_distance_map,
+)
+from repro.core.executor import execute_fragment_task
+from repro.exceptions import QueryError, RadiusExceededError
+from repro.partition import BfsPartitioner
+
+from helpers import make_random_network, oracle_coverage, oracle_distances
+
+
+@pytest.fixture()
+def runtime_case():
+    net = make_random_network(seed=55, num_junctions=20, num_objects=10, vocabulary=4)
+    partition = BfsPartitioner(seed=5).partition(net, 3)
+    fragments = build_fragments(net, partition)
+    indexes, _ = build_all_indexes(net, fragments, NPDBuildConfig(max_radius=math.inf))
+    runtimes = [FragmentRuntime(f, i) for f, i in zip(fragments, indexes)]
+    return net, fragments, indexes, runtimes
+
+
+class TestFragmentRuntime:
+    def test_mismatched_pairing_rejected(self, runtime_case):
+        _net, fragments, indexes, _runtimes = runtime_case
+        with pytest.raises(QueryError):
+            FragmentRuntime(fragments[0], indexes[1])
+
+    def test_extended_adjacency_contains_shortcuts(self, runtime_case):
+        _net, fragments, indexes, runtimes = runtime_case
+        for fragment, index, runtime in zip(fragments, indexes, runtimes):
+            for (u, v), w in index.shortcuts.items():
+                assert (v, w) in runtime.adjacency(u)
+                assert (u, w) in runtime.adjacency(v)  # undirected
+
+    def test_extended_adjacency_contains_fragment_edges(self, runtime_case):
+        _net, fragments, _indexes, runtimes = runtime_case
+        for fragment, runtime in zip(fragments, runtimes):
+            for node, edges in fragment.adjacency.items():
+                for edge in edges:
+                    assert edge in runtime.adjacency(node)
+
+    def test_seeds_merge_local_and_dl(self, runtime_case):
+        net, fragments, indexes, runtimes = runtime_case
+        keyword = sorted(net.all_keywords())[0]
+        for fragment, index, runtime in zip(fragments, indexes, runtimes):
+            seeds = runtime.seeds_for(CoverageTerm(KeywordSource(keyword), 100.0))
+            local_nodes = set(fragment.keyword_index.local_nodes_with(keyword))
+            for node, dist in seeds.items():
+                if node in local_nodes:
+                    assert dist == 0.0
+                else:
+                    assert node in fragment.portals
+                    assert dist > 0.0
+
+    def test_node_source_inside_fragment(self, runtime_case):
+        _net, fragments, _indexes, runtimes = runtime_case
+        member = next(iter(fragments[0].members))
+        seeds = runtimes[0].seeds_for(CoverageTerm(NodeSource(member), 10.0))
+        assert seeds == {member: 0.0}
+
+
+class TestLocalCoverage:
+    def test_union_over_fragments_equals_definition(self, runtime_case):
+        net, _fragments, _indexes, runtimes = runtime_case
+        for keyword in sorted(net.all_keywords()):
+            for radius in (0.0, 1.5, 4.0):
+                term = CoverageTerm(KeywordSource(keyword), radius)
+                merged: set[int] = set()
+                for runtime in runtimes:
+                    local = local_coverage(runtime, term)
+                    assert local <= runtime.fragment.members
+                    merged |= local
+                assert merged == oracle_coverage(net, term)
+
+    def test_distance_map_is_exact(self, runtime_case):
+        net, _fragments, _indexes, runtimes = runtime_case
+        keyword = sorted(net.all_keywords())[1]
+        seeds = [n for n in net.nodes() if keyword in net.keywords(n)]
+        oracle = oracle_distances(net, seeds, bound=5.0)
+        term = CoverageTerm(KeywordSource(keyword), 5.0)
+        for runtime in runtimes:
+            for node, dist in local_distance_map(runtime, term).items():
+                assert dist == pytest.approx(oracle[node])
+
+    def test_zero_radius_is_containment(self, runtime_case):
+        net, _fragments, _indexes, runtimes = runtime_case
+        keyword = sorted(net.all_keywords())[0]
+        term = CoverageTerm(KeywordSource(keyword), 0.0)
+        merged: set[int] = set()
+        for runtime in runtimes:
+            merged |= local_coverage(runtime, term)
+        assert merged == {n for n in net.nodes() if keyword in net.keywords(n)}
+
+    def test_radius_beyond_maxr_raises(self):
+        net = make_random_network(seed=60, num_junctions=12, num_objects=6)
+        partition = BfsPartitioner(seed=1).partition(net, 2)
+        fragments = build_fragments(net, partition)
+        indexes, _ = build_all_indexes(net, fragments, NPDBuildConfig(max_radius=2.0))
+        runtime = FragmentRuntime(fragments[0], indexes[0])
+        with pytest.raises(RadiusExceededError):
+            local_coverage(runtime, CoverageTerm(KeywordSource("w0"), 3.0))
+
+    def test_stats_counters(self, runtime_case):
+        net, _fragments, _indexes, runtimes = runtime_case
+        keyword = sorted(net.all_keywords())[0]
+        stats = CoverageStats()
+        total = 0
+        for runtime in runtimes:
+            total += len(
+                local_coverage(runtime, CoverageTerm(KeywordSource(keyword), 3.0), stats)
+            )
+        assert stats.settled_nodes == total
+        assert stats.seeds_local + stats.seeds_from_dl > 0
+
+    def test_unknown_keyword_has_empty_coverage(self, runtime_case):
+        _net, _fragments, _indexes, runtimes = runtime_case
+        term = CoverageTerm(KeywordSource("no-such-keyword"), 3.0)
+        for runtime in runtimes:
+            assert local_coverage(runtime, term) == set()
+
+
+class TestExecutor:
+    def test_task_result_fields(self, runtime_case):
+        net, _fragments, _indexes, runtimes = runtime_case
+        query = sgkq(sorted(net.all_keywords())[:2], 3.0)
+        result = execute_fragment_task(runtimes[0], query)
+        assert result.fragment_id == 0
+        assert len(result.coverage_sizes) == 2
+        assert result.wall_seconds >= 0.0
+        assert result.local_result <= runtimes[0].fragment.members
+
+    def test_local_result_is_dfunction_of_local_coverages(self, runtime_case):
+        net, _fragments, _indexes, runtimes = runtime_case
+        query = sgkq(sorted(net.all_keywords())[:2], 3.0)
+        for runtime in runtimes:
+            result = execute_fragment_task(runtime, query)
+            coverages = [local_coverage(runtime, t) for t in query.terms]
+            assert result.local_result == query.expression.evaluate(coverages)
+            assert result.coverage_sizes == tuple(len(c) for c in coverages)

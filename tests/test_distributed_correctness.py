@@ -1,0 +1,218 @@
+"""The headline invariant: distributed evaluation == centralized ground truth.
+
+For random networks, random partitions, every partitioner, both query
+types, varying radiuses (below and at ``maxR``) and D-function operator
+mixes, the union of per-fragment NPD results must equal the whole-graph
+answer computed from Definition 4 directly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import DisksEngine, EngineConfig, rkq, sgkq
+from repro.baselines import BSPQueryEvaluator, CentralizedEvaluator
+from repro.core import CoverageTerm, KeywordSource, QClassQuery, SetOp
+from repro.core.npd import DLNodePolicy
+from repro.partition import (
+    BfsPartitioner,
+    MultilevelPartitioner,
+    Partition,
+    RandomPartitioner,
+)
+
+from helpers import make_random_network, oracle_coverage, random_partition_assignment
+
+PROPERTY_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def build_engine(net, k, seed, *, max_radius=math.inf, partitioner=None):
+    return DisksEngine.build(
+        net,
+        EngineConfig(
+            num_fragments=k,
+            lambda_factor=None,
+            max_radius=max_radius,
+            partitioner=partitioner or BfsPartitioner(seed=seed),
+        ),
+    )
+
+
+class TestSGKQMatchesOracle:
+    @PROPERTY_SETTINGS
+    @given(
+        seed=st.integers(0, 5000),
+        k=st.integers(1, 5),
+        radius=st.floats(min_value=0.0, max_value=8.0),
+        num_kw=st.integers(1, 3),
+    )
+    def test_random_networks_random_partitions(self, seed, k, radius, num_kw):
+        net = make_random_network(seed=seed, num_junctions=18, num_objects=9, vocabulary=4)
+        rng = random.Random(seed + 1)
+        assignment = random_partition_assignment(seed + 2, net.num_nodes, k)
+        engine = DisksEngine.build(
+            net,
+            EngineConfig(
+                num_fragments=k,
+                lambda_factor=None,
+                max_radius=math.inf,
+                partitioner=_FixedPartition(assignment, k),
+            ),
+        )
+        vocab = sorted(net.all_keywords())
+        keywords = rng.sample(vocab, min(num_kw, len(vocab)))
+        query = sgkq(keywords, radius)
+        expected = CentralizedEvaluator(net).results(query)
+        assert engine.results(query) == expected
+
+    @PROPERTY_SETTINGS
+    @given(seed=st.integers(0, 5000), radius=st.floats(min_value=0.5, max_value=6.0))
+    def test_truncated_index_still_exact_within_maxr(self, seed, radius):
+        """With maxR = radius the pruned index must stay exact at r = radius."""
+        net = make_random_network(seed=seed, num_junctions=18, num_objects=9, vocabulary=4)
+        engine = build_engine(net, 3, seed, max_radius=radius)
+        vocab = sorted(net.all_keywords())
+        query = sgkq(vocab[:2], radius)
+        assert engine.results(query) == CentralizedEvaluator(net).results(query)
+
+    @pytest.mark.parametrize(
+        "partitioner_factory",
+        [
+            lambda: RandomPartitioner(seed=3),
+            lambda: BfsPartitioner(seed=3),
+            lambda: MultilevelPartitioner(seed=3),
+        ],
+    )
+    def test_partitioner_independence(self, partitioner_factory):
+        net = make_random_network(seed=333, num_junctions=30, num_objects=15, vocabulary=5)
+        engine = build_engine(net, 4, 3, partitioner=partitioner_factory())
+        oracle = CentralizedEvaluator(net)
+        for radius in (1.0, 3.0, 6.0):
+            query = sgkq(["w0", "w1"], radius)
+            assert engine.results(query) == oracle.results(query)
+
+    def test_fragment_count_independence(self):
+        net = make_random_network(seed=444, num_junctions=30, num_objects=15, vocabulary=5)
+        query = sgkq(["w0", "w2"], 4.0)
+        expected = CentralizedEvaluator(net).results(query)
+        for k in (1, 2, 3, 5, 8):
+            assert build_engine(net, k, 9).results(query) == expected
+
+
+class _FixedPartition:
+    """Partitioner returning a pre-drawn assignment (for property tests)."""
+
+    def __init__(self, assignment, k):
+        self._assignment = assignment
+        self._k = k
+
+    def partition(self, network, k):
+        assert k == self._k
+        return Partition.from_assignment(self._assignment, k)
+
+
+class TestRKQMatchesOracle:
+    @PROPERTY_SETTINGS
+    @given(seed=st.integers(0, 5000), radius=st.floats(min_value=0.0, max_value=8.0))
+    def test_rkq_from_objects(self, seed, radius):
+        net = make_random_network(seed=seed, num_junctions=18, num_objects=9, vocabulary=4)
+        rng = random.Random(seed)
+        location = rng.choice(list(net.object_nodes()))
+        keyword = rng.choice(sorted(net.all_keywords()))
+        query = rkq(location, [keyword], radius)
+        engine = build_engine(net, 3, seed)
+        assert engine.results(query) == CentralizedEvaluator(net).results(query)
+
+    def test_rkq_location_in_every_fragment_position(self):
+        """The location being inside vs outside a fragment both work."""
+        net = make_random_network(seed=17, num_junctions=20, num_objects=10, vocabulary=4)
+        engine = build_engine(net, 4, 17)
+        oracle = CentralizedEvaluator(net)
+        for location in list(net.object_nodes())[:6]:
+            query = rkq(location, ["w0"], 5.0)
+            assert engine.results(query) == oracle.results(query)
+
+    def test_rkq_junction_location_with_all_policy(self):
+        net = make_random_network(seed=18, num_junctions=20, num_objects=8, vocabulary=4)
+        engine = DisksEngine.build(
+            net,
+            EngineConfig(
+                num_fragments=3,
+                lambda_factor=None,
+                max_radius=math.inf,
+                node_policy=DLNodePolicy.ALL,
+                partitioner=BfsPartitioner(seed=18),
+            ),
+        )
+        junction = next(n for n in net.nodes() if not net.is_object(n))
+        query = rkq(junction, ["w1"], 6.0)
+        assert engine.results(query) == CentralizedEvaluator(net).results(query)
+
+
+class TestDFunctionMixesMatchOracle:
+    @PROPERTY_SETTINGS
+    @given(seed=st.integers(0, 3000), ops_seed=st.integers(0, 1000))
+    def test_random_operator_chains(self, seed, ops_seed):
+        net = make_random_network(seed=seed, num_junctions=18, num_objects=9, vocabulary=5)
+        rng = random.Random(ops_seed)
+        vocab = sorted(net.all_keywords())
+        arity = min(4, len(vocab))
+        keywords = rng.sample(vocab, arity)
+        terms = tuple(
+            CoverageTerm(KeywordSource(kw), rng.uniform(0.0, 6.0)) for kw in keywords
+        )
+        ops = [
+            rng.choice([SetOp.UNION, SetOp.INTERSECT, SetOp.SUBTRACT])
+            for _ in range(arity - 1)
+        ]
+        query = QClassQuery.from_chain(terms, ops, "random-mix")
+        engine = build_engine(net, 3, seed)
+        assert engine.results(query) == CentralizedEvaluator(net).results(query)
+
+
+class TestDirectedNetworks:
+    @PROPERTY_SETTINGS
+    @given(seed=st.integers(0, 2000), radius=st.floats(min_value=0.5, max_value=6.0))
+    def test_directed_sgkq(self, seed, radius):
+        net = make_random_network(
+            seed=seed, num_junctions=15, num_objects=8, vocabulary=4, directed=True
+        )
+        engine = build_engine(net, 3, seed)
+        query = sgkq(sorted(net.all_keywords())[:2], radius)
+        assert engine.results(query) == CentralizedEvaluator(net).results(query)
+
+
+class TestCoverageAgainstDefinition:
+    @PROPERTY_SETTINGS
+    @given(seed=st.integers(0, 3000), radius=st.floats(min_value=0.0, max_value=7.0))
+    def test_single_coverage_is_definition4(self, seed, radius):
+        """R(ω, r) from the engine equals {A : d(A, ω) ≤ r} by brute force."""
+        net = make_random_network(seed=seed, num_junctions=16, num_objects=8, vocabulary=3)
+        engine = build_engine(net, 3, seed)
+        keyword = sorted(net.all_keywords())[0]
+        query = sgkq([keyword], radius)
+        expected = oracle_coverage(net, query.terms[0])
+        assert set(engine.results(query)) == expected
+
+
+class TestAgainstBSPBaseline:
+    def test_three_way_agreement(self):
+        net = make_random_network(seed=91, num_junctions=25, num_objects=12, vocabulary=5)
+        engine = build_engine(net, 4, 91)
+        bsp = BSPQueryEvaluator(net, engine.partition)
+        central = CentralizedEvaluator(net)
+        for radius in (1.0, 4.0):
+            for keywords in (["w0"], ["w1", "w3"]):
+                query = sgkq(keywords, radius)
+                a = engine.results(query)
+                b = central.results(query)
+                c = bsp.execute(query).result_nodes
+                assert a == b == c

@@ -1,0 +1,204 @@
+"""Tests for :class:`DisksEngine` (build, query, reporting, bi-level)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import DisksEngine, EngineConfig, sgkq
+from repro.baselines import CentralizedEvaluator
+from repro.exceptions import DisksError, RadiusExceededError, UnknownKeywordError
+from repro.graph import RoadNetworkBuilder
+from repro.partition import BfsPartitioner
+
+from helpers import make_random_network
+
+
+@pytest.fixture(scope="module")
+def net():
+    return make_random_network(seed=500, num_junctions=30, num_objects=15, vocabulary=5)
+
+
+@pytest.fixture(scope="module")
+def engine(net):
+    return DisksEngine.build(
+        net,
+        EngineConfig(num_fragments=4, lambda_factor=4.0, partitioner=BfsPartitioner(seed=1)),
+    )
+
+
+class TestBuild:
+    def test_empty_network_rejected(self):
+        with pytest.raises(DisksError):
+            DisksEngine.build(RoadNetworkBuilder().build())
+
+    def test_structure(self, engine, net):
+        assert engine.network is net
+        assert len(engine.fragments) == 4
+        assert len(engine.indexes) == 4
+        assert engine.partition.num_fragments == 4
+        assert engine.max_radius == pytest.approx(4.0 * net.average_edge_weight)
+        assert len(engine.build_stats) == 4
+
+    def test_index_size_report(self, engine):
+        report = engine.index_size_report()
+        assert len(report) == 4
+        for entry in report:
+            assert entry["total_distances"] >= entry["shortcuts"]
+
+    def test_build_stats_counters(self, engine):
+        for stats in engine.build_stats:
+            assert stats.settled_nodes > 0
+            assert stats.wall_seconds >= 0.0
+
+
+class TestQueryReports:
+    def test_report_fields(self, engine, net):
+        query = sgkq(["w0", "w1"], engine.max_radius / 2)
+        report = engine.execute(query)
+        assert report.query_label == query.label
+        assert report.num_results == len(report.result_nodes)
+        assert report.response_seconds > 0.0
+        assert report.communication_seconds > 0.0
+        assert report.total_task_seconds >= max(report.fragment_seconds.values())
+        assert set(report.fragment_seconds) == {0, 1, 2, 3}
+        assert set(report.machine_seconds) == {0, 1, 2, 3}
+        assert report.total_message_bytes > 0
+        assert not report.used_unbounded_level
+        assert report.unbalance >= 1.0
+        assert len(report.coverage_sizes[0]) == 2
+
+    def test_results_match_oracle(self, engine, net):
+        query = sgkq(["w0", "w2"], engine.max_radius)
+        assert engine.results(query) == CentralizedEvaluator(net).results(query)
+
+    def test_unknown_keyword_strict_by_default(self, engine):
+        with pytest.raises(UnknownKeywordError):
+            engine.execute(sgkq(["missing"], 1.0))
+
+    def test_lenient_keywords_give_empty_intersection(self, net):
+        engine = DisksEngine.build(
+            net,
+            EngineConfig(
+                num_fragments=2,
+                lambda_factor=4.0,
+                strict_keywords=False,
+                partitioner=BfsPartitioner(seed=2),
+            ),
+        )
+        assert engine.results(sgkq(["missing", "w0"], 2.0)) == frozenset()
+
+    def test_radius_over_maxr_without_bilevel(self, engine):
+        with pytest.raises(RadiusExceededError):
+            engine.execute(sgkq(["w0"], engine.max_radius * 2))
+
+    def test_speedup_property(self, engine):
+        report = engine.execute(sgkq(["w0"], engine.max_radius / 2))
+        assert report.speedup_over_serial > 0.0
+
+
+class TestBiLevelEngine:
+    def test_oversized_radius_served_by_second_level(self, net):
+        engine = DisksEngine.build(
+            net,
+            EngineConfig(
+                num_fragments=3,
+                lambda_factor=2.0,
+                build_unbounded_level=True,
+                partitioner=BfsPartitioner(seed=3),
+            ),
+        )
+        big_radius = engine.max_radius * 3
+        report = engine.execute(sgkq(["w0", "w1"], big_radius))
+        assert report.used_unbounded_level
+        expected = CentralizedEvaluator(net).results(sgkq(["w0", "w1"], big_radius))
+        assert report.result_nodes == expected
+
+    def test_small_radius_stays_on_bounded_level(self, net):
+        engine = DisksEngine.build(
+            net,
+            EngineConfig(
+                num_fragments=3,
+                lambda_factor=2.0,
+                build_unbounded_level=True,
+                partitioner=BfsPartitioner(seed=3),
+            ),
+        )
+        report = engine.execute(sgkq(["w0"], engine.max_radius / 2))
+        assert not report.used_unbounded_level
+
+    def test_bilevel_build_stats_cover_both_levels(self, net):
+        engine = DisksEngine.build(
+            net,
+            EngineConfig(
+                num_fragments=2,
+                lambda_factor=2.0,
+                build_unbounded_level=True,
+                partitioner=BfsPartitioner(seed=4),
+            ),
+        )
+        assert len(engine.build_stats) == 4  # 2 fragments x 2 levels
+
+
+class TestMachineMapping:
+    def test_fewer_machines_than_fragments(self, net):
+        engine = DisksEngine.build(
+            net,
+            EngineConfig(
+                num_fragments=4,
+                lambda_factor=4.0,
+                num_machines=2,
+                partitioner=BfsPartitioner(seed=5),
+            ),
+        )
+        query = sgkq(["w0"], engine.max_radius / 2)
+        report = engine.execute(query)
+        assert set(report.machine_seconds) == {0, 1}
+        assert len(report.fragment_seconds) == 4
+        assert engine.results(query) == CentralizedEvaluator(net).results(query)
+
+
+class TestEdgeRadii:
+    def test_zero_maxr_index_answers_containment_queries(self):
+        """maxR = 0 is a degenerate but legal index: r = 0 queries work."""
+        from repro.baselines import CentralizedEvaluator
+
+        from helpers import make_random_network
+
+        zero_net = make_random_network(seed=5, num_junctions=15, num_objects=8, vocabulary=3)
+        zero_engine = DisksEngine.build(
+            zero_net,
+            EngineConfig(
+                num_fragments=2,
+                lambda_factor=None,
+                max_radius=0.0,
+                partitioner=BfsPartitioner(seed=5),
+            ),
+        )
+        keyword = sorted(zero_net.all_keywords())[0]
+        query = sgkq([keyword], 0.0)
+        expected = CentralizedEvaluator(zero_net).results(query)
+        assert zero_engine.results(query) == expected
+        assert expected == frozenset(
+            n for n in zero_net.nodes() if keyword in zero_net.keywords(n)
+        )
+
+    def test_zero_maxr_rejects_positive_radius(self):
+        from repro.exceptions import RadiusExceededError
+
+        from helpers import make_random_network
+
+        zero_net = make_random_network(seed=6, num_junctions=12, num_objects=6)
+        zero_engine = DisksEngine.build(
+            zero_net,
+            EngineConfig(
+                num_fragments=2,
+                lambda_factor=None,
+                max_radius=0.0,
+                partitioner=BfsPartitioner(seed=6),
+            ),
+        )
+        keyword = sorted(zero_net.all_keywords())[0]
+        with pytest.raises(RadiusExceededError):
+            zero_engine.execute(sgkq([keyword], 1.0))

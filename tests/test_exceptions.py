@@ -1,0 +1,57 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import exceptions as exc
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            exc.GraphError,
+            exc.NodeNotFoundError,
+            exc.EdgeError,
+            exc.DisconnectedGraphError,
+            exc.PartitionError,
+            exc.IndexBuildError,
+            exc.IndexLookupError,
+            exc.QueryError,
+            exc.UnknownKeywordError,
+            exc.RadiusExceededError,
+            exc.StorageError,
+            exc.CodecError,
+            exc.ChecksumError,
+            exc.ClusterError,
+            exc.CommunicationViolationError,
+        ],
+    )
+    def test_all_derive_from_disks_error(self, subclass):
+        assert issubclass(subclass, exc.DisksError)
+
+    def test_node_not_found_is_key_error(self):
+        assert issubclass(exc.NodeNotFoundError, KeyError)
+        err = exc.NodeNotFoundError(42)
+        assert err.node_id == 42
+        assert "42" in str(err)
+
+    def test_unknown_keyword_carries_keyword(self):
+        err = exc.UnknownKeywordError("pizza")
+        assert err.keyword == "pizza"
+        assert "pizza" in str(err)
+        assert isinstance(err, exc.QueryError)
+
+    def test_radius_exceeded_carries_values(self):
+        err = exc.RadiusExceededError(10.0, 5.0)
+        assert err.radius == 10.0
+        assert err.max_radius == 5.0
+        assert "bi-level" in str(err)
+
+    def test_checksum_is_codec_is_storage(self):
+        assert issubclass(exc.ChecksumError, exc.CodecError)
+        assert issubclass(exc.CodecError, exc.StorageError)
+
+    def test_communication_violation_is_cluster_error(self):
+        assert issubclass(exc.CommunicationViolationError, exc.ClusterError)

@@ -1,0 +1,76 @@
+"""Tests for the explain mode (distance-annotated query results)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DisksEngine, EngineConfig, sgkq, sgkq_extended
+from repro.partition import BfsPartitioner
+
+from helpers import make_random_network, oracle_distances
+
+
+def build_engine(seed: int, k: int = 3):
+    net = make_random_network(seed=seed, num_junctions=20, num_objects=10, vocabulary=4)
+    engine = DisksEngine.build(
+        net,
+        EngineConfig(
+            num_fragments=k,
+            lambda_factor=None,
+            max_radius=math.inf,
+            partitioner=BfsPartitioner(seed=seed),
+        ),
+    )
+    return net, engine
+
+
+class TestExplain:
+    def test_nodes_match_execute(self):
+        net, engine = build_engine(seed=70)
+        query = sgkq(["w0", "w1"], 4.0)
+        explained = engine.explain(query)
+        assert set(explained) == set(engine.results(query))
+
+    def test_distances_are_exact(self):
+        net, engine = build_engine(seed=71)
+        query = sgkq(["w0", "w1"], 4.0)
+        explained = engine.explain(query)
+        for i, keyword in enumerate(["w0", "w1"]):
+            seeds = [n for n in net.nodes() if keyword in net.keywords(n)]
+            oracle = oracle_distances(net, seeds)
+            for node, distances in explained.items():
+                assert distances[i] is not None  # SGKQ: inside every coverage
+                assert distances[i] == pytest.approx(oracle[node])
+                assert distances[i] <= 4.0
+
+    def test_subtraction_terms_are_none(self):
+        net, engine = build_engine(seed=72)
+        query = sgkq_extended(
+            all_within=[("w0", 5.0)], none_within=[("w1", 1.0)]
+        )
+        explained = engine.explain(query)
+        for _node, distances in explained.items():
+            assert distances[0] is not None
+            # Result nodes are outside the subtracted coverage.
+            assert distances[1] is None or distances[1] > 1.0
+
+    def test_union_terms_may_be_partial(self):
+        net, engine = build_engine(seed=73)
+        query = sgkq_extended(any_within=[("w0", 2.0), ("w1", 2.0)])
+        explained = engine.explain(query)
+        assert explained, "union query should have results"
+        for _node, distances in explained.items():
+            assert any(d is not None for d in distances)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500), radius=st.floats(min_value=0.5, max_value=6.0))
+    def test_explain_consistent_with_results_property(self, seed, radius):
+        net, engine = build_engine(seed=seed)
+        query = sgkq(sorted(net.all_keywords())[:1], radius)
+        explained = engine.explain(query)
+        assert set(explained) == set(engine.results(query))
+        for _node, (distance,) in explained.items():
+            assert distance is not None and distance <= radius

@@ -1,0 +1,115 @@
+"""Tests for :mod:`repro.core.fragment` (§3.2 notation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_fragments
+from repro.partition import BfsPartitioner, Partition
+
+from helpers import make_random_network
+
+
+@pytest.fixture()
+def net_and_fragments():
+    net = make_random_network(seed=77, num_junctions=25, num_objects=10, vocabulary=5)
+    partition = BfsPartitioner(seed=2).partition(net, 3)
+    return net, partition, build_fragments(net, partition)
+
+
+class TestFragmentStructure:
+    def test_members_partition_the_nodes(self, net_and_fragments):
+        net, _partition, fragments = net_and_fragments
+        union = set()
+        for fragment in fragments:
+            assert not (union & fragment.members), "fragments must be node-disjoint"
+            union |= fragment.members
+        assert union == set(net.nodes())
+
+    def test_local_adjacency_is_internal_only(self, net_and_fragments):
+        net, _partition, fragments = net_and_fragments
+        for fragment in fragments:
+            for node, edges in fragment.adjacency.items():
+                assert node in fragment.members
+                for v, w in edges:
+                    assert v in fragment.members
+                    assert net.edge_weight(node, v) == w
+
+    def test_local_adjacency_complete(self, net_and_fragments):
+        """Every internal edge of the network appears in its fragment."""
+        net, partition, fragments = net_and_fragments
+        for u, v, w in net.edges():
+            fu, fv = partition.fragment_of(u), partition.fragment_of(v)
+            if fu == fv:
+                assert (v, w) in fragments[fu].adjacency[u]
+                assert (u, w) in fragments[fu].adjacency[v]
+
+    def test_portals_are_exactly_cross_edge_endpoints(self, net_and_fragments):
+        net, partition, fragments = net_and_fragments
+        expected: dict[int, set[int]] = {f.fragment_id: set() for f in fragments}
+        for u, v, _w in net.edges():
+            fu, fv = partition.fragment_of(u), partition.fragment_of(v)
+            if fu != fv:
+                expected[fu].add(u)
+                expected[fv].add(v)
+        for fragment in fragments:
+            assert fragment.portals == expected[fragment.fragment_id]
+
+    def test_keyword_index_is_local(self, net_and_fragments):
+        net, _partition, fragments = net_and_fragments
+        for fragment in fragments:
+            for kw in fragment.keyword_index.local_keywords():
+                for node in fragment.keyword_index.local_nodes_with(kw):
+                    assert node in fragment.members
+                    assert kw in net.keywords(node)
+
+    def test_counts(self, net_and_fragments):
+        net, _partition, fragments = net_and_fragments
+        assert sum(f.num_members for f in fragments) == net.num_nodes
+        internal = sum(f.num_local_edges for f in fragments)
+        cut = sum(
+            1
+            for u, v, _w in net.edges()
+            if _partition_of(fragments, u) != _partition_of(fragments, v)
+        )
+        assert internal + cut == net.num_edges
+
+    def test_contains_and_local_neighbors(self, net_and_fragments):
+        _net, _partition, fragments = net_and_fragments
+        fragment = fragments[0]
+        member = next(iter(fragment.members))
+        assert fragment.contains(member)
+        assert fragment.local_neighbors(member) == fragment.adjacency.get(member, ())
+        assert not fragment.contains(-1)
+
+    def test_single_fragment_has_no_portals(self):
+        net = make_random_network(seed=5)
+        (fragment,) = build_fragments(
+            net, Partition.from_assignment([0] * net.num_nodes, 1)
+        )
+        assert fragment.portals == frozenset()
+        assert fragment.num_members == net.num_nodes
+
+
+def _partition_of(fragments, node: int) -> int:
+    for fragment in fragments:
+        if node in fragment.members:
+            return fragment.fragment_id
+    raise AssertionError(f"node {node} in no fragment")
+
+
+class TestDirectedFragments:
+    def test_directed_portals_include_in_edges(self):
+        net = make_random_network(seed=11, directed=True)
+        partition = BfsPartitioner(seed=1).partition(net, 2)
+        fragments = build_fragments(net, partition)
+        for fragment in fragments:
+            for node in fragment.members:
+                crosses = any(
+                    partition.fragment_of(v) != fragment.fragment_id
+                    for v, _w in net.neighbors(node)
+                ) or any(
+                    partition.fragment_of(v) != fragment.fragment_id
+                    for v, _w in net.in_neighbors(node)
+                )
+                assert (node in fragment.portals) == crosses

@@ -1,0 +1,105 @@
+"""Tests for the synthetic road-network generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    GeneratorConfig,
+    compute_stats,
+    generate_delaunay_network,
+    generate_grid_network,
+    generate_road_network,
+)
+
+
+class TestGridGenerator:
+    def test_connected(self):
+        net = generate_grid_network(GeneratorConfig(num_nodes=300, seed=1))
+        assert net.is_connected()
+
+    def test_deterministic(self):
+        cfg = GeneratorConfig(num_nodes=200, seed=5)
+        a = generate_grid_network(cfg)
+        b = generate_grid_network(cfg)
+        assert list(a.edges()) == list(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = generate_grid_network(GeneratorConfig(num_nodes=200, seed=1))
+        b = generate_grid_network(GeneratorConfig(num_nodes=200, seed=2))
+        assert list(a.edges()) != list(b.edges())
+
+    def test_positions_present(self):
+        net = generate_grid_network(GeneratorConfig(num_nodes=100, seed=0))
+        assert net.has_positions
+
+    def test_degree_is_road_like(self):
+        net = generate_grid_network(GeneratorConfig(num_nodes=900, seed=3))
+        stats = compute_stats(net)
+        assert stats.max_degree <= 4  # lattice neighbours only
+        assert 2.0 <= stats.avg_degree <= 4.0
+
+    def test_drop_fraction_removes_edges(self):
+        dense = generate_grid_network(
+            GeneratorConfig(num_nodes=400, seed=7, drop_fraction=0.0)
+        )
+        sparse = generate_grid_network(
+            GeneratorConfig(num_nodes=400, seed=7, drop_fraction=0.5)
+        )
+        assert sparse.num_edges < dense.num_edges
+        assert sparse.is_connected()
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            generate_grid_network(GeneratorConfig(num_nodes=1))
+
+    def test_directed_mode(self):
+        net = generate_grid_network(
+            GeneratorConfig(num_nodes=100, seed=2, directed=True, oneway_fraction=0.2)
+        )
+        assert net.directed
+        assert net.is_connected()
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000), n=st.integers(4, 300))
+    def test_always_connected_property(self, seed, n):
+        net = generate_grid_network(GeneratorConfig(num_nodes=n, seed=seed))
+        assert net.is_connected()
+
+
+class TestDelaunayGenerator:
+    def test_connected(self):
+        net = generate_delaunay_network(GeneratorConfig(kind="delaunay", num_nodes=250, seed=1))
+        assert net.is_connected()
+
+    def test_deterministic(self):
+        cfg = GeneratorConfig(kind="delaunay", num_nodes=150, seed=9)
+        assert list(generate_delaunay_network(cfg).edges()) == list(
+            generate_delaunay_network(cfg).edges()
+        )
+
+    def test_planar_ish_density(self):
+        net = generate_delaunay_network(GeneratorConfig(kind="delaunay", num_nodes=500, seed=2))
+        # A planar graph has at most 3n - 6 edges.
+        assert net.num_edges <= 3 * net.num_nodes - 6
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            generate_delaunay_network(GeneratorConfig(kind="delaunay", num_nodes=3))
+
+
+class TestDispatch:
+    def test_kind_routing(self):
+        assert generate_road_network(GeneratorConfig(kind="grid", num_nodes=50, seed=0))
+        assert generate_road_network(GeneratorConfig(kind="delaunay", num_nodes=50, seed=0))
+
+    def test_unknown_kind(self):
+        with pytest.raises(GraphError):
+            generate_road_network(GeneratorConfig(kind="toroidal", num_nodes=50))
+
+    def test_weights_metric_and_positive(self):
+        net = generate_road_network(GeneratorConfig(kind="grid", num_nodes=200, seed=4))
+        for u, v, w in net.edges():
+            assert w > 0

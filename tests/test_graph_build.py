@@ -1,0 +1,169 @@
+"""Unit tests for :mod:`repro.graph.build` (builder + object attachment)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import EdgeError, GraphError, NodeNotFoundError
+from repro.graph import NodeKind, RoadNetworkBuilder
+from repro.graph.build import ObjectSpec, attach_objects
+
+
+class TestBuilderNodes:
+    def test_ids_are_sequential(self):
+        b = RoadNetworkBuilder()
+        assert b.add_junction() == 0
+        assert b.add_object({"x"}) == 1
+        assert b.num_nodes == 2
+
+    def test_junction_keywords_rejected(self):
+        b = RoadNetworkBuilder()
+        with pytest.raises(GraphError):
+            b.add_node(NodeKind.JUNCTION, {"nope"})
+
+    def test_set_keywords(self):
+        b = RoadNetworkBuilder()
+        node = b.add_object({"old"})
+        b.set_keywords(node, {"new", "newer"})
+        net = b.build()
+        assert net.keywords(node) == {"new", "newer"}
+
+    def test_set_keywords_on_junction_rejected(self):
+        b = RoadNetworkBuilder()
+        node = b.add_junction()
+        with pytest.raises(GraphError):
+            b.set_keywords(node, {"x"})
+
+    def test_set_keywords_unknown_node(self):
+        b = RoadNetworkBuilder()
+        with pytest.raises(NodeNotFoundError):
+            b.set_keywords(5, {"x"})
+
+
+class TestBuilderEdges:
+    def test_positive_weight_required(self):
+        b = RoadNetworkBuilder()
+        b.add_junction()
+        b.add_junction()
+        for bad in (0.0, -1.0, math.nan, math.inf):
+            with pytest.raises(EdgeError):
+                b.add_edge(0, 1, bad)
+
+    def test_self_loop_rejected(self):
+        b = RoadNetworkBuilder()
+        b.add_junction()
+        with pytest.raises(EdgeError):
+            b.add_edge(0, 0, 1.0)
+
+    def test_duplicate_rejected_by_default(self):
+        b = RoadNetworkBuilder()
+        b.add_junction()
+        b.add_junction()
+        b.add_edge(0, 1, 1.0)
+        with pytest.raises(EdgeError):
+            b.add_edge(1, 0, 2.0)  # same undirected edge
+
+    def test_duplicate_keep_min(self):
+        b = RoadNetworkBuilder()
+        b.add_junction()
+        b.add_junction()
+        b.add_edge(0, 1, 3.0)
+        b.add_edge(1, 0, 2.0, keep_min=True)
+        assert b.build().edge_weight(0, 1) == 2.0
+
+    def test_directed_antiparallel_arcs_are_distinct(self):
+        b = RoadNetworkBuilder(directed=True)
+        b.add_junction()
+        b.add_junction()
+        b.add_edge(0, 1, 1.0)
+        b.add_edge(1, 0, 2.0)
+        net = b.build()
+        assert net.edge_weight(0, 1) == 1.0
+        assert net.edge_weight(1, 0) == 2.0
+
+    def test_unknown_endpoint(self):
+        b = RoadNetworkBuilder()
+        b.add_junction()
+        with pytest.raises(NodeNotFoundError):
+            b.add_edge(0, 7, 1.0)
+
+    def test_mixed_positions_rejected(self):
+        b = RoadNetworkBuilder()
+        b.add_junction(position=(0, 0))
+        b.add_junction()
+        b.add_edge(0, 1, 1.0)
+        with pytest.raises(GraphError):
+            b.build()
+
+
+class TestAttachObjects:
+    def _road_builder(self, size: int = 5) -> RoadNetworkBuilder:
+        b = RoadNetworkBuilder()
+        for i in range(size):
+            b.add_junction(position=(float(i), 0.0))
+        for i in range(size - 1):
+            b.add_edge(i, i + 1, 1.0)
+        return b
+
+    def test_object_connects_to_nearest(self):
+        b = self._road_builder()
+        created = attach_objects(b, [ObjectSpec((2.2, 1.0), {"shop"})])
+        net = b.build()
+        (obj,) = created
+        assert net.is_object(obj)
+        assert net.has_edge(obj, 2)
+        assert net.edge_weight(obj, 2) == pytest.approx(math.hypot(0.2, 1.0))
+
+    def test_colocated_object_gets_positive_weight(self):
+        b = self._road_builder()
+        (obj,) = attach_objects(b, [ObjectSpec((3.0, 0.0), {"shop"})])
+        net = b.build()
+        assert net.edge_weight(obj, 3) > 0
+
+    def test_order_preserved(self):
+        b = self._road_builder()
+        created = attach_objects(
+            b, [ObjectSpec((0.0, 1.0), {"a"}), ObjectSpec((4.0, 1.0), {"b"})]
+        )
+        net = b.build()
+        assert net.keywords(created[0]) == {"a"}
+        assert net.keywords(created[1]) == {"b"}
+
+    def test_requires_positioned_roads(self):
+        b = RoadNetworkBuilder()
+        b.add_junction()
+        with pytest.raises(GraphError):
+            attach_objects(b, [ObjectSpec((0, 0), {"x"})])
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), count=st.integers(1, 12))
+    def test_nearest_matches_linear_scan(self, seed, count):
+        """The grid index must agree with brute-force nearest neighbour."""
+        rng = random.Random(seed)
+        b = RoadNetworkBuilder()
+        points = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(30)]
+        for p in points:
+            b.add_junction(position=p)
+        for i in range(29):
+            b.add_edge(i, i + 1, 1.0)
+        specs = [
+            ObjectSpec((rng.uniform(-1, 11), rng.uniform(-1, 11)), {"k"})
+            for _ in range(count)
+        ]
+        created = attach_objects(b, specs)
+        net = b.build()
+        for obj, spec in zip(created, specs):
+            ((attached, weight),) = [
+                (v, w) for v, w in net.neighbors(obj)
+            ]
+            best = min(
+                math.hypot(spec.position[0] - x, spec.position[1] - y)
+                for x, y in points
+            )
+            assert weight == pytest.approx(best, abs=1e-9) or weight == pytest.approx(
+                max(best, 1e-9)
+            )

@@ -1,0 +1,112 @@
+"""Round-trip and error tests for :mod:`repro.graph.io`."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    load_network_json,
+    network_from_dict,
+    network_to_dict,
+    read_edge_list,
+    save_network_json,
+    write_edge_list,
+)
+from repro.workloads import toy_figure1
+
+from helpers import make_random_network
+
+
+def assert_networks_equal(a, b):
+    assert a.num_nodes == b.num_nodes
+    assert a.directed == b.directed
+    assert list(a.edges()) == list(b.edges())
+    for node in a.nodes():
+        assert a.kind(node) == b.kind(node)
+        assert a.keywords(node) == b.keywords(node)
+        if a.has_positions:
+            assert a.position(node) == b.position(node)
+
+
+class TestEdgeListFormat:
+    def test_round_trip_figure1(self):
+        net = toy_figure1()
+        buffer = io.StringIO()
+        write_edge_list(net, buffer)
+        buffer.seek(0)
+        assert_networks_equal(net, read_edge_list(buffer))
+
+    def test_round_trip_without_positions(self):
+        from repro.graph import RoadNetworkBuilder
+
+        b = RoadNetworkBuilder()
+        b.add_object({"kw with spaces", 'quote"kw'})
+        b.add_junction()
+        b.add_edge(0, 1, 1.25)
+        net = b.build()
+        buffer = io.StringIO()
+        write_edge_list(net, buffer)
+        buffer.seek(0)
+        assert_networks_equal(net, read_edge_list(buffer))
+
+    def test_bad_header(self):
+        with pytest.raises(GraphError):
+            read_edge_list(io.StringIO("garbage\n"))
+
+    def test_wrong_version(self):
+        with pytest.raises(GraphError):
+            read_edge_list(io.StringIO("H 99 0 0 0\n"))
+
+    def test_node_count_mismatch(self):
+        with pytest.raises(GraphError):
+            read_edge_list(io.StringIO("H 1 0 2 0\nN 0 0\n"))
+
+    def test_unknown_tag(self):
+        with pytest.raises(GraphError):
+            read_edge_list(io.StringIO("H 1 0 0 0\nZ nonsense\n"))
+
+    def test_comments_and_blanks_ignored(self):
+        text = "H 1 0 2 0\nN 0 0\n\n# comment\nN 1 0\nE 0 1 1.0\n"
+        net = read_edge_list(io.StringIO(text))
+        assert net.num_nodes == 2
+        assert net.num_edges == 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_round_trip_random(self, seed):
+        net = make_random_network(seed=seed, num_junctions=12, num_objects=6)
+        buffer = io.StringIO()
+        write_edge_list(net, buffer)
+        buffer.seek(0)
+        assert_networks_equal(net, read_edge_list(buffer))
+
+
+class TestJsonFormat:
+    def test_dict_round_trip(self):
+        net = make_random_network(seed=3)
+        assert_networks_equal(net, network_from_dict(network_to_dict(net)))
+
+    def test_dict_round_trip_directed(self):
+        net = make_random_network(seed=4, directed=True)
+        clone = network_from_dict(network_to_dict(net))
+        assert clone.directed
+        assert_networks_equal(net, clone)
+
+    def test_json_serialisable(self):
+        payload = network_to_dict(toy_figure1())
+        assert network_from_dict(json.loads(json.dumps(payload)))
+
+    def test_file_round_trip(self, tmp_path):
+        net = toy_figure1()
+        path = tmp_path / "net.json"
+        save_network_json(net, path)
+        assert_networks_equal(net, load_network_json(path))
+
+    def test_unsupported_version(self):
+        with pytest.raises(GraphError):
+            network_from_dict({"version": 42})

@@ -1,0 +1,39 @@
+"""Tests for :mod:`repro.graph.stats`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import RoadNetworkBuilder, compute_stats
+from repro.workloads import toy_figure1
+
+
+class TestComputeStats:
+    def test_figure1_stats(self):
+        stats = compute_stats(toy_figure1())
+        assert stats.num_nodes == 5
+        assert stats.num_objects == 4
+        assert stats.num_edges == 5
+        assert stats.num_keywords == 4
+        assert stats.connected
+        assert stats.avg_keywords_per_object == 1.0
+        assert stats.min_edge_weight == 1.0
+        assert stats.max_edge_weight == 4.0
+
+    def test_degree_stats(self):
+        stats = compute_stats(toy_figure1())
+        assert stats.max_degree == 3  # node E touches A, B, D
+        assert stats.avg_degree == pytest.approx(2 * 5 / 5)
+
+    def test_empty_network(self):
+        stats = compute_stats(RoadNetworkBuilder().build())
+        assert stats.num_nodes == 0
+        assert stats.avg_degree == 0.0
+        assert stats.avg_edge_weight == 0.0
+        assert stats.connected
+
+    def test_table_row_contains_counts(self):
+        row = compute_stats(toy_figure1()).as_table_row("FIG1")
+        assert "FIG1" in row
+        assert "5" in row
+        assert "4" in row

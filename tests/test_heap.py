@@ -1,0 +1,142 @@
+"""Unit and property tests for :class:`IndexedBinaryHeap`."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.search import IndexedBinaryHeap
+
+
+class TestBasics:
+    def test_push_pop_order(self):
+        h: IndexedBinaryHeap[str] = IndexedBinaryHeap()
+        h.push("a", 3.0)
+        h.push("b", 1.0)
+        h.push("c", 2.0)
+        assert [h.pop() for _ in range(3)] == [("b", 1.0), ("c", 2.0), ("a", 3.0)]
+
+    def test_len_bool_contains(self):
+        h: IndexedBinaryHeap[int] = IndexedBinaryHeap()
+        assert not h
+        h.push(1, 5.0)
+        assert h and len(h) == 1 and 1 in h and 2 not in h
+
+    def test_duplicate_push_rejected(self):
+        h: IndexedBinaryHeap[int] = IndexedBinaryHeap()
+        h.push(1, 1.0)
+        with pytest.raises(KeyError):
+            h.push(1, 2.0)
+
+    def test_peek_does_not_remove(self):
+        h: IndexedBinaryHeap[int] = IndexedBinaryHeap()
+        h.push(1, 1.0)
+        assert h.peek() == (1, 1.0)
+        assert len(h) == 1
+
+    def test_empty_pop_and_peek(self):
+        h: IndexedBinaryHeap[int] = IndexedBinaryHeap()
+        with pytest.raises(IndexError):
+            h.pop()
+        with pytest.raises(IndexError):
+            h.peek()
+
+    def test_priority_lookup(self):
+        h: IndexedBinaryHeap[str] = IndexedBinaryHeap()
+        h.push("x", 4.5)
+        assert h.priority("x") == 4.5
+        with pytest.raises(KeyError):
+            h.priority("y")
+
+    def test_clear(self):
+        h: IndexedBinaryHeap[int] = IndexedBinaryHeap()
+        h.push(1, 1.0)
+        h.clear()
+        assert not h and 1 not in h
+
+
+class TestUpdates:
+    def test_decrease_key(self):
+        h: IndexedBinaryHeap[str] = IndexedBinaryHeap()
+        h.push("a", 5.0)
+        h.push("b", 1.0)
+        h.update("a", 0.5)
+        assert h.pop() == ("a", 0.5)
+
+    def test_increase_key(self):
+        h: IndexedBinaryHeap[str] = IndexedBinaryHeap()
+        h.push("a", 1.0)
+        h.push("b", 2.0)
+        h.update("a", 3.0)
+        assert h.pop() == ("b", 2.0)
+
+    def test_push_or_update(self):
+        h: IndexedBinaryHeap[str] = IndexedBinaryHeap()
+        h.push_or_update("a", 2.0)
+        h.push_or_update("a", 1.0)
+        assert h.pop() == ("a", 1.0)
+
+    def test_decrease_only_lowers(self):
+        h: IndexedBinaryHeap[str] = IndexedBinaryHeap()
+        h.push("a", 2.0)
+        assert not h.decrease("a", 3.0)
+        assert h.priority("a") == 2.0
+        assert h.decrease("a", 1.0)
+        assert h.priority("a") == 1.0
+
+    def test_decrease_inserts_missing(self):
+        h: IndexedBinaryHeap[str] = IndexedBinaryHeap()
+        assert h.decrease("new", 7.0)
+        assert h.peek() == ("new", 7.0)
+
+    def test_remove_middle(self):
+        h: IndexedBinaryHeap[int] = IndexedBinaryHeap()
+        for i, p in enumerate([5.0, 3.0, 8.0, 1.0, 4.0]):
+            h.push(i, p)
+        assert h.remove(0) == 5.0
+        assert 0 not in h
+        drained = [h.pop() for _ in range(len(h))]
+        assert [p for _k, p in drained] == sorted(p for _k, p in drained)
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=80))
+    def test_heapsort_matches_sorted(self, priorities):
+        h: IndexedBinaryHeap[int] = IndexedBinaryHeap()
+        for i, p in enumerate(priorities):
+            h.push(i, p)
+        drained = [h.pop()[1] for _ in range(len(priorities))]
+        assert drained == sorted(priorities)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000), ops=st.integers(10, 150))
+    def test_random_op_sequence_matches_reference(self, seed, ops):
+        """Interleaved push/update/remove/pop must match a dict reference."""
+        rng = random.Random(seed)
+        h: IndexedBinaryHeap[int] = IndexedBinaryHeap()
+        reference: dict[int, float] = {}
+        next_key = 0
+        for _ in range(ops):
+            action = rng.random()
+            if action < 0.45 or not reference:
+                p = rng.uniform(0, 100)
+                h.push(next_key, p)
+                reference[next_key] = p
+                next_key += 1
+            elif action < 0.7:
+                key = rng.choice(list(reference))
+                p = rng.uniform(0, 100)
+                h.update(key, p)
+                reference[key] = p
+            elif action < 0.85:
+                key = rng.choice(list(reference))
+                assert h.remove(key) == reference.pop(key)
+            else:
+                key, p = h.pop()
+                assert p == min(reference.values())
+                assert reference.pop(key) == p
+        drained = [h.pop()[1] for _ in range(len(h))]
+        assert drained == sorted(reference.values())

@@ -1,0 +1,140 @@
+"""Integration tests: the full pipeline on preset datasets, plus the paper's
+worked examples end to end through the distributed engine."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import DisksEngine, EngineConfig, rkq, sgkq, sgkq_extended
+from repro.baselines import BSPQueryEvaluator, CentralizedEvaluator
+from repro.core import DLNodePolicy
+from repro.partition import MultilevelPartitioner, SpatialPartitioner
+from repro.workloads import QueryGenConfig, QueryGenerator, load_dataset, toy_figure1
+
+
+class TestPaperExamplesDistributed:
+    """The worked examples of §2.2/§3.1 through the distributed engine."""
+
+    @pytest.fixture(scope="class")
+    def fig1_engine(self):
+        return DisksEngine.build(
+            toy_figure1(),
+            EngineConfig(num_fragments=2, lambda_factor=None, max_radius=math.inf),
+        )
+
+    def test_example1_sgkq(self, fig1_engine):
+        assert fig1_engine.results(sgkq(["museum", "school"], 3.0)) == {1, 4}
+
+    def test_example2_rkq(self, fig1_engine):
+        assert fig1_engine.results(rkq(1, ["museum"], 4.0)) == {3}
+
+    def test_q2_style_subtraction(self, fig1_engine):
+        """Near a school but not within 2 of the museum."""
+        query = sgkq_extended(
+            all_within=[("school", 3.0)], none_within=[("museum", 2.0)]
+        )
+        # R(school,3) = {A,B,E}; R(museum,2) = {D,E}; difference = {A,B}.
+        assert fig1_engine.results(query) == {0, 1}
+
+    def test_q5_style_union(self, fig1_engine):
+        query = sgkq_extended(any_within=[("park", 3.0), ("school", 0.0)])
+        # R(park,3) = {C,D}; R(school,0) = {A}.
+        assert fig1_engine.results(query) == {0, 2, 3}
+
+
+class TestDatasetPipelines:
+    @pytest.fixture(scope="class")
+    def deployment(self, aus_tiny):
+        engine = DisksEngine.build(
+            aus_tiny.network,
+            EngineConfig(
+                num_fragments=6,
+                lambda_factor=15.0,
+                partitioner=MultilevelPartitioner(seed=2),
+            ),
+        )
+        return aus_tiny, engine, CentralizedEvaluator(aus_tiny.network)
+
+    def test_generated_sgkq_batch_matches_oracle(self, deployment):
+        dataset, engine, oracle = deployment
+        gen = QueryGenerator(dataset.network, QueryGenConfig(seed=11))
+        radius = engine.max_radius / 2
+        for query in gen.sgkq_batch(6, 3, radius):
+            assert engine.results(query) == oracle.results(query)
+
+    def test_generated_rkq_batch_matches_oracle(self, deployment):
+        dataset, engine, oracle = deployment
+        gen = QueryGenerator(dataset.network, QueryGenConfig(seed=12))
+        for query in gen.rkq_batch(6, 2, engine.max_radius / 3):
+            assert engine.results(query) == oracle.results(query)
+
+    def test_dfunction_mixes_match_oracle(self, deployment):
+        dataset, engine, oracle = deployment
+        gen = QueryGenerator(dataset.network, QueryGenConfig(seed=13))
+        for minus in range(0, 4):
+            query = gen.dfunction_mix(4, engine.max_radius / 2, minus)
+            assert engine.results(query) == oracle.results(query)
+
+    def test_zero_communication_invariant(self, deployment):
+        dataset, engine, _oracle = deployment
+        gen = QueryGenerator(dataset.network, QueryGenConfig(seed=14))
+        for query in gen.sgkq_batch(3, 2, engine.max_radius / 2):
+            engine.execute(query)
+        assert engine.cluster.ledger.worker_to_worker_bytes() == 0
+
+    def test_bsp_agrees_but_communicates(self, deployment):
+        dataset, engine, oracle = deployment
+        gen = QueryGenerator(dataset.network, QueryGenConfig(seed=15))
+        query = gen.sgkq(2, engine.max_radius / 2)
+        bsp = BSPQueryEvaluator(dataset.network, engine.partition)
+        result = bsp.execute(query)
+        assert result.result_nodes == oracle.results(query)
+        assert result.stats.cross_worker_messages > 0
+        assert result.stats.supersteps > 1
+
+    def test_spatial_partitioner_pipeline(self, aus_tiny):
+        engine = DisksEngine.build(
+            aus_tiny.network,
+            EngineConfig(
+                num_fragments=4, lambda_factor=10.0, partitioner=SpatialPartitioner()
+            ),
+        )
+        oracle = CentralizedEvaluator(aus_tiny.network)
+        gen = QueryGenerator(aus_tiny.network, QueryGenConfig(seed=16))
+        query = gen.sgkq(2, engine.max_radius / 2)
+        assert engine.results(query) == oracle.results(query)
+
+    def test_node_policy_all_pipeline(self, aus_tiny):
+        engine = DisksEngine.build(
+            aus_tiny.network,
+            EngineConfig(
+                num_fragments=4,
+                lambda_factor=10.0,
+                node_policy=DLNodePolicy.ALL,
+                partitioner=MultilevelPartitioner(seed=3),
+            ),
+        )
+        junction = next(
+            n for n in aus_tiny.network.nodes() if not aus_tiny.network.is_object(n)
+        )
+        keyword = aus_tiny.frequent_keywords(1)[0]
+        query = rkq(junction, [keyword], engine.max_radius / 2)
+        oracle = CentralizedEvaluator(aus_tiny.network)
+        assert engine.results(query) == oracle.results(query)
+
+
+class TestResponseTimeSemantics:
+    def test_response_below_serial_total_for_many_fragments(self, aus_tiny):
+        """With per-machine parallelism the makespan beats serial work."""
+        engine = DisksEngine.build(
+            aus_tiny.network,
+            EngineConfig(num_fragments=8, lambda_factor=15.0),
+        )
+        gen = QueryGenerator(aus_tiny.network, QueryGenConfig(seed=17))
+        query = gen.sgkq(3, engine.max_radius / 2)
+        report = engine.execute(query)
+        assert report.response_seconds < report.total_task_seconds + \
+            report.communication_seconds + 1e-9
+        assert report.unbalance <= report.unbalance_bound + 1e-9

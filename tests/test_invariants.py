@@ -1,0 +1,172 @@
+"""Cross-cutting invariants, including a stateful maintenance machine.
+
+These properties tie together subsystems that the per-module tests
+exercise in isolation:
+
+* coverage monotonicity in the radius;
+* result monotonicity under keyword addition (more carriers, larger or
+  equal coverage);
+* a hypothesis state machine driving random add/remove keyword
+  sequences through :class:`KeywordMaintainer`, checking after every
+  step that the patched deployment answers exactly like a centralized
+  evaluation of the *current* network.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro import DisksEngine, EngineConfig, sgkq
+from repro.baselines import CentralizedEvaluator
+from repro.core import (
+    CoverageTerm,
+    KeywordMaintainer,
+    KeywordSource,
+    NPDBuildConfig,
+    QClassQuery,
+    SetOp,
+    build_all_indexes,
+    build_fragments,
+)
+from repro.core.coverage import FragmentRuntime
+from repro.core.executor import execute_fragment_task
+from repro.partition import BfsPartitioner
+
+from helpers import make_random_network
+
+
+class TestCoverageMonotonicity:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 800),
+        r1=st.floats(min_value=0.0, max_value=4.0),
+        r2=st.floats(min_value=0.0, max_value=4.0),
+    )
+    def test_radius_monotone(self, seed, r1, r2):
+        if r1 > r2:
+            r1, r2 = r2, r1
+        net = make_random_network(seed=seed, num_junctions=15, num_objects=8, vocabulary=3)
+        engine = DisksEngine.build(
+            net,
+            EngineConfig(
+                num_fragments=3,
+                lambda_factor=None,
+                max_radius=math.inf,
+                partitioner=BfsPartitioner(seed=seed),
+            ),
+        )
+        keyword = sorted(net.all_keywords())[0]
+        small = engine.results(sgkq([keyword], r1))
+        large = engine.results(sgkq([keyword], r2))
+        assert small <= large
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 800), radius=st.floats(min_value=0.5, max_value=4.0))
+    def test_intersection_shrinks(self, seed, radius):
+        """Adding an AND term never grows the result (anti-monotone)."""
+        net = make_random_network(seed=seed, num_junctions=15, num_objects=8, vocabulary=4)
+        engine = DisksEngine.build(
+            net,
+            EngineConfig(
+                num_fragments=2,
+                lambda_factor=None,
+                max_radius=math.inf,
+                partitioner=BfsPartitioner(seed=seed),
+            ),
+        )
+        keywords = sorted(net.all_keywords())
+        one = engine.results(sgkq(keywords[:1], radius))
+        two = engine.results(sgkq(keywords[:2], radius))
+        assert two <= one
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 800), radius=st.floats(min_value=0.5, max_value=4.0))
+    def test_union_grows(self, seed, radius):
+        net = make_random_network(seed=seed, num_junctions=15, num_objects=8, vocabulary=4)
+        engine = DisksEngine.build(
+            net,
+            EngineConfig(
+                num_fragments=2,
+                lambda_factor=None,
+                max_radius=math.inf,
+                partitioner=BfsPartitioner(seed=seed),
+            ),
+        )
+        keywords = sorted(net.all_keywords())
+        base = engine.results(sgkq(keywords[:1], radius))
+        terms = tuple(CoverageTerm(KeywordSource(kw), radius) for kw in keywords[:2])
+        union = engine.results(QClassQuery.from_chain(terms, [SetOp.UNION]))
+        assert base <= union
+
+
+class MaintenanceMachine(RuleBasedStateMachine):
+    """Random keyword churn must never desynchronise index and network."""
+
+    @initialize(seed=st.integers(0, 200))
+    def setup(self, seed):
+        net = make_random_network(
+            seed=seed, num_junctions=12, num_objects=6, vocabulary=3
+        )
+        partition = BfsPartitioner(seed=seed).partition(net, 2)
+        fragments = build_fragments(net, partition)
+        indexes, _ = build_all_indexes(
+            net, fragments, NPDBuildConfig(max_radius=math.inf)
+        )
+        self.maintainer = KeywordMaintainer(net, partition, fragments, list(indexes))
+        self.rng = random.Random(seed + 7)
+        self.extra_vocab = ["m0", "m1", "m2"]
+
+    def _objects(self):
+        return list(self.maintainer.network.object_nodes())
+
+    @rule(choice=st.integers(0, 10_000))
+    def add_keyword(self, choice):
+        rng = random.Random(choice)
+        node = rng.choice(self._objects())
+        keyword = rng.choice(self.extra_vocab)
+        self.maintainer.add_keyword(node, keyword)
+
+    @rule(choice=st.integers(0, 10_000))
+    def remove_keyword(self, choice):
+        rng = random.Random(choice)
+        net = self.maintainer.network
+        carriers = [
+            (node, kw)
+            for node in net.object_nodes()
+            for kw in net.keywords(node)
+        ]
+        if not carriers:
+            return
+        node, keyword = rng.choice(carriers)
+        self.maintainer.remove_keyword(node, keyword)
+
+    @invariant()
+    def answers_match_fresh_oracle(self):
+        if not hasattr(self, "maintainer"):
+            return
+        net = self.maintainer.network
+        vocab = sorted(net.all_keywords())
+        if not vocab:
+            return
+        keyword = vocab[0]
+        query = sgkq([keyword], 3.0)
+        merged: set[int] = set()
+        for fragment, index in zip(self.maintainer.fragments, self.maintainer.indexes):
+            runtime = FragmentRuntime(fragment, index)
+            merged |= execute_fragment_task(runtime, query).local_result
+        oracle = CentralizedEvaluator(net, strict_keywords=False)
+        assert frozenset(merged) == oracle.results(query)
+
+
+MaintenanceMachine.TestCase.settings = settings(
+    max_examples=6,
+    stateful_step_count=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+TestMaintenanceStateMachine = MaintenanceMachine.TestCase

@@ -1,0 +1,147 @@
+"""Tests for the text query language."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DisksEngine, EngineConfig
+from repro.baselines import CentralizedEvaluator
+from repro.core import KeywordSource, NodeSource, parse_query, QueryParseError, sgkq
+from repro.core.dfunction import SetOp
+from repro.partition import BfsPartitioner
+
+from helpers import make_random_network
+
+
+class TestParsing:
+    def test_simple_and_chain(self):
+        query = parse_query("NEAR(supermarket, 5) AND NEAR(gym, 5) AND NEAR(hospital, 5)")
+        assert [t.source.keyword for t in query.terms] == [
+            "supermarket", "gym", "hospital"
+        ]
+        assert all(t.radius == 5.0 for t in query.terms)
+        # Equivalent to the sgkq constructor's expression.
+        reference = sgkq(["supermarket", "gym", "hospital"], 5.0)
+        sets = [{1, 2}, {2, 3}, {2}]
+        assert query.expression.evaluate(sets) == reference.expression.evaluate(sets)
+
+    def test_has_is_zero_radius(self):
+        query = parse_query('HAS("shopping mall")')
+        assert query.terms[0].radius == 0.0
+        assert query.terms[0].source == KeywordSource("shopping mall")
+
+    def test_not_is_subtraction(self):
+        query = parse_query('HAS(mall) NOT NEAR(pizza, 2)')
+        assert query.expression.evaluate([{1, 2}, {2}]) == {1}
+
+    def test_within_node_source(self):
+        query = parse_query("WITHIN(4 OF #17) AND HAS(museum)")
+        assert query.terms[0].source == NodeSource(17)
+        assert query.terms[0].radius == 4.0
+
+    def test_parentheses_change_grouping(self):
+        flat = parse_query("NEAR(a, 1) AND NEAR(b, 1) OR NEAR(c, 1)")
+        grouped = parse_query("NEAR(a, 1) AND (NEAR(b, 1) OR NEAR(c, 1))")
+        sets = [{1}, {9}, {1}]
+        assert flat.expression.evaluate(sets) == {1, 9} or flat.expression.evaluate(sets) == {1}
+        assert grouped.expression.evaluate(sets) == {1}
+
+    def test_quoted_keywords_with_spaces_and_escapes(self):
+        query = parse_query('NEAR("pizza shop", 1.5) AND NEAR("say \\"hi\\"", 2)')
+        assert query.terms[0].source.keyword == "pizza shop"
+        assert query.terms[1].source.keyword == 'say "hi"'
+
+    def test_duplicate_terms_deduplicated(self):
+        query = parse_query("NEAR(a, 1) AND (NEAR(b, 2) OR NEAR(a, 1))")
+        assert len(query.terms) == 2  # NEAR(a,1) registered once
+
+    def test_float_radius(self):
+        assert parse_query("NEAR(cafe, 0.75)").terms[0].radius == 0.75
+
+    def test_case_insensitive_operators(self):
+        query = parse_query("near(a, 1) and has(b)")
+        assert len(query.terms) == 2
+        assert query.expression.op is SetOp.INTERSECT
+
+    def test_label_is_source_text(self):
+        assert parse_query(" HAS(x) ").label == "HAS(x)"
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "NEAR(a)",
+            "NEAR(a, )",
+            "NEAR(, 1)",
+            "NEAR(a, 1",
+            "HAS()",
+            "WITHIN(1 OF 17)",      # missing '#'
+            "WITHIN(1 OF #x)",
+            "NEAR(a, 1) AND",
+            "AND NEAR(a, 1)",
+            "NEAR(a, 1) NEAR(b, 1)",
+            "NEAR(#1.5, 1)",
+            "!!",
+            "(NEAR(a, 1)",
+        ],
+    )
+    def test_malformed_queries_raise(self, bad):
+        with pytest.raises(QueryParseError):
+            parse_query(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(QueryParseError) as excinfo:
+            parse_query("NEAR(a, 1) ??")
+        assert excinfo.value.position == 11
+        assert "^" in str(excinfo.value)
+
+
+class TestEndToEnd:
+    def test_parsed_query_matches_constructed(self):
+        net = make_random_network(seed=77, num_junctions=25, num_objects=12, vocabulary=4)
+        engine = DisksEngine.build(
+            net,
+            EngineConfig(
+                num_fragments=3,
+                lambda_factor=None,
+                max_radius=math.inf,
+                partitioner=BfsPartitioner(seed=7),
+            ),
+        )
+        kws = sorted(net.all_keywords())[:2]
+        parsed = parse_query(f"NEAR({kws[0]}, 4) AND NEAR({kws[1]}, 4)")
+        constructed = sgkq(kws, 4.0)
+        assert engine.results(parsed) == engine.results(constructed)
+
+    def test_parsed_query_matches_oracle_with_grouping(self):
+        net = make_random_network(seed=78, num_junctions=25, num_objects=12, vocabulary=5)
+        engine = DisksEngine.build(
+            net,
+            EngineConfig(
+                num_fragments=3,
+                lambda_factor=None,
+                max_radius=math.inf,
+                partitioner=BfsPartitioner(seed=8),
+            ),
+        )
+        kws = sorted(net.all_keywords())[:3]
+        text = f"(NEAR({kws[0]}, 3) OR NEAR({kws[1]}, 3)) NOT NEAR({kws[2]}, 1)"
+        query = parse_query(text)
+        assert engine.results(query) == CentralizedEvaluator(net).results(query)
+
+
+class TestFuzz:
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(max_size=40))
+    def test_never_crashes_unexpectedly(self, text):
+        """Arbitrary input either parses or raises QueryParseError."""
+        try:
+            parse_query(text)
+        except QueryParseError:
+            pass

@@ -1,0 +1,257 @@
+"""Tests for incremental keyword maintenance of the NPD-index.
+
+Every operation is validated against the gold standard: rebuilding the
+whole index from scratch on the updated network and comparing query
+results (and, where deterministic, the DL entries themselves).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines import CentralizedEvaluator
+from repro.core import (
+    CoverageTerm,
+    KeywordMaintainer,
+    KeywordSource,
+    NPDBuildConfig,
+    QClassQuery,
+    SetOp,
+    build_all_indexes,
+    build_fragments,
+    node_dl_contributions,
+    sgkq,
+)
+from repro.core.coverage import FragmentRuntime
+from repro.core.executor import execute_fragment_task
+from repro.exceptions import GraphError
+from repro.graph.road_network import RoadNetwork
+from repro.partition import BfsPartitioner
+
+from helpers import make_random_network, oracle_distances
+
+
+def build_state(seed: int, k: int = 3, max_radius: float = math.inf):
+    net = make_random_network(seed=seed, num_junctions=18, num_objects=10, vocabulary=4)
+    partition = BfsPartitioner(seed=seed).partition(net, k)
+    fragments = build_fragments(net, partition)
+    indexes, _ = build_all_indexes(net, fragments, NPDBuildConfig(max_radius=max_radius))
+    return KeywordMaintainer(net, partition, fragments, list(indexes))
+
+
+def answers(maintainer: KeywordMaintainer, query) -> frozenset[int]:
+    merged: set[int] = set()
+    for fragment, index in zip(maintainer.fragments, maintainer.indexes):
+        runtime = FragmentRuntime(fragment, index)
+        merged |= execute_fragment_task(runtime, query).local_result
+    return frozenset(merged)
+
+
+class TestNodeDLContributions:
+    def test_matches_builder_semantics(self):
+        """Forward contributions reproduce exact first-entry distances."""
+        maintainer = build_state(seed=21)
+        net, partition = maintainer.network, maintainer.partition
+        source = next(iter(net.object_nodes()))
+        contributions = node_dl_contributions(net, partition, source, math.inf)
+        oracle = oracle_distances(net, [source])
+        for fragment_id, portal_distances in contributions.items():
+            fragment = maintainer.fragments[fragment_id]
+            assert fragment_id != partition.fragment_of(source)
+            for portal, dist in portal_distances.items():
+                assert portal in fragment.portals
+                assert dist == pytest.approx(oracle[portal])
+
+    def test_bounded_by_max_radius(self):
+        maintainer = build_state(seed=22)
+        source = next(iter(maintainer.network.object_nodes()))
+        contributions = node_dl_contributions(
+            maintainer.network, maintainer.partition, source, 2.0
+        )
+        for portal_distances in contributions.values():
+            for dist in portal_distances.values():
+                assert dist <= 2.0
+
+    def test_reconstructs_distances_into_fragment(self):
+        """source -> member distances via contributions are exact."""
+        from repro.search import shortest_path_distances
+
+        maintainer = build_state(seed=23)
+        net = maintainer.network
+        source = next(iter(net.object_nodes()))
+        contributions = node_dl_contributions(net, maintainer.partition, source, math.inf)
+        oracle = oracle_distances(net, [source])
+        for fragment, index in zip(maintainer.fragments, maintainer.indexes):
+            if source in fragment.members:
+                continue
+            runtime = FragmentRuntime(fragment, index)
+            seeds = contributions.get(fragment.fragment_id, {})
+            local = shortest_path_distances(runtime.adjacency, seeds) if seeds else {}
+            for member in fragment.members:
+                assert local.get(member, math.inf) == pytest.approx(
+                    oracle.get(member, math.inf)
+                )
+
+
+class TestAddKeyword:
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 600))
+    def test_add_matches_full_rebuild(self, seed):
+        maintainer = build_state(seed=seed)
+        rng = random.Random(seed)
+        node = rng.choice(list(maintainer.network.object_nodes()))
+        maintainer.add_keyword(node, "brandnew")
+
+        rebuilt, _ = build_all_indexes(
+            maintainer.network,
+            maintainer.fragments,
+            NPDBuildConfig(max_radius=math.inf),
+        )
+        oracle = CentralizedEvaluator(maintainer.network)
+        partner = sorted(maintainer.network.all_keywords() - {"brandnew"})[0]
+        for radius in (1.0, 4.0):
+            query = sgkq(["brandnew", partner], radius)
+            assert answers(maintainer, query) == oracle.results(query)
+        # The patched entry must agree with the rebuilt entry (same
+        # portals, distances equal up to float summation order).
+        for patched, fresh in zip(maintainer.indexes, rebuilt):
+            patched_pairs = patched.keyword_entries.get("brandnew", ())
+            fresh_pairs = fresh.keyword_entries.get("brandnew", ())
+            assert {pd.portal for pd in patched_pairs} == {
+                pd.portal for pd in fresh_pairs
+            }
+            fresh_by_portal = {pd.portal: pd.distance for pd in fresh_pairs}
+            for pd in patched_pairs:
+                assert pd.distance == pytest.approx(fresh_by_portal[pd.portal])
+
+    def test_add_existing_is_noop(self):
+        maintainer = build_state(seed=30)
+        node = next(iter(maintainer.network.object_nodes()))
+        keyword = next(iter(maintainer.network.keywords(node)))
+        before = [dict(i.keyword_entries) for i in maintainer.indexes]
+        maintainer.add_keyword(node, keyword)
+        after = [dict(i.keyword_entries) for i in maintainer.indexes]
+        assert before == after
+
+    def test_add_to_junction_rejected(self):
+        maintainer = build_state(seed=31)
+        junction = next(
+            n for n in maintainer.network.nodes() if not maintainer.network.is_object(n)
+        )
+        with pytest.raises(GraphError):
+            maintainer.add_keyword(junction, "x")
+
+    def test_local_postings_updated(self):
+        maintainer = build_state(seed=32)
+        node = next(iter(maintainer.network.object_nodes()))
+        maintainer.add_keyword(node, "fresh")
+        home = maintainer.partition.fragment_of(node)
+        assert node in maintainer.fragments[home].keyword_index.local_nodes_with("fresh")
+
+    def test_respects_max_radius(self):
+        maintainer = build_state(seed=33, max_radius=3.0)
+        node = next(iter(maintainer.network.object_nodes()))
+        maintainer.add_keyword(node, "near")
+        for index in maintainer.indexes:
+            for pd in index.keyword_entries.get("near", ()):
+                assert pd.distance <= 3.0
+
+
+class TestRemoveKeyword:
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 600))
+    def test_remove_matches_full_rebuild(self, seed):
+        maintainer = build_state(seed=seed)
+        rng = random.Random(seed + 1)
+        carriers = [
+            n for n in maintainer.network.nodes() if "w0" in maintainer.network.keywords(n)
+        ]
+        if not carriers:
+            return
+        node = rng.choice(carriers)
+        maintainer.remove_keyword(node, "w0")
+
+        oracle = CentralizedEvaluator(maintainer.network, strict_keywords=False)
+        partner = sorted(maintainer.network.all_keywords() | {"w1"})[-1]
+        for radius in (1.0, 4.0):
+            query = QClassQuery.from_chain(
+                (CoverageTerm(KeywordSource("w0"), radius),
+                 CoverageTerm(KeywordSource(partner), radius)),
+                [SetOp.INTERSECT],
+            )
+            assert answers(maintainer, query) == oracle.results(query)
+
+    def test_remove_last_carrier_clears_entries(self):
+        maintainer = build_state(seed=40)
+        net = maintainer.network
+        carriers = [n for n in net.nodes() if "w2" in net.keywords(n)]
+        for node in carriers:
+            maintainer.remove_keyword(node, "w2")
+        for index in maintainer.indexes:
+            assert "w2" not in index.keyword_entries
+        assert all("w2" not in maintainer.network.keywords(n) for n in net.nodes())
+
+    def test_remove_absent_is_noop(self):
+        maintainer = build_state(seed=41)
+        node = next(iter(maintainer.network.object_nodes()))
+        before = [dict(i.keyword_entries) for i in maintainer.indexes]
+        maintainer.remove_keyword(node, "never-there")
+        assert before == [dict(i.keyword_entries) for i in maintainer.indexes]
+
+    def test_add_then_remove_round_trips(self):
+        maintainer = build_state(seed=42)
+        node = next(iter(maintainer.network.object_nodes()))
+        reference = {
+            i.fragment_id: dict(i.keyword_entries) for i in maintainer.indexes
+        }
+        maintainer.add_keyword(node, "transient")
+        maintainer.remove_keyword(node, "transient")
+        for index in maintainer.indexes:
+            assert "transient" not in index.keyword_entries
+            # Entries for other keywords are untouched.
+            for kw, pairs in reference[index.fragment_id].items():
+                assert index.keyword_entries[kw] == pairs
+
+
+class TestRebuildFragment:
+    def test_rebuild_is_identical_for_unchanged_fragment(self):
+        maintainer = build_state(seed=50)
+        original = maintainer.indexes[0]
+        maintainer.rebuild_fragment(0)
+        rebuilt = maintainer.indexes[0]
+        assert rebuilt.shortcuts == original.shortcuts
+        assert rebuilt.keyword_entries == original.keyword_entries
+        assert rebuilt.node_entries == original.node_entries
+
+    def test_unknown_fragment_rejected(self):
+        maintainer = build_state(seed=51)
+        from repro.exceptions import DisksError
+
+        with pytest.raises(DisksError):
+            maintainer.rebuild_fragment(99)
+
+
+class TestWithNodeKeywords:
+    def test_shares_structure(self):
+        net = make_random_network(seed=60)
+        node = next(iter(net.object_nodes()))
+        derived = net.with_node_keywords(node, {"replaced"})
+        assert derived.keywords(node) == {"replaced"}
+        assert list(derived.edges()) == list(net.edges())
+        assert net.keywords(node) != {"replaced"}  # original untouched
+
+    def test_junction_rejected(self):
+        net = make_random_network(seed=61)
+        junction = next(n for n in net.nodes() if not net.is_object(n))
+        with pytest.raises(GraphError):
+            net.with_node_keywords(junction, {"x"})
+
+    def test_clearing_junction_keywords_allowed(self):
+        net = make_random_network(seed=62)
+        junction = next(n for n in net.nodes() if not net.is_object(n))
+        derived = net.with_node_keywords(junction, ())
+        assert derived.keywords(junction) == frozenset()

@@ -1,0 +1,211 @@
+"""Tests for the partitioning substrate: base types, metrics, partitioners."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import PartitionError
+from repro.graph import GeneratorConfig, generate_road_network
+from repro.partition import (
+    BfsPartitioner,
+    MultilevelPartitioner,
+    Partition,
+    RandomPartitioner,
+    SpatialPartitioner,
+    evaluate_partition,
+    validate_partition,
+)
+
+from helpers import make_random_network
+
+ALL_PARTITIONERS = [
+    ("random", RandomPartitioner(seed=1)),
+    ("bfs", BfsPartitioner(seed=1)),
+    ("spatial", SpatialPartitioner()),
+    ("multilevel", MultilevelPartitioner(seed=1)),
+]
+
+
+class TestPartitionType:
+    def test_members_and_sizes(self):
+        p = Partition.from_assignment([0, 1, 0, 1, 2])
+        assert p.num_fragments == 3
+        assert p.members(0) == [0, 2]
+        assert p.sizes() == [2, 2, 1]
+        assert p.fragment_of(4) == 2
+
+    def test_all_members_indexed_by_fragment(self):
+        p = Partition.from_assignment([1, 0, 1])
+        assert p.all_members() == [[1], [0, 2]]
+
+    def test_invalid_assignment_rejected(self):
+        with pytest.raises(PartitionError):
+            Partition((0, 5), num_fragments=2)
+        with pytest.raises(PartitionError):
+            Partition((), num_fragments=0)
+
+    def test_members_out_of_range(self):
+        p = Partition.from_assignment([0, 0])
+        with pytest.raises(PartitionError):
+            p.members(1)
+
+    def test_validate_against_network(self, small_network):
+        p = Partition.from_assignment([0] * small_network.num_nodes, 1)
+        validate_partition(small_network, p)
+
+    def test_validate_size_mismatch(self, small_network):
+        p = Partition.from_assignment([0, 0], 1)
+        with pytest.raises(PartitionError):
+            validate_partition(small_network, p)
+
+    def test_validate_empty_fragment(self, small_network):
+        p = Partition.from_assignment([0] * small_network.num_nodes, 2)
+        with pytest.raises(PartitionError):
+            validate_partition(small_network, p)
+        validate_partition(small_network, p, require_nonempty=False)
+
+
+class TestMetrics:
+    def test_single_fragment_has_no_cut(self, small_network):
+        p = Partition.from_assignment([0] * small_network.num_nodes, 1)
+        q = evaluate_partition(small_network, p)
+        assert q.edge_cut == 0
+        assert q.total_portals == 0
+        assert q.balance == pytest.approx(1.0)
+
+    def test_cut_and_portals_consistent(self, grid_network):
+        p = BfsPartitioner(seed=3).partition(grid_network, 4)
+        q = evaluate_partition(grid_network, p)
+        cut_edges = [
+            (u, v)
+            for u, v, _w in grid_network.edges()
+            if p.assignment[u] != p.assignment[v]
+        ]
+        assert q.edge_cut == len(cut_edges)
+        expected_portals = {u for u, _v in cut_edges} | {v for _u, v in cut_edges}
+        assert q.total_portals == len(expected_portals)
+
+    def test_summary_mentions_key_numbers(self, grid_network):
+        p = RandomPartitioner(seed=0).partition(grid_network, 2)
+        summary = evaluate_partition(grid_network, p).summary()
+        assert "k=2" in summary and "cut=" in summary
+
+
+class TestPartitionerContracts:
+    @pytest.mark.parametrize("name,partitioner", ALL_PARTITIONERS)
+    @pytest.mark.parametrize("k", [1, 2, 3, 7])
+    def test_valid_covering_partition(self, name, partitioner, k, grid_network):
+        p = partitioner.partition(grid_network, k)
+        assert p.num_fragments == k
+        validate_partition(grid_network, p)
+
+    @pytest.mark.parametrize("name,partitioner", ALL_PARTITIONERS)
+    def test_k_greater_than_nodes_rejected(self, name, partitioner, figure1):
+        with pytest.raises(PartitionError):
+            partitioner.partition(figure1, 50)
+
+    @pytest.mark.parametrize("name,partitioner", ALL_PARTITIONERS)
+    def test_k_zero_rejected(self, name, partitioner, figure1):
+        with pytest.raises(PartitionError):
+            partitioner.partition(figure1, 0)
+
+    @pytest.mark.parametrize(
+        "name,partitioner",
+        [p for p in ALL_PARTITIONERS if p[0] != "spatial"],
+    )
+    def test_deterministic(self, name, partitioner, grid_network):
+        a = partitioner.partition(grid_network, 5)
+        b = partitioner.partition(grid_network, 5)
+        assert a.assignment == b.assignment
+
+    def test_spatial_requires_positions(self):
+        from repro.graph import RoadNetworkBuilder
+
+        b = RoadNetworkBuilder()
+        b.add_junction()
+        b.add_junction()
+        b.add_edge(0, 1, 1.0)
+        with pytest.raises(PartitionError):
+            SpatialPartitioner().partition(b.build(), 2)
+
+
+class TestPartitionerQuality:
+    def test_balance_within_tolerance(self, grid_network):
+        for k in (2, 4, 8):
+            p = MultilevelPartitioner(seed=2, balance_tolerance=0.1).partition(
+                grid_network, k
+            )
+            q = evaluate_partition(grid_network, p)
+            assert q.balance <= 1.2  # tolerance + projection slack
+
+    def test_locality_aware_beats_random(self, grid_network):
+        random_cut = evaluate_partition(
+            grid_network, RandomPartitioner(seed=5).partition(grid_network, 8)
+        ).edge_cut
+        for partitioner in (
+            BfsPartitioner(seed=5),
+            SpatialPartitioner(),
+            MultilevelPartitioner(seed=5),
+        ):
+            cut = evaluate_partition(
+                grid_network, partitioner.partition(grid_network, 8)
+            ).edge_cut
+            assert cut < random_cut / 2
+
+    def test_multilevel_improves_on_bfs_or_close(self, grid_network):
+        """Refinement should land within a modest factor of region growing."""
+        bfs_cut = evaluate_partition(
+            grid_network, BfsPartitioner(seed=6).partition(grid_network, 6)
+        ).edge_cut
+        ml_cut = evaluate_partition(
+            grid_network, MultilevelPartitioner(seed=6).partition(grid_network, 6)
+        ).edge_cut
+        assert ml_cut <= bfs_cut * 1.5
+
+    def test_spatial_fragments_are_compact(self, grid_network):
+        p = SpatialPartitioner().partition(grid_network, 4)
+        q = evaluate_partition(grid_network, p)
+        assert q.cut_fraction < 0.25
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 500), k=st.integers(1, 6))
+    def test_multilevel_property_valid(self, seed, k):
+        net = make_random_network(seed=seed, num_junctions=30, num_objects=10)
+        p = MultilevelPartitioner(seed=seed).partition(net, k)
+        validate_partition(net, p)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 500), k=st.integers(1, 6))
+    def test_bfs_property_valid(self, seed, k):
+        net = make_random_network(seed=seed, num_junctions=30, num_objects=10)
+        p = BfsPartitioner(seed=seed).partition(net, k)
+        validate_partition(net, p)
+
+    def test_multilevel_handles_disconnected_graph(self):
+        from repro.graph import RoadNetworkBuilder
+
+        b = RoadNetworkBuilder()
+        for _ in range(8):
+            b.add_junction()
+        b.add_edge(0, 1, 1.0)
+        b.add_edge(1, 2, 1.0)
+        b.add_edge(3, 4, 1.0)
+        b.add_edge(5, 6, 1.0)
+        b.add_edge(6, 7, 1.0)
+        net = b.build()
+        p = MultilevelPartitioner(seed=1).partition(net, 3)
+        validate_partition(net, p)
+
+    def test_bfs_handles_disconnected_graph(self):
+        from repro.graph import RoadNetworkBuilder
+
+        b = RoadNetworkBuilder()
+        for _ in range(6):
+            b.add_junction()
+        b.add_edge(0, 1, 1.0)
+        b.add_edge(2, 3, 1.0)
+        b.add_edge(4, 5, 1.0)
+        net = b.build()
+        p = BfsPartitioner(seed=1).partition(net, 2)
+        validate_partition(net, p)

@@ -1,0 +1,216 @@
+"""Tests for the planner, the §5.1/§5.2 cost model, and the bi-level index."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    BiLevelIndex,
+    DLNodePolicy,
+    NPDBuildConfig,
+    build_all_indexes,
+    build_fragments,
+    makespan,
+    rkq,
+    sgkq,
+    theorem5_cost,
+    unbalance_factor,
+)
+from repro.core.cost import assign_tasks, theorem6_bound
+from repro.core.npd import NPDIndex
+from repro.core.planner import plan_query
+from repro.exceptions import (
+    DisksError,
+    IndexBuildError,
+    NodeNotFoundError,
+    QueryError,
+    RadiusExceededError,
+    UnknownKeywordError,
+)
+from repro.partition import BfsPartitioner
+
+from helpers import make_random_network
+
+
+@pytest.fixture()
+def planner_net():
+    return make_random_network(seed=70, num_junctions=15, num_objects=8, vocabulary=4)
+
+
+class TestPlanner:
+    def test_valid_query_passes(self, planner_net):
+        plan = plan_query(
+            sgkq(["w0"], 2.0),
+            planner_net,
+            max_radius=5.0,
+            node_policy=DLNodePolicy.OBJECTS,
+        )
+        assert not plan.use_unbounded
+        assert plan.empty_keyword_terms == ()
+
+    def test_unknown_keyword_strict(self, planner_net):
+        with pytest.raises(UnknownKeywordError):
+            plan_query(
+                sgkq(["missing"], 1.0),
+                planner_net,
+                max_radius=5.0,
+                node_policy=DLNodePolicy.OBJECTS,
+            )
+
+    def test_unknown_keyword_lenient(self, planner_net):
+        plan = plan_query(
+            sgkq(["missing", "w0"], 1.0),
+            planner_net,
+            max_radius=5.0,
+            node_policy=DLNodePolicy.OBJECTS,
+            strict_keywords=False,
+        )
+        assert plan.empty_keyword_terms == (0,)
+
+    def test_bad_node_source(self, planner_net):
+        with pytest.raises(NodeNotFoundError):
+            plan_query(
+                rkq(10_000, ["w0"], 1.0),
+                planner_net,
+                max_radius=5.0,
+                node_policy=DLNodePolicy.OBJECTS,
+            )
+
+    def test_node_policy_none_rejects_node_sources(self, planner_net):
+        with pytest.raises(QueryError):
+            plan_query(
+                rkq(0, ["w0"], 1.0),
+                planner_net,
+                max_radius=5.0,
+                node_policy=DLNodePolicy.NONE,
+            )
+
+    def test_junction_location_needs_all_policy(self, planner_net):
+        junction = next(
+            n for n in planner_net.nodes() if not planner_net.is_object(n)
+        )
+        with pytest.raises(QueryError):
+            plan_query(
+                rkq(junction, ["w0"], 1.0),
+                planner_net,
+                max_radius=5.0,
+                node_policy=DLNodePolicy.OBJECTS,
+            )
+        plan = plan_query(
+            rkq(junction, ["w0"], 1.0),
+            planner_net,
+            max_radius=5.0,
+            node_policy=DLNodePolicy.ALL,
+        )
+        assert plan.query.node_sources() == [junction]
+
+    def test_radius_over_maxr(self, planner_net):
+        with pytest.raises(RadiusExceededError):
+            plan_query(
+                sgkq(["w0"], 9.0),
+                planner_net,
+                max_radius=5.0,
+                node_policy=DLNodePolicy.OBJECTS,
+            )
+        plan = plan_query(
+            sgkq(["w0"], 9.0),
+            planner_net,
+            max_radius=5.0,
+            node_policy=DLNodePolicy.OBJECTS,
+            has_unbounded_level=True,
+        )
+        assert plan.use_unbounded
+
+
+class TestCostModel:
+    def test_theorem5_components(self):
+        index = NPDIndex(fragment_id=0, max_radius=10.0, node_policy=DLNodePolicy.OBJECTS)
+        index.add_shortcut(0, 1, 1.0)
+        index.add_shortcut(1, 2, 1.0)
+        index.seal({"a": [(0, 1.0), (1, 2.0)], "b": [(2, 1.0)]}, {})
+        # keywords a (α=2) and b (α=1), β=2, coverage sizes 4 and 1.
+        cost = theorem5_cost(index, ["a", "b"], [4, 1])
+        expected = (2 + 2 + 4 * math.log2(4)) + (1 + 2 + 0)
+        assert cost == pytest.approx(expected)
+
+    def test_theorem5_alignment_checked(self):
+        index = NPDIndex(fragment_id=0, max_radius=1.0, node_policy=DLNodePolicy.NONE)
+        with pytest.raises(DisksError):
+            theorem5_cost(index, ["a"], [1, 2])
+
+    def test_assign_tasks_idle_machine_strategy(self):
+        plan = assign_tasks([5.0, 1.0, 1.0, 1.0], 2)
+        # Task 0 -> machine 0; tasks 1..3 land on the earliest-idle machine.
+        assert plan[0] == [0]
+        assert plan[1] == [1, 2, 3]
+
+    def test_makespan_one_task_per_machine(self):
+        assert makespan([3.0, 1.0, 2.0], 3) == 3.0
+
+    def test_makespan_fewer_machines(self):
+        # Greedy: m0=[4], m1=[3,2] -> makespan 5.
+        assert makespan([4.0, 3.0, 2.0], 2) == 5.0
+
+    def test_makespan_validation(self):
+        with pytest.raises(DisksError):
+            makespan([1.0], 0)
+        with pytest.raises(DisksError):
+            makespan([-1.0], 1)
+        assert makespan([], 2) == 0.0
+
+    def test_unbalance_factor(self):
+        assert unbalance_factor([2.0, 2.0]) == 1.0
+        assert unbalance_factor([4.0, 2.0]) == 2.0
+        assert unbalance_factor([1.0]) == 1.0
+        assert unbalance_factor([]) == 1.0
+        assert unbalance_factor([0.0, 1.0]) == math.inf
+        assert unbalance_factor([0.0, 0.0]) == 1.0
+
+    def test_theorem6_bound_holds_for_list_scheduling(self):
+        """Observed U never exceeds 1 + max/min for any machine count."""
+        import random
+
+        rng = random.Random(4)
+        for _ in range(50):
+            costs = [rng.uniform(0.5, 5.0) for _ in range(rng.randint(2, 12))]
+            machines = rng.randint(2, len(costs))
+            plan = assign_tasks(costs, machines)
+            loads = [sum(costs[t] for t in tasks) for tasks in plan if tasks]
+            assert unbalance_factor(loads) <= theorem6_bound(costs) + 1e-9
+
+
+class TestBiLevel:
+    def _indexes(self, max_radius):
+        net = make_random_network(seed=71, num_junctions=12, num_objects=6)
+        partition = BfsPartitioner(seed=1).partition(net, 2)
+        fragments = build_fragments(net, partition)
+        indexes, _ = build_all_indexes(
+            net, fragments, NPDBuildConfig(max_radius=max_radius)
+        )
+        return tuple(indexes)
+
+    def test_routing(self):
+        bounded = self._indexes(3.0)
+        unbounded = self._indexes(math.inf)
+        bilevel = BiLevelIndex(bounded=bounded, unbounded=unbounded)
+        assert bilevel.level_for(2.0) is bounded
+        assert bilevel.level_for(3.0) is bounded
+        assert bilevel.level_for(7.0) is unbounded
+        assert bilevel.needs_unbounded(7.0)
+
+    def test_missing_second_level_raises(self):
+        bilevel = BiLevelIndex(bounded=self._indexes(3.0))
+        with pytest.raises(RadiusExceededError):
+            bilevel.level_for(4.0)
+
+    def test_validation(self):
+        with pytest.raises(IndexBuildError):
+            BiLevelIndex(bounded=())
+        with pytest.raises(IndexBuildError):
+            BiLevelIndex(bounded=self._indexes(3.0), unbounded=self._indexes(5.0))
+        with pytest.raises(IndexBuildError):
+            BiLevelIndex(
+                bounded=self._indexes(3.0), unbounded=self._indexes(math.inf)[:1]
+            )

@@ -1,0 +1,113 @@
+"""Tests for the portal-minimising refinement pass."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DisksEngine, EngineConfig, sgkq
+from repro.baselines import CentralizedEvaluator
+from repro.exceptions import PartitionError
+from repro.graph import GeneratorConfig, generate_road_network
+from repro.partition import (
+    BfsPartitioner,
+    MultilevelPartitioner,
+    Partition,
+    RandomPartitioner,
+    evaluate_partition,
+    refine_portals,
+    validate_partition,
+)
+
+from helpers import make_random_network
+
+
+class TestRefinePortals:
+    def test_never_increases_portals(self, grid_network):
+        for partitioner in (BfsPartitioner(seed=1), MultilevelPartitioner(seed=1)):
+            before = partitioner.partition(grid_network, 6)
+            after = refine_portals(grid_network, before)
+            p_before = evaluate_partition(grid_network, before).total_portals
+            p_after = evaluate_partition(grid_network, after).total_portals
+            assert p_after <= p_before
+
+    def test_improves_random_partition_substantially(self, grid_network):
+        before = RandomPartitioner(seed=2).partition(grid_network, 4)
+        after = refine_portals(grid_network, before, max_sweeps=8)
+        p_before = evaluate_partition(grid_network, before).total_portals
+        p_after = evaluate_partition(grid_network, after).total_portals
+        assert p_after < p_before
+
+    def test_result_is_valid_partition(self, grid_network):
+        before = BfsPartitioner(seed=3).partition(grid_network, 5)
+        after = refine_portals(grid_network, before)
+        validate_partition(grid_network, after)
+        assert after.num_fragments == 5
+
+    def test_balance_respected(self, grid_network):
+        before = MultilevelPartitioner(seed=4).partition(grid_network, 4)
+        after = refine_portals(grid_network, before, balance_tolerance=0.1)
+        quality = evaluate_partition(grid_network, after)
+        assert quality.balance <= 1.1 + 1e-9 or quality.balance <= (
+            evaluate_partition(grid_network, before).balance
+        )
+
+    def test_input_not_modified(self, grid_network):
+        before = BfsPartitioner(seed=5).partition(grid_network, 4)
+        snapshot = tuple(before.assignment)
+        refine_portals(grid_network, before)
+        assert before.assignment == snapshot
+
+    def test_validation(self, grid_network):
+        partition = BfsPartitioner(seed=1).partition(grid_network, 2)
+        with pytest.raises(PartitionError):
+            refine_portals(grid_network, partition, balance_tolerance=-1)
+
+    def test_single_fragment_untouched(self, grid_network):
+        partition = Partition.from_assignment([0] * grid_network.num_nodes, 1)
+        after = refine_portals(grid_network, partition)
+        assert after.assignment == partition.assignment
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 400), k=st.integers(2, 5))
+    def test_property_valid_and_not_worse(self, seed, k):
+        net = make_random_network(seed=seed, num_junctions=25, num_objects=10)
+        before = BfsPartitioner(seed=seed).partition(net, k)
+        after = refine_portals(net, before)
+        validate_partition(net, after)
+        assert (
+            evaluate_partition(net, after).total_portals
+            <= evaluate_partition(net, before).total_portals
+        )
+
+    def test_queries_stay_exact_after_refinement(self):
+        """Refined partitions are just partitions: end-to-end exactness."""
+        net = make_random_network(seed=808, num_junctions=30, num_objects=15, vocabulary=4)
+        base = BfsPartitioner(seed=8).partition(net, 4)
+        refined = refine_portals(net, base)
+
+        class _Fixed:
+            def partition(self, _net, k):
+                assert k == refined.num_fragments
+                return refined
+
+        import math
+
+        engine = DisksEngine.build(
+            net,
+            EngineConfig(
+                num_fragments=4,
+                lambda_factor=None,
+                max_radius=math.inf,
+                partitioner=_Fixed(),
+            ),
+        )
+        oracle = CentralizedEvaluator(net)
+        query = sgkq(sorted(net.all_keywords())[:2], 4.0)
+        assert engine.results(query) == oracle.results(query)
+
+    def test_directed_mode(self):
+        net = make_random_network(seed=809, num_junctions=20, num_objects=8, directed=True)
+        before = BfsPartitioner(seed=9).partition(net, 3)
+        after = refine_portals(net, before)
+        validate_partition(net, after)

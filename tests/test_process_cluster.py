@@ -1,0 +1,81 @@
+"""Tests for the real process-based cluster."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import sgkq
+from repro.baselines import CentralizedEvaluator
+from repro.core import NPDBuildConfig, build_all_indexes, build_fragments
+from repro.dist import ProcessCluster
+from repro.exceptions import ClusterError
+from repro.partition import BfsPartitioner
+
+from helpers import make_random_network
+
+
+@pytest.fixture(scope="module")
+def built():
+    net = make_random_network(seed=650, num_junctions=24, num_objects=12, vocabulary=4)
+    partition = BfsPartitioner(seed=6).partition(net, 4)
+    fragments = build_fragments(net, partition)
+    indexes, _ = build_all_indexes(net, fragments, NPDBuildConfig(max_radius=math.inf))
+    return net, fragments, indexes
+
+
+class TestLifecycle:
+    def test_start_and_shutdown(self, built):
+        _net, fragments, indexes = built
+        cluster = ProcessCluster.start(fragments, indexes)
+        assert cluster.num_machines == 4
+        cluster.shutdown()
+        with pytest.raises(ClusterError):
+            cluster.execute(sgkq(["w0"], 1.0))
+
+    def test_context_manager(self, built):
+        net, fragments, indexes = built
+        with ProcessCluster.start(fragments, indexes, num_machines=2) as cluster:
+            assert cluster.num_machines == 2
+            response = cluster.execute(sgkq(["w0"], 3.0))
+            assert response.result_nodes == CentralizedEvaluator(net).results(
+                sgkq(["w0"], 3.0)
+            )
+
+    def test_validation(self, built):
+        _net, fragments, indexes = built
+        with pytest.raises(ClusterError):
+            ProcessCluster.start(fragments, indexes[:-1])
+        with pytest.raises(ClusterError):
+            ProcessCluster.start([], [])
+
+    def test_double_shutdown_is_safe(self, built):
+        _net, fragments, indexes = built
+        cluster = ProcessCluster.start(fragments, indexes, num_machines=2)
+        cluster.shutdown()
+        cluster.shutdown()
+
+
+class TestExecution:
+    def test_matches_oracle_over_batch(self, built):
+        net, fragments, indexes = built
+        oracle = CentralizedEvaluator(net)
+        with ProcessCluster.start(fragments, indexes) as cluster:
+            for radius in (1.0, 3.0, 6.0):
+                query = sgkq(["w0", "w1"], radius)
+                response = cluster.execute(query)
+                assert response.result_nodes == oracle.results(query)
+                assert set(response.fragment_seconds) == {0, 1, 2, 3}
+                assert response.message_bytes > 0
+                assert response.wall_seconds > 0
+
+    def test_fewer_machines_than_fragments(self, built):
+        net, fragments, indexes = built
+        oracle = CentralizedEvaluator(net)
+        query = sgkq(["w1", "w2"], 4.0)
+        with ProcessCluster.start(fragments, indexes, num_machines=2) as cluster:
+            response = cluster.execute(query)
+            assert response.result_nodes == oracle.results(query)
+            assert len(response.machine_seconds) == 2
+            assert len(response.fragment_seconds) == 4

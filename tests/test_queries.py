@@ -1,0 +1,138 @@
+"""Tests for the query constructors and their §3.1 reductions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CoverageTerm,
+    KeywordSource,
+    NodeSource,
+    QClassQuery,
+    SetOp,
+    rkq,
+    sgkq,
+    sgkq_extended,
+)
+from repro.exceptions import QueryError
+
+
+class TestSources:
+    def test_keyword_source_validation(self):
+        with pytest.raises(QueryError):
+            KeywordSource("")
+        assert str(KeywordSource("cafe")) == "kw:cafe"
+
+    def test_node_source_validation(self):
+        with pytest.raises(QueryError):
+            NodeSource(-1)
+        assert str(NodeSource(7)) == "node:7"
+
+    def test_term_validation(self):
+        with pytest.raises(QueryError):
+            CoverageTerm(KeywordSource("x"), -1.0)
+
+
+class TestSGKQ:
+    def test_reduction_is_intersection_chain(self):
+        q = sgkq(["a", "b", "c"], 2.0)
+        assert len(q.terms) == 3
+        assert all(t.radius == 2.0 for t in q.terms)
+        assert q.keywords() == ["a", "b", "c"]
+        # X0 ∩ X1 ∩ X2 semantics:
+        assert q.expression.evaluate([{1, 2}, {2, 3}, {2}]) == {2}
+
+    def test_empty_keywords_rejected(self):
+        with pytest.raises(QueryError):
+            sgkq([], 1.0)
+
+    def test_duplicate_keywords_rejected(self):
+        with pytest.raises(QueryError):
+            sgkq(["a", "a"], 1.0)
+
+    def test_default_label(self):
+        assert "SGKQ" in sgkq(["a"], 1.0).label
+
+    def test_max_radius(self):
+        assert sgkq(["a", "b"], 3.5).max_radius == 3.5
+
+
+class TestExtendedSGKQ:
+    def test_q2_shape(self):
+        """Q2: R(shopping mall, 0) − R(pizza shop, 1km)."""
+        q = sgkq_extended(
+            all_within=[("shopping mall", 0.0)],
+            none_within=[("pizza shop", 1.0)],
+        )
+        assert len(q.terms) == 2
+        assert q.expression.evaluate([{1, 2}, {2}]) == {1}
+
+    def test_q5_shape(self):
+        """Q5: R(university, 0.5) ∪ R(park, 0.5)."""
+        q = sgkq_extended(any_within=[("university", 0.5), ("park", 0.5)])
+        assert q.expression.evaluate([{1}, {2}]) == {1, 2}
+
+    def test_combined_all_any_none(self):
+        q = sgkq_extended(
+            all_within=[("a", 1.0)],
+            any_within=[("b", 1.0), ("c", 1.0)],
+            none_within=[("d", 2.0)],
+        )
+        # a ∩ (b ∪ c) − d
+        sets = [{1, 2, 3}, {1}, {2}, {2}]
+        assert q.expression.evaluate(sets) == {1}
+
+    def test_needs_positive_condition(self):
+        with pytest.raises(QueryError):
+            sgkq_extended(none_within=[("x", 1.0)])
+
+    def test_per_keyword_radiuses(self):
+        q = sgkq_extended(all_within=[("a", 1.0), ("b", 5.0)])
+        assert [t.radius for t in q.terms] == [1.0, 5.0]
+        assert q.max_radius == 5.0
+
+
+class TestRKQ:
+    def test_reduction(self):
+        """Example 2: RKQ(B, {museum}, 4) = R(B, 4) ∩ R(museum, 0)."""
+        q = rkq(1, ["museum"], 4.0)
+        assert isinstance(q.terms[0].source, NodeSource)
+        assert q.terms[0].radius == 4.0
+        assert isinstance(q.terms[1].source, KeywordSource)
+        assert q.terms[1].radius == 0.0
+        assert q.node_sources() == [1]
+        assert q.keywords() == ["museum"]
+
+    def test_multi_keyword(self):
+        q = rkq(0, ["a", "b", "c"], 2.0)
+        assert len(q.terms) == 4
+        assert all(t.radius == 0.0 for t in q.terms[1:])
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            rkq(0, [], 1.0)
+        with pytest.raises(QueryError):
+            rkq(0, ["a", "a"], 1.0)
+
+
+class TestQClassQuery:
+    def test_chain_arity_checked(self):
+        terms = (CoverageTerm(KeywordSource("a"), 1.0),)
+        with pytest.raises(QueryError):
+            QClassQuery.from_chain(terms, [SetOp.UNION])
+
+    def test_expression_term_bounds_checked(self):
+        from repro.core.dfunction import term
+
+        with pytest.raises(QueryError):
+            QClassQuery((CoverageTerm(KeywordSource("a"), 1.0),), term(3))
+
+    def test_no_terms_rejected(self):
+        from repro.core.dfunction import term
+
+        with pytest.raises(QueryError):
+            QClassQuery((), term(0))
+
+    def test_str_contains_terms(self):
+        q = sgkq(["cafe"], 1.0)
+        assert "kw:cafe" in str(q)

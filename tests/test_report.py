@@ -1,0 +1,71 @@
+"""Tests for the deployment report."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import DisksEngine, EngineConfig
+from repro.core import deployment_report
+from repro.partition import BfsPartitioner
+from repro.storage import index_file_size
+
+from helpers import make_random_network
+
+
+@pytest.fixture(scope="module")
+def engine():
+    net = make_random_network(seed=610, num_junctions=25, num_objects=12, vocabulary=4)
+    return DisksEngine.build(
+        net,
+        EngineConfig(num_fragments=3, lambda_factor=5.0, partitioner=BfsPartitioner(seed=6)),
+    )
+
+
+class TestDeploymentReport:
+    def test_counts_consistent(self, engine):
+        report = deployment_report(engine)
+        assert report.num_fragments == 3
+        assert report.num_nodes == engine.network.num_nodes
+        assert report.num_objects == engine.network.num_objects()
+        assert sum(fr.num_members for fr in report.fragments) == report.num_nodes
+
+    def test_sizes_match_files(self, engine):
+        report = deployment_report(engine)
+        for fr, index in zip(report.fragments, engine.indexes):
+            assert fr.index_bytes == index_file_size(index)
+        assert report.total_index_bytes == sum(fr.index_bytes for fr in report.fragments)
+        assert report.mean_index_bytes == pytest.approx(report.total_index_bytes / 3)
+
+    def test_index_summaries_match(self, engine):
+        report = deployment_report(engine)
+        for fr, index in zip(report.fragments, engine.indexes):
+            sizes = index.size_summary()
+            assert fr.num_shortcuts == sizes["shortcuts"]
+            assert fr.keyword_entries == sizes["keyword_entries"]
+            assert fr.keyword_pairs == sizes["keyword_pairs"]
+
+    def test_build_seconds_positive(self, engine):
+        report = deployment_report(engine)
+        assert report.total_build_seconds > 0
+        assert all(fr.build_seconds >= 0 for fr in report.fragments)
+
+    def test_render_mentions_fragments(self, engine):
+        text = deployment_report(engine).render()
+        assert "P0:" in text and "P2:" in text
+        assert "maxR" in text
+        assert "cut=" in text
+
+    def test_render_infinite_maxr(self):
+        net = make_random_network(seed=611, num_junctions=12, num_objects=6)
+        infinite = DisksEngine.build(
+            net,
+            EngineConfig(
+                num_fragments=2,
+                lambda_factor=None,
+                max_radius=math.inf,
+                partitioner=BfsPartitioner(seed=1),
+            ),
+        )
+        assert "∞" in deployment_report(infinite).render()

@@ -1,0 +1,191 @@
+"""Tests for the binary codec and the IND(P)/fragment file formats."""
+
+from __future__ import annotations
+
+import io
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import NPDBuildConfig, build_all_indexes, build_fragments
+from repro.core.npd import DLNodePolicy
+from repro.exceptions import ChecksumError, CodecError, StorageError
+from repro.partition import BfsPartitioner
+from repro.storage import (
+    RecordReader,
+    RecordWriter,
+    decode_record,
+    encode_record,
+    index_file_size,
+    read_fragment_file,
+    read_index_file,
+    write_fragment_file,
+    write_index_file,
+)
+from repro.storage.codec import pack_string, unpack_string
+
+from helpers import make_random_network
+
+
+class TestCodec:
+    @settings(max_examples=50, deadline=None)
+    @given(st.binary(max_size=2000))
+    def test_record_round_trip(self, payload):
+        framed = encode_record(payload)
+        decoded, end = decode_record(framed)
+        assert decoded == payload
+        assert end == len(framed)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.binary(max_size=100), max_size=10))
+    def test_stream_round_trip(self, payloads):
+        buffer = io.BytesIO()
+        writer = RecordWriter(buffer)
+        for payload in payloads:
+            writer.write(payload)
+        assert writer.records_written == len(payloads)
+        buffer.seek(0)
+        assert list(RecordReader(buffer)) == payloads
+
+    def test_corruption_detected(self):
+        framed = bytearray(encode_record(b"hello world"))
+        framed[-1] ^= 0xFF
+        with pytest.raises(ChecksumError):
+            decode_record(bytes(framed))
+
+    def test_truncation_detected(self):
+        framed = encode_record(b"hello world")
+        with pytest.raises(CodecError):
+            decode_record(framed[: len(framed) - 3])
+        with pytest.raises(CodecError):
+            decode_record(framed[:4])
+
+    def test_stream_truncation_detected(self):
+        framed = encode_record(b"payload")
+        reader = RecordReader(io.BytesIO(framed[:-2]))
+        with pytest.raises(CodecError):
+            next(reader)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(max_size=200))
+    def test_string_round_trip(self, text):
+        packed = pack_string(text)
+        decoded, end = unpack_string(packed, 0)
+        assert decoded == text
+        assert end == len(packed)
+
+    def test_string_truncation(self):
+        packed = pack_string("hello")
+        with pytest.raises(CodecError):
+            unpack_string(packed[:3], 0)
+        with pytest.raises(CodecError):
+            unpack_string(b"", 0)
+
+
+@pytest.fixture(scope="module")
+def built_case():
+    net = make_random_network(seed=300, num_junctions=20, num_objects=10, vocabulary=4)
+    partition = BfsPartitioner(seed=3).partition(net, 3)
+    fragments = build_fragments(net, partition)
+    indexes, _ = build_all_indexes(net, fragments, NPDBuildConfig(max_radius=5.0))
+    return net, fragments, indexes
+
+
+class TestIndexFiles:
+    def test_round_trip(self, built_case, tmp_path):
+        _net, _fragments, indexes = built_case
+        for index in indexes:
+            path = tmp_path / f"ind{index.fragment_id}.npd"
+            write_index_file(index, path)
+            clone = read_index_file(path)
+            assert clone.fragment_id == index.fragment_id
+            assert clone.max_radius == index.max_radius
+            assert clone.node_policy == index.node_policy
+            assert clone.directed == index.directed
+            assert clone.shortcuts == index.shortcuts
+            assert clone.keyword_entries == index.keyword_entries
+            assert clone.node_entries == index.node_entries
+
+    def test_infinite_max_radius_round_trips(self, tmp_path):
+        net = make_random_network(seed=301, num_junctions=12, num_objects=6)
+        partition = BfsPartitioner(seed=1).partition(net, 2)
+        fragments = build_fragments(net, partition)
+        indexes, _ = build_all_indexes(net, fragments, NPDBuildConfig(max_radius=math.inf))
+        path = tmp_path / "inf.npd"
+        write_index_file(indexes[0], path)
+        assert read_index_file(path).max_radius == math.inf
+
+    def test_predicted_size_matches_actual(self, built_case, tmp_path):
+        _net, _fragments, indexes = built_case
+        for index in indexes:
+            path = tmp_path / f"size{index.fragment_id}.npd"
+            actual = write_index_file(index, path)
+            assert actual == index_file_size(index)
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = tmp_path / "bogus.npd"
+        with path.open("wb") as stream:
+            RecordWriter(stream).write(b"WRONGMAG" + b"\x00" * 30)
+        with pytest.raises(StorageError):
+            read_index_file(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.npd"
+        path.write_bytes(b"")
+        with pytest.raises(StorageError):
+            read_index_file(path)
+
+    def test_bitrot_detected(self, built_case, tmp_path):
+        _net, _fragments, indexes = built_case
+        path = tmp_path / "rot.npd"
+        write_index_file(indexes[0], path)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises((ChecksumError, StorageError, CodecError)):
+            read_index_file(path)
+
+
+class TestFragmentFiles:
+    def test_round_trip(self, built_case, tmp_path):
+        _net, fragments, _indexes = built_case
+        for fragment in fragments:
+            path = tmp_path / f"frag{fragment.fragment_id}.npf"
+            write_fragment_file(fragment, path)
+            clone = read_fragment_file(path)
+            assert clone.fragment_id == fragment.fragment_id
+            assert clone.members == fragment.members
+            assert clone.portals == fragment.portals
+            assert clone.adjacency == fragment.adjacency
+            assert clone.directed == fragment.directed
+            assert (
+                clone.keyword_index.to_postings()
+                == fragment.keyword_index.to_postings()
+            )
+
+    def test_cold_start_machine_from_files(self, built_case, tmp_path):
+        """A worker restored purely from its two files answers correctly."""
+        from repro.baselines import CentralizedEvaluator
+        from repro.core import sgkq
+        from repro.core.coverage import FragmentRuntime
+        from repro.core.executor import execute_fragment_task
+
+        net, fragments, indexes = built_case
+        query = sgkq(["w0", "w1"], 4.0)
+        merged: set[int] = set()
+        for fragment, index in zip(fragments, indexes):
+            fpath = tmp_path / f"f{fragment.fragment_id}.npf"
+            ipath = tmp_path / f"i{fragment.fragment_id}.npd"
+            write_fragment_file(fragment, fpath)
+            write_index_file(index, ipath)
+            runtime = FragmentRuntime(read_fragment_file(fpath), read_index_file(ipath))
+            merged |= execute_fragment_task(runtime, query).local_result
+        assert merged == CentralizedEvaluator(net).results(query)
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = tmp_path / "bogus.npf"
+        with path.open("wb") as stream:
+            RecordWriter(stream).write(b"WRONGMAG" + b"\x00" * 20)
+        with pytest.raises(StorageError):
+            read_fragment_file(path)

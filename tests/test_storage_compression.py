@@ -1,0 +1,60 @@
+"""Tests for the compressed index-file variant."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import NPDBuildConfig, build_all_indexes, build_fragments
+from repro.exceptions import ChecksumError, CodecError, StorageError
+from repro.partition import BfsPartitioner
+from repro.storage import read_index_file, write_index_file
+
+from helpers import make_random_network
+
+
+@pytest.fixture(scope="module")
+def indexes():
+    net = make_random_network(seed=750, num_junctions=40, num_objects=20, vocabulary=5)
+    fragments = build_fragments(net, BfsPartitioner(seed=7).partition(net, 3))
+    built, _ = build_all_indexes(net, fragments, NPDBuildConfig(max_radius=math.inf))
+    return built
+
+
+class TestCompressedIndexFiles:
+    def test_round_trip(self, indexes, tmp_path):
+        for index in indexes:
+            path = tmp_path / f"c{index.fragment_id}.npd"
+            write_index_file(index, path, compress=True)
+            clone = read_index_file(path)
+            assert clone.shortcuts == index.shortcuts
+            assert clone.keyword_entries == index.keyword_entries
+            assert clone.node_entries == index.node_entries
+            assert clone.max_radius == index.max_radius
+
+    def test_compression_shrinks_files(self, indexes, tmp_path):
+        index = max(indexes, key=lambda i: i.num_recorded_distances)
+        raw = write_index_file(index, tmp_path / "raw.npd")
+        small = write_index_file(index, tmp_path / "small.npd", compress=True)
+        assert small < raw
+
+    def test_variants_interoperate(self, indexes, tmp_path):
+        """Raw and compressed files of the same index load identically."""
+        index = indexes[0]
+        write_index_file(index, tmp_path / "a.npd")
+        write_index_file(index, tmp_path / "b.npd", compress=True)
+        a = read_index_file(tmp_path / "a.npd")
+        b = read_index_file(tmp_path / "b.npd")
+        assert a.shortcuts == b.shortcuts
+        assert a.keyword_entries == b.keyword_entries
+        assert a.node_entries == b.node_entries
+
+    def test_corrupt_compressed_record_detected(self, indexes, tmp_path):
+        path = tmp_path / "rot.npd"
+        write_index_file(indexes[0], path, compress=True)
+        data = bytearray(path.read_bytes())
+        data[-10] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises((StorageError, ChecksumError, CodecError)):
+            read_index_file(path)

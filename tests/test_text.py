@@ -1,0 +1,207 @@
+"""Tests for the text substrate: vocabulary, inverted indexes, Zipf placement."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import DisksError, UnknownKeywordError
+from repro.text import (
+    ClusteredKeywordPlacer,
+    FragmentKeywordIndex,
+    InvertedIndex,
+    PlacementConfig,
+    Vocabulary,
+    ZipfSampler,
+)
+from repro.workloads import toy_figure1
+
+from helpers import make_random_network
+
+
+class TestVocabulary:
+    def test_intern_assigns_dense_ids(self):
+        v = Vocabulary()
+        assert v.intern("a") == 0
+        assert v.intern("b") == 1
+        assert v.intern("a") == 0
+        assert len(v) == 2
+
+    def test_counting(self):
+        v = Vocabulary()
+        v.intern("a", count=2)
+        v.intern("a", count=3)
+        assert v.count("a") == 5
+        assert v.count("missing") == 0
+
+    def test_id_and_word_lookup(self):
+        v = Vocabulary(["x", "y"])
+        assert v.id_of("y") == 1
+        assert v.word_of(0) == "x"
+
+    def test_unknown_lookups_raise(self):
+        v = Vocabulary()
+        with pytest.raises(UnknownKeywordError):
+            v.id_of("nope")
+        with pytest.raises(UnknownKeywordError):
+            v.word_of(3)
+
+    def test_iteration_and_contains(self):
+        v = Vocabulary(["a", "b"])
+        assert list(v) == ["a", "b"]
+        assert "a" in v and "z" not in v
+
+    def test_round_trip(self):
+        v = Vocabulary()
+        v.intern("a", count=4)
+        v.intern("b", count=1)
+        clone = Vocabulary.from_list(v.to_list())
+        assert clone.frequencies() == v.frequencies()
+        assert clone.id_of("b") == v.id_of("b")
+
+
+class TestInvertedIndex:
+    def test_postings_sorted(self):
+        net = make_random_network(seed=42, num_objects=15, vocabulary=4)
+        inv = InvertedIndex(net)
+        for kw in inv.keywords():
+            nodes = inv.nodes_with(kw)
+            assert list(nodes) == sorted(nodes)
+            for node in nodes:
+                assert kw in net.keywords(node)
+
+    def test_completeness(self):
+        net = make_random_network(seed=43, num_objects=15, vocabulary=4)
+        inv = InvertedIndex(net)
+        for node in net.nodes():
+            for kw in net.keywords(node):
+                assert node in inv.nodes_with(kw)
+
+    def test_frequency_matches_network(self):
+        net = toy_figure1()
+        inv = InvertedIndex(net)
+        assert inv.frequency("school") == 1
+        assert inv.frequency("missing") == 0
+        assert "school" in inv and "missing" not in inv
+
+    def test_vocabulary_counts(self):
+        net = toy_figure1()
+        inv = InvertedIndex(net)
+        assert inv.vocabulary.count("museum") == 1
+
+
+class TestFragmentKeywordIndex:
+    def test_restriction_to_members(self):
+        net = make_random_network(seed=44, num_objects=12, vocabulary=4)
+        members = [n for n in net.nodes() if n % 2 == 0]
+        fki = FragmentKeywordIndex(net, members)
+        for kw in fki.local_keywords():
+            for node in fki.local_nodes_with(kw):
+                assert node in members
+                assert kw in net.keywords(node)
+
+    def test_union_over_fragments_covers_everything(self):
+        net = make_random_network(seed=45, num_objects=12, vocabulary=4)
+        half = net.num_nodes // 2
+        a = FragmentKeywordIndex(net, range(half))
+        b = FragmentKeywordIndex(net, range(half, net.num_nodes))
+        inv = InvertedIndex(net)
+        for kw in inv.keywords():
+            combined = set(a.local_nodes_with(kw)) | set(b.local_nodes_with(kw))
+            assert combined == set(inv.nodes_with(kw))
+
+    def test_postings_round_trip(self):
+        net = toy_figure1()
+        fki = FragmentKeywordIndex(net, net.nodes())
+        clone = FragmentKeywordIndex.from_postings(fki.to_postings())
+        assert clone.to_postings() == fki.to_postings()
+        assert len(clone) == len(fki)
+
+
+class TestZipfSampler:
+    def test_validation(self):
+        with pytest.raises(DisksError):
+            ZipfSampler(0)
+        with pytest.raises(DisksError):
+            ZipfSampler(5, s=-1.0)
+
+    def test_probabilities_sum_to_one(self):
+        z = ZipfSampler(20, 1.2)
+        assert sum(z.probability(r) for r in range(20)) == pytest.approx(1.0)
+        assert z.probability(-1) == 0.0
+        assert z.probability(20) == 0.0
+
+    def test_skew_orders_ranks(self):
+        z = ZipfSampler(10, 1.0)
+        probs = [z.probability(r) for r in range(10)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_uniform_when_exponent_zero(self):
+        z = ZipfSampler(4, 0.0)
+        assert z.probability(0) == pytest.approx(z.probability(3))
+
+    def test_empirical_skew(self):
+        z = ZipfSampler(50, 1.0)
+        rng = random.Random(1)
+        counts = Counter(z.sample(rng) for _ in range(5000))
+        assert counts[0] > counts.get(25, 0)
+        assert counts[0] > counts.get(49, 0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), n=st.integers(1, 100))
+    def test_samples_in_range(self, seed, n):
+        z = ZipfSampler(n, 1.0)
+        rng = random.Random(seed)
+        for rank in z.sample_many(rng, 50):
+            assert 0 <= rank < n
+
+
+class TestClusteredPlacer:
+    def test_deterministic(self):
+        cfg = PlacementConfig(vocabulary_size=30, seed=7)
+        a = ClusteredKeywordPlacer(cfg, (0, 0, 10, 10))
+        b = ClusteredKeywordPlacer(cfg, (0, 0, 10, 10))
+        positions = [(1.0, 2.0), (5.0, 5.0), (9.0, 1.0)]
+        assert a.place_all(positions) == b.place_all(positions)
+
+    def test_keyword_count_bounds(self):
+        cfg = PlacementConfig(vocabulary_size=30, min_keywords=2, max_keywords=3, seed=1)
+        placer = ClusteredKeywordPlacer(cfg, (0, 0, 10, 10))
+        for kws in placer.place_all([(i * 0.5, i * 0.5) for i in range(40)]):
+            assert 1 <= len(kws) <= 3  # duplicates may shrink the set below min
+
+    def test_keyword_names_are_canonical(self):
+        cfg = PlacementConfig(vocabulary_size=10, seed=2)
+        placer = ClusteredKeywordPlacer(cfg, (0, 0, 1, 1))
+        for kws in placer.place_all([(0.5, 0.5)] * 10):
+            for kw in kws:
+                assert kw.startswith("kw")
+                assert 0 <= int(kw[2:]) < 10
+
+    def test_spatial_correlation(self):
+        """Nearby objects share more keywords than far-apart ones."""
+        cfg = PlacementConfig(
+            vocabulary_size=400, num_clusters=2, cluster_affinity=0.95, topic_size=8, seed=3
+        )
+        placer = ClusteredKeywordPlacer(cfg, (0, 0, 100, 100))
+        centre_a = placer._centres[0]
+        centre_b = placer._centres[1]
+        near_a = [placer.keywords_for(centre_a) for _ in range(30)]
+        near_b = [placer.keywords_for(centre_b) for _ in range(30)]
+        vocab_a = set().union(*near_a)
+        vocab_b = set().union(*near_b)
+        overlap = len(vocab_a & vocab_b)
+        assert overlap < min(len(vocab_a), len(vocab_b))
+
+    def test_invalid_configs(self):
+        with pytest.raises(DisksError):
+            PlacementConfig(vocabulary_size=0)
+        with pytest.raises(DisksError):
+            PlacementConfig(cluster_affinity=1.5)
+        with pytest.raises(DisksError):
+            PlacementConfig(min_keywords=0)
+        with pytest.raises(DisksError):
+            ClusteredKeywordPlacer(PlacementConfig(), (5, 5, 0, 0))

@@ -1,0 +1,93 @@
+"""Tests for the open-loop workload driver."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import DisksEngine, EngineConfig
+from repro.exceptions import DisksError
+from repro.partition import MultilevelPartitioner
+from repro.workloads import WorkloadDriver, WorkloadReport, WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def engine(aus_tiny):
+    return DisksEngine.build(
+        aus_tiny.network,
+        EngineConfig(
+            num_fragments=4, lambda_factor=12.0, partitioner=MultilevelPartitioner(seed=1)
+        ),
+    )
+
+
+class TestSpecValidation:
+    def test_invalid_specs(self):
+        with pytest.raises(DisksError):
+            WorkloadSpec(num_queries=0)
+        with pytest.raises(DisksError):
+            WorkloadSpec(arrival_rate_qps=0)
+        with pytest.raises(DisksError):
+            WorkloadSpec(rkq_fraction=1.5)
+        with pytest.raises(DisksError):
+            WorkloadSpec(min_keywords=3, max_keywords=2)
+        with pytest.raises(DisksError):
+            WorkloadSpec(min_radius_fraction=0.0)
+        with pytest.raises(DisksError):
+            WorkloadSpec(min_radius_fraction=0.9, max_radius_fraction=0.5)
+
+
+class TestGeneration:
+    def test_stream_shape(self, engine):
+        spec = WorkloadSpec(num_queries=12, rkq_fraction=0.5, seed=3)
+        stream = WorkloadDriver(engine, spec).generate()
+        assert len(stream) == 12
+        arrivals = [t.arrival_seconds for t in stream]
+        assert arrivals == sorted(arrivals)
+        assert all(t.query.max_radius <= engine.max_radius for t in stream)
+        kinds = {bool(t.query.node_sources()) for t in stream}
+        assert kinds == {True, False}  # both RKQs and SGKQs appear
+
+    def test_deterministic(self, engine):
+        spec = WorkloadSpec(num_queries=6, seed=9)
+        a = WorkloadDriver(engine, spec).generate()
+        b = WorkloadDriver(engine, spec).generate()
+        assert [t.arrival_seconds for t in a] == [t.arrival_seconds for t in b]
+        assert [str(t.query) for t in a] == [str(t.query) for t in b]
+
+    def test_pure_sgkq_stream(self, engine):
+        spec = WorkloadSpec(num_queries=8, rkq_fraction=0.0, seed=1)
+        stream = WorkloadDriver(engine, spec).generate()
+        assert all(not t.query.node_sources() for t in stream)
+
+
+class TestReplay:
+    def test_report_consistency(self, engine):
+        spec = WorkloadSpec(num_queries=10, arrival_rate_qps=50.0, seed=4)
+        report = WorkloadDriver(engine, spec).replay()
+        assert len(report.latencies_seconds) == 10
+        assert all(lat > 0 for lat in report.latencies_seconds)
+        assert report.p50_ms <= report.p95_ms <= report.p99_ms
+        assert report.total_busy_seconds > 0
+        assert report.throughput_qps > 0
+
+    def test_lower_offered_load_means_lower_latency(self, engine):
+        relaxed = WorkloadDriver(
+            engine, WorkloadSpec(num_queries=10, arrival_rate_qps=1.0, seed=5)
+        ).replay()
+        slammed = WorkloadDriver(
+            engine, WorkloadSpec(num_queries=10, arrival_rate_qps=10_000.0, seed=5)
+        ).replay()
+        assert slammed.p95_ms >= relaxed.p95_ms
+
+    def test_percentile_validation(self):
+        report = WorkloadReport((0.1, 0.2), 1.0, 1.0, False, 0.3)
+        with pytest.raises(DisksError):
+            report.percentile(1.5)
+        assert report.percentile(0.5) == 0.1
+        assert report.percentile(1.0) == 0.2
+
+    def test_empty_stream_rejected(self, engine):
+        with pytest.raises(DisksError):
+            WorkloadDriver(engine).replay([])

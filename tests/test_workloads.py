@@ -1,0 +1,140 @@
+"""Tests for datasets and the §6 query generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dfunction import SetOp
+from repro.core.queries import KeywordSource, NodeSource
+from repro.exceptions import DisksError, QueryError
+from repro.workloads import (
+    DATASET_PRESETS,
+    QueryGenConfig,
+    QueryGenerator,
+    build_dataset,
+    load_dataset,
+    toy_figure1,
+)
+
+
+class TestToyFigure1:
+    def test_structure(self):
+        net = toy_figure1()
+        assert net.num_nodes == 5
+        assert net.keywords(0) == {"school"}
+        assert net.keywords(3) == {"museum"}
+        assert not net.is_object(4)
+
+    def test_example3_coverage(self):
+        """Example 3: R(school, 3) = {A, B, E}."""
+        from repro.baselines import CentralizedEvaluator
+        from repro.core import CoverageTerm, KeywordSource
+
+        cov = CentralizedEvaluator(toy_figure1()).coverage(
+            CoverageTerm(KeywordSource("school"), 3.0)
+        )
+        assert cov == {0, 1, 4}
+
+
+class TestDatasetPresets:
+    def test_tiny_presets_build_and_connect(self, aus_tiny):
+        assert aus_tiny.stats.connected
+        assert aus_tiny.stats.num_objects > 0
+        assert aus_tiny.stats.num_keywords > 10
+
+    def test_memoised(self):
+        assert load_dataset("aus_tiny") is load_dataset("aus_tiny")
+
+    def test_unknown_preset(self):
+        with pytest.raises(DisksError):
+            load_dataset("mars_mini")
+
+    def test_object_ratio_matches_table1_shape(self):
+        """bri presets keep the ~8% object ratio; aus ~6%."""
+        bri = DATASET_PRESETS["bri_tiny"]
+        ratio = bri.num_objects / bri.generator.num_nodes
+        assert 0.05 <= ratio <= 0.12
+
+    def test_objects_attached_to_network(self, aus_tiny):
+        net = aus_tiny.network
+        for node in net.object_nodes():
+            assert net.degree(node) >= 1
+            assert net.keywords(node)
+
+    def test_frequent_keywords(self, aus_tiny):
+        top = aus_tiny.frequent_keywords(5)
+        assert len(top) == 5
+        freq = aus_tiny.network.keyword_frequencies()
+        assert freq[top[0]] >= freq[top[4]]
+
+    def test_build_deterministic(self):
+        a = build_dataset(DATASET_PRESETS["aus_tiny"])
+        b = build_dataset(DATASET_PRESETS["aus_tiny"])
+        assert list(a.network.edges()) == list(b.network.edges())
+        for node in a.network.nodes():
+            assert a.network.keywords(node) == b.network.keywords(node)
+
+
+class TestQueryGenerator:
+    def test_requires_positions_and_objects(self):
+        from repro.graph import RoadNetworkBuilder
+
+        b = RoadNetworkBuilder()
+        b.add_junction()
+        b.add_junction()
+        b.add_edge(0, 1, 1.0)
+        with pytest.raises(QueryError):
+            QueryGenerator(b.build())
+
+    def test_sgkq_shape(self, aus_tiny):
+        gen = QueryGenerator(aus_tiny.network, QueryGenConfig(seed=1))
+        query = gen.sgkq(3, 5.0)
+        assert len(query.terms) == 3
+        assert len(set(query.keywords())) == 3
+        assert all(t.radius == 5.0 for t in query.terms)
+        vocab = aus_tiny.network.all_keywords()
+        assert all(kw in vocab for kw in query.keywords())
+
+    def test_deterministic_given_seed(self, aus_tiny):
+        a = QueryGenerator(aus_tiny.network, QueryGenConfig(seed=5)).sgkq_batch(4, 3, 5.0)
+        b = QueryGenerator(aus_tiny.network, QueryGenConfig(seed=5)).sgkq_batch(4, 3, 5.0)
+        assert [q.keywords() for q in a] == [q.keywords() for q in b]
+
+    def test_different_seeds_vary(self, aus_tiny):
+        a = QueryGenerator(aus_tiny.network, QueryGenConfig(seed=1)).sgkq_batch(6, 3, 5.0)
+        b = QueryGenerator(aus_tiny.network, QueryGenConfig(seed=2)).sgkq_batch(6, 3, 5.0)
+        assert [q.keywords() for q in a] != [q.keywords() for q in b]
+
+    def test_rkq_location_is_object(self, aus_tiny):
+        gen = QueryGenerator(aus_tiny.network, QueryGenConfig(seed=3))
+        query = gen.rkq(2, 4.0)
+        (location,) = query.node_sources()
+        assert aus_tiny.network.is_object(location)
+        assert query.terms[0].radius == 4.0
+        assert all(t.radius == 0.0 for t in query.terms[1:])
+
+    def test_dfunction_mix_operator_split(self, aus_tiny):
+        gen = QueryGenerator(aus_tiny.network, QueryGenConfig(seed=4))
+        query = gen.dfunction_mix(5, 3.0, 2)
+        # Recover the ops from the compiled chain by walking term order.
+        assert len(query.terms) == 5
+        assert "2 minus" in query.label
+
+    def test_dfunction_mix_bounds(self, aus_tiny):
+        gen = QueryGenerator(aus_tiny.network, QueryGenConfig(seed=4))
+        with pytest.raises(QueryError):
+            gen.dfunction_mix(3, 1.0, 3)
+
+    def test_frequency_bias(self, aus_tiny):
+        """Frequent keywords appear more often across generated queries."""
+        net = aus_tiny.network
+        gen = QueryGenerator(net, QueryGenConfig(seed=6))
+        from collections import Counter
+
+        counts: Counter[str] = Counter()
+        for query in gen.sgkq_batch(40, 2, 3.0):
+            counts.update(query.keywords())
+        freq = net.keyword_frequencies()
+        popular = {kw for kw, _ in Counter(freq).most_common(10)}
+        popular_hits = sum(counts[kw] for kw in popular)
+        assert popular_hits > sum(counts.values()) * 0.25
