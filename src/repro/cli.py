@@ -2,12 +2,16 @@
 
 Commands
 --------
-``info``   — Table-1-style statistics of a dataset preset.
-``build``  — partition a preset, build every ``IND(P)``, write the
-             per-machine files (fragment + index) into a directory.
-``query``  — cold-start workers from a built directory and answer an
-             SGKQ or RKQ, printing results and accounting.
-``demo``   — an end-to-end run on the paper's Fig. 1 network.
+``info``    — Table-1-style statistics of a dataset preset.
+``build``   — partition a preset, build every ``IND(P)``, write the
+              per-machine files (fragment + index) into a directory.
+``query``   — cold-start workers from a built directory and answer an
+              SGKQ or RKQ, printing results and accounting.
+``serve``   — cold-start a pipelined worker cluster from a built
+              directory and serve queries over TCP (NDJSON protocol).
+``loadgen`` — drive a running server closed-loop and print throughput,
+              tail latency and the server's own metrics.
+``demo``    — an end-to-end run on the paper's Fig. 1 network.
 
 The CLI drives exactly the public library API; it exists so the system
 can be exercised without writing Python.
@@ -16,11 +20,12 @@ can be exercised without writing Python.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 from pathlib import Path
 
-from repro import DisksEngine, EngineConfig, rkq, sgkq
+from repro import DisksEngine, EngineConfig, __version__, rkq, sgkq
 from repro.core import build_fragments, deployment_report, parse_query
 from repro.core.coverage import FragmentRuntime
 from repro.core.executor import execute_fragment_task
@@ -45,6 +50,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DiSKS: distributed spatial keyword querying on road networks",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -73,6 +81,40 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="node id: if given, run an RKQ from this location instead of an SGKQ",
     )
+
+    serve = sub.add_parser("serve", help="serve queries over TCP from built files")
+    serve.add_argument("--dir", required=True, help="directory produced by `build`")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7474, help="0 picks a free port")
+    serve.add_argument(
+        "--machines", type=int, default=None, help="worker processes (default: one per fragment)"
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=16, dest="max_inflight",
+        help="admission high-water mark; excess queries are shed",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=30.0, help="per-query timeout, seconds"
+    )
+
+    loadgen = sub.add_parser("loadgen", help="closed-loop load test of a server")
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=7474)
+    loadgen.add_argument(
+        "--dataset", default="aus_tiny", choices=sorted(DATASET_PRESETS),
+        help="preset used to synthesise the query stream (match the server's build)",
+    )
+    loadgen.add_argument("--clients", type=int, default=4)
+    loadgen.add_argument("--queries", type=int, default=100)
+    loadgen.add_argument("--keywords", type=int, default=2)
+    loadgen.add_argument(
+        "--radius-fraction", type=float, default=0.5, dest="radius_fraction",
+        help="query radius as a fraction of the server's maxR",
+    )
+    loadgen.add_argument(
+        "--rkq-fraction", type=float, default=0.25, dest="rkq_fraction"
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("demo", help="run the paper's Fig. 1 worked examples")
     return parser
@@ -124,16 +166,25 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_runtimes(directory: Path) -> tuple[dict, list[FragmentRuntime]]:
+def _load_built(directory: Path) -> tuple[dict, list, list]:
+    """Manifest plus the fragments and indexes of a `build` directory."""
     manifest_path = directory / _MANIFEST
     if not manifest_path.exists():
         raise DisksError(f"{directory} has no {_MANIFEST}; run `repro build` first")
     manifest = json.loads(manifest_path.read_text())
-    runtimes = []
+    fragments, indexes = [], []
     for i in range(manifest["fragments"]):
-        fragment = read_fragment_file(directory / f"fragment-{i}.npf")
-        index = read_index_file(directory / f"index-{i}.npd")
-        runtimes.append(FragmentRuntime(fragment, index))
+        fragments.append(read_fragment_file(directory / f"fragment-{i}.npf"))
+        indexes.append(read_index_file(directory / f"index-{i}.npd"))
+    return manifest, fragments, indexes
+
+
+def _load_runtimes(directory: Path) -> tuple[dict, list[FragmentRuntime]]:
+    manifest, fragments, indexes = _load_built(directory)
+    runtimes = [
+        FragmentRuntime(fragment, index)
+        for fragment, index in zip(fragments, indexes)
+    ]
     return manifest, runtimes
 
 
@@ -172,6 +223,91 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import DisksServer, PipelinedCluster, ServeConfig
+
+    manifest, fragments, indexes = _load_built(Path(args.dir))
+    cluster = PipelinedCluster.start(fragments, indexes, num_machines=args.machines)
+    server = DisksServer(
+        cluster,
+        config=ServeConfig(
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            query_timeout_seconds=args.timeout,
+            max_radius=manifest.get("max_radius"),
+        ),
+    )
+
+    async def _run() -> None:
+        await server.start()
+        print(
+            f"serving {manifest['fragments']} fragments of {manifest['dataset']} "
+            f"on {cluster.num_machines} workers at {server.host}:{server.port} "
+            f"(maxR={manifest['max_radius']:.2f}, max in-flight {args.max_inflight})"
+        )
+        print(
+            'protocol: one JSON object per line, e.g. '
+            '{"id": 1, "q": "NEAR(kw0001, 5) AND NEAR(kw0002, 5)"} '
+            '— admin ops: {"op": "stats"}, {"op": "info"}, {"op": "ping"}'
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        cluster.shutdown()
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient, generate_expressions, run_loadgen
+
+    with ServeClient(args.host, args.port) as probe:
+        info = probe.info()
+    max_radius = info.get("max_radius")
+    if max_radius is None:
+        print("error: the server reports no maxR; cannot scale radii", file=sys.stderr)
+        return 2
+
+    dataset = load_dataset(args.dataset)
+    expressions = generate_expressions(
+        dataset.network,
+        count=args.queries,
+        radius=max_radius * args.radius_fraction,
+        num_keywords=args.keywords,
+        rkq_fraction=args.rkq_fraction,
+        seed=args.seed,
+    )
+    print(
+        f"replaying {len(expressions)} queries against {args.host}:{args.port} "
+        f"from {args.clients} closed-loop clients ..."
+    )
+    report = run_loadgen(args.host, args.port, expressions, num_clients=args.clients)
+    print(
+        f"done in {report.wall_seconds:.2f}s: {report.ok} ok, {report.shed} shed, "
+        f"{report.errors} errors — {report.throughput_qps:.0f} q/s, "
+        f"p50 {report.p50_ms:.1f}ms, p95 {report.p95_ms:.1f}ms, p99 {report.p99_ms:.1f}ms"
+    )
+    with ServeClient(args.host, args.port) as client:
+        stats = client.stats()
+    histogram = stats["histograms"].get("latency_seconds", {})
+    busy = stats.get("busy_seconds", {})
+    print(
+        f"server: {stats['counters'].get('completed', 0)} completed, "
+        f"{stats['counters'].get('shed', 0)} shed, peak in-flight "
+        f"{stats['gauges'].get('inflight', {}).get('peak', 0):.0f}, "
+        f"server-side p95 {histogram.get('p95_ms', 0.0):.1f}ms"
+    )
+    if busy:
+        total = sum(busy.values())
+        shares = ", ".join(f"m{m}={s / total:.0%}" for m, s in sorted(busy.items()))
+        print(f"worker busy-time shares: {shares}")
+    return 0
+
+
 def _cmd_demo(_args: argparse.Namespace) -> int:
     names = {0: "A", 1: "B", 2: "C", 3: "D", 4: "E"}
     engine = DisksEngine.build(toy_figure1(), EngineConfig(num_fragments=2, lambda_factor=10.0))
@@ -187,6 +323,8 @@ _COMMANDS = {
     "info": _cmd_info,
     "build": _cmd_build,
     "query": _cmd_query,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "demo": _cmd_demo,
 }
 

@@ -1,0 +1,78 @@
+"""Wiring fragments, indexes and machines into a simulated cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.coverage import FragmentRuntime
+from repro.core.fragment import Fragment
+from repro.core.npd import NPDIndex
+from repro.core.queries import QClassQuery
+from repro.dist.coordinator import ClusterResponse, Coordinator
+from repro.dist.machine import WorkerMachine
+from repro.dist.network import NetworkModel, TrafficLedger
+from repro.exceptions import ClusterError
+
+__all__ = ["SimulatedCluster"]
+
+
+@dataclass
+class SimulatedCluster:
+    """A coordinator plus its workers, ready to answer queries.
+
+    Use :meth:`from_fragments` to assemble one.  Fragments are assigned
+    to machines round-robin, which reproduces the paper's default of one
+    fragment per machine when ``num_machines == len(fragments)`` and
+    degrades gracefully (serial tasks per machine) otherwise.
+    """
+
+    coordinator: Coordinator
+
+    @classmethod
+    def from_fragments(
+        cls,
+        fragments: list[Fragment],
+        indexes: list[NPDIndex],
+        *,
+        num_machines: int | None = None,
+        network: NetworkModel | None = None,
+        cache_capacity: int = 0,
+    ) -> "SimulatedCluster":
+        """Build a cluster hosting ``fragments`` with their ``indexes``."""
+        if len(fragments) != len(indexes):
+            raise ClusterError(
+                f"{len(fragments)} fragments but {len(indexes)} indexes"
+            )
+        if num_machines is None:
+            num_machines = len(fragments)
+        if num_machines < 1:
+            raise ClusterError("a cluster needs at least one worker machine")
+        if num_machines > len(fragments):
+            num_machines = len(fragments)
+
+        machines = [WorkerMachine(machine_id=m) for m in range(num_machines)]
+        for i, (fragment, index) in enumerate(zip(fragments, indexes)):
+            machines[i % num_machines].host(
+                FragmentRuntime(fragment, index, cache_capacity=cache_capacity)
+            )
+
+        coordinator = Coordinator(
+            machines=machines,
+            network=network or NetworkModel(),
+            ledger=TrafficLedger(),
+        )
+        return cls(coordinator=coordinator)
+
+    @property
+    def num_machines(self) -> int:
+        """Worker count (the coordinator is not counted)."""
+        return len(self.coordinator.machines)
+
+    @property
+    def ledger(self) -> TrafficLedger:
+        """The cluster's traffic ledger."""
+        return self.coordinator.ledger
+
+    def execute(self, query: QClassQuery) -> ClusterResponse:
+        """Answer one query."""
+        return self.coordinator.execute(query)

@@ -1,0 +1,53 @@
+"""A worker machine of the simulated cluster.
+
+A worker owns one or more :class:`FragmentRuntime` instances (the paper
+assigns one fragment per machine in §6; fewer machines than fragments is
+also supported, in which case a machine executes its tasks serially) and
+answers :class:`QueryTaskMessage` with one :class:`TaskResultMessage`
+per fragment.  Workers hold no global state whatsoever — that is the
+share-nothing property under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.coverage import FragmentRuntime
+from repro.core.executor import FragmentTaskResult, execute_fragment_task
+from repro.core.queries import QClassQuery
+from repro.dist.messages import TaskResultMessage
+from repro.exceptions import ClusterError
+
+__all__ = ["WorkerMachine"]
+
+
+@dataclass
+class WorkerMachine:
+    """One share-nothing worker hosting fragment runtimes."""
+
+    machine_id: int
+    runtimes: list[FragmentRuntime] = field(default_factory=list)
+
+    def host(self, runtime: FragmentRuntime) -> None:
+        """Place a fragment runtime on this machine."""
+        self.runtimes.append(runtime)
+
+    @property
+    def fragment_ids(self) -> list[int]:
+        """Ids of the fragments this machine hosts."""
+        return [rt.fragment.fragment_id for rt in self.runtimes]
+
+    def execute(self, query: QClassQuery) -> list[FragmentTaskResult]:
+        """Run the query task on every hosted fragment, serially."""
+        if not self.runtimes:
+            raise ClusterError(f"machine {self.machine_id} hosts no fragments")
+        return [execute_fragment_task(runtime, query) for runtime in self.runtimes]
+
+    def result_messages(self, results: list[FragmentTaskResult]) -> list[TaskResultMessage]:
+        """Wrap task results as coordinator-bound messages."""
+        return [
+            TaskResultMessage.from_nodes(
+                self.machine_id, r.fragment_id, r.local_result, r.wall_seconds
+            )
+            for r in results
+        ]

@@ -1,0 +1,89 @@
+"""Typed messages with deterministic byte accounting.
+
+The problem statement (§2.2) accepts exactly two unavoidable transfers:
+the coordinator assigning a task to each machine and each machine
+returning its results.  These are the only message types that exist —
+there deliberately is *no* worker-to-worker message class.
+
+Sizes are estimated with a fixed, documented formula rather than a
+serialiser's whim so benchmark numbers are reproducible across runs and
+platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.queries import KeywordSource, NodeSource, QClassQuery
+
+__all__ = ["Message", "QueryTaskMessage", "TaskResultMessage"]
+
+_HEADER_BYTES = 24  # message kind + ids + length framing
+_NODE_ID_BYTES = 8
+_FLOAT_BYTES = 8
+_OP_BYTES = 1
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class: source/destination machine ids (-1 = coordinator)."""
+
+    sender: int
+    receiver: int
+
+    def estimated_bytes(self) -> int:
+        """Wire size estimate of this message."""
+        return _HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class QueryTaskMessage(Message):
+    """Coordinator -> worker: evaluate ``query`` on your fragment(s)."""
+
+    query: QClassQuery
+
+    def estimated_bytes(self) -> int:
+        """Header + per-term source description + radius + operators."""
+        size = _HEADER_BYTES
+        for term in self.query.terms:
+            size += _FLOAT_BYTES  # radius
+            source = term.source
+            if isinstance(source, KeywordSource):
+                size += len(source.keyword.encode("utf-8")) + 2
+            elif isinstance(source, NodeSource):
+                size += _NODE_ID_BYTES
+        # The expression tree: one op byte per internal node; a tree over
+        # t leaves has at most t - 1 internal nodes per term reference.
+        size += _OP_BYTES * max(0, len(self.query.terms) - 1)
+        return size
+
+
+@dataclass(frozen=True)
+class TaskResultMessage(Message):
+    """Worker -> coordinator: the fragment-local result node set."""
+
+    fragment_id: int
+    result_nodes: frozenset[int]
+    wall_seconds: float
+
+    @classmethod
+    def from_nodes(
+        cls,
+        sender: int,
+        fragment_id: int,
+        nodes: Iterable[int],
+        wall_seconds: float,
+    ) -> "TaskResultMessage":
+        """Convenience constructor from any node iterable."""
+        return cls(
+            sender=sender,
+            receiver=-1,
+            fragment_id=fragment_id,
+            result_nodes=frozenset(nodes),
+            wall_seconds=wall_seconds,
+        )
+
+    def estimated_bytes(self) -> int:
+        """Header + one node id per result + the timing float."""
+        return _HEADER_BYTES + _NODE_ID_BYTES * len(self.result_nodes) + _FLOAT_BYTES

@@ -1,0 +1,89 @@
+"""Network model and traffic ledger.
+
+:class:`NetworkModel` converts message sizes into transfer times for the
+modelled interconnect (default: the paper's 100 Mb switch).
+:class:`TrafficLedger` records every transfer and *enforces* the design
+guarantee that no worker ever talks to another worker (Theorem 3): such
+a transfer raises :class:`CommunicationViolationError` the moment it is
+recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import CommunicationViolationError
+
+__all__ = ["NetworkModel", "Transfer", "TrafficLedger", "COORDINATOR_ID"]
+
+COORDINATOR_ID = -1
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency + bandwidth cost model for one interconnect.
+
+    Defaults model the paper's cluster: a commodity switch at 100 Mb/s
+    (12.5 MB/s) and a fraction-of-a-millisecond LAN round trip.
+    """
+
+    latency_seconds: float = 2e-4
+    bandwidth_bytes_per_second: float = 12_500_000.0
+
+    def transfer_seconds(self, num_bytes: int) -> float:
+        """Modelled wall time to move ``num_bytes`` over one link."""
+        if num_bytes < 0:
+            raise ValueError("byte counts cannot be negative")
+        return self.latency_seconds + num_bytes / self.bandwidth_bytes_per_second
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One recorded message transfer."""
+
+    sender: int
+    receiver: int
+    num_bytes: int
+    kind: str
+
+
+@dataclass
+class TrafficLedger:
+    """Append-only record of all
+
+    transfers, with the worker-to-worker prohibition built in.
+    """
+
+    transfers: list[Transfer] = field(default_factory=list)
+
+    def record(self, sender: int, receiver: int, num_bytes: int, kind: str) -> Transfer:
+        """Record one transfer; rejects worker-to-worker traffic."""
+        if sender != COORDINATOR_ID and receiver != COORDINATOR_ID:
+            raise CommunicationViolationError(
+                f"worker {sender} attempted to send {num_bytes} bytes to worker "
+                f"{receiver} ({kind}); the NPD design requires zero "
+                "inter-machine communication"
+            )
+        transfer = Transfer(sender, receiver, num_bytes, kind)
+        self.transfers.append(transfer)
+        return transfer
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes moved over all recorded transfers."""
+        return sum(t.num_bytes for t in self.transfers)
+
+    def bytes_by_kind(self) -> dict[str, int]:
+        """Byte totals grouped by message kind."""
+        totals: dict[str, int] = {}
+        for t in self.transfers:
+            totals[t.kind] = totals.get(t.kind, 0) + t.num_bytes
+        return totals
+
+    def worker_to_worker_bytes(self) -> int:
+        """Always 0 by construction; exists so tests can assert the invariant."""
+        return sum(
+            t.num_bytes
+            for t in self.transfers
+            if t.sender != COORDINATOR_ID and t.receiver != COORDINATOR_ID
+        )

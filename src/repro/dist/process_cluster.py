@@ -1,0 +1,310 @@
+"""A real coordinator/worker deployment on OS processes.
+
+Where :class:`~repro.dist.cluster.SimulatedCluster` *models* the cluster
+(individual task timing + makespan arithmetic), this module actually
+runs one: persistent worker processes each hold their fragment runtimes
+and serve queries over pipes, concurrently.  It demonstrates that the
+share-nothing design really is share-nothing — each worker process owns
+nothing but its fragments and indexes, and the only channels in the
+topology connect workers to the coordinator.
+
+Use as a context manager::
+
+    with ProcessCluster.start(fragments, indexes) as cluster:
+        response = cluster.execute(query)
+
+Workers are daemons and also shut down cleanly on ``shutdown()``; a
+worker that raises ships the traceback back instead of hanging the
+coordinator.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+import traceback
+from dataclasses import dataclass
+from multiprocessing import Pipe, Process, get_context
+from multiprocessing.connection import Connection
+
+from repro.core.coverage import FragmentRuntime
+from repro.core.executor import execute_fragment_task
+from repro.core.fragment import Fragment
+from repro.core.npd import NPDIndex
+from repro.core.queries import QClassQuery
+from repro.dist.network import NetworkModel
+from repro.exceptions import ClusterError
+
+__all__ = [
+    "ProcessClusterResponse",
+    "ProcessCluster",
+    "spawn_workers",
+    "emulate_delivery",
+]
+
+_DEFAULT_TIMEOUT = 120.0
+
+
+def spawn_workers(
+    fragments: list[Fragment],
+    indexes: list[NPDIndex],
+    num_machines: int | None,
+    worker_main,
+    network_model: NetworkModel | None = None,
+) -> tuple[list[Process], list[Connection]]:
+    """Fork one worker process per machine, fragments assigned round-robin.
+
+    Shared by :class:`ProcessCluster` and the pipelined serving cluster
+    (:class:`repro.serve.PipelinedCluster`); the two differ only in the
+    worker loop they run over the returned pipe connections.
+
+    ``network_model`` turns the analytic interconnect model into *wall
+    clock*: every message carries its send timestamp, and the receiving
+    end sleeps until the modelled delivery time ``sent_at + latency +
+    bytes/bandwidth`` (an uncongested link — latency is propagation
+    delay, so concurrent transfers overlap; only the bandwidth term
+    occupies the wire).  Pipes on one host are orders of magnitude
+    faster than the paper's 100 Mb switch, so without this the
+    coordinator↔machine round trips the paper charges for are invisible;
+    with it, single-host experiments reproduce their cost honestly.
+    ``None`` (the default) adds nothing.
+    """
+    if len(fragments) != len(indexes):
+        raise ClusterError("fragments and indexes must align")
+    if not fragments:
+        raise ClusterError("a cluster needs at least one fragment")
+    if num_machines is None:
+        num_machines = len(fragments)
+    num_machines = max(1, min(num_machines, len(fragments)))
+
+    assignments: list[list[tuple[Fragment, NPDIndex]]] = [
+        [] for _ in range(num_machines)
+    ]
+    for i, pair in enumerate(zip(fragments, indexes)):
+        assignments[i % num_machines].append(pair)
+
+    context = get_context("fork")
+    processes: list[Process] = []
+    connections: list[Connection] = []
+    for machine_id, pairs in enumerate(assignments):
+        parent_end, child_end = Pipe()
+        process = context.Process(
+            target=worker_main,
+            args=(child_end, pickle.dumps((pairs, network_model))),
+            name=f"disks-worker-{machine_id}",
+            daemon=True,
+        )
+        process.start()
+        child_end.close()
+        processes.append(process)
+        connections.append(parent_end)
+    return processes, connections
+
+
+def emulate_delivery(
+    network_model: NetworkModel | None, sent_at: float | None, num_bytes: int
+) -> None:
+    """Sleep until a message's modelled delivery time.
+
+    ``sent_at`` is the sender's ``time.perf_counter()`` — system-wide
+    monotonic on Linux, so it is comparable across the forked worker
+    processes.  A message that has already "arrived" (the receiver was
+    busy past its delivery time) costs nothing, which is exactly how
+    propagation delay pipelines on a real link.
+    """
+    if network_model is None or sent_at is None:
+        return
+    delay = sent_at + network_model.transfer_seconds(num_bytes) - time.perf_counter()
+    if delay > 0:
+        time.sleep(delay)
+
+
+def _worker_main(connection: Connection, payload: bytes) -> None:
+    """Worker loop: deserialise runtimes once, then serve queries."""
+    try:
+        pairs: list[tuple[Fragment, NPDIndex]]
+        pairs, network_model = pickle.loads(payload)
+        runtimes = [FragmentRuntime(fragment, index) for fragment, index in pairs]
+        connection.send(("ready", len(runtimes)))
+        while True:
+            raw = connection.recv_bytes()
+            kind, body, *meta = pickle.loads(raw)
+            if kind == "stop":
+                connection.send(("stopped", None))
+                return
+            if kind != "query":  # pragma: no cover - protocol guard
+                connection.send(("error", f"unknown message kind {kind!r}"))
+                continue
+            emulate_delivery(network_model, meta[0] if meta else None, len(raw))
+            started = time.perf_counter()
+            results = [execute_fragment_task(runtime, body) for runtime in runtimes]
+            elapsed = time.perf_counter() - started
+            reply = [
+                (r.fragment_id, set(r.local_result), r.wall_seconds) for r in results
+            ]
+            connection.send_bytes(
+                pickle.dumps(("results", (reply, elapsed), time.perf_counter()))
+            )
+    except EOFError:  # coordinator went away
+        return
+    except Exception:  # pragma: no cover - surfaced to the coordinator
+        connection.send(("error", traceback.format_exc()))
+
+
+@dataclass(frozen=True)
+class ProcessClusterResponse:
+    """Outcome of one concurrently executed query."""
+
+    result_nodes: frozenset[int]
+    fragment_seconds: dict[int, float]
+    machine_seconds: dict[int, float]
+    wall_seconds: float
+    message_bytes: int
+
+
+class ProcessCluster:
+    """Persistent worker processes behind a pipe-based coordinator."""
+
+    def __init__(
+        self,
+        processes: list[Process],
+        connections: list[Connection],
+        network_model: NetworkModel | None = None,
+    ) -> None:
+        self._processes = processes
+        self._connections = connections
+        self._network_model = network_model
+        self._alive = True
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def start(
+        cls,
+        fragments: list[Fragment],
+        indexes: list[NPDIndex],
+        *,
+        num_machines: int | None = None,
+        timeout_seconds: float = _DEFAULT_TIMEOUT,
+        network_model: NetworkModel | None = None,
+    ) -> "ProcessCluster":
+        """Fork the workers and wait until every one reports ready.
+
+        ``network_model`` makes workers *emulate* the modelled link by
+        sleeping for each message's transfer time (see
+        :func:`spawn_workers`).
+        """
+        processes, connections = spawn_workers(
+            fragments, indexes, num_machines, _worker_main, network_model
+        )
+        cluster = cls(processes, connections, network_model)
+        for machine_id, connection in enumerate(connections):
+            try:
+                kind, body, _ = cls._receive(connection, timeout_seconds, machine_id)
+            except ClusterError:
+                cluster.shutdown()
+                raise
+            if kind != "ready":
+                cluster.shutdown()
+                raise ClusterError(f"worker {machine_id} failed to start: {body}")
+        return cluster
+
+    def __enter__(self) -> "ProcessCluster":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()
+
+    @property
+    def num_machines(self) -> int:
+        """Worker-process count."""
+        return len(self._processes)
+
+    def shutdown(self, timeout_seconds: float = 10.0) -> None:
+        """Stop every worker; forceful termination as a last resort."""
+        if not self._alive:
+            return
+        self._alive = False
+        for connection in self._connections:
+            try:
+                connection.send(("stop", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._processes:
+            process.join(timeout=timeout_seconds)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+        for connection in self._connections:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _receive(
+        connection: Connection,
+        timeout_seconds: float,
+        machine_id: int,
+        network_model: NetworkModel | None = None,
+    ):
+        """One framed reply as ``(kind, body, wire_bytes)``.
+
+        Reads the raw pickle frame (``recv_bytes``) so byte accounting
+        and transport share one buffer, and converts a vanished worker
+        (EOF on the pipe) into a :class:`ClusterError` instead of
+        leaking :class:`EOFError` or hanging.
+        """
+        if not connection.poll(timeout_seconds):
+            raise ClusterError(
+                f"worker {machine_id} did not answer within {timeout_seconds}s"
+            )
+        try:
+            raw = connection.recv_bytes()
+        except (EOFError, OSError):
+            raise ClusterError(
+                f"worker {machine_id} died before answering"
+            ) from None
+        kind, body, *meta = pickle.loads(raw)
+        emulate_delivery(network_model, meta[0] if meta else None, len(raw))
+        return kind, body, len(raw)
+
+    def execute(
+        self, query: QClassQuery, *, timeout_seconds: float = _DEFAULT_TIMEOUT
+    ) -> ProcessClusterResponse:
+        """Broadcast the query, gather concurrently computed results."""
+        if not self._alive:
+            raise ClusterError("the cluster has been shut down")
+        started = time.perf_counter()
+        payload = pickle.dumps(("query", query, started))
+        for machine_id, connection in enumerate(self._connections):
+            try:
+                connection.send_bytes(payload)
+            except (BrokenPipeError, OSError):
+                raise ClusterError(
+                    f"worker {machine_id} is gone; the cluster is unusable"
+                ) from None
+
+        merged: set[int] = set()
+        fragment_seconds: dict[int, float] = {}
+        machine_seconds: dict[int, float] = {}
+        total_bytes = len(payload) * len(self._connections)
+        for machine_id, connection in enumerate(self._connections):
+            kind, body, wire_bytes = self._receive(
+                connection, timeout_seconds, machine_id, self._network_model
+            )
+            if kind == "error":
+                raise ClusterError(f"worker {machine_id} failed:\n{body}")
+            reply, elapsed = body
+            machine_seconds[machine_id] = elapsed
+            total_bytes += wire_bytes
+            for fragment_id, nodes, seconds in reply:
+                merged.update(nodes)
+                fragment_seconds[fragment_id] = seconds
+        return ProcessClusterResponse(
+            result_nodes=frozenset(merged),
+            fragment_seconds=fragment_seconds,
+            machine_seconds=machine_seconds,
+            wall_seconds=time.perf_counter() - started,
+            message_bytes=total_bytes,
+        )

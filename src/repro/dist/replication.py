@@ -1,0 +1,185 @@
+"""Fragment replication and failure handling.
+
+The paper's deployment has exactly one machine per fragment; a machine
+loss would make part of the answer unreachable.  Because a worker's
+whole state is two immutable artefacts (the fragment and ``IND(P)``),
+replication is trivial and powerful: place each fragment's runtime on
+``replication_factor`` machines, and at query time have the coordinator
+pick, per fragment, one *alive* replica (the least-loaded one).  The
+share-nothing property is untouched — replicas never talk to each other;
+they are just extra read-only copies.
+
+:class:`ReplicatedCluster` implements this with failure injection for
+testing and chaos-style benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.coverage import FragmentRuntime
+from repro.core.executor import FragmentTaskResult, execute_fragment_task
+from repro.core.fragment import Fragment
+from repro.core.npd import NPDIndex
+from repro.core.queries import QClassQuery
+from repro.dist.messages import QueryTaskMessage, TaskResultMessage
+from repro.dist.network import COORDINATOR_ID, NetworkModel, TrafficLedger
+from repro.exceptions import ClusterError
+
+__all__ = ["ReplicatedClusterResponse", "ReplicatedCluster"]
+
+
+@dataclass(frozen=True)
+class ReplicatedClusterResponse:
+    """Answer plus placement decisions of one replicated execution."""
+
+    result_nodes: frozenset[int]
+    task_results: tuple[FragmentTaskResult, ...]
+    chosen_machines: dict[int, int]  # fragment -> machine that served it
+    machine_seconds: dict[int, float]
+    response_seconds: float
+
+
+@dataclass
+class ReplicatedCluster:
+    """A cluster with ``replication_factor`` copies of every fragment."""
+
+    machines: dict[int, list[FragmentRuntime]]
+    replication_factor: int
+    network: NetworkModel = field(default_factory=NetworkModel)
+    ledger: TrafficLedger = field(default_factory=TrafficLedger)
+    _failed: set[int] = field(default_factory=set)
+
+    @classmethod
+    def from_fragments(
+        cls,
+        fragments: list[Fragment],
+        indexes: list[NPDIndex],
+        *,
+        num_machines: int,
+        replication_factor: int = 2,
+        network: NetworkModel | None = None,
+    ) -> "ReplicatedCluster":
+        """Place each fragment on ``replication_factor`` distinct machines.
+
+        Fragment ``i``'s replicas land on machines ``i % m``,
+        ``(i + 1) % m``, … — the classic chained-declustering layout, so
+        any single machine's fragments are fully covered by its
+        neighbours.
+        """
+        if len(fragments) != len(indexes):
+            raise ClusterError("fragments and indexes must align")
+        if num_machines < 1:
+            raise ClusterError("need at least one machine")
+        if not (1 <= replication_factor <= num_machines):
+            raise ClusterError(
+                f"replication factor {replication_factor} must be in "
+                f"[1, {num_machines}]"
+            )
+        machines: dict[int, list[FragmentRuntime]] = {
+            m: [] for m in range(num_machines)
+        }
+        for i, (fragment, index) in enumerate(zip(fragments, indexes)):
+            for j in range(replication_factor):
+                machine_id = (i + j) % num_machines
+                machines[machine_id].append(FragmentRuntime(fragment, index))
+        return cls(
+            machines=machines,
+            replication_factor=replication_factor,
+            network=network or NetworkModel(),
+        )
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    @property
+    def failed_machines(self) -> frozenset[int]:
+        """Currently failed machine ids."""
+        return frozenset(self._failed)
+
+    def fail_machine(self, machine_id: int) -> None:
+        """Mark a machine as down (idempotent)."""
+        if machine_id not in self.machines:
+            raise ClusterError(f"no machine {machine_id}")
+        self._failed.add(machine_id)
+
+    def restore_machine(self, machine_id: int) -> None:
+        """Bring a machine back (idempotent)."""
+        if machine_id not in self.machines:
+            raise ClusterError(f"no machine {machine_id}")
+        self._failed.discard(machine_id)
+
+    # ------------------------------------------------------------------
+    # Placement and execution
+    # ------------------------------------------------------------------
+    def replicas_of(self, fragment_id: int) -> list[int]:
+        """Machine ids hosting ``fragment_id`` (alive or not)."""
+        return [
+            machine_id
+            for machine_id, runtimes in self.machines.items()
+            if any(rt.fragment.fragment_id == fragment_id for rt in runtimes)
+        ]
+
+    def _plan_placement(self, fragment_ids: list[int]) -> dict[int, int]:
+        """Choose one alive machine per fragment, balancing assignments."""
+        load: dict[int, int] = {m: 0 for m in self.machines if m not in self._failed}
+        if not load:
+            raise ClusterError("every machine has failed")
+        placement: dict[int, int] = {}
+        for fragment_id in fragment_ids:
+            alive = [m for m in self.replicas_of(fragment_id) if m not in self._failed]
+            if not alive:
+                raise ClusterError(
+                    f"fragment {fragment_id} has no alive replica "
+                    f"(replication={self.replication_factor}, "
+                    f"failed={sorted(self._failed)})"
+                )
+            chosen = min(alive, key=lambda m: (load[m], m))
+            placement[fragment_id] = chosen
+            load[chosen] += 1
+        return placement
+
+    def execute(self, query: QClassQuery) -> ReplicatedClusterResponse:
+        """Answer ``query`` using one alive replica per fragment."""
+        fragment_ids = sorted(
+            {
+                rt.fragment.fragment_id
+                for runtimes in self.machines.values()
+                for rt in runtimes
+            }
+        )
+        placement = self._plan_placement(fragment_ids)
+
+        comm_seconds = 0.0
+        machine_seconds: dict[int, float] = {}
+        merged: set[int] = set()
+        results: list[FragmentTaskResult] = []
+        for fragment_id, machine_id in placement.items():
+            runtime = next(
+                rt
+                for rt in self.machines[machine_id]
+                if rt.fragment.fragment_id == fragment_id
+            )
+            task_msg = QueryTaskMessage(COORDINATOR_ID, machine_id, query)
+            self.ledger.record(COORDINATOR_ID, machine_id, task_msg.estimated_bytes(), "task")
+            comm_seconds += self.network.transfer_seconds(task_msg.estimated_bytes())
+
+            result = execute_fragment_task(runtime, query)
+            results.append(result)
+            machine_seconds[machine_id] = (
+                machine_seconds.get(machine_id, 0.0) + result.wall_seconds
+            )
+            reply = TaskResultMessage.from_nodes(
+                machine_id, fragment_id, result.local_result, result.wall_seconds
+            )
+            self.ledger.record(machine_id, COORDINATOR_ID, reply.estimated_bytes(), "result")
+            comm_seconds += self.network.transfer_seconds(reply.estimated_bytes())
+            merged.update(result.local_result)
+
+        return ReplicatedClusterResponse(
+            result_nodes=frozenset(merged),
+            task_results=tuple(sorted(results, key=lambda r: r.fragment_id)),
+            chosen_machines=placement,
+            machine_seconds=machine_seconds,
+            response_seconds=max(machine_seconds.values()) + comm_seconds,
+        )

@@ -1,0 +1,58 @@
+"""The serving layer: concurrent query serving over a process cluster.
+
+This subpackage turns the reproduction into a *server* — the deployment
+shape the paper's throughput story (§1, §5) actually implies:
+
+* :mod:`repro.serve.pipeline` — the pipelined worker protocol
+  (request-id multiplexing, dispatcher threads, worker-crash
+  detection + degraded mode);
+* :mod:`repro.serve.server` — the asyncio NDJSON TCP frontend with
+  admission control, load shedding and per-query timeouts;
+* :mod:`repro.serve.admission` / :mod:`repro.serve.metrics` — the
+  robustness and observability substrate (``stats`` admin command);
+* :mod:`repro.serve.client` — a blocking client plus the closed-loop
+  load generator behind ``python -m repro loadgen``;
+* :mod:`repro.serve.protocol` — the wire format and the
+  query-object→query-language renderer.
+
+Quick start::
+
+    from repro.serve import PipelinedCluster, ServeConfig, serve_in_thread, ServeClient
+
+    cluster = PipelinedCluster.start(fragments, indexes, num_machines=4)
+    with serve_in_thread(cluster, ServeConfig(max_inflight=8)) as server:
+        with ServeClient(server.host, server.port) as client:
+            print(client.query("NEAR(kw0001, 5) AND NEAR(kw0002, 5)"))
+    cluster.shutdown()
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.client import (
+    LoadgenReport,
+    ServeClient,
+    generate_expressions,
+    run_loadgen,
+)
+from repro.serve.metrics import LatencyHistogram, MetricsRegistry
+from repro.serve.pipeline import PendingQuery, PipelinedCluster, PipelinedResponse
+from repro.serve.protocol import decode_line, encode_line, render_query
+from repro.serve.server import DisksServer, ServeConfig, serve_in_thread
+
+__all__ = [
+    "PipelinedCluster",
+    "PipelinedResponse",
+    "PendingQuery",
+    "DisksServer",
+    "ServeConfig",
+    "serve_in_thread",
+    "AdmissionController",
+    "MetricsRegistry",
+    "LatencyHistogram",
+    "ServeClient",
+    "LoadgenReport",
+    "generate_expressions",
+    "run_loadgen",
+    "render_query",
+    "encode_line",
+    "decode_line",
+]

@@ -1,0 +1,57 @@
+"""Admission control: a bounded in-flight budget with load shedding.
+
+The frontend admits at most ``limit`` queries at once.  Past the
+high-water mark it *sheds*: the caller gets an immediate ``overloaded``
+rejection instead of queueing unboundedly — under saturation a fast
+"no" preserves the latency of the queries that are admitted (the
+classic open-loop collapse the workload driver in
+:mod:`repro.workloads.driver` demonstrates).
+
+The controller is a plain counting gate, safe from both asyncio
+callbacks and dispatcher threads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.exceptions import ClusterError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Thread-safe bounded admission gate."""
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ClusterError("the admission limit must be at least 1")
+        self._limit = limit
+        self._depth = 0
+        self._lock = threading.Lock()
+
+    @property
+    def limit(self) -> int:
+        """The high-water mark."""
+        return self._limit
+
+    @property
+    def depth(self) -> int:
+        """Currently admitted queries."""
+        with self._lock:
+            return self._depth
+
+    def try_acquire(self) -> bool:
+        """Admit one query, or refuse (shed) if the budget is spent."""
+        with self._lock:
+            if self._depth >= self._limit:
+                return False
+            self._depth += 1
+            return True
+
+    def release(self) -> None:
+        """Return one admission slot."""
+        with self._lock:
+            if self._depth == 0:
+                raise ClusterError("release() without a matching try_acquire()")
+            self._depth -= 1

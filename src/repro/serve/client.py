@@ -1,0 +1,229 @@
+"""Blocking client and closed-loop load generator for the serving layer.
+
+:class:`ServeClient` is the minimal synchronous counterpart of the
+NDJSON protocol — one socket, one JSON object per line, replies matched
+by id (so a single client can pipeline bursts with
+:meth:`ServeClient.send` + :meth:`ServeClient.read_reply`).
+
+:func:`run_loadgen` drives a server *closed-loop*: ``num_clients``
+threads each hold one connection and issue their share of the query
+stream back-to-back, which is the standard way to measure sustained
+throughput and tail latency of a concurrent server (offered load adapts
+to capacity, so the numbers are not inflated by queueing fantasy).
+Query text comes from :func:`generate_expressions`, which reuses the
+paper's §6 generator (:class:`~repro.workloads.querygen.QueryGenerator`)
+and renders its queries into the wire language.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.exceptions import ClusterError, DisksError
+from repro.graph.road_network import RoadNetwork
+from repro.serve.protocol import encode_line, decode_line, render_query
+from repro.workloads.querygen import QueryGenConfig, QueryGenerator
+
+__all__ = ["ServeClient", "LoadgenReport", "generate_expressions", "run_loadgen"]
+
+
+class ServeClient:
+    """A synchronous NDJSON client for :class:`~repro.serve.DisksServer`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 7474, *, timeout_seconds: float = 30.0
+    ) -> None:
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout_seconds)
+        except OSError as error:
+            raise ClusterError(f"cannot reach server at {host}:{port}: {error}") from None
+        self._file = self._sock.makefile("rwb")
+
+    # Transport ---------------------------------------------------------
+    def send(self, payload: dict) -> None:
+        """Write one request line without waiting for the reply."""
+        self._file.write(encode_line(payload))
+        self._file.flush()
+
+    def read_reply(self) -> dict:
+        """Read the next reply line (not necessarily for the last send)."""
+        line = self._file.readline()
+        if not line:
+            raise ClusterError("the server closed the connection")
+        return decode_line(line)
+
+    def request(self, payload: dict) -> dict:
+        """One synchronous round trip."""
+        self.send(payload)
+        return self.read_reply()
+
+    # Convenience -------------------------------------------------------
+    def query(self, expression: str, request_id=None) -> dict:
+        """Submit one query-language expression."""
+        return self.request({"id": request_id, "q": expression})
+
+    def stats(self) -> dict:
+        """The server's metrics snapshot."""
+        reply = self.request({"op": "stats"})
+        if not reply.get("ok"):
+            raise ClusterError(f"stats failed: {reply}")
+        return reply["stats"]
+
+    def info(self) -> dict:
+        """Cluster shape and limits."""
+        reply = self.request({"op": "info"})
+        if not reply.get("ok"):
+            raise ClusterError(f"info failed: {reply}")
+        return reply
+
+    def close(self) -> None:
+        """Close the connection."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def generate_expressions(
+    network: RoadNetwork,
+    *,
+    count: int,
+    radius: float,
+    num_keywords: int = 2,
+    rkq_fraction: float = 0.25,
+    seed: int = 0,
+) -> list[str]:
+    """A reproducible stream of wire-language queries (§6 protocol)."""
+    if count < 1:
+        raise DisksError("the expression stream needs at least one query")
+    generator = QueryGenerator(network, QueryGenConfig(seed=seed))
+    rng = random.Random(seed)
+    expressions: list[str] = []
+    for _ in range(count):
+        if rng.random() < rkq_fraction:
+            query = generator.rkq(num_keywords, radius)
+        else:
+            query = generator.sgkq(num_keywords, radius)
+        expressions.append(render_query(query))
+    return expressions
+
+
+@dataclass(frozen=True)
+class LoadgenReport:
+    """Outcome of one closed-loop run."""
+
+    sent: int
+    ok: int
+    shed: int
+    errors: int
+    wall_seconds: float
+    latencies_seconds: tuple[float, ...]
+
+    @property
+    def throughput_qps(self) -> float:
+        """Completed (ok) queries per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return math.inf
+        return self.ok / self.wall_seconds
+
+    def percentile(self, fraction: float) -> float:
+        """Latency percentile over successful queries, seconds."""
+        if not (0.0 <= fraction <= 1.0):
+            raise DisksError("percentile fraction must lie in [0, 1]")
+        ordered = sorted(self.latencies_seconds)
+        if not ordered:
+            return 0.0
+        index = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+        return ordered[index]
+
+    @property
+    def p50_ms(self) -> float:
+        """Median latency, milliseconds."""
+        return self.percentile(0.50) * 1000.0
+
+    @property
+    def p95_ms(self) -> float:
+        """95th-percentile latency, milliseconds."""
+        return self.percentile(0.95) * 1000.0
+
+    @property
+    def p99_ms(self) -> float:
+        """99th-percentile latency, milliseconds."""
+        return self.percentile(0.99) * 1000.0
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    expressions: list[str],
+    *,
+    num_clients: int = 4,
+    timeout_seconds: float = 60.0,
+) -> LoadgenReport:
+    """Replay ``expressions`` closed-loop from ``num_clients`` connections."""
+    if not expressions:
+        raise DisksError("the load generator needs a non-empty query stream")
+    if num_clients < 1:
+        raise DisksError("the load generator needs at least one client")
+    num_clients = min(num_clients, len(expressions))
+    shards: list[list[str]] = [[] for _ in range(num_clients)]
+    for i, expression in enumerate(expressions):
+        shards[i % num_clients].append(expression)
+
+    lock = threading.Lock()
+    outcomes = {"ok": 0, "shed": 0, "errors": 0}
+    latencies: list[float] = []
+
+    def _drive(shard: list[str]) -> None:
+        try:
+            with ServeClient(host, port, timeout_seconds=timeout_seconds) as client:
+                for expression in shard:
+                    started = time.perf_counter()
+                    try:
+                        reply = client.query(expression)
+                    except ClusterError:
+                        with lock:
+                            outcomes["errors"] += 1
+                        continue
+                    elapsed = time.perf_counter() - started
+                    with lock:
+                        if reply.get("ok"):
+                            outcomes["ok"] += 1
+                            latencies.append(elapsed)
+                        elif reply.get("error") == "overloaded":
+                            outcomes["shed"] += 1
+                        else:
+                            outcomes["errors"] += 1
+        except ClusterError:
+            with lock:
+                outcomes["errors"] += len(shard)
+
+    threads = [
+        threading.Thread(target=_drive, args=(shard,), name=f"loadgen-{i}")
+        for i, shard in enumerate(shards)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    return LoadgenReport(
+        sent=len(expressions),
+        ok=outcomes["ok"],
+        shed=outcomes["shed"],
+        errors=outcomes["errors"],
+        wall_seconds=wall,
+        latencies_seconds=tuple(latencies),
+    )

@@ -1,0 +1,152 @@
+"""Observability registry: counters, gauges, latency histograms, busy time.
+
+Everything the ``stats`` admin command reports lives here.  The
+registry is deliberately dependency-free and thread-safe: the asyncio
+frontend increments from the event loop while dispatcher threads and
+the load generator may read snapshots concurrently.
+
+Histograms keep a bounded window of the most recent observations (plus
+exact count/sum/max), so long-running servers get stable p50/p95/p99
+over recent traffic without unbounded memory.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+
+from repro.exceptions import DisksError
+
+__all__ = ["LatencyHistogram", "MetricsRegistry"]
+
+
+class LatencyHistogram:
+    """Sliding-window latency distribution with exact totals."""
+
+    def __init__(self, capacity: int = 8192) -> None:
+        if capacity < 1:
+            raise DisksError("histogram capacity must be positive")
+        self._capacity = capacity
+        self._window: list[float] = []
+        self._cursor = 0
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency sample (seconds)."""
+        with self._lock:
+            self._count += 1
+            self._sum += seconds
+            if seconds > self._max:
+                self._max = seconds
+            if len(self._window) < self._capacity:
+                self._window.append(seconds)
+            else:  # ring buffer: overwrite the oldest sample
+                self._window[self._cursor] = seconds
+                self._cursor = (self._cursor + 1) % self._capacity
+
+    @property
+    def count(self) -> int:
+        """Total samples ever observed."""
+        with self._lock:
+            return self._count
+
+    def percentile(self, fraction: float) -> float:
+        """Windowed percentile, e.g. ``percentile(0.95)`` (seconds)."""
+        if not (0.0 <= fraction <= 1.0):
+            raise DisksError("percentile fraction must lie in [0, 1]")
+        with self._lock:
+            ordered = sorted(self._window)
+        if not ordered:
+            return 0.0
+        index = min(len(ordered) - 1, max(0, round(fraction * len(ordered)) - 1))
+        return ordered[index]
+
+    def snapshot(self) -> dict:
+        """JSON-able summary (milliseconds for human readability)."""
+        with self._lock:
+            count, total, peak = self._count, self._sum, self._max
+        return {
+            "count": count,
+            "mean_ms": (total / count * 1000.0) if count else 0.0,
+            "p50_ms": self.percentile(0.50) * 1000.0,
+            "p95_ms": self.percentile(0.95) * 1000.0,
+            "p99_ms": self.percentile(0.99) * 1000.0,
+            "max_ms": peak * 1000.0,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, peak-tracking gauges, histograms, per-machine busy time."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = defaultdict(int)
+        self._gauges: dict[str, dict[str, float]] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+        self._busy_seconds: dict[int, float] = defaultdict(float)
+
+    # Counters ----------------------------------------------------------
+    def increment(self, name: str, by: int = 1) -> None:
+        """Bump a counter."""
+        with self._lock:
+            self._counters[name] += by
+
+    def counter(self, name: str) -> int:
+        """Current counter value (0 if never bumped)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    # Gauges ------------------------------------------------------------
+    def observe_gauge(self, name: str, value: float) -> None:
+        """Set a gauge's current value, tracking its peak."""
+        with self._lock:
+            gauge = self._gauges.setdefault(name, {"current": 0.0, "peak": 0.0})
+            gauge["current"] = value
+            if value > gauge["peak"]:
+                gauge["peak"] = value
+
+    def gauge(self, name: str) -> dict[str, float]:
+        """``{"current", "peak"}`` for one gauge (zeros if unknown)."""
+        with self._lock:
+            return dict(self._gauges.get(name, {"current": 0.0, "peak": 0.0}))
+
+    # Histograms --------------------------------------------------------
+    def observe(self, name: str, seconds: float) -> None:
+        """Record a sample into the named histogram (created on demand)."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = LatencyHistogram()
+        histogram.observe(seconds)
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        """The named histogram (created on demand)."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = LatencyHistogram()
+            return histogram
+
+    # Busy time ---------------------------------------------------------
+    def add_busy(self, machine_id: int, seconds: float) -> None:
+        """Accumulate measured worker compute time for one machine."""
+        with self._lock:
+            self._busy_seconds[machine_id] += seconds
+
+    # Snapshot ----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """One JSON-able view of everything, for the ``stats`` command."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = {name: dict(g) for name, g in self._gauges.items()}
+            histograms = list(self._histograms.items())
+            busy = {str(machine): seconds for machine, seconds in self._busy_seconds.items()}
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": {name: h.snapshot() for name, h in histograms},
+            "busy_seconds": busy,
+        }

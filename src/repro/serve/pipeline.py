@@ -1,0 +1,416 @@
+"""Pipelined worker protocol: many queries in flight per worker.
+
+:class:`~repro.dist.process_cluster.ProcessCluster` speaks a lockstep
+protocol — the coordinator broadcasts one query and blocks until every
+worker has answered, so a second query cannot even be *sent* while the
+first is running.  That is fine for validating the simulation
+methodology but hopeless as a serving substrate: the paper's motivation
+is query *throughput* under concurrent load (§1), which needs the
+workers busy continuously.
+
+This module extends the worker loop with **request-id multiplexing**:
+
+* every query message carries a coordinator-assigned ``request_id`` and
+  every reply echoes it back, so replies may arrive in any order and
+  any interleaving across queries;
+* the coordinator runs one **dispatcher thread per worker** that
+  matches replies to the :class:`concurrent.futures.Future` registered
+  at submit time, instead of the send-all/recv-all lockstep;
+* :meth:`PipelinedCluster.submit` therefore returns immediately — any
+  number of queries can be in flight, and each worker drains its input
+  pipe back-to-back (total time ``max_m Σ_q τ_qm`` rather than the
+  lockstep's ``Σ_q max_m τ_qm``).
+
+Worker-crash semantics: a dispatcher that sees EOF on its pipe marks
+the worker dead, fails *only the in-flight queries still awaiting that
+worker* with :class:`ClusterError`, and flips the cluster into degraded
+mode — subsequent queries run on the surviving workers and carry
+``degraded=True`` (their answers miss the dead machine's fragments)
+instead of hanging the coordinator.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import threading
+import time
+import traceback
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+from multiprocessing.process import BaseProcess
+
+from repro.core.coverage import FragmentRuntime
+from repro.core.executor import execute_fragment_task
+from repro.core.fragment import Fragment
+from repro.core.npd import NPDIndex
+from repro.core.queries import QClassQuery
+from repro.dist.network import NetworkModel
+from repro.dist.process_cluster import emulate_delivery, spawn_workers
+from repro.exceptions import ClusterError
+
+__all__ = ["PipelinedResponse", "PendingQuery", "PipelinedCluster"]
+
+_DEFAULT_TIMEOUT = 120.0
+
+
+def _pipelined_worker_main(connection: Connection, payload: bytes) -> None:
+    """Worker loop: one tagged reply per tagged request, errors included.
+
+    Unlike the lockstep worker, a task failure poisons only its own
+    request — the loop keeps serving afterwards.
+    """
+    try:
+        pairs: list[tuple[Fragment, NPDIndex]]
+        pairs, network_model = pickle.loads(payload)
+        runtimes = [FragmentRuntime(fragment, index) for fragment, index in pairs]
+        connection.send(("ready", len(runtimes)))
+        while True:
+            raw = connection.recv_bytes()
+            kind, body, *meta = pickle.loads(raw)
+            if kind == "stop":
+                connection.send(("stopped", None))
+                return
+            if kind != "query":  # pragma: no cover - protocol guard
+                connection.send(("error", (None, f"unknown message kind {kind!r}")))
+                continue
+            emulate_delivery(network_model, meta[0] if meta else None, len(raw))
+            request_id, query = body
+            try:
+                started = time.perf_counter()
+                results = [execute_fragment_task(rt, query) for rt in runtimes]
+                elapsed = time.perf_counter() - started
+                reply = [
+                    (r.fragment_id, set(r.local_result), r.wall_seconds)
+                    for r in results
+                ]
+                connection.send_bytes(
+                    pickle.dumps(
+                        ("results", (request_id, reply, elapsed), time.perf_counter())
+                    )
+                )
+            except Exception:
+                connection.send(("error", (request_id, traceback.format_exc())))
+    except (EOFError, OSError):  # coordinator went away
+        return
+
+
+@dataclass(frozen=True)
+class PipelinedResponse:
+    """Outcome of one pipelined query.
+
+    ``degraded`` marks answers computed after a worker death: correct
+    for the surviving fragments, silent about the dead machine's.
+    """
+
+    result_nodes: frozenset[int]
+    fragment_seconds: dict[int, float]
+    machine_seconds: dict[int, float]
+    wall_seconds: float
+    message_bytes: int
+    degraded: bool = False
+
+
+@dataclass(frozen=True)
+class PendingQuery:
+    """Handle for an in-flight query: its id plus the result future."""
+
+    request_id: int
+    future: "Future[PipelinedResponse]"
+
+
+class _InFlight:
+    """Coordinator-side aggregation state for one request id."""
+
+    __slots__ = (
+        "future",
+        "awaiting",
+        "started",
+        "degraded",
+        "merged",
+        "fragment_seconds",
+        "machine_seconds",
+        "message_bytes",
+    )
+
+    def __init__(self, awaiting: set[int], degraded: bool) -> None:
+        self.future: Future[PipelinedResponse] = Future()
+        self.awaiting = awaiting
+        self.started = time.perf_counter()
+        self.degraded = degraded
+        self.merged: set[int] = set()
+        self.fragment_seconds: dict[int, float] = {}
+        self.machine_seconds: dict[int, float] = {}
+        self.message_bytes = 0
+
+
+class PipelinedCluster:
+    """Worker processes behind a request-id-multiplexing coordinator.
+
+    Use as a context manager, like :class:`ProcessCluster`::
+
+        with PipelinedCluster.start(fragments, indexes, num_machines=4) as cluster:
+            pending = [cluster.submit(q) for q in queries]   # all in flight
+            answers = [p.future.result() for p in pending]
+    """
+
+    def __init__(
+        self,
+        processes: list[BaseProcess],
+        connections: list[Connection],
+        network_model: NetworkModel | None = None,
+    ) -> None:
+        self._processes = processes
+        self._connections = connections
+        self._network_model = network_model
+        self._send_locks = [threading.Lock() for _ in connections]
+        self._lock = threading.Lock()
+        self._pending: dict[int, _InFlight] = {}
+        self._ids = itertools.count()
+        self._dead: set[int] = set()
+        self._alive = True
+        self._closing = False
+        self._dispatchers: list[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def start(
+        cls,
+        fragments: list[Fragment],
+        indexes: list[NPDIndex],
+        *,
+        num_machines: int | None = None,
+        timeout_seconds: float = _DEFAULT_TIMEOUT,
+        network_model: NetworkModel | None = None,
+    ) -> "PipelinedCluster":
+        """Fork the workers, handshake, then start the dispatchers.
+
+        ``network_model`` makes workers emulate the modelled link by
+        sleeping for each message's transfer time (see
+        :func:`~repro.dist.process_cluster.spawn_workers`); pipelining
+        then overlaps those transfers across in-flight queries, which is
+        precisely the dispatch win this class exists for.
+        """
+        processes, connections = spawn_workers(
+            fragments, indexes, num_machines, _pipelined_worker_main, network_model
+        )
+        cluster = cls(processes, connections, network_model)
+        for machine_id, connection in enumerate(connections):
+            if not connection.poll(timeout_seconds):
+                cluster.shutdown()
+                raise ClusterError(
+                    f"worker {machine_id} did not report ready within {timeout_seconds}s"
+                )
+            try:
+                kind, body = connection.recv()
+            except (EOFError, OSError):
+                cluster.shutdown()
+                raise ClusterError(f"worker {machine_id} died during startup") from None
+            if kind != "ready":
+                cluster.shutdown()
+                raise ClusterError(f"worker {machine_id} failed to start: {body}")
+        cluster._start_dispatchers()
+        return cluster
+
+    def _start_dispatchers(self) -> None:
+        for machine_id, connection in enumerate(self._connections):
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                args=(machine_id, connection),
+                name=f"disks-dispatch-{machine_id}",
+                daemon=True,
+            )
+            thread.start()
+            self._dispatchers.append(thread)
+
+    def __enter__(self) -> "PipelinedCluster":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()
+
+    @property
+    def num_machines(self) -> int:
+        """Worker-process count (dead ones included)."""
+        return len(self._processes)
+
+    @property
+    def dead_machines(self) -> frozenset[int]:
+        """Machine ids whose worker has died."""
+        with self._lock:
+            return frozenset(self._dead)
+
+    @property
+    def degraded(self) -> bool:
+        """True once any worker has died; answers are then partial."""
+        with self._lock:
+            return bool(self._dead)
+
+    def shutdown(self, timeout_seconds: float = 10.0) -> None:
+        """Stop workers and dispatchers; fail anything still pending."""
+        if not self._alive:
+            return
+        self._alive = False
+        self._closing = True
+        with self._lock:
+            dead = set(self._dead)
+        for machine_id, connection in enumerate(self._connections):
+            if machine_id in dead:
+                continue
+            try:
+                with self._send_locks[machine_id]:
+                    connection.send(("stop", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._processes:
+            process.join(timeout=timeout_seconds)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+        for connection in self._connections:
+            connection.close()
+        for thread in self._dispatchers:
+            thread.join(timeout=timeout_seconds)
+        with self._lock:
+            leftover = list(self._pending.values())
+            self._pending.clear()
+        for inflight in leftover:
+            if not inflight.future.done():
+                inflight.future.set_exception(
+                    ClusterError("the cluster was shut down mid-query")
+                )
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self, machine_id: int, connection: Connection) -> None:
+        """Match this worker's replies to pending futures, until EOF."""
+        while True:
+            try:
+                raw = connection.recv_bytes()
+            except (EOFError, OSError):
+                if not self._closing:
+                    self._on_worker_death(machine_id)
+                return
+            kind, body, *meta = pickle.loads(raw)
+            if kind == "stopped":
+                return
+            emulate_delivery(self._network_model, meta[0] if meta else None, len(raw))
+            if kind == "error":
+                request_id, text = body
+                if request_id is not None:
+                    self._fail_request(
+                        request_id,
+                        ClusterError(f"worker {machine_id} failed:\n{text}"),
+                    )
+                continue
+            request_id, reply, elapsed = body
+            self._absorb_reply(machine_id, request_id, reply, elapsed, len(raw))
+
+    def _absorb_reply(
+        self,
+        machine_id: int,
+        request_id: int,
+        reply: list[tuple[int, set[int], float]],
+        elapsed: float,
+        wire_bytes: int,
+    ) -> None:
+        with self._lock:
+            inflight = self._pending.get(request_id)
+            if inflight is None:  # timed out / forgotten — drop the late reply
+                return
+            inflight.machine_seconds[machine_id] = elapsed
+            inflight.message_bytes += wire_bytes
+            for fragment_id, nodes, seconds in reply:
+                inflight.merged.update(nodes)
+                inflight.fragment_seconds[fragment_id] = seconds
+            inflight.awaiting.discard(machine_id)
+            if inflight.awaiting:
+                return
+            del self._pending[request_id]
+        response = PipelinedResponse(
+            result_nodes=frozenset(inflight.merged),
+            fragment_seconds=dict(inflight.fragment_seconds),
+            machine_seconds=dict(inflight.machine_seconds),
+            wall_seconds=time.perf_counter() - inflight.started,
+            message_bytes=inflight.message_bytes,
+            degraded=inflight.degraded,
+        )
+        if not inflight.future.done():
+            inflight.future.set_result(response)
+
+    def _fail_request(self, request_id: int, error: ClusterError) -> None:
+        with self._lock:
+            inflight = self._pending.pop(request_id, None)
+        if inflight is not None and not inflight.future.done():
+            inflight.future.set_exception(error)
+
+    def _on_worker_death(self, machine_id: int) -> None:
+        with self._lock:
+            if machine_id in self._dead:
+                return
+            self._dead.add(machine_id)
+            affected = [
+                rid
+                for rid, inflight in self._pending.items()
+                if machine_id in inflight.awaiting
+            ]
+        for request_id in affected:
+            self._fail_request(
+                request_id,
+                ClusterError(
+                    f"worker {machine_id} died mid-query; the cluster is degraded"
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def submit(self, query: QClassQuery) -> PendingQuery:
+        """Fan the query out to every live worker; return immediately."""
+        if not self._alive:
+            raise ClusterError("the cluster has been shut down")
+        with self._lock:
+            live = [
+                machine_id
+                for machine_id in range(len(self._connections))
+                if machine_id not in self._dead
+            ]
+            if not live:
+                raise ClusterError("every worker has died; the cluster cannot serve")
+            request_id = next(self._ids)
+            inflight = _InFlight(set(live), degraded=bool(self._dead))
+            self._pending[request_id] = inflight
+        payload = pickle.dumps(("query", (request_id, query), time.perf_counter()))
+        sent = 0
+        for machine_id in live:
+            try:
+                with self._send_locks[machine_id]:
+                    self._connections[machine_id].send_bytes(payload)
+                sent += 1
+            except (BrokenPipeError, OSError):
+                self._on_worker_death(machine_id)
+        with self._lock:
+            inflight.message_bytes += len(payload) * sent
+        return PendingQuery(request_id=request_id, future=inflight.future)
+
+    def forget(self, request_id: int) -> None:
+        """Drop a pending query (e.g. after a caller-side timeout)."""
+        with self._lock:
+            self._pending.pop(request_id, None)
+
+    def execute(
+        self, query: QClassQuery, *, timeout_seconds: float = _DEFAULT_TIMEOUT
+    ) -> PipelinedResponse:
+        """Synchronous convenience wrapper over :meth:`submit`."""
+        pending = self.submit(query)
+        try:
+            return pending.future.result(timeout=timeout_seconds)
+        except FutureTimeoutError:
+            self.forget(pending.request_id)
+            raise ClusterError(
+                f"query was not answered within {timeout_seconds}s"
+            ) from None

@@ -1,0 +1,135 @@
+"""Wire protocol of the serving layer: newline-delimited JSON.
+
+One request per line, one reply per line, ids echoed back so a single
+connection can pipeline many queries::
+
+    -> {"id": 1, "q": "NEAR(kw0001, 5) AND NEAR(kw0002, 5)"}
+    -> {"id": 2, "op": "stats"}
+    <- {"id": 1, "ok": true, "nodes": [3, 17], "timing": {...}}
+    <- {"id": 2, "ok": true, "stats": {...}}
+
+Admin operations: ``stats`` (the metrics snapshot), ``info`` (cluster
+shape), ``ping``.  Error replies are ``{"ok": false, "error": <kind>}``
+with kinds ``overloaded`` (shed), ``parse``, ``radius``, ``timeout``,
+``cluster``, ``bad-json``, ``bad-request``, ``unknown-op``.
+
+This module also renders :class:`QClassQuery` objects back into the
+query language of :mod:`repro.core.language`, which is how the load
+generator turns :class:`~repro.workloads.querygen.QueryGenerator`
+output into wire requests.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.core.dfunction import DExpression, SetOp
+from repro.core.queries import CoverageTerm, KeywordSource, NodeSource, QClassQuery
+
+__all__ = ["encode_line", "decode_line", "render_query", "query_semantics_key"]
+
+_BARE_WORD_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_\-]*")
+_GRAMMAR_KEYWORDS = {"AND", "OR", "NOT", "NEAR", "HAS", "WITHIN", "OF"}
+
+_OP_WORDS = {
+    SetOp.INTERSECT: "AND",
+    SetOp.UNION: "OR",
+    SetOp.SUBTRACT: "NOT",
+}
+
+
+def encode_line(payload: dict) -> bytes:
+    """One protocol message as a compact JSON line."""
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes | str) -> dict:
+    """Parse one protocol line; raises ``ValueError`` on malformed input."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    payload = json.loads(line)
+    if not isinstance(payload, dict):
+        raise ValueError("a protocol message must be a JSON object")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# QClassQuery -> query-language text
+# ----------------------------------------------------------------------
+def _render_number(value: float) -> str:
+    # The grammar's number token has no exponent form, so avoid repr's
+    # scientific notation for very small/large radii.
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    text = repr(float(value))
+    if "e" in text or "E" in text:
+        text = f"{value:.12f}".rstrip("0")
+    return text
+
+
+def _render_keyword(keyword: str) -> str:
+    if _BARE_WORD_RE.fullmatch(keyword) and keyword.upper() not in _GRAMMAR_KEYWORDS:
+        return keyword
+    escaped = keyword.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _render_term(coverage: CoverageTerm) -> str:
+    source = coverage.source
+    if isinstance(source, NodeSource):
+        return f"WITHIN({_render_number(coverage.radius)} OF #{source.node})"
+    assert isinstance(source, KeywordSource)
+    if coverage.radius == 0.0:
+        return f"HAS({_render_keyword(source.keyword)})"
+    return f"NEAR({_render_keyword(source.keyword)}, {_render_number(coverage.radius)})"
+
+
+def _render_expr(expr: DExpression, terms: tuple[CoverageTerm, ...]) -> str:
+    if expr.op is None:
+        assert expr.index is not None
+        return _render_term(terms[expr.index])
+    assert expr.left is not None and expr.right is not None
+    left = _render_expr(expr.left, terms)
+    right = _render_expr(expr.right, terms)
+    return f"({left} {_OP_WORDS[expr.op]} {right})"
+
+
+def render_query(query: QClassQuery) -> str:
+    """Render a query as text that ``parse_query`` accepts.
+
+    The rendering round-trips semantically: parsing it back yields a
+    query that evaluates identically (term indexes may be renumbered in
+    encounter order, which changes nothing).
+    """
+    text = _render_expr(query.expression, query.terms)
+    # Strip one redundant outer parenthesis pair for readability.
+    if text.startswith("(") and text.endswith(")"):
+        depth = 0
+        for i, ch in enumerate(text):
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0 and i < len(text) - 1:
+                    return text  # the outer parens close early: keep them
+        return text[1:-1]
+    return text
+
+
+def query_semantics_key(query: QClassQuery):
+    """A hashable semantic fingerprint, used by round-trip tests.
+
+    Two queries with equal keys evaluate identically on any input: the
+    expression tree with leaves replaced by their *coverage terms*
+    (rather than positional indexes) is exactly the evaluated object.
+    """
+
+    def _walk(expr: DExpression):
+        if expr.op is None:
+            assert expr.index is not None
+            return query.terms[expr.index]
+        assert expr.left is not None and expr.right is not None
+        return (expr.op, _walk(expr.left), _walk(expr.right))
+
+    return _walk(query.expression)

@@ -1,0 +1,378 @@
+"""Asyncio TCP frontend over a pipelined cluster.
+
+The server accepts newline-delimited JSON (see
+:mod:`repro.serve.protocol`), parses queries with the
+:func:`repro.core.language.parse_query` grammar, fans them out through
+:class:`~repro.serve.pipeline.PipelinedCluster`, and streams replies —
+out of order if faster queries finish first, matched by id.
+
+Robustness controls, per request:
+
+* **admission** — at most ``max_inflight`` queries run concurrently;
+  beyond that the server replies ``overloaded`` immediately (load
+  shedding) rather than queueing without bound;
+* **timeout** — a query that exceeds ``query_timeout_seconds`` gets a
+  ``timeout`` reply and is forgotten at the cluster (its late replies
+  are dropped);
+* **degraded mode** — after a worker crash, answers keep flowing from
+  the survivors and carry ``"degraded": true``.
+
+The cluster argument is duck-typed (``submit``/``forget``/
+``num_machines``/``degraded``/``dead_machines``), which the tests use
+to inject failure modes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.language import parse_query
+from repro.exceptions import ClusterError, QueryError
+from repro.serve.admission import AdmissionController
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.protocol import decode_line, encode_line
+
+__all__ = ["ServeConfig", "DisksServer", "serve_in_thread"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Frontend knobs.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`DisksServer.port` after :meth:`DisksServer.start`).
+    ``max_radius`` guards queries against exceeding the deployment's
+    built ``maxR`` — pass the manifest value when serving from files.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_inflight: int = 16
+    query_timeout_seconds: float = 30.0
+    max_radius: float | None = None
+
+
+class DisksServer:
+    """The NDJSON query frontend."""
+
+    def __init__(
+        self,
+        cluster,
+        *,
+        config: ServeConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self._cluster = cluster
+        self.config = config or ServeConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self.admission = AdmissionController(self.config.max_inflight)
+        self._server: asyncio.AbstractServer | None = None
+        self.host = self.config.host
+        self.port: int | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "DisksServer":
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise ClusterError("the server has already been started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        """Block serving until cancelled."""
+        if self._server is None:
+            raise ClusterError("start() the server first")
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting connections."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.create_task(self._handle_line(line, writer, write_lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionResetError, OSError):
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            with contextlib.suppress(ConnectionResetError, OSError):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, write_lock: asyncio.Lock, payload: dict
+    ) -> None:
+        data = encode_line(payload)
+        async with write_lock:
+            with contextlib.suppress(ConnectionResetError, OSError):
+                writer.write(data)
+                await writer.drain()
+
+    async def _handle_line(
+        self, line: bytes, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> None:
+        try:
+            request = decode_line(line)
+        except ValueError as error:
+            self.metrics.increment("bad_requests")
+            await self._respond(
+                writer,
+                write_lock,
+                {"id": None, "ok": False, "error": "bad-json", "detail": str(error)},
+            )
+            return
+        request_id = request.get("id")
+        op = request.get("op", "query")
+        if op == "stats":
+            await self._respond(
+                writer, write_lock, {"id": request_id, "ok": True, "stats": self.stats()}
+            )
+        elif op == "info":
+            await self._respond(
+                writer,
+                write_lock,
+                {
+                    "id": request_id,
+                    "ok": True,
+                    "machines": self._cluster.num_machines,
+                    "degraded": self._cluster.degraded,
+                    "max_radius": self.config.max_radius,
+                    "max_inflight": self.admission.limit,
+                },
+            )
+        elif op == "ping":
+            await self._respond(
+                writer, write_lock, {"id": request_id, "ok": True, "pong": True}
+            )
+        elif op == "query":
+            await self._handle_query(request_id, request, writer, write_lock)
+        else:
+            self.metrics.increment("bad_requests")
+            await self._respond(
+                writer,
+                write_lock,
+                {"id": request_id, "ok": False, "error": "unknown-op", "detail": op},
+            )
+
+    async def _handle_query(
+        self,
+        request_id,
+        request: dict,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        self.metrics.increment("received")
+        if not self.admission.try_acquire():
+            self.metrics.increment("shed")
+            await self._respond(
+                writer, write_lock, {"id": request_id, "ok": False, "error": "overloaded"}
+            )
+            return
+        arrived = time.perf_counter()
+        self.metrics.observe_gauge("inflight", self.admission.depth)
+        try:
+            text = request.get("q")
+            if not isinstance(text, str):
+                self.metrics.increment("bad_requests")
+                await self._respond(
+                    writer,
+                    write_lock,
+                    {
+                        "id": request_id,
+                        "ok": False,
+                        "error": "bad-request",
+                        "detail": "the request needs a query string under 'q'",
+                    },
+                )
+                return
+            try:
+                query = parse_query(text)
+            except QueryError as error:
+                self.metrics.increment("parse_errors")
+                await self._respond(
+                    writer,
+                    write_lock,
+                    {"id": request_id, "ok": False, "error": "parse", "detail": str(error)},
+                )
+                return
+            if (
+                self.config.max_radius is not None
+                and query.max_radius > self.config.max_radius
+            ):
+                self.metrics.increment("radius_rejections")
+                await self._respond(
+                    writer,
+                    write_lock,
+                    {
+                        "id": request_id,
+                        "ok": False,
+                        "error": "radius",
+                        "detail": (
+                            f"radius {query.max_radius:g} exceeds the deployment "
+                            f"maxR {self.config.max_radius:g}"
+                        ),
+                    },
+                )
+                return
+            try:
+                pending = self._cluster.submit(query)
+            except ClusterError as error:
+                self.metrics.increment("errors")
+                await self._respond(
+                    writer,
+                    write_lock,
+                    {"id": request_id, "ok": False, "error": "cluster", "detail": str(error)},
+                )
+                return
+            try:
+                response = await asyncio.wait_for(
+                    asyncio.wrap_future(pending.future),
+                    self.config.query_timeout_seconds,
+                )
+            except asyncio.TimeoutError:
+                self._cluster.forget(pending.request_id)
+                self.metrics.increment("timeouts")
+                await self._respond(
+                    writer, write_lock, {"id": request_id, "ok": False, "error": "timeout"}
+                )
+                return
+            except ClusterError as error:
+                self.metrics.increment("errors")
+                await self._respond(
+                    writer,
+                    write_lock,
+                    {
+                        "id": request_id,
+                        "ok": False,
+                        "error": "cluster",
+                        "detail": str(error),
+                        "degraded": self._cluster.degraded,
+                    },
+                )
+                return
+            latency = time.perf_counter() - arrived
+            self.metrics.observe("latency_seconds", latency)
+            self.metrics.increment("completed")
+            for machine_id, seconds in response.machine_seconds.items():
+                self.metrics.add_busy(machine_id, seconds)
+            await self._respond(
+                writer,
+                write_lock,
+                {
+                    "id": request_id,
+                    "ok": True,
+                    "nodes": sorted(response.result_nodes),
+                    "degraded": response.degraded or self._cluster.degraded,
+                    "timing": {
+                        "latency_ms": latency * 1000.0,
+                        "wall_ms": response.wall_seconds * 1000.0,
+                        "makespan_ms": max(response.machine_seconds.values(), default=0.0)
+                        * 1000.0,
+                        "message_bytes": response.message_bytes,
+                    },
+                },
+            )
+        finally:
+            self.admission.release()
+            self.metrics.observe_gauge("inflight", self.admission.depth)
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """The ``stats`` admin payload: metrics + admission + cluster."""
+        snapshot = self.metrics.snapshot()
+        snapshot["admission"] = {
+            "depth": self.admission.depth,
+            "limit": self.admission.limit,
+        }
+        snapshot["cluster"] = {
+            "machines": self._cluster.num_machines,
+            "degraded": self._cluster.degraded,
+            "dead_machines": sorted(self._cluster.dead_machines),
+        }
+        return snapshot
+
+
+@contextlib.contextmanager
+def serve_in_thread(
+    cluster,
+    config: ServeConfig | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> Iterator[DisksServer]:
+    """Run a :class:`DisksServer` on a background event loop.
+
+    Lets synchronous code (tests, notebooks) stand a server up without
+    owning an event loop::
+
+        with serve_in_thread(cluster) as server:
+            client = ServeClient(server.host, server.port)
+    """
+    server = DisksServer(cluster, config=config, metrics=metrics)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    failure: list[BaseException] = []
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as error:  # surfaced to the caller below
+            failure.append(error)
+            started.set()
+            loop.close()
+            return
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(server.stop())
+            leftovers = asyncio.all_tasks(loop)
+            for task in leftovers:
+                task.cancel()
+            if leftovers:
+                loop.run_until_complete(
+                    asyncio.gather(*leftovers, return_exceptions=True)
+                )
+            loop.close()
+
+    thread = threading.Thread(target=_run, name="disks-serve", daemon=True)
+    thread.start()
+    if not started.wait(timeout=10.0):
+        raise ClusterError("the server failed to start within 10s")
+    if failure:
+        raise ClusterError(f"the server failed to start: {failure[0]}")
+    try:
+        yield server
+    finally:
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10.0)

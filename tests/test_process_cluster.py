@@ -79,3 +79,34 @@ class TestExecution:
             assert response.result_nodes == oracle.results(query)
             assert len(response.machine_seconds) == 2
             assert len(response.fragment_seconds) == 4
+
+
+class TestWorkerCrash:
+    def test_dead_worker_surfaces_cluster_error_not_a_hang(self, built):
+        """Killing a worker mid-stream fails the query within the timeout."""
+        _net, fragments, indexes = built
+        cluster = ProcessCluster.start(fragments, indexes, num_machines=4)
+        try:
+            cluster.execute(sgkq(["w0"], 2.0))  # healthy first
+            cluster._processes[1].kill()
+            cluster._processes[1].join(timeout=10)
+            with pytest.raises(ClusterError, match="died|gone|did not answer"):
+                cluster.execute(sgkq(["w0"], 2.0), timeout_seconds=10)
+        finally:
+            cluster.shutdown()
+
+
+class TestNetworkEmulation:
+    def test_emulated_link_charges_the_round_trip(self, built):
+        """With a network model, each query pays ≥ one modelled RTT."""
+        from repro.dist import NetworkModel
+
+        net, fragments, indexes = built
+        model = NetworkModel(latency_seconds=0.02)
+        query = sgkq(["w0"], 2.0)
+        with ProcessCluster.start(
+            fragments, indexes, num_machines=2, network_model=model
+        ) as cluster:
+            response = cluster.execute(query)
+            assert response.wall_seconds >= 2 * model.latency_seconds
+            assert response.result_nodes == CentralizedEvaluator(net).results(query)

@@ -1,0 +1,201 @@
+"""Unit tests for the serving-layer substrate: metrics, admission,
+protocol round-trips, and the CLI wiring (including ``--version``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import __version__, rkq, sgkq
+from repro.cli import build_parser, main
+from repro.core import parse_query
+from repro.exceptions import ClusterError, DisksError
+from repro.serve import (
+    AdmissionController,
+    LatencyHistogram,
+    MetricsRegistry,
+    decode_line,
+    encode_line,
+    render_query,
+)
+from repro.serve.protocol import query_semantics_key
+
+from helpers import make_random_network
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram(self):
+        histogram = LatencyHistogram()
+        assert histogram.count == 0
+        assert histogram.percentile(0.5) == 0.0
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["mean_ms"] == 0.0
+
+    def test_percentiles_are_ordered(self):
+        histogram = LatencyHistogram()
+        for i in range(1, 101):
+            histogram.observe(i / 1000.0)
+        assert histogram.count == 100
+        p50 = histogram.percentile(0.50)
+        p95 = histogram.percentile(0.95)
+        p99 = histogram.percentile(0.99)
+        assert 0 < p50 <= p95 <= p99 <= 0.1
+        assert p50 == pytest.approx(0.050)
+        assert p95 == pytest.approx(0.095)
+
+    def test_snapshot_totals_are_exact(self):
+        histogram = LatencyHistogram()
+        for seconds in (0.010, 0.020, 0.030):
+            histogram.observe(seconds)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 3
+        assert snapshot["mean_ms"] == pytest.approx(20.0)
+        assert snapshot["max_ms"] == pytest.approx(30.0)
+
+    def test_window_is_bounded_but_totals_are_not(self):
+        histogram = LatencyHistogram(capacity=4)
+        for _ in range(10):
+            histogram.observe(0.001)
+        histogram.observe(1.0)  # lands in the window, becomes the max
+        assert histogram.count == 11
+        assert histogram.snapshot()["max_ms"] == pytest.approx(1000.0)
+        assert len(histogram._window) == 4
+
+    def test_validation(self):
+        with pytest.raises(DisksError):
+            LatencyHistogram(capacity=0)
+        with pytest.raises(DisksError):
+            LatencyHistogram().percentile(1.5)
+
+
+class TestMetricsRegistry:
+    def test_counters(self):
+        metrics = MetricsRegistry()
+        assert metrics.counter("received") == 0
+        metrics.increment("received")
+        metrics.increment("received", by=4)
+        assert metrics.counter("received") == 5
+
+    def test_gauges_track_peak(self):
+        metrics = MetricsRegistry()
+        metrics.observe_gauge("inflight", 3)
+        metrics.observe_gauge("inflight", 7)
+        metrics.observe_gauge("inflight", 2)
+        gauge = metrics.gauge("inflight")
+        assert gauge["current"] == 2
+        assert gauge["peak"] == 7
+        assert metrics.gauge("unknown") == {"current": 0.0, "peak": 0.0}
+
+    def test_histograms_and_busy_time(self):
+        metrics = MetricsRegistry()
+        metrics.observe("latency_seconds", 0.005)
+        metrics.observe("latency_seconds", 0.015)
+        metrics.add_busy(0, 0.25)
+        metrics.add_busy(1, 0.50)
+        metrics.add_busy(0, 0.25)
+        assert metrics.histogram("latency_seconds").count == 2
+        snapshot = metrics.snapshot()
+        assert snapshot["histograms"]["latency_seconds"]["count"] == 2
+        assert snapshot["busy_seconds"] == {"0": 0.5, "1": 0.5}
+        assert set(snapshot) == {"counters", "gauges", "histograms", "busy_seconds"}
+
+
+class TestAdmissionController:
+    def test_admits_to_the_limit_then_sheds(self):
+        admission = AdmissionController(limit=2)
+        assert admission.try_acquire()
+        assert admission.try_acquire()
+        assert not admission.try_acquire()  # shed
+        assert admission.depth == 2
+        admission.release()
+        assert admission.try_acquire()
+
+    def test_release_without_acquire_raises(self):
+        admission = AdmissionController(limit=1)
+        with pytest.raises(ClusterError):
+            admission.release()
+
+    def test_validation(self):
+        with pytest.raises(ClusterError):
+            AdmissionController(limit=0)
+
+
+class TestProtocolLines:
+    def test_encode_decode_round_trip(self):
+        payload = {"id": 7, "q": "NEAR(w0, 2)"}
+        line = encode_line(payload)
+        assert line.endswith(b"\n")
+        assert decode_line(line) == payload
+        assert decode_line(line.decode("utf-8")) == payload
+
+    def test_decode_rejects_non_objects(self):
+        with pytest.raises(ValueError):
+            decode_line(b"[1, 2, 3]\n")
+        with pytest.raises(ValueError):
+            decode_line(b"not json at all\n")
+
+
+class TestRenderQuery:
+    """render_query output must parse back to the same semantics."""
+
+    def _round_trips(self, query) -> None:
+        text = render_query(query)
+        reparsed = parse_query(text)
+        assert query_semantics_key(reparsed) == query_semantics_key(query)
+
+    def test_sgkq(self):
+        self._round_trips(sgkq(["w0", "w1"], 2.5))
+
+    def test_rkq(self):
+        self._round_trips(rkq(3, ["w0", "w1"], 4.0))
+
+    def test_parsed_expressions(self):
+        for text in (
+            "NEAR(w0, 2) AND NEAR(w1, 2)",
+            "HAS(w2) OR NEAR(w3, 1)",
+            "NEAR(w0, 5) NOT NEAR(w2, 1)",
+            "WITHIN(4 OF #0) AND HAS(w0)",
+            "(NEAR(a, 1) OR NEAR(b, 2)) AND (HAS(c) NOT NEAR(d, 3.5))",
+        ):
+            self._round_trips(parse_query(text))
+
+    def test_keywords_needing_quotes(self):
+        self._round_trips(sgkq(["two words", 'has-"quote"', "AND"], 1.0))
+
+    def test_tiny_radius_has_no_exponent(self):
+        text = render_query(sgkq(["w0"], 0.0000125))
+        number = text.split(",")[1].strip(" )")
+        assert "e" not in number and "E" not in number
+        self._round_trips(parse_query(text))
+
+    def test_generated_queries_round_trip(self):
+        net = make_random_network(seed=11, num_junctions=20, num_objects=10, vocabulary=4)
+        from repro.workloads.querygen import QueryGenConfig, QueryGenerator
+
+        generator = QueryGenerator(net, QueryGenConfig(seed=9))
+        for _ in range(10):
+            self._round_trips(generator.sgkq(2, 3.0))
+            self._round_trips(generator.rkq(2, 3.0))
+
+
+class TestCli:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_serve_parser_wiring(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--dir", "deploy"])
+        assert args.port == 7474
+        assert args.max_inflight == 16
+        assert args.timeout == 30.0
+
+    def test_loadgen_parser_wiring(self):
+        parser = build_parser()
+        args = parser.parse_args(["loadgen", "--queries", "50", "--clients", "2"])
+        assert args.port == 7474
+        assert args.queries == 50
+        assert args.clients == 2
+        assert args.dataset == "aus_tiny"
