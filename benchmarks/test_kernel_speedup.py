@@ -1,0 +1,188 @@
+"""Kernel ablation: compiled FragmentKernel vs the dict reference path.
+
+Theorem 5 prices every query in per-term coverage evaluations, so the
+per-term constant is the whole system's unit economics.  This benchmark
+isolates exactly that constant: one fragment runtime, EXP-3-style SGKQ
+term batches (keyword sweep at full ``maxR``), no cluster or transport
+in the loop.  The compiled path (:class:`repro.core.kernel.FragmentKernel`
+— dense ids, CSR adjacency, precompiled seed lists, generation-stamped
+scratch, bounded bucket queue) must beat the reference dict path by
+≥2× on a ≥20k-node network while producing *bit-identical* distance
+maps, which the verification pass checks term by term before any
+timing starts.
+
+Timing methodology: the two evaluators alternate within each round
+(reference round, compiled round, repeat) and the best round per path
+is compared, so a transient load spike on the CI box penalises one
+round, not one evaluator.  GC is paused during timed rounds.
+
+Set ``BENCH_KERNEL_CORRECTNESS_ONLY=1`` (the CI smoke job does) to run
+the same differential assertions on a small network and skip the
+timing/throughput claims, which need a quiet machine and the full
+20k-node build.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+from pathlib import Path
+
+from repro.core import NPDBuildConfig, build_fragments
+from repro.core.builder import build_npd_index
+from repro.core.coverage import FragmentRuntime, batch_distance_maps
+from repro.graph.generators import GeneratorConfig
+from repro.partition import MultilevelPartitioner
+from repro.text.zipf import PlacementConfig
+from repro.workloads import QueryGenConfig, QueryGenerator
+from repro.workloads.datasets import DatasetConfig, build_dataset
+
+from common import KEYWORD_SWEEP
+from repro.bench_support import Table, print_experiment_header, record_benchmark
+
+CORRECTNESS_ONLY = os.environ.get("BENCH_KERNEL_CORRECTNESS_ONLY") == "1"
+QUERIES_PER_POINT = 3
+ROUNDS = 3
+REQUIRED_SPEEDUP = 2.0
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+# Full mode: a ~20.6k-node grid (19k junctions + object nodes), the
+# smallest network clearly past the ≥20k acceptance floor that still
+# builds in seconds.  Smoke mode: same shape, two orders smaller.
+if CORRECTNESS_ONLY:
+    DATASET = DatasetConfig(
+        name="bri_kernel_smoke",
+        generator=GeneratorConfig(kind="grid", num_nodes=1_000, seed=51),
+        num_objects=120,
+        placement=PlacementConfig(
+            vocabulary_size=64, num_clusters=8, topic_size=10, seed=52
+        ),
+        object_seed=53,
+    )
+else:
+    DATASET = DatasetConfig(
+        name="bri_kernel",
+        generator=GeneratorConfig(kind="grid", num_nodes=19_000, seed=51),
+        num_objects=1_600,
+        placement=PlacementConfig(
+            vocabulary_size=576, num_clusters=24, topic_size=30, seed=52
+        ),
+        object_seed=53,
+    )
+
+
+def _deployment():
+    """Largest fragment of a 2-way partition, with its NPD index."""
+    net = build_dataset(DATASET).network
+    partition = MultilevelPartitioner(seed=0).partition(net, 2)
+    fragments = build_fragments(net, partition)
+    fragment = max(fragments, key=lambda f: len(f.members))
+    index, _ = build_npd_index(net, fragment, NPDBuildConfig(lambda_factor=40.0))
+    return net, fragment, index
+
+
+def _term_batches(net, max_radius: float):
+    """EXP-3-style SGKQ batches: keyword sweep at full maxR."""
+    gen = QueryGenerator(net, QueryGenConfig(seed=7))
+    return [
+        query.terms
+        for k in KEYWORD_SWEEP
+        for query in gen.sgkq_batch(QUERIES_PER_POINT, k, max_radius)
+    ]
+
+
+def _evaluate_all(runtime: FragmentRuntime, batches) -> list:
+    maps = []
+    for terms in batches:
+        maps.extend(batch_distance_maps(runtime, terms))
+    return maps
+
+
+def _best_of_interleaved(runtimes: dict[str, FragmentRuntime], batches) -> dict[str, float]:
+    """Best round per evaluator, evaluators alternating inside each round."""
+    best = {name: float("inf") for name in runtimes}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(ROUNDS):
+            for name, runtime in runtimes.items():
+                started = time.perf_counter()
+                _evaluate_all(runtime, batches)
+                best[name] = min(best[name], time.perf_counter() - started)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best
+
+
+def test_compiled_kernel_speedup(benchmark):
+    print_experiment_header(
+        "KERNEL",
+        "Theorem 5 per-term constant",
+        "Per-term coverage evaluation on one fragment runtime: compiled "
+        "flat-array kernel vs the reference dict path, identical maps "
+        "required.",
+    )
+    net, fragment, index = _deployment()
+    num_nodes = len(list(net.nodes()))
+    if not CORRECTNESS_ONLY:
+        assert num_nodes >= 20_000  # the acceptance floor for the claim
+
+    reference = FragmentRuntime(fragment, index, compiled=False)
+    compiled = FragmentRuntime(fragment, index, compiled=True)
+    batches = _term_batches(net, index.max_radius)
+    num_terms = sum(len(terms) for terms in batches)
+
+    # Differential verification (and warm-up): every term, bit-identical
+    # maps on the bucket-queue path and the binary-heap fallback.
+    expected = _evaluate_all(reference, batches)
+    assert _evaluate_all(compiled, batches) == expected
+    heap_forced = FragmentRuntime(fragment, index, compiled=True)
+    heap_forced.kernel.bucket_limit = -1
+    assert _evaluate_all(heap_forced, batches) == expected
+
+    if CORRECTNESS_ONLY:
+        benchmark(lambda: _evaluate_all(compiled, batches))
+        return
+
+    best = _best_of_interleaved(
+        {"reference": reference, "compiled": compiled}, batches
+    )
+    ref_secs, com_secs = best["reference"], best["compiled"]
+    speedup = ref_secs / com_secs
+
+    table = Table(
+        f"{num_terms} SGKQ coverage terms, |P|={len(fragment.members):,} "
+        f"of {num_nodes:,} nodes, r=maxR={index.max_radius:.1f}, "
+        f"best of {ROUNDS} interleaved rounds",
+        ["evaluator", "total (s)", "terms/s", "vs reference"],
+    )
+    table.add_row("reference", ref_secs, num_terms / ref_secs, 1.0)
+    table.add_row("compiled", com_secs, num_terms / com_secs, speedup)
+    table.show()
+
+    record_benchmark(
+        BENCH_FILE,
+        {
+            "experiment": "kernel_speedup",
+            "network_nodes": num_nodes,
+            "fragment_nodes": len(fragment.members),
+            "max_radius": index.max_radius,
+            "num_terms": num_terms,
+            "rounds": ROUNDS,
+            "reference_seconds": round(ref_secs, 4),
+            "compiled_seconds": round(com_secs, 4),
+            "reference_terms_per_second": round(num_terms / ref_secs, 1),
+            "compiled_terms_per_second": round(num_terms / com_secs, 1),
+            "speedup": round(speedup, 2),
+        },
+    )
+
+    # The headline claim: the compiled kernel is ≥2× the dict path.
+    assert ref_secs >= REQUIRED_SPEEDUP * com_secs, (
+        f"expected compiled ≥{REQUIRED_SPEEDUP:g}× reference, got "
+        f"{ref_secs:.3f}s vs {com_secs:.3f}s ({speedup:.2f}x)"
+    )
+
+    benchmark(lambda: _evaluate_all(compiled, batches))

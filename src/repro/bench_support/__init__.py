@@ -1,7 +1,12 @@
 """Shared helpers for the benchmark harness (timing, table rendering)."""
 
 from repro.bench_support.timing import time_call, repeat_median
-from repro.bench_support.reporting import Table, format_series, print_experiment_header
+from repro.bench_support.reporting import (
+    Table,
+    format_series,
+    print_experiment_header,
+    record_benchmark,
+)
 
 __all__ = [
     "time_call",
@@ -9,4 +14,5 @@ __all__ = [
     "Table",
     "format_series",
     "print_experiment_header",
+    "record_benchmark",
 ]

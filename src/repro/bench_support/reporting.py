@@ -8,10 +8,18 @@ records.
 
 from __future__ import annotations
 
+import json
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Sequence
 
-__all__ = ["Table", "format_series", "print_experiment_header"]
+__all__ = [
+    "Table",
+    "format_series",
+    "print_experiment_header",
+    "record_benchmark",
+]
 
 
 @dataclass
@@ -82,3 +90,30 @@ def print_experiment_header(exp_id: str, paper_artifact: str, description: str) 
     print(f"{exp_id} — reproduces {paper_artifact}")
     print(description)
     print("=" * 72)
+
+
+def record_benchmark(path: str | Path, record: dict) -> list[dict]:
+    """Append one benchmark record to a JSON trajectory file.
+
+    The file holds a JSON list, one dict per recorded run, oldest first
+    — the repository's before/after perf trajectory (e.g.
+    ``BENCH_kernel.json``).  A wall-clock ``recorded_at`` ISO timestamp
+    is stamped onto the record; everything else is the caller's.
+    Returns the full trajectory after the append.  A missing or
+    corrupted file restarts the trajectory rather than failing the
+    benchmark that produced the numbers.
+    """
+    path = Path(path)
+    try:
+        history = json.loads(path.read_text())
+        if not isinstance(history, list):
+            history = []
+    except (OSError, ValueError):
+        history = []
+    stamped = dict(record)
+    stamped.setdefault(
+        "recorded_at", time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime())
+    )
+    history.append(stamped)
+    path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+    return history

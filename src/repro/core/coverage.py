@@ -13,20 +13,39 @@ term ``R(source, r) ∩ P``:
 3. a bounded Dijkstra over the extended fragment settles exactly the
    member nodes within ``r`` of the source (Theorem 3 guarantees the
    distances are globally exact).
+
+Two interchangeable evaluators produce the step-3 search:
+
+* the **compiled** path (default) hands the term to a packed
+  :class:`~repro.core.kernel.FragmentKernel` — dense node ids, CSR
+  adjacency, precompiled seed arrays, generation-stamped scratch;
+* the **reference** path (``compiled=False``) runs the dict-based
+  :func:`~repro.search.dijkstra.shortest_path_distances`, kept as the
+  executable spec the differential tests pin the kernel against.
+
+Both return bit-identical distance maps; see ``tests/test_kernel.py``.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import NamedTuple, Sequence
 
 from repro.core.fragment import Fragment
+from repro.core.kernel import FragmentKernel
 from repro.core.npd import NPDIndex
 from repro.core.queries import CoverageTerm, KeywordSource, NodeSource
 from repro.exceptions import QueryError
 from repro.search.dijkstra import shortest_path_distances
 
-__all__ = ["FragmentRuntime", "local_coverage", "local_distance_map"]
+__all__ = [
+    "CacheStats",
+    "FragmentRuntime",
+    "batch_distance_maps",
+    "local_coverage",
+    "local_distance_map",
+]
 
 
 @dataclass
@@ -38,12 +57,34 @@ class CoverageStats:
     settled_nodes: int = 0
 
 
+class CacheStats(NamedTuple):
+    """Coverage-cache counters: ``(hits, misses, skipped)``.
+
+    ``skipped`` counts distance maps *not* cached because they exceeded
+    the runtime's ``cache_max_entry_nodes`` guard.
+    """
+
+    hits: int
+    misses: int
+    skipped: int
+
+
 class FragmentRuntime:
     """Query-time view of one fragment: ``P ∪ SC(P)`` plus DL lookups.
+
+    ``compiled`` (default on) routes coverage evaluation through a
+    packed :class:`~repro.core.kernel.FragmentKernel`; pass ``False``
+    to force the dict-based reference path.  Either way the kernel is
+    available lazily via :attr:`kernel` — benchmarks compare both
+    evaluators on one runtime.
 
     ``cache_capacity`` enables an LRU cache of coverage distance maps
     keyed by ``(source, radius)`` — query workloads repeat popular
     keywords at common radiuses, so hits skip the whole local Dijkstra.
+    ``cache_max_entry_nodes`` bounds how large a map may be and still be
+    cached: popular wide-radius terms can settle most of the fragment,
+    and a handful of such maps would dominate worker memory for little
+    hit-rate gain.  Skips are counted in :attr:`cache_stats`.
     The cache must be invalidated (or the runtime rebuilt) after any
     index maintenance; :class:`repro.core.maintenance.KeywordMaintainer`
     operates on fragments/indexes, so runtimes built before an update
@@ -51,7 +92,13 @@ class FragmentRuntime:
     """
 
     def __init__(
-        self, fragment: Fragment, index: NPDIndex, *, cache_capacity: int = 0
+        self,
+        fragment: Fragment,
+        index: NPDIndex,
+        *,
+        cache_capacity: int = 0,
+        cache_max_entry_nodes: int | None = None,
+        compiled: bool = True,
     ) -> None:
         if fragment.fragment_id != index.fragment_id:
             raise QueryError(
@@ -60,10 +107,14 @@ class FragmentRuntime:
             )
         self._fragment = fragment
         self._index = index
+        self._compiled = bool(compiled)
+        self._kernel: FragmentKernel | None = None
         self._cache_capacity = max(0, cache_capacity)
+        self._cache_max_entry_nodes = cache_max_entry_nodes
         self._cache: "dict[tuple[object, float], dict[int, float]]" = {}
         self._cache_hits = 0
         self._cache_misses = 0
+        self._cache_skipped = 0
         # Alg. 2 step 1: read the edges of the complete fragment P ∪ SC(P).
         extended: dict[int, list[tuple[int, float]]] = {
             node: list(edges) for node, edges in fragment.adjacency.items()
@@ -75,6 +126,8 @@ class FragmentRuntime:
         self._extended: dict[int, tuple[tuple[int, float], ...]] = {
             node: tuple(edges) for node, edges in extended.items()
         }
+        if self._compiled:
+            self._kernel = FragmentKernel(fragment, index)
 
     @property
     def fragment(self) -> Fragment:
@@ -91,6 +144,18 @@ class FragmentRuntime:
         """The ``maxR`` this runtime can serve."""
         return self._index.max_radius
 
+    @property
+    def compiled(self) -> bool:
+        """Whether coverage evaluation routes through the packed kernel."""
+        return self._compiled
+
+    @property
+    def kernel(self) -> FragmentKernel:
+        """The packed kernel (built lazily on reference-path runtimes)."""
+        if self._kernel is None:
+            self._kernel = FragmentKernel(self._fragment, self._index)
+        return self._kernel
+
     def adjacency(self, node: int) -> tuple[tuple[int, float], ...]:
         """Out-edges of ``node`` in the complete fragment ``P ∪ SC(P)``."""
         return self._extended.get(node, ())
@@ -99,9 +164,9 @@ class FragmentRuntime:
     # Coverage cache
     # ------------------------------------------------------------------
     @property
-    def cache_stats(self) -> tuple[int, int]:
-        """``(hits, misses)`` of the coverage cache."""
-        return self._cache_hits, self._cache_misses
+    def cache_stats(self) -> CacheStats:
+        """``(hits, misses, skipped)`` of the coverage cache."""
+        return CacheStats(self._cache_hits, self._cache_misses, self._cache_skipped)
 
     def invalidate_cache(self) -> None:
         """Drop every cached coverage (call after index maintenance)."""
@@ -128,8 +193,19 @@ class FragmentRuntime:
         return cached
 
     def store_distance_map(self, term: CoverageTerm, distances: dict[int, float]) -> None:
-        """Cache a computed distance map, evicting the LRU entry if full."""
+        """Cache a computed distance map, evicting the LRU entry if full.
+
+        Maps larger than ``cache_max_entry_nodes`` are not cached — they
+        are the fragment-sized outliers that would evict many small hot
+        entries at once; the skip is tallied in :attr:`cache_stats`.
+        """
         if not self._cache_capacity:
+            return
+        if (
+            self._cache_max_entry_nodes is not None
+            and len(distances) > self._cache_max_entry_nodes
+        ):
+            self._cache_skipped += 1
             return
         key = self._cache_key(term)
         self._cache.pop(key, None)
@@ -181,6 +257,10 @@ def local_distance_map(
         if stats is not None:
             stats.settled_nodes += len(cached)
         return cached
+    if runtime.compiled:
+        distances = runtime.kernel.distance_map(term, stats)
+        runtime.store_distance_map(term, distances)
+        return distances
     seeds = runtime.seeds_for(term)
     if stats is not None:
         stats.seeds_from_dl += sum(1 for d in seeds.values() if d > 0.0)
@@ -195,6 +275,32 @@ def local_distance_map(
     # member of P already; assert-by-construction in tests.
     runtime.store_distance_map(term, distances)
     return distances
+
+
+def batch_distance_maps(
+    runtime: FragmentRuntime,
+    terms: Sequence[CoverageTerm],
+    stats: CoverageStats | None = None,
+) -> list[dict[int, float]]:
+    """Distance maps for every term of one query, in term order.
+
+    The batched path is how executors evaluate a k-term D-function: all
+    terms run on the *same* kernel instance (one set of scratch arrays,
+    one generation bump per term, precompiled seed tables shared), and
+    duplicate ``(source, radius)`` terms inside the query are evaluated
+    once — common in machine-written expressions such as
+    ``AND(cafe:2, OR(cafe:2, fuel:3))``.
+    """
+    memo: dict[tuple[object, float], dict[int, float]] = {}
+    maps: list[dict[int, float]] = []
+    for term in terms:
+        key = runtime._cache_key(term)
+        hit = memo.get(key)
+        if hit is None:
+            hit = local_distance_map(runtime, term, stats)
+            memo[key] = hit
+        maps.append(hit)
+    return maps
 
 
 def local_coverage(

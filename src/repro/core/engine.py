@@ -59,6 +59,14 @@ class EngineConfig:
         Unknown query keywords raise instead of yielding empty coverages.
     coverage_cache_capacity:
         Per-fragment LRU size for coverage distance maps (0 disables).
+    coverage_cache_max_entry_nodes:
+        Skip caching distance maps larger than this many nodes (None
+        caches everything); skips show up in the cache stats.
+    compiled:
+        Evaluate coverage through the packed per-fragment kernel
+        (:mod:`repro.core.kernel`).  Defaults on; ``False`` selects the
+        dict-based reference path the kernel is differentially tested
+        against.
     """
 
     num_fragments: int = 16
@@ -71,6 +79,8 @@ class EngineConfig:
     network_model: NetworkModel | None = None
     strict_keywords: bool = True
     coverage_cache_capacity: int = 0
+    coverage_cache_max_entry_nodes: int | None = None
+    compiled: bool = True
 
     def build_config(self) -> NPDBuildConfig:
         """The index-construction slice of this config."""
@@ -151,6 +161,8 @@ class DisksEngine:
             num_machines=config.num_machines,
             network=config.network_model,
             cache_capacity=config.coverage_cache_capacity,
+            cache_max_entry_nodes=config.coverage_cache_max_entry_nodes,
+            compiled=config.compiled,
         )
         self._unbounded_cluster = (
             SimulatedCluster.from_fragments(
@@ -159,6 +171,8 @@ class DisksEngine:
                 num_machines=config.num_machines,
                 network=config.network_model,
                 cache_capacity=config.coverage_cache_capacity,
+                cache_max_entry_nodes=config.coverage_cache_max_entry_nodes,
+                compiled=config.compiled,
             )
             if bilevel.unbounded is not None
             else None

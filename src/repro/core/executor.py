@@ -18,8 +18,7 @@ from dataclasses import dataclass, field
 from repro.core.coverage import (
     CoverageStats,
     FragmentRuntime,
-    local_coverage,
-    local_distance_map,
+    batch_distance_maps,
 )
 from repro.core.queries import QClassQuery
 
@@ -61,7 +60,9 @@ def execute_fragment_task(runtime: FragmentRuntime, query: QClassQuery) -> Fragm
     """Run ``query`` on one fragment and return its local result."""
     started = time.perf_counter()
     stats = CoverageStats()
-    coverages = [local_coverage(runtime, term, stats) for term in query.terms]
+    # Batched term evaluation: every term of the query runs through the
+    # same kernel instance (shared scratch, duplicate terms memoised).
+    coverages = [set(m) for m in batch_distance_maps(runtime, query.terms, stats)]
     local = query.expression.evaluate(coverages)
     elapsed = time.perf_counter() - started
     return FragmentTaskResult(
@@ -85,7 +86,7 @@ def execute_fragment_task_explained(
     """
     started = time.perf_counter()
     stats = CoverageStats()
-    distance_maps = [local_distance_map(runtime, term, stats) for term in query.terms]
+    distance_maps = batch_distance_maps(runtime, query.terms, stats)
     coverages = [set(m) for m in distance_maps]
     local = query.expression.evaluate(coverages)
     explanations = {

@@ -1,0 +1,371 @@
+"""Compiled fragment kernel: the packed query-time runtime (perf tentpole).
+
+The reference query path (:mod:`repro.core.coverage`) evaluates every
+coverage term with a dict-of-tuples adjacency callable and fresh
+``dict``/heap state per term.  That is the clearest possible rendering
+of Alg. 2 — and, per Theorem 5, exactly the per-query CPU the whole
+system's unit economics stand on.  :class:`FragmentKernel` compiles one
+fragment's query-time state into flat structures so repeated coverage
+evaluations allocate nothing beyond their result maps:
+
+* **Dense renumbering** — the member nodes of the extended fragment
+  ``P ∪ SC(P)`` are renumbered ``0..n-1`` (sorted global order), so all
+  per-node state lives in flat sequences instead of hash maps.
+* **CSR adjacency** — ``indptr``/``indices``/``weights`` as stdlib
+  :mod:`array` arrays (``'q'`` ints / ``'d'`` doubles; no numpy).  The
+  CSR is the canonical compact layout; a per-row tuple view derived
+  from it (`_rows`) is what the interpreter loop iterates, because
+  CPython unpacks a prebuilt ``(node, weight)`` tuple faster than it
+  re-boxes two ``array`` elements per edge.
+* **Precompiled seed lists** — per keyword, the fragment-local carriers
+  (zero-weight seeds) and the DL portal pairs as parallel
+  dense-id/distance arrays sorted by distance with per-portal minima
+  pre-deduplicated, so one :func:`bisect.bisect_right` replaces the
+  query-time scan-and-merge; likewise per DL node entry.
+* **Generation-stamped scratch** — preallocated ``dist``/``stamp``
+  lists; bumping one generation counter invalidates the whole scratch
+  in O(1), so back-to-back terms of one query (and back-to-back
+  queries) reuse the same memory with zero clearing cost.  Within a
+  generation a settled node's ``dist`` is overwritten with ``-1.0``
+  (below every real distance), which folds the "already settled" test
+  into the ordinary improvement comparison.
+* **Bounded bucket queue** — every coverage search is truncated at the
+  term radius (at most ``maxR`` on a bounded level, Theorem 3), and
+  edge weights have a positive minimum ``δ``, so the frontier fits a
+  Dial-style bucket array of width ``δ`` (the "approximate buckets" of
+  Cherkassky–Goldberg–Radzik).  With bucket width ≤ the minimum edge
+  weight no relaxation can improve a label inside the bucket being
+  swept, so labels are final when popped: the search is *exact*, with
+  O(1) pushes/pops instead of the binary heap's O(log n) sifting and
+  per-entry tuple churn.  The bucket array is preallocated and
+  self-draining (every sweep empties the buckets it used), so repeated
+  terms reuse it allocation-free.  When ``radius/δ`` is too large for
+  buckets to pay off (or the radius is unbounded), the kernel falls
+  back to a conventional binary-heap search over the same scratch.
+
+Distances are bit-for-bit identical to the reference path: every path
+relaxes edge-by-edge with the same ``d + w`` accumulation and the same
+``nd <= bound`` truncation, and a node's final label is the minimum of
+the same float candidates regardless of settle order, so the
+differential tests can require exact float equality of whole distance
+maps (directed and undirected, tie-heavy weights included).  The
+bucket width is shrunk by one part in 10⁹ below ``δ`` so that float
+rounding in the bucket index can never place a label one bucket early.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_right
+from heapq import heapify, heappop, heappush
+
+from repro.core.fragment import Fragment
+from repro.core.npd import NPDIndex
+from repro.core.queries import CoverageTerm, KeywordSource, NodeSource
+from repro.exceptions import QueryError
+
+__all__ = ["FragmentKernel"]
+
+
+class FragmentKernel:
+    """Packed, reusable query-time state for one fragment.
+
+    Build once per ``(fragment, index)`` pair — typically via
+    ``FragmentRuntime(..., compiled=True)`` — then call
+    :meth:`distance_map` per coverage term.  Instances are picklable
+    (plain arrays/dicts/tuples), so process workers can ship or rebuild
+    them freely.  Not thread-safe: the scratch arrays are shared across
+    calls by design.
+    """
+
+    __slots__ = (
+        "fragment_id",
+        "num_nodes",
+        "indptr",
+        "indices",
+        "weights",
+        "bucket_limit",
+        "_globals",
+        "_dense",
+        "_rows",
+        "_kw_local",
+        "_kw_portals",
+        "_node_portals",
+        "_dist",
+        "_stamp",
+        "_generation",
+        "_inv_delta",
+        "_buckets",
+    )
+
+    def __init__(self, fragment: Fragment, index: NPDIndex) -> None:
+        if fragment.fragment_id != index.fragment_id:
+            raise QueryError(
+                f"fragment {fragment.fragment_id} paired with index for "
+                f"fragment {index.fragment_id}"
+            )
+        self.fragment_id = fragment.fragment_id
+
+        # Dense renumbering over the members of P (shortcut endpoints are
+        # members by Rule 1, so this is the full node set of P ∪ SC(P)).
+        ordered = sorted(fragment.members)
+        dense = {node: i for i, node in enumerate(ordered)}
+        n = len(ordered)
+        self.num_nodes = n
+        self._globals = tuple(ordered)
+        self._dense = dense
+
+        # Extended adjacency (fragment edges + SC shortcuts) as CSR.
+        rows: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        for node, edges in fragment.adjacency.items():
+            row = rows[dense[node]]
+            for v, w in edges:
+                row.append((dense[v], w))
+        for (u, v), w in index.shortcuts.items():
+            rows[dense[u]].append((dense[v], w))
+            if not fragment.directed:
+                rows[dense[v]].append((dense[u], w))
+        indptr = array("q", [0]) * (n + 1)
+        total = 0
+        for i, row in enumerate(rows):
+            total += len(row)
+            indptr[i + 1] = total
+        indices = array("q", [0]) * total
+        weights = array("d", [0.0]) * total
+        k = 0
+        for row in rows:
+            for v, w in row:
+                indices[k] = v
+                weights[k] = w
+                k += 1
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        # Hot-loop view derived from the CSR (tuple unpack beats
+        # per-element array indexing in the interpreter).
+        self._rows = tuple(
+            tuple(zip(indices[indptr[i] : indptr[i + 1]], weights[indptr[i] : indptr[i + 1]]))
+            for i in range(n)
+        )
+
+        # Seed tables.  Local carriers per keyword (zero-weight seeds).
+        self._kw_local: dict[str, tuple[int, ...]] = {
+            kw: tuple(dense[node] for node in nodes)
+            for kw, nodes in fragment.keyword_index.to_postings().items()
+        }
+        # DL entries as parallel (dense portal, distance) arrays, sorted
+        # by distance, per-portal minimum only (the first occurrence in
+        # the sorted list is the minimum, so later duplicates can be
+        # dropped at compile time without changing any radius cutoff).
+        self._kw_portals = {
+            kw: _pack_portal_list(pairs, dense) for kw, pairs in index.keyword_entries.items()
+        }
+        self._node_portals = {
+            node: _pack_portal_list(pairs, dense) for node, pairs in index.node_entries.items()
+        }
+
+        # Reusable scratch: tentative distance + generation stamp.
+        self._dist = [0.0] * n
+        self._stamp = [0] * n
+        self._generation = 0
+
+        # Bucket-queue compilation: with bucket width just under the
+        # minimum edge weight, no relaxation can land inside the bucket
+        # currently being swept, so bucket order is settle order (exact
+        # Dijkstra without a heap).  ``bucket_limit`` caps how many
+        # buckets a single search may sweep before the kernel falls back
+        # to the binary heap (pathologically small δ, unbounded radius).
+        delta = min(weights) if total else 0.0
+        self._inv_delta = 1.0 / (delta * (1.0 - 1e-9)) if delta > 0.0 else 0.0
+        self._buckets: list[list[int]] = []
+        self.bucket_limit = 4 * n + 64
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """How many searches have run on this kernel's scratch."""
+        return self._generation
+
+    def global_id(self, dense_id: int) -> int:
+        """The global node id behind a dense id (testing/debug aid)."""
+        return self._globals[dense_id]
+
+    def memory_cells(self) -> dict[str, int]:
+        """Element counts of the packed layout (size accounting)."""
+        return {
+            "csr_cells": len(self.indptr) + 2 * len(self.indices),
+            "keyword_seed_cells": sum(
+                len(ids) * 2 for ids, _d in self._kw_portals.values()
+            )
+            + sum(len(v) for v in self._kw_local.values()),
+            "node_seed_cells": sum(len(ids) * 2 for ids, _d in self._node_portals.values()),
+            "scratch_cells": 2 * self.num_nodes,
+        }
+
+    # ------------------------------------------------------------------
+    # Coverage evaluation
+    # ------------------------------------------------------------------
+    def distance_map(
+        self, term: CoverageTerm, stats=None
+    ) -> dict[int, float]:
+        """Exact ``{member: distance}`` for one coverage term (Alg. 2).
+
+        Shares the preallocated scratch across calls — the batched-term
+        path of :func:`repro.core.coverage.batch_distance_maps` simply
+        calls this once per term on the same kernel instance.
+        ``stats`` is an optional
+        :class:`~repro.core.coverage.CoverageStats` to update.
+        """
+        radius = term.radius
+        self._generation += 1
+        g = self._generation
+        dist = self._dist
+        stamp = self._stamp
+        seeds: list[int] = []  # dense ids; labels live in the scratch
+        seeds_local = 0
+        seeds_dl = 0
+
+        source = term.source
+        if isinstance(source, KeywordSource):
+            for v in self._kw_local.get(source.keyword, ()):
+                dist[v] = 0.0
+                stamp[v] = g
+                seeds.append(v)
+                seeds_local += 1
+            entry = self._kw_portals.get(source.keyword)
+            if entry is not None:
+                ids, dists = entry
+                for i in range(bisect_right(dists, radius)):
+                    v = ids[i]
+                    if stamp[v] != g:  # local zero seed wins (DL dists > 0)
+                        dist[v] = dists[i]
+                        stamp[v] = g
+                        seeds.append(v)
+                        seeds_dl += 1
+        elif isinstance(source, NodeSource):
+            v = self._dense.get(source.node)
+            if v is not None:
+                dist[v] = 0.0
+                stamp[v] = g
+                seeds.append(v)
+                seeds_local += 1
+            else:
+                entry = self._node_portals.get(source.node)
+                if entry is not None:
+                    ids, dists = entry
+                    for i in range(bisect_right(dists, radius)):
+                        p = ids[i]
+                        dist[p] = dists[i]
+                        stamp[p] = g
+                        seeds.append(p)
+                        seeds_dl += 1
+        else:  # pragma: no cover - the Source union is closed
+            raise QueryError(f"unsupported coverage source {source!r}")
+
+        if stats is not None:
+            stats.seeds_local += seeds_local
+            stats.seeds_from_dl += seeds_dl
+
+        if not seeds:
+            return {}
+        inv = self._inv_delta
+        if inv > 0.0 and radius * inv <= self.bucket_limit:
+            out = self._settle_buckets(seeds, radius, g)
+        else:
+            out = self._settle_heap(seeds, radius, g)
+        if stats is not None:
+            stats.settled_nodes += len(out)
+        return out
+
+    def _settle_buckets(self, seeds: list[int], radius: float, g: int) -> dict[int, float]:
+        """Bucket-queue settle loop (the fast path for bounded radii).
+
+        Invariant: bucket width < min edge weight, so a relaxation from
+        a node settling in bucket ``k`` always lands in bucket ``> k``
+        (real arithmetic gives ``≥ k+1`` with a 1e-9 relative margin
+        that dwarfs float rounding in the index).  Labels are therefore
+        final when their bucket's sweep starts, *and* a bucket never
+        grows while it is being swept — so each bucket is iterated
+        with a plain ``for`` (no per-entry ``pop()`` call) and cleared
+        afterwards, leaving the shared bucket array empty for the next
+        term.  Stale duplicate entries are skipped via the ``-1.0``
+        settled sentinel.
+        """
+        dist = self._dist
+        stamp = self._stamp
+        rows = self._rows
+        globals_ = self._globals
+        inv = self._inv_delta
+        buckets = self._buckets
+        need = int(radius * inv) + 1
+        while len(buckets) < need:
+            buckets.append([])
+        for v in seeds:
+            buckets[int(dist[v] * inv)].append(v)
+        out: dict[int, float] = {}
+        for k in range(need):
+            b = buckets[k]
+            if not b:
+                continue
+            for u in b:
+                d = dist[u]
+                if d < 0.0:  # already settled via a shorter duplicate
+                    continue
+                dist[u] = -1.0
+                out[globals_[u]] = d
+                for v, w in rows[u]:
+                    nd = d + w
+                    if nd <= radius and (stamp[v] != g or nd < dist[v]):
+                        dist[v] = nd
+                        stamp[v] = g
+                        buckets[int(nd * inv)].append(v)
+            del b[:]
+        return out
+
+    def _settle_heap(self, seeds: list[int], radius: float, g: int) -> dict[int, float]:
+        """Binary-heap settle loop (fallback for unbounded/huge radii)."""
+        dist = self._dist
+        stamp = self._stamp
+        rows = self._rows
+        globals_ = self._globals
+        heap = [(dist[v], v) for v in seeds]
+        heapify(heap)
+        push = heappush
+        pop = heappop
+        out: dict[int, float] = {}
+        while heap:
+            d, u = pop(heap)
+            if d > radius:
+                break  # the heap is ordered; everything left is farther
+            if dist[u] != d:  # settled (-1.0) or superseded by a shorter push
+                continue
+            dist[u] = -1.0
+            out[globals_[u]] = d
+            for v, w in rows[u]:
+                nd = d + w
+                if nd <= radius and (stamp[v] != g or nd < dist[v]):
+                    dist[v] = nd
+                    stamp[v] = g
+                    push(heap, (nd, v))
+        return out
+
+
+def _pack_portal_list(pairs, dense: dict[int, int]) -> tuple[array, array]:
+    """One sorted DL value list -> parallel (dense ids, distances) arrays.
+
+    ``pairs`` is already distance-sorted (``NPDIndex.seal``); only the
+    first (= minimum-distance) occurrence of each portal is kept.
+    """
+    ids: list[int] = []
+    dists: list[float] = []
+    seen: set[int] = set()
+    for pd in pairs:
+        portal = pd.portal
+        if portal in seen:
+            continue
+        seen.add(portal)
+        ids.append(dense[portal])
+        dists.append(pd.distance)
+    return array("q", ids), array("d", dists)

@@ -37,6 +37,8 @@ class SimulatedCluster:
         num_machines: int | None = None,
         network: NetworkModel | None = None,
         cache_capacity: int = 0,
+        cache_max_entry_nodes: int | None = None,
+        compiled: bool = True,
     ) -> "SimulatedCluster":
         """Build a cluster hosting ``fragments`` with their ``indexes``."""
         if len(fragments) != len(indexes):
@@ -53,7 +55,13 @@ class SimulatedCluster:
         machines = [WorkerMachine(machine_id=m) for m in range(num_machines)]
         for i, (fragment, index) in enumerate(zip(fragments, indexes)):
             machines[i % num_machines].host(
-                FragmentRuntime(fragment, index, cache_capacity=cache_capacity)
+                FragmentRuntime(
+                    fragment,
+                    index,
+                    cache_capacity=cache_capacity,
+                    cache_max_entry_nodes=cache_max_entry_nodes,
+                    compiled=compiled,
+                )
             )
 
         coordinator = Coordinator(
@@ -72,6 +80,17 @@ class SimulatedCluster:
     def ledger(self) -> TrafficLedger:
         """The cluster's traffic ledger."""
         return self.coordinator.ledger
+
+    def coverage_cache_stats(self) -> dict[str, int]:
+        """Coverage-cache counters summed over every hosted runtime."""
+        hits = misses = skipped = 0
+        for machine in self.coordinator.machines:
+            for runtime in machine.runtimes:
+                stats = runtime.cache_stats
+                hits += stats.hits
+                misses += stats.misses
+                skipped += stats.skipped
+        return {"hits": hits, "misses": misses, "skipped": skipped}
 
     def execute(self, query: QClassQuery) -> ClusterResponse:
         """Answer one query."""

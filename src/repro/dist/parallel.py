@@ -23,10 +23,26 @@ from repro.graph.road_network import RoadNetwork
 __all__ = ["parallel_build_indexes", "parallel_execute_query"]
 
 
+# The road network a pool worker builds against, stashed once per
+# worker process by the pool initializer.  Shipping it per *job* would
+# pickle the whole network N-fragments times over the pool; with the
+# initializer it crosses to each worker exactly once and every job
+# carries only its (fragment, config).
+_WORKER_NETWORK: RoadNetwork | None = None
+
+
+def _pool_init(network: RoadNetwork) -> None:
+    global _WORKER_NETWORK
+    _WORKER_NETWORK = network
+
+
 def _build_one(
-    args: tuple[RoadNetwork, Fragment, NPDBuildConfig],
+    args: tuple[Fragment, NPDBuildConfig],
 ) -> tuple[NPDIndex, BuildStats]:
-    network, fragment, config = args
+    fragment, config = args
+    network = _WORKER_NETWORK
+    if network is None:  # pragma: no cover - initializer always runs first
+        raise RuntimeError("worker pool was started without _pool_init")
     return build_npd_index(network, fragment, config)
 
 
@@ -41,10 +57,14 @@ def parallel_build_indexes(
 
     Mirrors the paper's §4.1 observation that construction is naturally
     fragment-parallel ("one machine only takes charge of one fragment").
+    The network is shipped once per worker via the pool initializer, not
+    once per fragment job.
     """
     config = config or NPDBuildConfig()
-    jobs = [(network, fragment, config) for fragment in fragments]
-    with ProcessPoolExecutor(max_workers=processes) as pool:
+    jobs = [(fragment, config) for fragment in fragments]
+    with ProcessPoolExecutor(
+        max_workers=processes, initializer=_pool_init, initargs=(network,)
+    ) as pool:
         outcomes = list(pool.map(_build_one, jobs))
     indexes = [index for index, _stats in outcomes]
     stats = [s for _index, s in outcomes]

@@ -51,6 +51,7 @@ def spawn_workers(
     num_machines: int | None,
     worker_main,
     network_model: NetworkModel | None = None,
+    compiled: bool = True,
 ) -> tuple[list[Process], list[Connection]]:
     """Fork one worker process per machine, fragments assigned round-robin.
 
@@ -90,7 +91,7 @@ def spawn_workers(
         parent_end, child_end = Pipe()
         process = context.Process(
             target=worker_main,
-            args=(child_end, pickle.dumps((pairs, network_model))),
+            args=(child_end, pickle.dumps((pairs, network_model, compiled))),
             name=f"disks-worker-{machine_id}",
             daemon=True,
         )
@@ -123,8 +124,13 @@ def _worker_main(connection: Connection, payload: bytes) -> None:
     """Worker loop: deserialise runtimes once, then serve queries."""
     try:
         pairs: list[tuple[Fragment, NPDIndex]]
-        pairs, network_model = pickle.loads(payload)
-        runtimes = [FragmentRuntime(fragment, index) for fragment, index in pairs]
+        pairs, network_model, compiled = pickle.loads(payload)
+        # Kernels are compiled here, in the worker, so the scratch arrays
+        # live where the queries run and never cross a pipe.
+        runtimes = [
+            FragmentRuntime(fragment, index, compiled=compiled)
+            for fragment, index in pairs
+        ]
         connection.send(("ready", len(runtimes)))
         while True:
             raw = connection.recv_bytes()
@@ -188,15 +194,17 @@ class ProcessCluster:
         num_machines: int | None = None,
         timeout_seconds: float = _DEFAULT_TIMEOUT,
         network_model: NetworkModel | None = None,
+        compiled: bool = True,
     ) -> "ProcessCluster":
         """Fork the workers and wait until every one reports ready.
 
         ``network_model`` makes workers *emulate* the modelled link by
         sleeping for each message's transfer time (see
-        :func:`spawn_workers`).
+        :func:`spawn_workers`).  ``compiled`` selects the packed kernel
+        (default) or the dict-based reference evaluator in the workers.
         """
         processes, connections = spawn_workers(
-            fragments, indexes, num_machines, _worker_main, network_model
+            fragments, indexes, num_machines, _worker_main, network_model, compiled
         )
         cluster = cls(processes, connections, network_model)
         for machine_id, connection in enumerate(connections):

@@ -64,8 +64,11 @@ def _pipelined_worker_main(connection: Connection, payload: bytes) -> None:
     """
     try:
         pairs: list[tuple[Fragment, NPDIndex]]
-        pairs, network_model = pickle.loads(payload)
-        runtimes = [FragmentRuntime(fragment, index) for fragment, index in pairs]
+        pairs, network_model, compiled = pickle.loads(payload)
+        runtimes = [
+            FragmentRuntime(fragment, index, compiled=compiled)
+            for fragment, index in pairs
+        ]
         connection.send(("ready", len(runtimes)))
         while True:
             raw = connection.recv_bytes()
@@ -186,6 +189,7 @@ class PipelinedCluster:
         num_machines: int | None = None,
         timeout_seconds: float = _DEFAULT_TIMEOUT,
         network_model: NetworkModel | None = None,
+        compiled: bool = True,
     ) -> "PipelinedCluster":
         """Fork the workers, handshake, then start the dispatchers.
 
@@ -193,10 +197,17 @@ class PipelinedCluster:
         sleeping for each message's transfer time (see
         :func:`~repro.dist.process_cluster.spawn_workers`); pipelining
         then overlaps those transfers across in-flight queries, which is
-        precisely the dispatch win this class exists for.
+        precisely the dispatch win this class exists for.  ``compiled``
+        selects the packed kernel (default) or the dict-based reference
+        evaluator in the workers.
         """
         processes, connections = spawn_workers(
-            fragments, indexes, num_machines, _pipelined_worker_main, network_model
+            fragments,
+            indexes,
+            num_machines,
+            _pipelined_worker_main,
+            network_model,
+            compiled,
         )
         cluster = cls(processes, connections, network_model)
         for machine_id, connection in enumerate(connections):

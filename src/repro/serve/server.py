@@ -320,6 +320,12 @@ class DisksServer:
             "degraded": self._cluster.degraded,
             "dead_machines": sorted(self._cluster.dead_machines),
         }
+        # Duck-typed like the rest of the cluster interface: clusters
+        # that aggregate per-runtime coverage-cache counters (hits /
+        # misses / skipped-by-size) surface them here.
+        cache_stats = getattr(self._cluster, "coverage_cache_stats", None)
+        if callable(cache_stats):
+            snapshot["coverage_cache"] = cache_stats()
         return snapshot
 
 

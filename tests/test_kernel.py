@@ -1,0 +1,264 @@
+"""Differential tests: compiled FragmentKernel vs the dict reference path.
+
+The kernel's contract is *bit-identical distance maps* — same nodes,
+same float distances — on every fragment, term and graph shape.  These
+tests pin it to the reference evaluator (``compiled=False``, i.e.
+:func:`repro.search.dijkstra.shortest_path_distances`) over randomized
+networks, directed and undirected, including tie-heavy integer weights
+where many nodes sit at exactly the same distance, and the
+``radius == maxR`` boundary where the ``nd <= bound`` semantics decide
+the frontier.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro import DisksEngine, EngineConfig, sgkq
+from repro.baselines import CentralizedEvaluator
+from repro.core import NPDBuildConfig, build_all_indexes, build_fragments
+from repro.core.coverage import (
+    CoverageStats,
+    FragmentRuntime,
+    batch_distance_maps,
+    local_distance_map,
+)
+from repro.core.queries import CoverageTerm, KeywordSource, NodeSource
+from repro.graph.build import RoadNetworkBuilder
+from repro.partition import BfsPartitioner
+
+from helpers import make_random_network
+
+
+def make_tie_network(seed: int, directed: bool = False):
+    """A connected network whose weights are all 1.0 or 2.0.
+
+    Integer weights make shortest-path ties ubiquitous and put many
+    nodes at *exactly* the query radius, which is what the boundary
+    (``nd <= bound``) and tie-ordering tests need.
+    """
+    rng = random.Random(seed)
+    total = 30
+    builder = RoadNetworkBuilder(directed=directed)
+    vocab = [f"w{i}" for i in range(4)]
+    for node in range(total):
+        pos = (rng.uniform(0, 10), rng.uniform(0, 10))
+        if node % 3 == 0:
+            builder.add_object([rng.choice(vocab), rng.choice(vocab)], pos)
+        else:
+            builder.add_junction(pos)
+    order = list(range(total))
+    rng.shuffle(order)
+    for i in range(1, total):
+        u, v = order[i], order[rng.randrange(i)]
+        w = float(rng.choice((1, 2)))
+        builder.add_edge(u, v, w, keep_min=True)
+        if directed:
+            builder.add_edge(v, u, w, keep_min=True)
+    for u in range(total):
+        for v in range(u + 1, total):
+            if rng.random() < 0.12 and not builder.has_edge(u, v):
+                builder.add_edge(u, v, float(rng.choice((1, 2))))
+                if directed:
+                    builder.add_edge(v, u, float(rng.choice((1, 2))))
+    return builder.build()
+
+
+def build_runtime_trios(net, num_fragments: int, max_radius: float, seed: int = 1):
+    """(reference, bucket kernel, heap kernel) runtimes per fragment.
+
+    The compiled kernel has two settle loops — the bounded bucket queue
+    (default whenever ``radius/δ`` is small enough) and the binary-heap
+    fallback.  Every differential sweep pins *both* to the reference, so
+    the fallback cannot rot unexercised.
+    """
+    partition = BfsPartitioner(seed=seed).partition(net, num_fragments)
+    fragments = build_fragments(net, partition)
+    indexes, _ = build_all_indexes(net, fragments, NPDBuildConfig(max_radius=max_radius))
+    trios = []
+    for fragment, index in zip(fragments, indexes):
+        reference = FragmentRuntime(fragment, index, compiled=False)
+        bucketed = FragmentRuntime(fragment, index, compiled=True)
+        heap_forced = FragmentRuntime(fragment, index, compiled=True)
+        heap_forced.kernel.bucket_limit = -1  # force the heap fallback
+        trios.append((reference, bucketed, heap_forced))
+    return trios
+
+
+def assert_term_parity(reference: FragmentRuntime, compiled_variants, term):
+    """One term, every evaluator: identical maps AND identical counters."""
+    ref_stats = CoverageStats()
+    ref_map = local_distance_map(reference, term, ref_stats)
+    for compiled in compiled_variants:
+        kern_stats = CoverageStats()
+        kern_map = local_distance_map(compiled, term, kern_stats)
+        assert kern_map == ref_map  # exact float equality, not approx
+        assert kern_stats == ref_stats
+    return ref_map
+
+
+class TestKernelDifferential:
+    """Property-style sweep: random graphs × random terms, both paths."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_random_networks_distance_map_parity(self, seed: int, directed: bool):
+        net = make_random_network(
+            seed=900 + seed,
+            num_junctions=24,
+            num_objects=12,
+            vocabulary=5,
+            directed=directed,
+        )
+        trios = build_runtime_trios(net, 3, max_radius=math.inf, seed=seed)
+        rng = random.Random(seed)
+        nodes = list(net.nodes())
+        terms = [
+            CoverageTerm(KeywordSource(f"w{k}"), rng.uniform(0.25, 8.0))
+            for k in range(5)
+        ] + [CoverageTerm(NodeSource(rng.choice(nodes)), rng.uniform(0.25, 8.0)) for _ in range(5)]
+        for reference, *variants in trios:
+            for term in terms:
+                assert_term_parity(reference, variants, term)
+
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_tie_heavy_weights_parity(self, directed: bool):
+        net = make_tie_network(seed=42, directed=directed)
+        trios = build_runtime_trios(net, 3, max_radius=math.inf)
+        for radius in (1.0, 2.0, 3.0, 4.0, 5.0):
+            for k in range(4):
+                term = CoverageTerm(KeywordSource(f"w{k}"), radius)
+                for reference, *variants in trios:
+                    assert_term_parity(reference, variants, term)
+
+    @pytest.mark.parametrize("directed", [False, True])
+    def test_radius_equals_max_radius_boundary(self, directed: bool):
+        """radius == maxR settles the same frontier in both paths.
+
+        Integer weights guarantee nodes at *exactly* the bound, so this
+        exercises the inclusive ``nd <= bound`` edge rather than passing
+        vacuously.
+        """
+        max_radius = 4.0
+        net = make_tie_network(seed=7, directed=directed)
+        trios = build_runtime_trios(net, 2, max_radius=max_radius)
+        saw_boundary_node = False
+        for k in range(4):
+            term = CoverageTerm(KeywordSource(f"w{k}"), max_radius)
+            for reference, *variants in trios:
+                ref_map = assert_term_parity(reference, variants, term)
+                if any(d == max_radius for d in ref_map.values()):
+                    saw_boundary_node = True
+        assert saw_boundary_node  # the bound was actually reached
+
+    def test_node_source_inside_and_outside_fragment(self):
+        net = make_random_network(seed=913, num_junctions=24, num_objects=12, vocabulary=4)
+        trios = build_runtime_trios(net, 3, max_radius=math.inf)
+        nodes = sorted(net.nodes())
+        for reference, *variants in trios:
+            members = reference.fragment.members
+            inside = next(n for n in nodes if n in members)
+            outside = next(n for n in nodes if n not in members)
+            for node in (inside, outside):
+                for radius in (0.0, 1.5, 6.0):
+                    term = CoverageTerm(NodeSource(node), radius)
+                    assert_term_parity(reference, variants, term)
+
+    def test_unknown_keyword_is_empty_on_both_paths(self):
+        net = make_random_network(seed=914, num_junctions=20, num_objects=10, vocabulary=3)
+        trios = build_runtime_trios(net, 2, max_radius=math.inf)
+        term = CoverageTerm(KeywordSource("no-such-keyword"), 3.0)
+        for reference, *variants in trios:
+            assert assert_term_parity(reference, variants, term) == {}
+
+
+class TestKernelMechanics:
+    def _runtime(self, *, compiled: bool, seed: int = 915):
+        net = make_random_network(seed=seed, num_junctions=24, num_objects=12, vocabulary=4)
+        trios = build_runtime_trios(net, 2, max_radius=math.inf)
+        return trios[0][1] if compiled else trios[0][0]
+
+    def test_scratch_reuse_across_many_terms(self):
+        """Hundreds of searches on one kernel stay exact (stamp hygiene)."""
+        compiled = self._runtime(compiled=True)
+        reference = self._runtime(compiled=False)
+        rng = random.Random(0)
+        terms = [
+            CoverageTerm(KeywordSource(f"w{rng.randrange(4)}"), rng.uniform(0.1, 9.0))
+            for _ in range(200)
+        ]
+        before = compiled.kernel.generation
+        for term in terms:
+            assert local_distance_map(compiled, term) == local_distance_map(reference, term)
+        assert compiled.kernel.generation == before + len(terms)
+
+    def test_csr_layout_is_consistent(self):
+        kernel = self._runtime(compiled=True).kernel
+        indptr = kernel.indptr
+        assert indptr[0] == 0
+        assert list(indptr) == sorted(indptr)  # monotone row offsets
+        assert len(kernel.indices) == len(kernel.weights) == indptr[-1]
+        assert all(0 <= v < kernel.num_nodes for v in kernel.indices)
+        cells = kernel.memory_cells()
+        assert cells["scratch_cells"] == 2 * kernel.num_nodes
+
+    def test_batch_matches_per_term_and_memoises_duplicates(self):
+        compiled = self._runtime(compiled=True)
+        t1 = CoverageTerm(KeywordSource("w0"), 3.0)
+        t2 = CoverageTerm(KeywordSource("w1"), 2.0)
+        terms = [t1, t2, t1]  # duplicate first term
+        before = compiled.kernel.generation
+        maps = batch_distance_maps(compiled, terms)
+        assert maps[0] is maps[2]  # the duplicate was memoised
+        assert compiled.kernel.generation == before + 2  # only two searches ran
+        fresh = self._runtime(compiled=True)
+        assert maps[0] == local_distance_map(fresh, t1)
+        assert maps[1] == local_distance_map(fresh, t2)
+
+    def test_bucket_path_self_drains_and_heap_fallback_matches(self):
+        """Default path uses (and drains) the bucket array; fallback agrees."""
+        net = make_tie_network(seed=21)  # δ = 1.0, so buckets always apply
+        reference, bucketed, _ = build_runtime_trios(net, 2, max_radius=math.inf)[0]
+        kernel = bucketed.kernel
+        term = CoverageTerm(KeywordSource("w0"), 5.0)
+        expected = local_distance_map(reference, term)
+        assert kernel.distance_map(term) == expected
+        assert len(kernel._buckets) >= 6  # the bucket path actually ran
+        assert all(not bucket for bucket in kernel._buckets)  # and self-drained
+        kernel.bucket_limit = -1  # flip the same kernel to the heap loop
+        assert kernel.distance_map(term) == expected
+
+    def test_lazy_kernel_on_reference_runtime(self):
+        reference = self._runtime(compiled=False)
+        assert not reference.compiled
+        term = CoverageTerm(KeywordSource("w0"), 3.0)
+        # The kernel is still reachable for comparison tooling.
+        assert reference.kernel.distance_map(term) == local_distance_map(reference, term)
+
+
+class TestEngineParity:
+    """End-to-end: compiled and reference engines answer identically."""
+
+    def test_engine_results_match_reference_and_oracle(self):
+        net = make_random_network(seed=916, num_junctions=28, num_objects=14, vocabulary=4)
+        base = dict(
+            num_fragments=3,
+            lambda_factor=None,
+            max_radius=math.inf,
+            partitioner=BfsPartitioner(seed=2),
+        )
+        fast = DisksEngine.build(net, EngineConfig(compiled=True, **base))
+        slow = DisksEngine.build(net, EngineConfig(compiled=False, **base))
+        oracle = CentralizedEvaluator(net)
+        for query in (
+            sgkq(["w0"], 3.0),
+            sgkq(["w0", "w1"], 4.0),
+            sgkq(["w1", "w2", "w3"], 2.5),
+        ):
+            expected = oracle.results(query)
+            assert fast.results(query) == expected
+            assert slow.results(query) == expected
+            assert fast.explain(query) == slow.explain(query)

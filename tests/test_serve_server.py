@@ -68,6 +68,36 @@ class TestProtocol:
             stats = client.stats()
             assert stats["admission"]["limit"] == 16
             assert stats["cluster"]["machines"] == 4
+            # Worker-process clusters keep runtimes out of reach, so the
+            # duck-typed coverage-cache block is absent here.
+            assert "coverage_cache" not in stats
+
+    def test_stats_surfaces_coverage_cache_counters(self, built):
+        """Clusters that aggregate cache counters show up in ``stats``."""
+        from repro.serve.server import DisksServer
+
+        _net, fragments, indexes = built
+        sim = SimulatedCluster.from_fragments(
+            fragments, indexes, cache_capacity=8, cache_max_entry_nodes=0
+        )
+
+        class StatsOnlyCluster:
+            """Just enough cluster surface for DisksServer.stats()."""
+
+            num_machines = sim.num_machines
+            degraded = False
+            dead_machines: set[int] = set()
+            coverage_cache_stats = staticmethod(sim.coverage_cache_stats)
+
+        query = parse_query("NEAR(w0, 3)")
+        sim.execute(query)
+        sim.execute(query)
+        snapshot = DisksServer(StatsOnlyCluster()).stats()
+        cache = snapshot["coverage_cache"]
+        # Every term evaluation consulted a cache; the size-0 guard
+        # skipped every non-empty map instead of storing it.
+        assert cache["hits"] + cache["misses"] == 2 * len(fragments)
+        assert cache["skipped"] >= 1
 
     def test_query_matches_simulated_cluster(self, built, server):
         _net, fragments, indexes = built
