@@ -40,6 +40,16 @@ from repro.core import (
     sgkq_extended,
 )
 from repro.exceptions import DisksError
+from repro.live import (
+    AddKeyword,
+    EpochManager,
+    EpochState,
+    EpochSwap,
+    RemoveKeyword,
+    SetEdgeWeight,
+    UpdateLog,
+    UpdateOp,
+)
 from repro.graph import (
     GeneratorConfig,
     NodeKind,
@@ -93,4 +103,13 @@ __all__ = [
     "DisksEngine",
     "EngineConfig",
     "QueryReport",
+    # live updates
+    "UpdateOp",
+    "AddKeyword",
+    "RemoveKeyword",
+    "SetEdgeWeight",
+    "UpdateLog",
+    "EpochManager",
+    "EpochState",
+    "EpochSwap",
 ]

@@ -8,9 +8,14 @@ Commands
 ``query``   — cold-start workers from a built directory and answer an
               SGKQ or RKQ, printing results and accounting.
 ``serve``   — cold-start a pipelined worker cluster from a built
-              directory and serve queries over TCP (NDJSON protocol).
+              directory and serve queries over TCP (NDJSON protocol);
+              ``--live`` additionally accepts online ``update`` batches
+              (epoch-versioned, write-ahead logged).
 ``loadgen`` — drive a running server closed-loop and print throughput,
               tail latency and the server's own metrics.
+``updates`` — generate a synthetic update stream into a write-ahead
+              log, or ``--replay`` a log against a built directory and
+              report every epoch swap.
 ``demo``    — an end-to-end run on the paper's Fig. 1 network.
 
 The CLI drives exactly the public library API; it exists so the system
@@ -96,6 +101,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--timeout", type=float, default=30.0, help="per-query timeout, seconds"
     )
+    serve.add_argument(
+        "--live", action="store_true",
+        help="accept live update batches (op 'update'), epoch-versioned",
+    )
+    serve.add_argument(
+        "--log", default=None,
+        help="write-ahead log for --live updates (default: DIR/updates.jsonl)",
+    )
 
     loadgen = sub.add_parser("loadgen", help="closed-loop load test of a server")
     loadgen.add_argument("--host", default="127.0.0.1")
@@ -115,6 +128,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--rkq-fraction", type=float, default=0.25, dest="rkq_fraction"
     )
     loadgen.add_argument("--seed", type=int, default=0)
+
+    updates = sub.add_parser(
+        "updates", help="generate or replay a live-update log against built files"
+    )
+    updates.add_argument("--dir", required=True, help="directory produced by `build`")
+    updates.add_argument(
+        "--log", default=None,
+        help="update log path (default: DIR/updates.jsonl)",
+    )
+    mode = updates.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--replay", action="store_true",
+        help="re-apply the log's committed batches and report each epoch swap",
+    )
+    mode.add_argument(
+        "--generate", type=int, metavar="N", default=None,
+        help="generate N synthetic ops into the log as committed batches",
+    )
+    updates.add_argument("--batch-size", type=int, default=10, dest="batch_size")
+    updates.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("demo", help="run the paper's Fig. 1 worked examples")
     return parser
@@ -223,11 +256,38 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _reconstruct_partition(network, fragments):
+    """The build-time partition, recovered from the fragments' members."""
+    from repro.partition.base import Partition
+
+    assignment = [0] * network.num_nodes
+    for fragment in fragments:
+        for node in fragment.members:
+            assignment[node] = fragment.fragment_id
+    return Partition.from_assignment(assignment, num_fragments=len(fragments))
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import DisksServer, PipelinedCluster, ServeConfig
 
     manifest, fragments, indexes = _load_built(Path(args.dir))
     cluster = PipelinedCluster.start(fragments, indexes, num_machines=args.machines)
+    updater = None
+    if args.live:
+        from repro.live import EpochManager, UpdateLog
+
+        dataset = load_dataset(manifest["dataset"])
+        log_path = Path(args.log) if args.log else Path(args.dir) / "updates.jsonl"
+        updater = EpochManager(
+            network=dataset.network,
+            partition=_reconstruct_partition(dataset.network, fragments),
+            fragments=fragments,
+            indexes=indexes,
+            log=UpdateLog(log_path),
+        )
+        updater.subscribe(
+            lambda state, delta: cluster.apply_updates(state.epoch, list(delta.values()))
+        )
     server = DisksServer(
         cluster,
         config=ServeConfig(
@@ -237,6 +297,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             query_timeout_seconds=args.timeout,
             max_radius=manifest.get("max_radius"),
         ),
+        updater=updater,
     )
 
     async def _run() -> None:
@@ -251,6 +312,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             '{"id": 1, "q": "NEAR(kw0001, 5) AND NEAR(kw0002, 5)"} '
             '— admin ops: {"op": "stats"}, {"op": "info"}, {"op": "ping"}'
         )
+        if updater is not None:
+            print(
+                'live updates: {"op": "update", "ops": [{"op": "add_keyword", '
+                '"node": 7, "keyword": "cafe"}, ...]} — current epoch via '
+                '{"op": "epoch"}'
+            )
         await server.serve_forever()
 
     try:
@@ -308,6 +375,76 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_updates(args: argparse.Namespace) -> int:
+    from repro.live import EpochManager, UpdateLog, write_ops
+
+    directory = Path(args.dir)
+    manifest, fragments, indexes = _load_built(directory)
+    log_path = Path(args.log) if args.log else directory / "updates.jsonl"
+    dataset = load_dataset(manifest["dataset"])
+
+    if args.generate is not None:
+        from repro.workloads import UpdateGenConfig, UpdateStreamGenerator
+
+        if log_path.exists():
+            print(
+                f"error: {log_path} already exists; generating into a non-empty "
+                "log would fork its history",
+                file=sys.stderr,
+            )
+            return 2
+        if args.generate < 1 or args.batch_size < 1:
+            print("error: --generate and --batch-size must be positive", file=sys.stderr)
+            return 2
+        generator = UpdateStreamGenerator(
+            dataset.network, UpdateGenConfig(seed=args.seed)
+        )
+        batches = []
+        remaining = args.generate
+        while remaining > 0:
+            size = min(args.batch_size, remaining)
+            batches.append(generator.ops(size))
+            remaining -= size
+        write_ops(log_path, batches)
+        kinds: dict[str, int] = {}
+        for batch in batches:
+            for op in batch:
+                kinds[op.kind] = kinds.get(op.kind, 0) + 1
+        mix = ", ".join(f"{kind}={count}" for kind, count in sorted(kinds.items()))
+        print(
+            f"wrote {args.generate} ops in {len(batches)} committed batches "
+            f"to {log_path} ({mix})"
+        )
+        return 0
+
+    # --replay
+    if not log_path.exists():
+        print(f"error: {log_path} does not exist", file=sys.stderr)
+        return 2
+    partition = _reconstruct_partition(dataset.network, fragments)
+    manager, pending = EpochManager.recover(
+        network=dataset.network,
+        partition=partition,
+        fragments=fragments,
+        indexes=indexes,
+        log=UpdateLog(log_path),
+    )
+    for swap in manager.history:
+        mix = ", ".join(f"{k}={v}" for k, v in sorted(swap.ops_by_kind.items()))
+        print(
+            f"epoch {swap.epoch}: {swap.num_ops} ops ({mix}) -> "
+            f"{len(swap.changed_fragments)} fragments changed, "
+            f"applied in {swap.apply_seconds * 1000:.1f}ms "
+            f"(swap {swap.swap_seconds * 1000:.2f}ms)"
+        )
+    print(
+        f"replayed {len(manager.history)} committed batches from {log_path}; "
+        f"now at epoch {manager.epoch}"
+        + (f" ({len(pending)} uncommitted ops pending)" if pending else "")
+    )
+    return 0
+
+
 def _cmd_demo(_args: argparse.Namespace) -> int:
     names = {0: "A", 1: "B", 2: "C", 3: "D", 4: "E"}
     engine = DisksEngine.build(toy_figure1(), EngineConfig(num_fragments=2, lambda_factor=10.0))
@@ -325,6 +462,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "updates": _cmd_updates,
     "demo": _cmd_demo,
 }
 

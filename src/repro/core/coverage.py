@@ -85,10 +85,16 @@ class FragmentRuntime:
     cached: popular wide-radius terms can settle most of the fragment,
     and a handful of such maps would dominate worker memory for little
     hit-rate gain.  Skips are counted in :attr:`cache_stats`.
-    The cache must be invalidated (or the runtime rebuilt) after any
-    index maintenance; :class:`repro.core.maintenance.KeywordMaintainer`
-    operates on fragments/indexes, so runtimes built before an update
-    are stale by construction.
+
+    Staleness: in-place index mutations (every
+    :class:`repro.core.maintenance.KeywordMaintainer` operation) bump
+    :attr:`NPDIndex.version`; the runtime records the version its kernel
+    and coverage cache were built against and transparently rebuilds
+    both when it moves, so a runtime never serves pre-mutation packed
+    seed lists.  Mutations that *replace* objects — a refreshed
+    :class:`Fragment` or a rebuilt index — are pushed in with
+    :meth:`refresh` (the maintainer does this for bound runtimes, and
+    the cluster ``apply_updates`` paths do it on epoch swaps).
     """
 
     def __init__(
@@ -109,25 +115,29 @@ class FragmentRuntime:
         self._index = index
         self._compiled = bool(compiled)
         self._kernel: FragmentKernel | None = None
+        self._index_version = index.version
         self._cache_capacity = max(0, cache_capacity)
         self._cache_max_entry_nodes = cache_max_entry_nodes
         self._cache: "dict[tuple[object, float], dict[int, float]]" = {}
         self._cache_hits = 0
         self._cache_misses = 0
         self._cache_skipped = 0
+        self._build_extended()
+        if self._compiled:
+            self._kernel = FragmentKernel(fragment, index)
+
+    def _build_extended(self) -> None:
         # Alg. 2 step 1: read the edges of the complete fragment P ∪ SC(P).
         extended: dict[int, list[tuple[int, float]]] = {
-            node: list(edges) for node, edges in fragment.adjacency.items()
+            node: list(edges) for node, edges in self._fragment.adjacency.items()
         }
-        for (u, v), w in index.shortcuts.items():
+        for (u, v), w in self._index.shortcuts.items():
             extended.setdefault(u, []).append((v, w))
-            if not fragment.directed:
+            if not self._fragment.directed:
                 extended.setdefault(v, []).append((u, w))
         self._extended: dict[int, tuple[tuple[int, float], ...]] = {
             node: tuple(edges) for node, edges in extended.items()
         }
-        if self._compiled:
-            self._kernel = FragmentKernel(fragment, index)
 
     @property
     def fragment(self) -> Fragment:
@@ -151,10 +161,51 @@ class FragmentRuntime:
 
     @property
     def kernel(self) -> FragmentKernel:
-        """The packed kernel (built lazily on reference-path runtimes)."""
+        """The packed kernel (built lazily; rebuilt after index mutation)."""
+        self._sync_with_index()
         if self._kernel is None:
             self._kernel = FragmentKernel(self._fragment, self._index)
         return self._kernel
+
+    def _sync_with_index(self) -> None:
+        """Drop the kernel and cache if the index mutated underneath us."""
+        if self._index.version != self._index_version:
+            self._index_version = self._index.version
+            self._kernel = None
+            self._cache.clear()
+
+    def refresh(self, fragment: Fragment | None = None, index: NPDIndex | None = None) -> None:
+        """Swap in replacement state and invalidate derived structures.
+
+        Called by :class:`repro.core.maintenance.KeywordMaintainer` for
+        bound runtimes (fragment keyword-index refreshes, fragment
+        rebuilds) and by the cluster ``apply_updates`` paths on epoch
+        swaps.  No-ops when nothing actually changed.
+        """
+        changed = False
+        if fragment is not None and fragment is not self._fragment:
+            if fragment.fragment_id != self._fragment.fragment_id:
+                raise QueryError(
+                    f"cannot refresh runtime for fragment "
+                    f"{self._fragment.fragment_id} with fragment {fragment.fragment_id}"
+                )
+            self._fragment = fragment
+            changed = True
+        if index is not None and index is not self._index:
+            if index.fragment_id != self._index.fragment_id:
+                raise QueryError(
+                    f"cannot refresh runtime for fragment "
+                    f"{self._index.fragment_id} with index {index.fragment_id}"
+                )
+            self._index = index
+            changed = True
+        if changed:
+            self._index_version = self._index.version
+            self._kernel = None
+            self._cache.clear()
+            self._build_extended()
+        else:
+            self._sync_with_index()
 
     def adjacency(self, node: int) -> tuple[tuple[int, float], ...]:
         """Out-edges of ``node`` in the complete fragment ``P ∪ SC(P)``."""
@@ -181,6 +232,7 @@ class FragmentRuntime:
 
     def cached_distance_map(self, term: CoverageTerm) -> dict[int, float] | None:
         """A cached distance map for ``term``, refreshing its LRU slot."""
+        self._sync_with_index()
         if not self._cache_capacity:
             return None
         key = self._cache_key(term)

@@ -1,9 +1,10 @@
-"""Incremental NPD-index maintenance for keyword updates.
+"""Incremental NPD-index maintenance for keyword and edge-cost updates.
 
 The paper builds its index offline over a static network.  A deployed
 system, however, sees object metadata churn constantly (a restaurant
-closes, a shop gains a tag) even while the *road graph* stays put.  This
-module keeps the NPD-index exact under exactly that class of change:
+closes, a shop gains a tag) and road costs drift (congestion, closures)
+even while the *topology* stays put.  This module keeps the NPD-index
+exact under exactly those classes of change:
 
 * **adding** a keyword to an object — one bounded forward Dijkstra from
   the object computes its Rule-2 contributions to every fragment's DL
@@ -11,21 +12,34 @@ module keeps the NPD-index exact under exactly that class of change:
 * **removing** a keyword — the affected keyword's DL entries are
   recomputed from the remaining carriers' contributions (each one
   bounded search; documented O(|carriers|) cost);
-* **structural** changes (new roads, new objects) alter distances and
-  therefore SC; those route to a per-fragment rebuild, which is exactly
-  one Algorithm-1 run.
+* **edge-weight** changes — an impact analysis bounds which fragments'
+  ``SC(P)``/``DL(P)`` entries could record a path through the changed
+  edge (every recorded distance is ≤ ``maxR``, so only fragments with a
+  node within ``maxR`` of the edge, on the old *or* new costs, qualify);
+  those fragments fall back to a bounded rebuild — one Algorithm-1 run
+  each;
+* **structural** changes (new roads, new objects) route to an explicit
+  per-fragment rebuild.
 
 SC(P) never depends on keywords, so keyword maintenance touches only DL
-— the reason this can be incremental at all.
+— the reason it can be patch-incremental; edge costs feed every recorded
+distance, which is why they invalidate-and-rebuild instead.
+
+Every mutation bumps :attr:`NPDIndex.version`, and runtimes *bound* to
+the maintainer (:meth:`KeywordMaintainer.bind`) are refreshed in place —
+their compiled kernels and coverage caches are dropped, so queries after
+an update never see pre-mutation packed seed lists.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from heapq import heappop, heappush
+from typing import Iterable
 
 from repro.core.builder import NPDBuildConfig, build_npd_index
+from repro.core.coverage import FragmentRuntime
 from repro.core.fragment import Fragment
 from repro.core.npd import DLNodePolicy, NPDIndex, PortalDistance
 from repro.exceptions import DisksError, GraphError
@@ -33,7 +47,11 @@ from repro.graph.road_network import RoadNetwork
 from repro.partition.base import Partition
 from repro.text.inverted import FragmentKeywordIndex
 
-__all__ = ["node_dl_contributions", "KeywordMaintainer"]
+__all__ = [
+    "node_dl_contributions",
+    "edge_impact_fragments",
+    "KeywordMaintainer",
+]
 
 
 def node_dl_contributions(
@@ -96,6 +114,65 @@ def node_dl_contributions(
     return contributions
 
 
+def _bounded_reach_fragments(
+    network: RoadNetwork,
+    sources: Iterable[int],
+    max_radius: float,
+    assignment: tuple[int, ...],
+) -> set[int]:
+    """Fragments owning any node within ``max_radius`` of ``sources``."""
+    best: dict[int, float] = {}
+    heap: list[tuple[float, int]] = []
+    for source in sources:
+        best[source] = 0.0
+        heappush(heap, (0.0, source))
+    fragments: set[int] = set()
+    while heap:
+        d, node = heappop(heap)
+        if d > best.get(node, math.inf):
+            continue
+        fragments.add(assignment[node])
+        for v, w in network.neighbors(node):
+            nd = d + w
+            if nd <= max_radius and nd < best.get(v, math.inf):
+                best[v] = nd
+                heappush(heap, (nd, v))
+    return fragments
+
+
+def edge_impact_fragments(
+    old_network: RoadNetwork,
+    new_network: RoadNetwork,
+    partition: Partition,
+    u: int,
+    v: int,
+    max_radius: float,
+) -> set[int]:
+    """Fragments whose index may record a path through edge ``u -> v``.
+
+    Every distance an NPD-index records is at most ``maxR`` long, so a
+    recorded path through the edge leaves at most ``maxR`` of suffix
+    after traversing it: every node of the path — in particular the
+    portal that keys the DL entry, or the shortcut endpoint — lies
+    within ``maxR`` of the edge's head.  Sweeping a bounded forward
+    Dijkstra from the edge endpoints on the *old* network catches
+    entries whose recorded path used the old cost, and on the *new*
+    network entries whose path becomes recorded under the new cost.
+    The fragments of ``u`` and ``v`` themselves are always included
+    (their local adjacency and Rule-1 shortcut validity change).
+
+    With an untruncated index (``maxR = ∞``) this degrades to "every
+    fragment", which is the honest answer — untruncated recorded paths
+    can span the whole network.
+    """
+    assignment = partition.assignment
+    sources = (v,) if old_network.directed else (u, v)
+    affected = {assignment[u], assignment[v]}
+    affected |= _bounded_reach_fragments(old_network, sources, max_radius, assignment)
+    affected |= _bounded_reach_fragments(new_network, sources, max_radius, assignment)
+    return affected
+
+
 def _merge_sorted(
     pairs: tuple[PortalDistance, ...], updates: dict[int, float]
 ) -> tuple[PortalDistance, ...]:
@@ -112,19 +189,30 @@ def _merge_sorted(
 
 @dataclass
 class KeywordMaintainer:
-    """Keeps (network, fragments, indexes) exact under keyword updates.
+    """Keeps (network, fragments, indexes) exact under online updates.
 
     Owns mutable references to the deployment state; after any update
     the properties expose the refreshed objects, from which a new
     :class:`~repro.core.engine.DisksEngine` (or raw runtimes) can be
     assembled.  All updates preserve the exactness invariants — the test
     suite checks every operation against a from-scratch rebuild.
+
+    Live runtimes can be *bound* with :meth:`bind`: after every update
+    each bound :class:`~repro.core.coverage.FragmentRuntime` is
+    refreshed in place (fragment/index references swapped, compiled
+    kernel and coverage cache dropped), so a bound runtime always
+    answers on the post-update index.  Each public update method
+    returns the sorted ids of the fragments it actually changed, which
+    :mod:`repro.live.epochs` uses to ship minimal epoch deltas.
     """
 
     network: RoadNetwork
     partition: Partition
     fragments: list[Fragment]
     indexes: list[NPDIndex]
+    _bound: dict[int, list[FragmentRuntime]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if len(self.fragments) != len(self.indexes):
@@ -138,60 +226,94 @@ class KeywordMaintainer:
         return self.indexes[0].max_radius
 
     # ------------------------------------------------------------------
+    # Runtime binding
+    # ------------------------------------------------------------------
+    def bind(self, runtime: FragmentRuntime) -> None:
+        """Keep ``runtime`` synchronised with every future update."""
+        fragment_id = runtime.fragment.fragment_id
+        if not (0 <= fragment_id < len(self.fragments)):
+            raise DisksError(f"no fragment {fragment_id} to bind to")
+        self._bound.setdefault(fragment_id, []).append(runtime)
+
+    def _refresh_bound(self, fragment_ids: Iterable[int]) -> None:
+        for fragment_id in fragment_ids:
+            for runtime in self._bound.get(fragment_id, ()):
+                runtime.refresh(self.fragments[fragment_id], self.indexes[fragment_id])
+
+    # ------------------------------------------------------------------
     # Keyword additions
     # ------------------------------------------------------------------
-    def add_keyword(self, node: int, keyword: str) -> None:
-        """Attach ``keyword`` to object ``node`` and patch every DL."""
+    def add_keyword(self, node: int, keyword: str) -> tuple[int, ...]:
+        """Attach ``keyword`` to object ``node`` and patch every DL.
+
+        Returns the sorted ids of the fragments whose state changed.
+        """
         current = self.network.keywords(node)
         if keyword in current:
-            return
+            return ()
         if not self.network.is_object(node):
             raise GraphError(f"node {node} is a junction; only objects carry keywords")
         self.network = self.network.with_node_keywords(node, current | {keyword})
-        self._refresh_fragment_keyword_index(self.partition.fragment_of(node))
+        home = self.partition.fragment_of(node)
+        self._refresh_fragment_keyword_index(home)
+        changed = {home}
 
         contributions = node_dl_contributions(
             self.network, self.partition, node, self.max_radius
         )
-        home = self.partition.fragment_of(node)
         for fragment_id, portal_distances in contributions.items():
             if fragment_id == home:
                 continue
             index = self.indexes[fragment_id]
-            index.keyword_entries[keyword] = _merge_sorted(
-                index.keyword_entries.get(keyword, ()), portal_distances
-            )
-            self._ensure_node_entry(index, node, portal_distances)
+            before = index.keyword_entries.get(keyword, ())
+            merged = _merge_sorted(before, portal_distances)
+            touched = merged != before
+            if touched:
+                index.keyword_entries[keyword] = merged
+            if self._ensure_node_entry(index, node, portal_distances):
+                touched = True
+            if touched:
+                index.touch()
+                changed.add(fragment_id)
+        self._refresh_bound(changed)
+        return tuple(sorted(changed))
 
     def _ensure_node_entry(
         self, index: NPDIndex, node: int, portal_distances: dict[int, float]
-    ) -> None:
+    ) -> bool:
         """Give a newly keyword-bearing object its DL node entry if due."""
         if index.node_policy is DLNodePolicy.NONE:
-            return
+            return False
         if index.node_policy is DLNodePolicy.OBJECTS and not self.network.is_object(node):
-            return
+            return False
         if node not in index.node_entries:
             index.node_entries[node] = _merge_sorted((), portal_distances)
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # Keyword removals
     # ------------------------------------------------------------------
-    def remove_keyword(self, node: int, keyword: str) -> None:
+    def remove_keyword(self, node: int, keyword: str) -> tuple[int, ...]:
         """Detach ``keyword`` from ``node`` and recompute its DL entries.
 
         Cost: one bounded search per remaining carrier of ``keyword``
         (the aggregated minima may have come from the removed node, so
-        they cannot be patched in place).
+        they cannot be patched in place).  Returns the sorted ids of the
+        fragments whose state changed.
         """
         current = self.network.keywords(node)
         if keyword not in current:
-            return
+            return ()
         self.network = self.network.with_node_keywords(node, current - {keyword})
-        self._refresh_fragment_keyword_index(self.partition.fragment_of(node))
-        self._recompute_keyword_entries(keyword)
+        home = self.partition.fragment_of(node)
+        self._refresh_fragment_keyword_index(home)
+        changed = {home}
+        changed |= self._recompute_keyword_entries(keyword)
+        self._refresh_bound(changed)
+        return tuple(sorted(changed))
 
-    def _recompute_keyword_entries(self, keyword: str) -> None:
+    def _recompute_keyword_entries(self, keyword: str) -> set[int]:
         carriers = [
             n for n in self.network.nodes() if keyword in self.network.keywords(n)
         ]
@@ -205,12 +327,67 @@ class KeywordMaintainer:
                 for portal, dist in portal_distances.items():
                     if dist < bucket.get(portal, math.inf):
                         bucket[portal] = dist
+        changed: set[int] = set()
         for index in self.indexes:
+            before = index.keyword_entries.get(keyword)
             fresh = per_fragment.get(index.fragment_id)
             if fresh:
-                index.keyword_entries[keyword] = _merge_sorted((), fresh)
-            else:
+                after = _merge_sorted((), fresh)
+                if after != before:
+                    index.keyword_entries[keyword] = after
+                    index.touch()
+                    changed.add(index.fragment_id)
+            elif before is not None:
                 index.keyword_entries.pop(keyword, None)
+                index.touch()
+                changed.add(index.fragment_id)
+        return changed
+
+    # ------------------------------------------------------------------
+    # Edge-weight updates
+    # ------------------------------------------------------------------
+    def set_edge_weight(self, u: int, v: int, weight: float) -> tuple[int, ...]:
+        """Change the cost of edge ``u -> v`` and restore index exactness.
+
+        Impact analysis (:func:`edge_impact_fragments`) bounds which
+        fragments could record a path through the edge; each of those
+        falls back to a bounded rebuild — one Algorithm-1 run.  Returns
+        the sorted ids of the rebuilt fragments (empty if the weight is
+        unchanged).
+        """
+        old_network = self.network
+        current = old_network.edge_weight(u, v)  # raises GraphError if absent
+        if current == weight:
+            return ()
+        new_network = old_network.with_edge_weight(u, v, weight)
+        affected = edge_impact_fragments(
+            old_network, new_network, self.partition, u, v, self.max_radius
+        )
+        self.network = new_network
+        self._patch_fragment_edge(u, v, weight)
+        for fragment_id in sorted(affected):
+            self.rebuild_fragment(fragment_id)
+        return tuple(sorted(affected))
+
+    def _patch_fragment_edge(self, u: int, v: int, weight: float) -> None:
+        """Update the local adjacency of the fragment owning edge ``u-v``."""
+        fu = self.partition.fragment_of(u)
+        if fu != self.partition.fragment_of(v):
+            return  # a cross-fragment edge appears in no fragment adjacency
+        fragment = self.fragments[fu]
+        adjacency = dict(fragment.adjacency)
+
+        def patch_row(a: int, b: int) -> None:
+            row = adjacency.get(a)
+            if row:
+                adjacency[a] = tuple(
+                    (n, weight if n == b else w) for n, w in row
+                )
+
+        patch_row(u, v)
+        if not fragment.directed:
+            patch_row(v, u)
+        self.fragments[fu] = replace(fragment, adjacency=adjacency)
 
     # ------------------------------------------------------------------
     # Structural fallback
@@ -224,7 +401,9 @@ class KeywordMaintainer:
             node_policy=self.indexes[fragment_id].node_policy,
         )
         index, _stats = build_npd_index(self.network, self.fragments[fragment_id], config)
+        index.version = self.indexes[fragment_id].version + 1
         self.indexes[fragment_id] = index
+        self._refresh_bound((fragment_id,))
 
     # ------------------------------------------------------------------
     # Internals
@@ -235,3 +414,4 @@ class KeywordMaintainer:
             fragment,
             keyword_index=FragmentKeywordIndex(self.network, sorted(fragment.members)),
         )
+        self.indexes[fragment_id].touch()

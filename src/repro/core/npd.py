@@ -87,6 +87,12 @@ class NPDIndex:
         by distance.
     directed:
         Whether the parent network is directed.
+    version:
+        Mutation counter for online maintenance.  Query-time caches
+        (compiled kernels, coverage caches) record the version they were
+        built against and rebuild when it moves; every in-place mutation
+        must go through :meth:`touch`.  Excluded from equality so stored
+        and rebuilt indexes still compare equal field-wise.
     """
 
     fragment_id: int
@@ -96,6 +102,35 @@ class NPDIndex:
     shortcuts: dict[tuple[int, int], float] = field(default_factory=dict)
     keyword_entries: dict[str, tuple[PortalDistance, ...]] = field(default_factory=dict)
     node_entries: dict[int, tuple[PortalDistance, ...]] = field(default_factory=dict)
+    version: int = field(default=0, compare=False, repr=False)
+
+    # ------------------------------------------------------------------
+    # Online maintenance support (repro.core.maintenance / repro.live)
+    # ------------------------------------------------------------------
+    def touch(self) -> int:
+        """Mark the index mutated; returns the new version."""
+        self.version += 1
+        return self.version
+
+    def copy(self) -> "NPDIndex":
+        """A shallow-copied shadow of this index.
+
+        The entry dicts are copied (their value tuples are immutable and
+        shared), so a :class:`~repro.core.maintenance.KeywordMaintainer`
+        can mutate the copy while readers of the original keep an
+        untouched epoch — the basis of shadow application in
+        :mod:`repro.live.epochs`.
+        """
+        return NPDIndex(
+            fragment_id=self.fragment_id,
+            max_radius=self.max_radius,
+            node_policy=self.node_policy,
+            directed=self.directed,
+            shortcuts=dict(self.shortcuts),
+            keyword_entries=dict(self.keyword_entries),
+            node_entries=dict(self.node_entries),
+            version=self.version,
+        )
 
     # ------------------------------------------------------------------
     # Construction-time mutation (builder only)

@@ -14,7 +14,13 @@ experiment shapes on one host:
   processes for genuine parallelism.
 """
 
-from repro.dist.messages import Message, QueryTaskMessage, TaskResultMessage
+from repro.dist.messages import (
+    ApplyUpdatesMessage,
+    EpochAckMessage,
+    Message,
+    QueryTaskMessage,
+    TaskResultMessage,
+)
 from repro.dist.network import NetworkModel, TrafficLedger, Transfer
 from repro.dist.machine import WorkerMachine
 from repro.dist.coordinator import Coordinator, ClusterResponse
@@ -30,6 +36,8 @@ __all__ = [
     "Message",
     "QueryTaskMessage",
     "TaskResultMessage",
+    "ApplyUpdatesMessage",
+    "EpochAckMessage",
     "NetworkModel",
     "TrafficLedger",
     "Transfer",

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.coverage import FragmentRuntime
 from repro.core.fragment import Fragment
@@ -10,7 +10,8 @@ from repro.core.npd import NPDIndex
 from repro.core.queries import QClassQuery
 from repro.dist.coordinator import ClusterResponse, Coordinator
 from repro.dist.machine import WorkerMachine
-from repro.dist.network import NetworkModel, TrafficLedger
+from repro.dist.messages import ApplyUpdatesMessage, EpochAckMessage
+from repro.dist.network import COORDINATOR_ID, NetworkModel, TrafficLedger
 from repro.exceptions import ClusterError
 
 __all__ = ["SimulatedCluster"]
@@ -27,6 +28,7 @@ class SimulatedCluster:
     """
 
     coordinator: Coordinator
+    current_epoch: int = field(default=0)
 
     @classmethod
     def from_fragments(
@@ -95,3 +97,59 @@ class SimulatedCluster:
     def execute(self, query: QClassQuery) -> ClusterResponse:
         """Answer one query."""
         return self.coordinator.execute(query)
+
+    def apply_updates(
+        self, epoch: int, replacements: list[tuple[Fragment, NPDIndex]]
+    ) -> dict[str, object]:
+        """Push an epoch delta to the workers hosting the changed fragments.
+
+        Each worker receives one :class:`ApplyUpdatesMessage` carrying
+        only its own fragments' new state, swaps its hosted runtimes
+        (kernels and coverage caches drop), and acks with an
+        :class:`EpochAckMessage`; both directions are metered on the
+        ledger under the ``apply`` / ``epoch-ack`` kinds.
+        """
+        if epoch <= self.current_epoch:
+            raise ClusterError(
+                f"epoch must advance: cluster at {self.current_epoch}, got {epoch}"
+            )
+        total_bytes = 0
+        swapped: list[int] = []
+        for machine in self.coordinator.machines:
+            hosted = set(machine.fragment_ids)
+            mine = [
+                (fragment, index)
+                for fragment, index in replacements
+                if fragment.fragment_id in hosted
+            ]
+            if not mine:
+                continue
+            message = ApplyUpdatesMessage(
+                sender=COORDINATOR_ID,
+                receiver=machine.machine_id,
+                epoch=epoch,
+                replacements=tuple(mine),
+            )
+            apply_bytes = message.estimated_bytes()
+            self.ledger.record(COORDINATOR_ID, machine.machine_id, apply_bytes, "apply")
+            total_bytes += apply_bytes
+
+            machine_swapped = machine.apply_replacements(mine)
+            swapped.extend(machine_swapped)
+
+            ack = EpochAckMessage(
+                sender=machine.machine_id,
+                receiver=COORDINATOR_ID,
+                epoch=epoch,
+                fragment_ids=tuple(machine_swapped),
+                wall_seconds=0.0,
+            )
+            ack_bytes = ack.estimated_bytes()
+            self.ledger.record(machine.machine_id, COORDINATOR_ID, ack_bytes, "epoch-ack")
+            total_bytes += ack_bytes
+        self.current_epoch = epoch
+        return {
+            "epoch": epoch,
+            "swapped_fragments": sorted(swapped),
+            "total_message_bytes": total_bytes,
+        }

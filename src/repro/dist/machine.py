@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 
 from repro.core.coverage import FragmentRuntime
 from repro.core.executor import FragmentTaskResult, execute_fragment_task
+from repro.core.fragment import Fragment
+from repro.core.npd import NPDIndex
 from repro.core.queries import QClassQuery
 from repro.dist.messages import TaskResultMessage
 from repro.exceptions import ClusterError
@@ -36,6 +38,24 @@ class WorkerMachine:
     def fragment_ids(self) -> list[int]:
         """Ids of the fragments this machine hosts."""
         return [rt.fragment.fragment_id for rt in self.runtimes]
+
+    def apply_replacements(
+        self, replacements: list[tuple["Fragment", "NPDIndex"]]
+    ) -> list[int]:
+        """Swap hosted runtimes onto new epoch state; returns swapped ids.
+
+        Pairs for fragments this machine does not host are ignored (the
+        coordinator ships each worker only its own delta, but being
+        lenient keeps broadcast-style callers correct too).
+        """
+        hosted = {rt.fragment.fragment_id: rt for rt in self.runtimes}
+        swapped: list[int] = []
+        for fragment, index in replacements:
+            runtime = hosted.get(fragment.fragment_id)
+            if runtime is not None:
+                runtime.refresh(fragment, index)
+                swapped.append(fragment.fragment_id)
+        return swapped
 
     def execute(self, query: QClassQuery) -> list[FragmentTaskResult]:
         """Run the query task on every hosted fragment, serially."""

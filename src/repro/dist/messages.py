@@ -1,9 +1,11 @@
 """Typed messages with deterministic byte accounting.
 
-The problem statement (§2.2) accepts exactly two unavoidable transfers:
-the coordinator assigning a task to each machine and each machine
-returning its results.  These are the only message types that exist —
-there deliberately is *no* worker-to-worker message class.
+The problem statement (§2.2) accepts exactly two unavoidable transfers
+on the *query* path: the coordinator assigning a task to each machine
+and each machine returning its results.  The *update* path
+(:mod:`repro.live`) adds a coordinator-push epoch delta and its ack —
+still strictly coordinator <-> worker; there deliberately is *no*
+worker-to-worker message class.
 
 Sizes are estimated with a fixed, documented formula rather than a
 serialiser's whim so benchmark numbers are reproducible across runs and
@@ -15,9 +17,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.core.fragment import Fragment
+from repro.core.npd import NPDIndex
 from repro.core.queries import KeywordSource, NodeSource, QClassQuery
 
-__all__ = ["Message", "QueryTaskMessage", "TaskResultMessage"]
+__all__ = [
+    "Message",
+    "QueryTaskMessage",
+    "TaskResultMessage",
+    "ApplyUpdatesMessage",
+    "EpochAckMessage",
+]
 
 _HEADER_BYTES = 24  # message kind + ids + length framing
 _NODE_ID_BYTES = 8
@@ -87,3 +97,61 @@ class TaskResultMessage(Message):
     def estimated_bytes(self) -> int:
         """Header + one node id per result + the timing float."""
         return _HEADER_BYTES + _NODE_ID_BYTES * len(self.result_nodes) + _FLOAT_BYTES
+
+
+def _fragment_bytes(fragment: Fragment) -> int:
+    """Wire size estimate of one fragment's local state."""
+    size = _NODE_ID_BYTES * len(fragment.members)
+    size += _NODE_ID_BYTES * len(fragment.portals)
+    for row in fragment.adjacency.values():
+        size += (_NODE_ID_BYTES + _FLOAT_BYTES) * len(row) + _NODE_ID_BYTES
+    return size
+
+
+def _index_bytes(index: NPDIndex) -> int:
+    """Wire size estimate of one NPD-index: every recorded distance."""
+    return (
+        (2 * _NODE_ID_BYTES + _FLOAT_BYTES) * index.num_shortcuts
+        + (_NODE_ID_BYTES + _FLOAT_BYTES) * (index.num_recorded_distances - index.num_shortcuts)
+        + sum(len(kw.encode("utf-8")) + 2 for kw in index.keyword_entries)
+        + _NODE_ID_BYTES * len(index.node_entries)
+    )
+
+
+@dataclass(frozen=True)
+class ApplyUpdatesMessage(Message):
+    """Coordinator -> worker: replace these fragments' state for ``epoch``.
+
+    Carries only the fragments that actually changed (the epoch delta
+    computed by :class:`repro.live.epochs.EpochManager`), each as its
+    full post-update ``(fragment, index)`` pair — state shipping, not
+    op shipping, so a worker's epoch transition never re-runs impact
+    analysis and cannot drift from the coordinator's result.
+    """
+
+    epoch: int
+    replacements: tuple[tuple[Fragment, NPDIndex], ...]
+
+    def estimated_bytes(self) -> int:
+        """Header + epoch + the shipped fragment and index payloads."""
+        size = _HEADER_BYTES + _NODE_ID_BYTES
+        for fragment, index in self.replacements:
+            size += _fragment_bytes(fragment) + _index_bytes(index)
+        return size
+
+
+@dataclass(frozen=True)
+class EpochAckMessage(Message):
+    """Worker -> coordinator: fragments swapped, now serving ``epoch``."""
+
+    epoch: int
+    fragment_ids: tuple[int, ...]
+    wall_seconds: float
+
+    def estimated_bytes(self) -> int:
+        """Header + epoch + acked fragment ids + the timing float."""
+        return (
+            _HEADER_BYTES
+            + _NODE_ID_BYTES * (1 + len(self.fragment_ids))
+            + _FLOAT_BYTES
+        )

@@ -52,12 +52,15 @@ def spawn_workers(
     worker_main,
     network_model: NetworkModel | None = None,
     compiled: bool = True,
-) -> tuple[list[Process], list[Connection]]:
+) -> tuple[list[Process], list[Connection], list[list[int]]]:
     """Fork one worker process per machine, fragments assigned round-robin.
 
     Shared by :class:`ProcessCluster` and the pipelined serving cluster
     (:class:`repro.serve.PipelinedCluster`); the two differ only in the
-    worker loop they run over the returned pipe connections.
+    worker loop they run over the returned pipe connections.  The third
+    returned value maps each machine to the fragment ids it hosts, so
+    epoch deltas (:meth:`ProcessCluster.apply_updates`) can be routed to
+    only the owning worker.
 
     ``network_model`` turns the analytic interconnect model into *wall
     clock*: every message carries its send timestamp, and the receiving
@@ -99,7 +102,10 @@ def spawn_workers(
         child_end.close()
         processes.append(process)
         connections.append(parent_end)
-    return processes, connections
+    fragment_assignments = [
+        [fragment.fragment_id for fragment, _index in pairs] for pairs in assignments
+    ]
+    return processes, connections, fragment_assignments
 
 
 def emulate_delivery(
@@ -138,6 +144,24 @@ def _worker_main(connection: Connection, payload: bytes) -> None:
             if kind == "stop":
                 connection.send(("stopped", None))
                 return
+            if kind == "apply":
+                epoch, new_pairs = body
+                emulate_delivery(network_model, meta[0] if meta else None, len(raw))
+                started = time.perf_counter()
+                hosted = {rt.fragment.fragment_id: rt for rt in runtimes}
+                swapped = []
+                for fragment, index in new_pairs:
+                    runtime = hosted.get(fragment.fragment_id)
+                    if runtime is not None:
+                        runtime.refresh(fragment, index)
+                        swapped.append(fragment.fragment_id)
+                elapsed = time.perf_counter() - started
+                connection.send_bytes(
+                    pickle.dumps(
+                        ("applied", (epoch, swapped, elapsed), time.perf_counter())
+                    )
+                )
+                continue
             if kind != "query":  # pragma: no cover - protocol guard
                 connection.send(("error", f"unknown message kind {kind!r}"))
                 continue
@@ -176,11 +200,14 @@ class ProcessCluster:
         processes: list[Process],
         connections: list[Connection],
         network_model: NetworkModel | None = None,
+        fragment_assignments: list[list[int]] | None = None,
     ) -> None:
         self._processes = processes
         self._connections = connections
         self._network_model = network_model
+        self._assignments = fragment_assignments or [[] for _ in processes]
         self._alive = True
+        self.current_epoch = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -203,10 +230,10 @@ class ProcessCluster:
         :func:`spawn_workers`).  ``compiled`` selects the packed kernel
         (default) or the dict-based reference evaluator in the workers.
         """
-        processes, connections = spawn_workers(
+        processes, connections, assignments = spawn_workers(
             fragments, indexes, num_machines, _worker_main, network_model, compiled
         )
-        cluster = cls(processes, connections, network_model)
+        cluster = cls(processes, connections, network_model, assignments)
         for machine_id, connection in enumerate(connections):
             try:
                 kind, body, _ = cls._receive(connection, timeout_seconds, machine_id)
@@ -316,3 +343,79 @@ class ProcessCluster:
             wall_seconds=time.perf_counter() - started,
             message_bytes=total_bytes,
         )
+
+    # ------------------------------------------------------------------
+    # Live updates
+    # ------------------------------------------------------------------
+    def apply_updates(
+        self,
+        epoch: int,
+        replacements: list[tuple[Fragment, NPDIndex]],
+        *,
+        timeout_seconds: float = _DEFAULT_TIMEOUT,
+    ) -> dict[str, object]:
+        """Ship an epoch delta to the owning workers and await their acks.
+
+        Each worker receives only the ``(fragment, index)`` pairs it
+        hosts, swaps the corresponding runtimes in place (compiled
+        kernels and coverage caches drop), and acks with the epoch and
+        the swapped fragment ids.  Lockstep like :meth:`execute`: the
+        call returns only after every involved worker has swapped, so a
+        subsequent query observes the new epoch everywhere.
+        """
+        if not self._alive:
+            raise ClusterError("the cluster has been shut down")
+        if epoch <= self.current_epoch:
+            raise ClusterError(
+                f"epoch must advance: cluster at {self.current_epoch}, got {epoch}"
+            )
+        started = time.perf_counter()
+        involved: list[int] = []
+        total_bytes = 0
+        for machine_id, connection in enumerate(self._connections):
+            hosted = set(self._assignments[machine_id])
+            mine = [
+                (fragment, index)
+                for fragment, index in replacements
+                if fragment.fragment_id in hosted
+            ]
+            if not mine:
+                continue
+            payload = pickle.dumps(("apply", (epoch, mine), time.perf_counter()))
+            total_bytes += len(payload)
+            try:
+                connection.send_bytes(payload)
+            except (BrokenPipeError, OSError):
+                raise ClusterError(
+                    f"worker {machine_id} is gone; the cluster is unusable"
+                ) from None
+            involved.append(machine_id)
+
+        swapped: list[int] = []
+        for machine_id in involved:
+            kind, body, wire_bytes = self._receive(
+                self._connections[machine_id],
+                timeout_seconds,
+                machine_id,
+                self._network_model,
+            )
+            if kind == "error":
+                raise ClusterError(f"worker {machine_id} failed to apply:\n{body}")
+            if kind != "applied":  # pragma: no cover - protocol guard
+                raise ClusterError(
+                    f"worker {machine_id} sent {kind!r} instead of an epoch ack"
+                )
+            acked_epoch, machine_swapped, _elapsed = body
+            if acked_epoch != epoch:  # pragma: no cover - protocol guard
+                raise ClusterError(
+                    f"worker {machine_id} acked epoch {acked_epoch}, expected {epoch}"
+                )
+            swapped.extend(machine_swapped)
+            total_bytes += wire_bytes
+        self.current_epoch = epoch
+        return {
+            "epoch": epoch,
+            "swapped_fragments": sorted(swapped),
+            "total_message_bytes": total_bytes,
+            "wall_seconds": time.perf_counter() - started,
+        }

@@ -24,6 +24,7 @@ __all__ = [
     "ChecksumError",
     "ClusterError",
     "CommunicationViolationError",
+    "LiveUpdateError",
 ]
 
 
@@ -122,3 +123,7 @@ class CommunicationViolationError(ClusterError):
     machine-to-machine traffic (paper Theorem 3); the message accountant
     raises this error if any such transfer is attempted.
     """
+
+
+class LiveUpdateError(DisksError):
+    """An online index update (``repro.live``) is invalid or failed to apply."""

@@ -15,6 +15,7 @@ generators in :mod:`repro.graph.generators`.
 
 from __future__ import annotations
 
+import math
 from enum import IntEnum
 from typing import Iterable, Iterator, Mapping, Sequence
 
@@ -391,6 +392,65 @@ class RoadNetwork:
         new_keywords = list(self._keywords)
         new_keywords[node] = kws
         object.__setattr__(clone, "_keywords", tuple(new_keywords))
+        return clone
+
+    def with_edge_weight(self, u: int, v: int, weight: float) -> "RoadNetwork":
+        """A derived network where edge ``u -> v`` weighs ``weight``.
+
+        Like :meth:`with_node_keywords` this is copy-on-write: only the
+        weight tuples are re-materialised, every other slot is shared.
+        For undirected networks both CSR rows (``u -> v`` and ``v -> u``)
+        are updated; for directed networks the forward *and* reverse CSR
+        entries of the single arc are updated.  This is the structural
+        half of the online-update model in :mod:`repro.live` — the graph
+        topology never changes, only costs do.
+        """
+        self._check_node(u)
+        self._check_node(v)
+        if not (weight > 0) or math.isinf(weight):
+            raise GraphError(f"edge weight must be positive and finite, got {weight}")
+
+        def _patched(
+            offsets: tuple[int, ...],
+            neighbors: tuple[int, ...],
+            weights: tuple[float, ...],
+            a: int,
+            b: int,
+        ) -> tuple[float, ...] | None:
+            lo, hi = offsets[a], offsets[a + 1]
+            hits = [i for i in range(lo, hi) if neighbors[i] == b]
+            if not hits:
+                return None
+            patched = list(weights)
+            for i in hits:
+                patched[i] = weight
+            return tuple(patched)
+
+        forward = _patched(self._offsets, self._neighbors, self._weights, u, v)
+        if forward is None:
+            raise GraphError(f"no edge between {u} and {v}")
+
+        clone = object.__new__(RoadNetwork)
+        for slot in RoadNetwork.__slots__:
+            object.__setattr__(clone, slot, getattr(self, slot))
+        if self._directed:
+            object.__setattr__(clone, "_weights", forward)
+            reverse = _patched(self._roffsets, self._rneighbors, self._rweights, v, u)
+            if reverse is None:  # pragma: no cover - builder keeps CSRs in sync
+                raise GraphError(f"reverse CSR is missing arc {u} -> {v}")
+            object.__setattr__(clone, "_rweights", reverse)
+        else:
+            both = _patched(self._offsets, self._neighbors, forward, v, u)
+            if both is None:  # pragma: no cover - undirected edges are symmetric
+                raise GraphError(f"undirected edge {u} - {v} has no reverse row")
+            object.__setattr__(clone, "_weights", both)
+            # Undirected networks alias the reverse CSR to the forward one.
+            object.__setattr__(clone, "_rweights", both)
+        total = sum(clone._weights)
+        arc_count = len(clone._weights)
+        object.__setattr__(
+            clone, "_avg_edge_weight", total / arc_count if arc_count else 0.0
+        )
         return clone
 
     def keyword_frequencies(self) -> dict[str, int]:

@@ -1,0 +1,255 @@
+"""Epoch-versioned state management for live index updates.
+
+The :class:`EpochManager` is the single writer of a deployment's
+(network, fragments, indexes) triple.  Updates apply in batches:
+
+1. **validate** — every op in the batch is checked against the current
+   network; a bad op rejects the whole batch before anything mutates;
+2. **shadow apply** — the per-fragment state is copied (fragment list +
+   :meth:`NPDIndex.copy` per index) and a
+   :class:`~repro.core.maintenance.KeywordMaintainer` mutates the copy:
+   keyword ops patch DL entries incrementally, edge-weight ops run
+   impact analysis and rebuild the affected fragments.  Readers of the
+   current epoch see none of it;
+3. **publish** — the shadow becomes :class:`EpochState` ``N+1`` via a
+   single attribute assignment (atomic under the GIL), subscribers
+   (cluster glue, serve layer) are notified with the minimal delta —
+   the ``(fragment, index)`` pairs that actually changed — and the
+   write-ahead log records a commit marker.
+
+Queries running against epoch ``N`` keep their references and drain
+untouched; new queries pick up ``N+1``.  There is no epoch in between,
+so a torn index (old SC with new DL, half-patched entries) is
+unobservable by construction.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.core.coverage import FragmentRuntime
+from repro.core.fragment import Fragment
+from repro.core.maintenance import KeywordMaintainer
+from repro.core.npd import NPDIndex
+from repro.exceptions import LiveUpdateError
+from repro.graph.road_network import RoadNetwork
+from repro.live.log import UpdateLog
+from repro.live.ops import UpdateOp
+from repro.partition.base import Partition
+
+__all__ = ["EpochState", "EpochSwap", "EpochManager"]
+
+# Subscriber signature: (new state, delta) where delta maps each changed
+# fragment id to its new (fragment, index) pair.
+EpochSubscriber = Callable[["EpochState", dict[int, tuple[Fragment, NPDIndex]]], None]
+
+
+@dataclass(frozen=True)
+class EpochState:
+    """One immutable published version of the deployment state."""
+
+    epoch: int
+    network: RoadNetwork
+    partition: Partition
+    fragments: tuple[Fragment, ...]
+    indexes: tuple[NPDIndex, ...]
+
+    def runtimes(
+        self, cache_capacity: int = 0, compiled: bool = True
+    ) -> list[FragmentRuntime]:
+        """Fresh query runtimes over this epoch's fragments."""
+        return [
+            FragmentRuntime(f, i, cache_capacity=cache_capacity, compiled=compiled)
+            for f, i in zip(self.fragments, self.indexes)
+        ]
+
+    def delta_from(self, changed: Iterable[int]) -> dict[int, tuple[Fragment, NPDIndex]]:
+        """The ``{fragment_id: (fragment, index)}`` delta for ``changed``."""
+        return {fid: (self.fragments[fid], self.indexes[fid]) for fid in changed}
+
+
+@dataclass(frozen=True)
+class EpochSwap:
+    """Report of one published epoch transition."""
+
+    epoch: int
+    num_ops: int
+    ops_by_kind: dict[str, int]
+    changed_fragments: tuple[int, ...]
+    apply_seconds: float
+    swap_seconds: float
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly form for metrics and the serve layer."""
+        return {
+            "epoch": self.epoch,
+            "num_ops": self.num_ops,
+            "ops_by_kind": dict(self.ops_by_kind),
+            "changed_fragments": list(self.changed_fragments),
+            "apply_seconds": self.apply_seconds,
+            "swap_seconds": self.swap_seconds,
+        }
+
+
+@dataclass
+class EpochManager:
+    """Single-writer epoch pipeline: shadow-apply, then atomically swap.
+
+    Thread safety: :meth:`apply` serialises writers behind a lock;
+    :attr:`state` is a lock-free read (readers grab the reference once
+    and use that epoch consistently).  Subscribers run inside the apply
+    lock, *after* the swap — they see the new state and can push deltas
+    to remote workers before the next batch starts.
+    """
+
+    network: RoadNetwork
+    partition: Partition
+    fragments: Sequence[Fragment]
+    indexes: Sequence[NPDIndex]
+    log: UpdateLog | None = None
+    _state: EpochState = field(init=False, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, init=False, repr=False)
+    _subscribers: list[EpochSubscriber] = field(default_factory=list, init=False, repr=False)
+    _history: list[EpochSwap] = field(default_factory=list, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.fragments) != len(self.indexes):
+            raise LiveUpdateError("fragments and indexes must align")
+        self._state = EpochState(
+            epoch=0,
+            network=self.network,
+            partition=self.partition,
+            fragments=tuple(self.fragments),
+            indexes=tuple(self.indexes),
+        )
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> EpochState:
+        """The current published epoch (atomic reference read)."""
+        return self._state
+
+    @property
+    def epoch(self) -> int:
+        """The current epoch number."""
+        return self._state.epoch
+
+    @property
+    def history(self) -> tuple[EpochSwap, ...]:
+        """Reports of every swap published so far."""
+        return tuple(self._history)
+
+    def subscribe(self, subscriber: EpochSubscriber) -> None:
+        """Call ``subscriber(state, delta)`` after every published swap."""
+        self._subscribers.append(subscriber)
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+    def apply(self, ops: Sequence[UpdateOp]) -> EpochSwap:
+        """Apply one batch and publish the next epoch.
+
+        All-or-nothing: validation failures (and any apply error) leave
+        the current epoch untouched and raise :class:`LiveUpdateError`.
+        """
+        ops = list(ops)
+        if not ops:
+            raise LiveUpdateError("empty update batch")
+        with self._lock:
+            base = self._state
+            for op in ops:
+                op.validate(base.network)
+            if self.log is not None:
+                for op in ops:
+                    self.log.append(op)
+
+            apply_started = time.perf_counter()
+            maintainer = KeywordMaintainer(
+                network=base.network,
+                partition=base.partition,
+                fragments=list(base.fragments),
+                indexes=[index.copy() for index in base.indexes],
+            )
+            changed: set[int] = set()
+            for op in ops:
+                try:
+                    changed.update(op.apply(maintainer))
+                except LiveUpdateError:
+                    raise
+                except Exception as exc:  # pragma: no cover - defensive
+                    raise LiveUpdateError(f"applying {op!r} failed: {exc}") from exc
+            apply_seconds = time.perf_counter() - apply_started
+
+            swap_started = time.perf_counter()
+            new_state = EpochState(
+                epoch=base.epoch + 1,
+                network=maintainer.network,
+                partition=base.partition,
+                fragments=tuple(maintainer.fragments),
+                indexes=tuple(maintainer.indexes),
+            )
+            self._state = new_state  # the atomic swap: readers now see N+1
+            delta = new_state.delta_from(sorted(changed))
+            for subscriber in self._subscribers:
+                subscriber(new_state, delta)
+            swap_seconds = time.perf_counter() - swap_started
+
+            if self.log is not None:
+                self.log.commit(new_state.epoch, len(ops))
+
+            ops_by_kind: dict[str, int] = {}
+            for op in ops:
+                ops_by_kind[op.kind] = ops_by_kind.get(op.kind, 0) + 1
+            swap = EpochSwap(
+                epoch=new_state.epoch,
+                num_ops=len(ops),
+                ops_by_kind=ops_by_kind,
+                changed_fragments=tuple(sorted(changed)),
+                apply_seconds=apply_seconds,
+                swap_seconds=swap_seconds,
+            )
+            self._history.append(swap)
+            return swap
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        network: RoadNetwork,
+        partition: Partition,
+        fragments: Sequence[Fragment],
+        indexes: Sequence[NPDIndex],
+        log: UpdateLog,
+    ) -> tuple["EpochManager", list[UpdateOp]]:
+        """Rebuild a manager by replaying the committed log prefix.
+
+        The given state must be the epoch-0 (pre-log) build.  Committed
+        batches re-apply in order — reproducing the pre-crash epoch
+        sequence — while the replay itself is kept out of the log (no
+        double-append).  Returns ``(manager, pending)`` where
+        ``pending`` holds the uncommitted tail ops for the caller to
+        re-submit or drop.
+        """
+        committed, pending = log.replay()
+        manager = cls(
+            network=network,
+            partition=partition,
+            fragments=fragments,
+            indexes=indexes,
+        )
+        for record in committed:
+            swap = manager.apply(record.ops)
+            if swap.epoch != record.epoch:
+                raise LiveUpdateError(
+                    f"replay drift: log committed epoch {record.epoch}, "
+                    f"replay produced {swap.epoch}"
+                )
+        manager.log = log
+        return manager, list(pending)

@@ -1,0 +1,178 @@
+"""A replayable JSONL write-ahead log for live updates.
+
+Durability protocol (classic WAL discipline, one file, append-only):
+
+1. every op is appended — ``{"seq": n, "op": ..., ...}`` — *before* it
+   is applied to the shadow state;
+2. after the epoch swap publishes, a commit marker
+   ``{"commit": epoch, "ops": k}`` is appended.
+
+On recovery, :meth:`UpdateLog.replay` partitions the file into
+*committed* batches (ops covered by a commit marker — these were fully
+applied and published, so re-applying them reproduces the pre-crash
+epochs) and a *pending* tail (ops whose batch never committed; the swap
+never published, so they are surfaced separately for the operator to
+re-submit or drop).
+
+The format is line-delimited JSON so the log is greppable, appendable
+from shell tooling, and order-preserving under concatenation.  Torn
+final lines (a crash mid-append) are tolerated: an undecodable *last*
+line is discarded; corruption anywhere earlier raises, because silently
+skipping interior records would re-order history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.exceptions import LiveUpdateError
+from repro.live.ops import UpdateOp, op_from_record
+
+__all__ = ["LogRecord", "UpdateLog", "write_ops"]
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One replayed committed batch: the epoch it produced and its ops."""
+
+    epoch: int
+    ops: tuple[UpdateOp, ...]
+
+
+@dataclass
+class UpdateLog:
+    """Append-only JSONL op log with commit markers.
+
+    Parameters
+    ----------
+    path:
+        Log file location; created (with parents) on first append.
+    fsync:
+        When true, ``os.fsync`` after every commit marker — the
+        durability point.  Individual op appends are only flushed
+        (page-cache durability), keeping the hot path cheap.
+    """
+
+    path: Path
+    fsync: bool = False
+    _handle: object = field(default=None, init=False, repr=False, compare=False)
+    _next_seq: int = field(default=0, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.path = Path(self.path)
+        if self.path.exists():
+            committed, pending = self.replay()
+            self._next_seq = sum(len(r.ops) for r in committed) + len(pending)
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def _file(self):
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        return self._handle
+
+    def append(self, op: UpdateOp) -> int:
+        """Append one op; returns its sequence number."""
+        seq = self._next_seq
+        record = {"seq": seq, **op.to_record()}
+        handle = self._file()
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.flush()
+        self._next_seq = seq + 1
+        return seq
+
+    def commit(self, epoch: int, num_ops: int) -> None:
+        """Append a commit marker covering the last ``num_ops`` appends."""
+        handle = self._file()
+        handle.write(json.dumps({"commit": epoch, "ops": num_ops}) + "\n")
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+
+    def close(self) -> None:
+        """Close the underlying file handle (reopened on next append)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "UpdateLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def _lines(self) -> Iterator[tuple[int, str]]:
+        with self.path.open("r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if line:
+                    yield lineno, line
+
+    def replay(self) -> tuple[list[LogRecord], list[UpdateOp]]:
+        """Parse the log into committed batches and the pending tail.
+
+        Returns ``(committed, pending)`` where ``committed`` is a list
+        of :class:`LogRecord` in epoch order and ``pending`` the ops
+        appended after the last commit marker.
+        """
+        if not self.path.exists():
+            return [], []
+        lines = list(self._lines())
+        committed: list[LogRecord] = []
+        tail: list[UpdateOp] = []
+        for position, (lineno, line) in enumerate(lines):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if position == len(lines) - 1:
+                    break  # torn final append from a crash; discard
+                raise LiveUpdateError(
+                    f"{self.path}:{lineno}: corrupt log record"
+                ) from exc
+            if "commit" in record:
+                epoch = int(record["commit"])
+                count = int(record.get("ops", len(tail)))
+                if count > len(tail):
+                    raise LiveUpdateError(
+                        f"{self.path}:{lineno}: commit marker covers {count} ops "
+                        f"but only {len(tail)} are uncommitted"
+                    )
+                batch = tuple(tail[len(tail) - count :])
+                del tail[len(tail) - count :]
+                if tail:
+                    raise LiveUpdateError(
+                        f"{self.path}:{lineno}: {len(tail)} ops stranded before "
+                        f"commit of epoch {epoch}"
+                    )
+                committed.append(LogRecord(epoch=epoch, ops=batch))
+            else:
+                tail.append(op_from_record(record))
+        return committed, tail
+
+    def committed_ops(self) -> list[UpdateOp]:
+        """All committed ops, flattened in application order."""
+        committed, _pending = self.replay()
+        return [op for record in committed for op in record.ops]
+
+
+def write_ops(path: Path | str, batches: Sequence[Sequence[UpdateOp]]) -> Path:
+    """Write ``batches`` as a fully committed log (test/CLI helper)."""
+    path = Path(path)
+    log = UpdateLog(path)
+    epoch = 0
+    for batch in batches:
+        for op in batch:
+            log.append(op)
+        epoch += 1
+        log.commit(epoch, len(batch))
+    log.close()
+    return path

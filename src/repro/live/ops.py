@@ -1,0 +1,167 @@
+"""Typed update operations for live index maintenance.
+
+Three operation kinds cover the update model the NPD-index can absorb
+without a full rebuild (see :mod:`repro.core.maintenance`):
+
+* :class:`AddKeyword` / :class:`RemoveKeyword` — object metadata churn,
+  patched incrementally into the DL entries;
+* :class:`SetEdgeWeight` — road-cost drift, handled by impact analysis
+  plus bounded per-fragment rebuild.
+
+Every op is a frozen dataclass with a stable ``kind`` tag, a
+``validate(network)`` precondition check, an ``apply(maintainer)`` that
+returns the ids of the fragments it changed, and a lossless JSON record
+round-trip (``to_record`` / :func:`op_from_record`) used by the
+write-ahead log and the serve-layer wire protocol.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.core.maintenance import KeywordMaintainer
+from repro.exceptions import GraphError, LiveUpdateError
+from repro.graph.road_network import RoadNetwork
+
+__all__ = [
+    "UpdateOp",
+    "AddKeyword",
+    "RemoveKeyword",
+    "SetEdgeWeight",
+    "op_from_record",
+]
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """Base class for live update operations.
+
+    Subclasses define ``kind`` (the stable wire/WAL tag) and implement
+    :meth:`validate`, :meth:`apply` and :meth:`to_record`.
+    """
+
+    kind = "abstract"
+
+    def validate(self, network: RoadNetwork) -> None:
+        """Raise :class:`LiveUpdateError` if the op cannot apply to ``network``."""
+        raise NotImplementedError
+
+    def apply(self, maintainer: KeywordMaintainer) -> tuple[int, ...]:
+        """Apply to ``maintainer``; returns the changed fragment ids."""
+        raise NotImplementedError
+
+    def to_record(self) -> dict[str, Any]:
+        """A JSON-serialisable record; inverted by :func:`op_from_record`."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AddKeyword(UpdateOp):
+    """Attach ``keyword`` to object ``node``."""
+
+    node: int
+    keyword: str
+    kind = "add_keyword"
+
+    def validate(self, network: RoadNetwork) -> None:
+        """Require a non-empty keyword and an existing object node."""
+        if not isinstance(self.keyword, str) or not self.keyword:
+            raise LiveUpdateError(f"invalid keyword {self.keyword!r}")
+        if not 0 <= self.node < network.num_nodes:
+            raise LiveUpdateError(f"cannot add keyword: node {self.node} does not exist")
+        if not network.is_object(self.node):
+            raise LiveUpdateError(
+                f"cannot add keyword: node {self.node} is a junction, not an object"
+            )
+
+    def apply(self, maintainer: KeywordMaintainer) -> tuple[int, ...]:
+        """Patch the keyword into the DL entries incrementally."""
+        return maintainer.add_keyword(self.node, self.keyword)
+
+    def to_record(self) -> dict[str, Any]:
+        """JSON record (``op=add_keyword``)."""
+        return {"op": self.kind, "node": self.node, "keyword": self.keyword}
+
+
+@dataclass(frozen=True)
+class RemoveKeyword(UpdateOp):
+    """Detach ``keyword`` from object ``node`` (no-op if absent)."""
+
+    node: int
+    keyword: str
+    kind = "remove_keyword"
+
+    def validate(self, network: RoadNetwork) -> None:
+        """Require a non-empty keyword and an existing node."""
+        if not isinstance(self.keyword, str) or not self.keyword:
+            raise LiveUpdateError(f"invalid keyword {self.keyword!r}")
+        if not 0 <= self.node < network.num_nodes:
+            raise LiveUpdateError(
+                f"cannot remove keyword: node {self.node} does not exist"
+            )
+
+    def apply(self, maintainer: KeywordMaintainer) -> tuple[int, ...]:
+        """Drop the keyword and recompute its DL entries."""
+        return maintainer.remove_keyword(self.node, self.keyword)
+
+    def to_record(self) -> dict[str, Any]:
+        """JSON record (``op=remove_keyword``)."""
+        return {"op": self.kind, "node": self.node, "keyword": self.keyword}
+
+
+@dataclass(frozen=True)
+class SetEdgeWeight(UpdateOp):
+    """Set the cost of edge ``u -> v`` to ``weight``."""
+
+    u: int
+    v: int
+    weight: float
+    kind = "set_edge_weight"
+
+    def validate(self, network: RoadNetwork) -> None:
+        """Require an existing edge and a positive finite weight."""
+        if not isinstance(self.weight, (int, float)) or isinstance(self.weight, bool):
+            raise LiveUpdateError(f"invalid edge weight {self.weight!r}")
+        if not (self.weight > 0 and math.isfinite(self.weight)):
+            raise LiveUpdateError(
+                f"edge weight must be positive and finite, got {self.weight!r}"
+            )
+        try:
+            network.edge_weight(self.u, self.v)
+        except GraphError as exc:
+            raise LiveUpdateError(
+                f"cannot set weight: no edge between {self.u} and {self.v}"
+            ) from exc
+
+    def apply(self, maintainer: KeywordMaintainer) -> tuple[int, ...]:
+        """Reweight the edge; impact analysis rebuilds affected fragments."""
+        return maintainer.set_edge_weight(self.u, self.v, self.weight)
+
+    def to_record(self) -> dict[str, Any]:
+        """JSON record (``op=set_edge_weight``)."""
+        return {"op": self.kind, "u": self.u, "v": self.v, "weight": self.weight}
+
+
+_OP_KINDS: dict[str, type[UpdateOp]] = {
+    AddKeyword.kind: AddKeyword,
+    RemoveKeyword.kind: RemoveKeyword,
+    SetEdgeWeight.kind: SetEdgeWeight,
+}
+
+
+def op_from_record(record: Mapping[str, Any]) -> UpdateOp:
+    """Reconstruct an :class:`UpdateOp` from its ``to_record`` form."""
+    kind = record.get("op")
+    cls = _OP_KINDS.get(kind)  # type: ignore[arg-type]
+    if cls is None:
+        raise LiveUpdateError(f"unknown update op kind {kind!r}")
+    try:
+        if cls is SetEdgeWeight:
+            return SetEdgeWeight(
+                u=int(record["u"]), v=int(record["v"]), weight=float(record["weight"])
+            )
+        return cls(node=int(record["node"]), keyword=str(record["keyword"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise LiveUpdateError(f"malformed {kind!r} record: {dict(record)!r}") from exc

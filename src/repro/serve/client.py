@@ -81,6 +81,24 @@ class ServeClient:
             raise ClusterError(f"info failed: {reply}")
         return reply
 
+    def epoch(self) -> int | None:
+        """The index epoch the server is currently serving."""
+        reply = self.request({"op": "epoch"})
+        if not reply.get("ok"):
+            raise ClusterError(f"epoch failed: {reply}")
+        return reply["epoch"]
+
+    def update(self, ops, request_id=None) -> dict:
+        """Apply one live-update batch.
+
+        ``ops`` may be :class:`~repro.live.ops.UpdateOp` objects or
+        already-encoded op records (dicts).
+        """
+        records = [
+            op.to_record() if hasattr(op, "to_record") else op for op in ops
+        ]
+        return self.request({"id": request_id, "op": "update", "ops": records})
+
     def close(self) -> None:
         """Close the connection."""
         try:

@@ -27,6 +27,21 @@ worker* with :class:`ClusterError`, and flips the cluster into degraded
 mode — subsequent queries run on the surviving workers and carry
 ``degraded=True`` (their answers miss the dead machine's fragments)
 instead of hanging the coordinator.
+
+Live updates (:meth:`PipelinedCluster.apply_updates`) ride the same
+multiplexed pipes.  Torn-epoch prevention rests on two properties:
+
+* each pipe is FIFO and each worker handles its messages serially, so
+  relative to one worker a query runs entirely before or entirely after
+  the epoch swap;
+* every fan-out (query or apply) happens under one coordinator-wide
+  ``_fanout_lock``, so the *order* of a query relative to an apply is
+  the same on every pipe.
+
+Together: a concurrent query observes the old epoch on all machines or
+the new epoch on all machines — never a mix.  An apply to a worker that
+dies mid-swap completes on the survivors (the dead machine's fragments
+are unanswerable anyway — degraded mode).
 """
 
 from __future__ import annotations
@@ -51,7 +66,7 @@ from repro.dist.network import NetworkModel
 from repro.dist.process_cluster import emulate_delivery, spawn_workers
 from repro.exceptions import ClusterError
 
-__all__ = ["PipelinedResponse", "PendingQuery", "PipelinedCluster"]
+__all__ = ["PipelinedResponse", "PendingQuery", "PendingApply", "PipelinedCluster"]
 
 _DEFAULT_TIMEOUT = 120.0
 
@@ -76,6 +91,31 @@ def _pipelined_worker_main(connection: Connection, payload: bytes) -> None:
             if kind == "stop":
                 connection.send(("stopped", None))
                 return
+            if kind == "apply":
+                emulate_delivery(network_model, meta[0] if meta else None, len(raw))
+                request_id, epoch, new_pairs = body
+                try:
+                    started = time.perf_counter()
+                    hosted = {rt.fragment.fragment_id: rt for rt in runtimes}
+                    swapped = []
+                    for fragment, index in new_pairs:
+                        runtime = hosted.get(fragment.fragment_id)
+                        if runtime is not None:
+                            runtime.refresh(fragment, index)
+                            swapped.append(fragment.fragment_id)
+                    elapsed = time.perf_counter() - started
+                    connection.send_bytes(
+                        pickle.dumps(
+                            (
+                                "applied",
+                                (request_id, epoch, swapped, elapsed),
+                                time.perf_counter(),
+                            )
+                        )
+                    )
+                except Exception:
+                    connection.send(("error", (request_id, traceback.format_exc())))
+                continue
             if kind != "query":  # pragma: no cover - protocol guard
                 connection.send(("error", (None, f"unknown message kind {kind!r}")))
                 continue
@@ -124,6 +164,29 @@ class PendingQuery:
     future: "Future[PipelinedResponse]"
 
 
+@dataclass(frozen=True)
+class PendingApply:
+    """Handle for an in-flight epoch apply: resolves to an ack summary."""
+
+    request_id: int
+    epoch: int
+    future: "Future[dict[str, object]]"
+
+
+class _InFlightApply:
+    """Coordinator-side state for one epoch delta being applied."""
+
+    __slots__ = ("future", "epoch", "awaiting", "started", "swapped", "message_bytes")
+
+    def __init__(self, epoch: int, awaiting: set[int]) -> None:
+        self.future: Future[dict[str, object]] = Future()
+        self.epoch = epoch
+        self.awaiting = awaiting
+        self.started = time.perf_counter()
+        self.swapped: list[int] = []
+        self.message_bytes = 0
+
+
 class _InFlight:
     """Coordinator-side aggregation state for one request id."""
 
@@ -164,18 +227,25 @@ class PipelinedCluster:
         processes: list[BaseProcess],
         connections: list[Connection],
         network_model: NetworkModel | None = None,
+        fragment_assignments: list[list[int]] | None = None,
     ) -> None:
         self._processes = processes
         self._connections = connections
         self._network_model = network_model
+        self._assignments = fragment_assignments or [[] for _ in processes]
         self._send_locks = [threading.Lock() for _ in connections]
+        # Serialises whole fan-outs (query vs apply) so their relative
+        # order is identical on every pipe — the torn-epoch guard.
+        self._fanout_lock = threading.Lock()
         self._lock = threading.Lock()
         self._pending: dict[int, _InFlight] = {}
+        self._pending_applies: dict[int, _InFlightApply] = {}
         self._ids = itertools.count()
         self._dead: set[int] = set()
         self._alive = True
         self._closing = False
         self._dispatchers: list[threading.Thread] = []
+        self.current_epoch = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -201,7 +271,7 @@ class PipelinedCluster:
         selects the packed kernel (default) or the dict-based reference
         evaluator in the workers.
         """
-        processes, connections = spawn_workers(
+        processes, connections, assignments = spawn_workers(
             fragments,
             indexes,
             num_machines,
@@ -209,7 +279,7 @@ class PipelinedCluster:
             network_model,
             compiled,
         )
-        cluster = cls(processes, connections, network_model)
+        cluster = cls(processes, connections, network_model, assignments)
         for machine_id, connection in enumerate(connections):
             if not connection.poll(timeout_seconds):
                 cluster.shutdown()
@@ -288,10 +358,17 @@ class PipelinedCluster:
         with self._lock:
             leftover = list(self._pending.values())
             self._pending.clear()
+            leftover_applies = list(self._pending_applies.values())
+            self._pending_applies.clear()
         for inflight in leftover:
             if not inflight.future.done():
                 inflight.future.set_exception(
                     ClusterError("the cluster was shut down mid-query")
+                )
+        for apply in leftover_applies:
+            if not apply.future.done():
+                apply.future.set_exception(
+                    ClusterError("the cluster was shut down mid-apply")
                 )
 
     # ------------------------------------------------------------------
@@ -317,6 +394,10 @@ class PipelinedCluster:
                         request_id,
                         ClusterError(f"worker {machine_id} failed:\n{text}"),
                     )
+                continue
+            if kind == "applied":
+                request_id, epoch, swapped, elapsed = body
+                self._absorb_apply_ack(machine_id, request_id, swapped, len(raw))
                 continue
             request_id, reply, elapsed = body
             self._absorb_reply(machine_id, request_id, reply, elapsed, len(raw))
@@ -353,11 +434,40 @@ class PipelinedCluster:
         if not inflight.future.done():
             inflight.future.set_result(response)
 
+    def _absorb_apply_ack(
+        self, machine_id: int, request_id: int, swapped: list[int], wire_bytes: int
+    ) -> None:
+        with self._lock:
+            apply = self._pending_applies.get(request_id)
+            if apply is None:
+                return
+            apply.swapped.extend(swapped)
+            apply.message_bytes += wire_bytes
+            apply.awaiting.discard(machine_id)
+            if apply.awaiting:
+                return
+            del self._pending_applies[request_id]
+        self._complete_apply(apply)
+
+    def _complete_apply(self, apply: _InFlightApply) -> None:
+        self.current_epoch = max(self.current_epoch, apply.epoch)
+        summary = {
+            "epoch": apply.epoch,
+            "swapped_fragments": sorted(apply.swapped),
+            "total_message_bytes": apply.message_bytes,
+            "wall_seconds": time.perf_counter() - apply.started,
+        }
+        if not apply.future.done():
+            apply.future.set_result(summary)
+
     def _fail_request(self, request_id: int, error: ClusterError) -> None:
         with self._lock:
             inflight = self._pending.pop(request_id, None)
+            apply = self._pending_applies.pop(request_id, None)
         if inflight is not None and not inflight.future.done():
             inflight.future.set_exception(error)
+        if apply is not None and not apply.future.done():
+            apply.future.set_exception(error)
 
     def _on_worker_death(self, machine_id: int) -> None:
         with self._lock:
@@ -369,6 +479,16 @@ class PipelinedCluster:
                 for rid, inflight in self._pending.items()
                 if machine_id in inflight.awaiting
             ]
+            # Applies are not failed by a death: the dead machine's
+            # fragments are unanswerable regardless, so the epoch
+            # completes on the survivors and serving stays degraded-live.
+            finished_applies: list[_InFlightApply] = []
+            for rid in list(self._pending_applies):
+                apply = self._pending_applies[rid]
+                apply.awaiting.discard(machine_id)
+                if not apply.awaiting:
+                    del self._pending_applies[rid]
+                    finished_applies.append(apply)
         for request_id in affected:
             self._fail_request(
                 request_id,
@@ -376,6 +496,8 @@ class PipelinedCluster:
                     f"worker {machine_id} died mid-query; the cluster is degraded"
                 ),
             )
+        for apply in finished_applies:
+            self._complete_apply(apply)
 
     # ------------------------------------------------------------------
     # Execution
@@ -397,16 +519,97 @@ class PipelinedCluster:
             self._pending[request_id] = inflight
         payload = pickle.dumps(("query", (request_id, query), time.perf_counter()))
         sent = 0
-        for machine_id in live:
-            try:
-                with self._send_locks[machine_id]:
-                    self._connections[machine_id].send_bytes(payload)
-                sent += 1
-            except (BrokenPipeError, OSError):
-                self._on_worker_death(machine_id)
+        with self._fanout_lock:
+            for machine_id in live:
+                try:
+                    with self._send_locks[machine_id]:
+                        self._connections[machine_id].send_bytes(payload)
+                    sent += 1
+                except (BrokenPipeError, OSError):
+                    self._on_worker_death(machine_id)
         with self._lock:
             inflight.message_bytes += len(payload) * sent
         return PendingQuery(request_id=request_id, future=inflight.future)
+
+    # ------------------------------------------------------------------
+    # Live updates
+    # ------------------------------------------------------------------
+    def submit_updates(
+        self, epoch: int, replacements: list[tuple[Fragment, NPDIndex]]
+    ) -> PendingApply:
+        """Fan an epoch delta out to the owning live workers; no blocking.
+
+        Queries already in every pipe run on the old epoch; queries
+        submitted after this call run on the new one (the fan-out lock
+        plus per-pipe FIFO make that ordering identical on all
+        machines).  The returned future resolves once every involved
+        live worker has swapped — or, if one dies mid-apply, once the
+        survivors have.
+        """
+        if not self._alive:
+            raise ClusterError("the cluster has been shut down")
+        if epoch <= self.current_epoch:
+            raise ClusterError(
+                f"epoch must advance: cluster at {self.current_epoch}, got {epoch}"
+            )
+        with self._lock:
+            involved = [
+                machine_id
+                for machine_id in range(len(self._connections))
+                if machine_id not in self._dead
+                and any(
+                    fragment.fragment_id in self._assignments[machine_id]
+                    for fragment, _index in replacements
+                )
+            ]
+            request_id = next(self._ids)
+            apply = _InFlightApply(epoch, set(involved))
+            self._pending_applies[request_id] = apply
+        if not involved:
+            # Nothing to ship (all changed fragments on dead machines, or
+            # an empty delta): publish the epoch immediately.
+            with self._lock:
+                self._pending_applies.pop(request_id, None)
+            self._complete_apply(apply)
+            return PendingApply(request_id=request_id, epoch=epoch, future=apply.future)
+        sent_bytes = 0
+        with self._fanout_lock:
+            for machine_id in involved:
+                mine = [
+                    (fragment, index)
+                    for fragment, index in replacements
+                    if fragment.fragment_id in self._assignments[machine_id]
+                ]
+                payload = pickle.dumps(
+                    ("apply", (request_id, epoch, mine), time.perf_counter())
+                )
+                try:
+                    with self._send_locks[machine_id]:
+                        self._connections[machine_id].send_bytes(payload)
+                    sent_bytes += len(payload)
+                except (BrokenPipeError, OSError):
+                    self._on_worker_death(machine_id)
+        with self._lock:
+            apply.message_bytes += sent_bytes
+        return PendingApply(request_id=request_id, epoch=epoch, future=apply.future)
+
+    def apply_updates(
+        self,
+        epoch: int,
+        replacements: list[tuple[Fragment, NPDIndex]],
+        *,
+        timeout_seconds: float = _DEFAULT_TIMEOUT,
+    ) -> dict[str, object]:
+        """Synchronous convenience wrapper over :meth:`submit_updates`."""
+        pending = self.submit_updates(epoch, replacements)
+        try:
+            return pending.future.result(timeout=timeout_seconds)
+        except FutureTimeoutError:
+            with self._lock:
+                self._pending_applies.pop(pending.request_id, None)
+            raise ClusterError(
+                f"epoch {epoch} was not applied within {timeout_seconds}s"
+            ) from None
 
     def forget(self, request_id: int) -> None:
         """Drop a pending query (e.g. after a caller-side timeout)."""

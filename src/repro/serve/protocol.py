@@ -9,9 +9,16 @@ connection can pipeline many queries::
     <- {"id": 2, "ok": true, "stats": {...}}
 
 Admin operations: ``stats`` (the metrics snapshot), ``info`` (cluster
-shape), ``ping``.  Error replies are ``{"ok": false, "error": <kind>}``
-with kinds ``overloaded`` (shed), ``parse``, ``radius``, ``timeout``,
-``cluster``, ``bad-json``, ``bad-request``, ``unknown-op``.
+shape), ``ping``, ``epoch`` (the currently served index epoch).  Live
+updates ride the same connection: ``{"op": "update", "ops": [<op
+record>, ...]}`` applies one batch through the server's
+:class:`~repro.live.epochs.EpochManager` (op records are the
+``to_record`` form of :mod:`repro.live.ops`) and replies with the
+published :class:`~repro.live.epochs.EpochSwap` summary.  Error replies
+are ``{"ok": false, "error": <kind>}`` with kinds ``overloaded``
+(shed), ``parse``, ``radius``, ``timeout``, ``cluster``, ``bad-json``,
+``bad-request``, ``unknown-op``, ``no-live`` (the server was started
+without an updater), ``bad-update`` (a malformed or invalid op batch).
 
 This module also renders :class:`QClassQuery` objects back into the
 query language of :mod:`repro.core.language`, which is how the load

@@ -20,6 +20,15 @@ Robustness controls, per request:
 The cluster argument is duck-typed (``submit``/``forget``/
 ``num_machines``/``degraded``/``dead_machines``), which the tests use
 to inject failure modes.
+
+Live updates: constructed with an ``updater`` (an
+:class:`~repro.live.epochs.EpochManager`, typically subscribed to push
+epoch deltas into the same cluster), the server additionally accepts
+``update`` batches — admission-controlled like queries, applied off the
+event loop — and the ``epoch`` admin op.  Update observability:
+``epoch`` gauge, ``updates`` / ``update_ops`` counters,
+``apply_seconds`` / ``swap_seconds`` / ``staleness_seconds`` histograms
+(staleness = batch arrival to epoch publication).
 """
 
 from __future__ import annotations
@@ -32,7 +41,8 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.core.language import parse_query
-from repro.exceptions import ClusterError, QueryError
+from repro.exceptions import ClusterError, LiveUpdateError, QueryError
+from repro.live.ops import op_from_record
 from repro.serve.admission import AdmissionController
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.protocol import decode_line, encode_line
@@ -66,14 +76,18 @@ class DisksServer:
         *,
         config: ServeConfig | None = None,
         metrics: MetricsRegistry | None = None,
+        updater=None,
     ) -> None:
         self._cluster = cluster
+        self._updater = updater
         self.config = config or ServeConfig()
         self.metrics = metrics or MetricsRegistry()
         self.admission = AdmissionController(self.config.max_inflight)
         self._server: asyncio.AbstractServer | None = None
         self.host = self.config.host
         self.port: int | None = None
+        if updater is not None:
+            self.metrics.observe_gauge("epoch", updater.epoch)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -173,6 +187,14 @@ class DisksServer:
             await self._respond(
                 writer, write_lock, {"id": request_id, "ok": True, "pong": True}
             )
+        elif op == "epoch":
+            await self._respond(
+                writer,
+                write_lock,
+                {"id": request_id, "ok": True, "epoch": self._current_epoch()},
+            )
+        elif op == "update":
+            await self._handle_update(request_id, request, writer, write_lock)
         elif op == "query":
             await self._handle_query(request_id, request, writer, write_lock)
         else:
@@ -182,6 +204,113 @@ class DisksServer:
                 write_lock,
                 {"id": request_id, "ok": False, "error": "unknown-op", "detail": op},
             )
+
+    def _current_epoch(self):
+        """The served epoch: from the updater, else the cluster, else None."""
+        if self._updater is not None:
+            return self._updater.epoch
+        return getattr(self._cluster, "current_epoch", None)
+
+    async def _handle_update(
+        self,
+        request_id,
+        request: dict,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        self.metrics.increment("updates_received")
+        if self._updater is None:
+            await self._respond(
+                writer,
+                write_lock,
+                {
+                    "id": request_id,
+                    "ok": False,
+                    "error": "no-live",
+                    "detail": "this server was started without live-update support",
+                },
+            )
+            return
+        records = request.get("ops")
+        if not isinstance(records, list) or not records:
+            self.metrics.increment("bad_requests")
+            await self._respond(
+                writer,
+                write_lock,
+                {
+                    "id": request_id,
+                    "ok": False,
+                    "error": "bad-update",
+                    "detail": "the request needs a non-empty op list under 'ops'",
+                },
+            )
+            return
+        try:
+            ops = [op_from_record(record) for record in records]
+        except LiveUpdateError as error:
+            self.metrics.increment("update_errors")
+            await self._respond(
+                writer,
+                write_lock,
+                {"id": request_id, "ok": False, "error": "bad-update", "detail": str(error)},
+            )
+            return
+        if not self.admission.try_acquire():
+            self.metrics.increment("shed")
+            await self._respond(
+                writer, write_lock, {"id": request_id, "ok": False, "error": "overloaded"}
+            )
+            return
+        arrived = time.perf_counter()
+        self.metrics.observe_gauge("inflight", self.admission.depth)
+        try:
+            # EpochManager.apply serialises writers behind its own lock;
+            # to_thread keeps the (possibly rebuild-heavy) apply off the
+            # event loop so queries keep flowing while the shadow builds.
+            try:
+                swap = await asyncio.to_thread(self._updater.apply, ops)
+            except LiveUpdateError as error:
+                self.metrics.increment("update_errors")
+                await self._respond(
+                    writer,
+                    write_lock,
+                    {
+                        "id": request_id,
+                        "ok": False,
+                        "error": "bad-update",
+                        "detail": str(error),
+                    },
+                )
+                return
+            except ClusterError as error:
+                self.metrics.increment("errors")
+                await self._respond(
+                    writer,
+                    write_lock,
+                    {"id": request_id, "ok": False, "error": "cluster", "detail": str(error)},
+                )
+                return
+            staleness = time.perf_counter() - arrived
+            self.metrics.increment("updates")
+            self.metrics.increment("update_ops", by=swap.num_ops)
+            self.metrics.observe_gauge("epoch", swap.epoch)
+            self.metrics.observe("apply_seconds", swap.apply_seconds)
+            self.metrics.observe("swap_seconds", swap.swap_seconds)
+            self.metrics.observe("staleness_seconds", staleness)
+            await self._respond(
+                writer,
+                write_lock,
+                {
+                    "id": request_id,
+                    "ok": True,
+                    "epoch": swap.epoch,
+                    "applied": swap.to_dict(),
+                    "staleness_ms": staleness * 1000.0,
+                },
+            )
+        finally:
+            self.admission.release()
+            self.metrics.observe_gauge("inflight", self.admission.depth)
 
     async def _handle_query(
         self,
@@ -326,6 +455,16 @@ class DisksServer:
         cache_stats = getattr(self._cluster, "coverage_cache_stats", None)
         if callable(cache_stats):
             snapshot["coverage_cache"] = cache_stats()
+        epoch = self._current_epoch()
+        if epoch is not None:
+            live: dict = {"epoch": epoch}
+            if self._updater is not None:
+                history = self._updater.history
+                live["applied_batches"] = len(history)
+                live["applied_ops"] = sum(swap.num_ops for swap in history)
+                # The most recent swaps, for per-epoch apply metrics.
+                live["recent_swaps"] = [swap.to_dict() for swap in history[-5:]]
+            snapshot["live"] = live
         return snapshot
 
 
@@ -334,6 +473,7 @@ def serve_in_thread(
     cluster,
     config: ServeConfig | None = None,
     metrics: MetricsRegistry | None = None,
+    updater=None,
 ) -> Iterator[DisksServer]:
     """Run a :class:`DisksServer` on a background event loop.
 
@@ -343,7 +483,7 @@ def serve_in_thread(
         with serve_in_thread(cluster) as server:
             client = ServeClient(server.host, server.port)
     """
-    server = DisksServer(cluster, config=config, metrics=metrics)
+    server = DisksServer(cluster, config=config, metrics=metrics, updater=updater)
     loop = asyncio.new_event_loop()
     started = threading.Event()
     failure: list[BaseException] = []

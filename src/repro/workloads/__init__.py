@@ -1,6 +1,7 @@
 """Workloads: the paper's query generator and synthetic dataset presets."""
 
 from repro.workloads.querygen import QueryGenerator, QueryGenConfig
+from repro.workloads.updategen import UpdateGenConfig, UpdateStreamGenerator
 from repro.workloads.driver import (
     TimedQuery,
     WorkloadDriver,
@@ -19,6 +20,8 @@ from repro.workloads.datasets import (
 __all__ = [
     "QueryGenerator",
     "QueryGenConfig",
+    "UpdateGenConfig",
+    "UpdateStreamGenerator",
     "TimedQuery",
     "WorkloadDriver",
     "WorkloadReport",

@@ -1,0 +1,166 @@
+"""Synthetic update streams for the live-update subsystem.
+
+The paper has no update workload — its index is built once — so this
+generator models the churn a deployed spatial-keyword service actually
+sees, with a composition knob per op kind:
+
+* **keyword adds** attach a keyword drawn frequency-weighted from the
+  current vocabulary (popular tags churn most) to a random object;
+* **keyword removes** detach a keyword the object currently carries —
+  the generator tracks the evolving keyword sets, so every emitted op
+  is valid against the network state at its position in the stream;
+* **edge reweights** scale a random existing edge's weight by a factor
+  drawn uniformly from ``weight_scale_range`` (congestion/relief).
+
+Streams are deterministic per seed, and every op is *applicable*: a
+replayed stream never raises validation errors.  Batches group ops the
+way an ingest pipeline would (:meth:`UpdateStreamGenerator.batches`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.exceptions import GraphError
+from repro.graph.road_network import RoadNetwork
+from repro.live.ops import AddKeyword, RemoveKeyword, SetEdgeWeight, UpdateOp
+
+__all__ = ["UpdateGenConfig", "UpdateStreamGenerator"]
+
+
+@dataclass(frozen=True)
+class UpdateGenConfig:
+    """Knobs of the update-stream generator.
+
+    The three mix weights need not sum to one — they are normalised.
+    ``vocabulary_growth`` is the chance an add invents a fresh keyword
+    (``new0``, ``new1``, ...) instead of reusing an existing one,
+    modelling vocabulary drift.
+    """
+
+    seed: int = 0
+    add_fraction: float = 0.4
+    remove_fraction: float = 0.3
+    edge_fraction: float = 0.3
+    weight_scale_range: tuple[float, float] = (0.5, 2.0)
+    vocabulary_growth: float = 0.05
+
+
+class UpdateStreamGenerator:
+    """Deterministic (seeded) generator of valid evolving update streams."""
+
+    def __init__(
+        self, network: RoadNetwork, config: UpdateGenConfig | None = None
+    ) -> None:
+        self._config = config or UpdateGenConfig()
+        if not (
+            self._config.add_fraction >= 0
+            and self._config.remove_fraction >= 0
+            and self._config.edge_fraction >= 0
+            and self._config.add_fraction
+            + self._config.remove_fraction
+            + self._config.edge_fraction
+            > 0
+        ):
+            raise GraphError("update mix weights must be non-negative and not all zero")
+        lo, hi = self._config.weight_scale_range
+        if not (0 < lo <= hi):
+            raise GraphError("weight_scale_range must satisfy 0 < low <= high")
+        self._rng = random.Random(self._config.seed)
+        self._objects = sorted(network.object_nodes())
+        if not self._objects:
+            raise GraphError("the network has no object nodes to update")
+        # Evolving view of per-object keyword sets and edge weights, so
+        # consecutive ops stay valid as the stream mutates the network.
+        self._keywords: dict[int, set[str]] = {
+            node: set(network.keywords(node)) for node in self._objects
+        }
+        vocabulary = sorted({kw for kws in self._keywords.values() for kw in kws})
+        self._frequency: dict[str, int] = {kw: 0 for kw in vocabulary}
+        for kws in self._keywords.values():
+            for kw in kws:
+                self._frequency[kw] += 1
+        self._fresh_counter = 0
+        self._edges: list[tuple[int, int]] = []
+        self._weights: dict[tuple[int, int], float] = {}
+        for u in network.nodes():
+            for v, w in network.neighbors(u):
+                if network.directed or u < v:
+                    self._edges.append((u, v))
+                    self._weights[(u, v)] = w
+
+    # ------------------------------------------------------------------
+    # Op construction
+    # ------------------------------------------------------------------
+    def _pick_keyword(self) -> str:
+        if self._frequency and self._rng.random() >= self._config.vocabulary_growth:
+            pool = sorted(self._frequency)
+            weights = [self._frequency[kw] + 1 for kw in pool]
+            return self._rng.choices(pool, weights=weights, k=1)[0]
+        keyword = f"new{self._fresh_counter}"
+        self._fresh_counter += 1
+        return keyword
+
+    def _next_add(self) -> UpdateOp | None:
+        for _ in range(20):
+            node = self._rng.choice(self._objects)
+            keyword = self._pick_keyword()
+            if keyword not in self._keywords[node]:
+                self._keywords[node].add(keyword)
+                self._frequency[keyword] = self._frequency.get(keyword, 0) + 1
+                return AddKeyword(node=node, keyword=keyword)
+        return None
+
+    def _next_remove(self) -> UpdateOp | None:
+        carriers = [n for n in self._objects if self._keywords[n]]
+        if not carriers:
+            return None
+        node = self._rng.choice(carriers)
+        keyword = self._rng.choice(sorted(self._keywords[node]))
+        self._keywords[node].discard(keyword)
+        self._frequency[keyword] = max(0, self._frequency.get(keyword, 1) - 1)
+        return RemoveKeyword(node=node, keyword=keyword)
+
+    def _next_edge(self) -> UpdateOp | None:
+        if not self._edges:
+            return None
+        u, v = self._rng.choice(self._edges)
+        lo, hi = self._config.weight_scale_range
+        weight = self._weights[(u, v)] * self._rng.uniform(lo, hi)
+        self._weights[(u, v)] = weight
+        return SetEdgeWeight(u=u, v=v, weight=weight)
+
+    # ------------------------------------------------------------------
+    # Streams
+    # ------------------------------------------------------------------
+    def ops(self, count: int) -> list[UpdateOp]:
+        """The next ``count`` ops of the stream (valid in sequence)."""
+        kinds = ["add", "remove", "edge"]
+        weights = [
+            self._config.add_fraction,
+            self._config.remove_fraction,
+            self._config.edge_fraction,
+        ]
+        produced: list[UpdateOp] = []
+        guard = 0
+        while len(produced) < count and guard < count * 50:
+            guard += 1
+            kind = self._rng.choices(kinds, weights=weights, k=1)[0]
+            op = {
+                "add": self._next_add,
+                "remove": self._next_remove,
+                "edge": self._next_edge,
+            }[kind]()
+            if op is not None:
+                produced.append(op)
+        if len(produced) < count:
+            raise GraphError(
+                f"could not generate {count} applicable ops (got {len(produced)}); "
+                "the network may have run out of removable keywords"
+            )
+        return produced
+
+    def batches(self, num_batches: int, batch_size: int) -> list[list[UpdateOp]]:
+        """``num_batches`` consecutive batches of ``batch_size`` ops each."""
+        return [self.ops(batch_size) for _ in range(num_batches)]

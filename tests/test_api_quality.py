@@ -64,7 +64,7 @@ class TestExports:
         "package",
         ["repro.core", "repro.graph", "repro.partition", "repro.search",
          "repro.text", "repro.dist", "repro.storage", "repro.workloads",
-         "repro.baselines", "repro.bench_support"],
+         "repro.baselines", "repro.bench_support", "repro.live"],
     )
     def test_subpackage_all_resolves(self, package):
         module = importlib.import_module(package)

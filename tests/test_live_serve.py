@@ -1,0 +1,201 @@
+"""End-to-end live updates through the serving layer.
+
+The acceptance scenario for `repro.live`: a client streams 100+ mixed
+updates through the NDJSON frontend into a running process-backed
+:class:`PipelinedCluster` while queries keep flowing, and afterwards the
+served answers are bit-identical to a from-scratch rebuild of the index
+on the final network.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.core import NPDBuildConfig, build_all_indexes, build_fragments, parse_query
+from repro.dist import SimulatedCluster
+from repro.live import AddKeyword, EpochManager
+from repro.partition import BfsPartitioner
+from repro.serve import (
+    MetricsRegistry,
+    PipelinedCluster,
+    ServeClient,
+    ServeConfig,
+    serve_in_thread,
+)
+from repro.workloads import UpdateGenConfig, UpdateStreamGenerator
+
+from helpers import make_random_network
+
+EXPRESSIONS = [
+    "NEAR(w0, 2) AND NEAR(w1, 2)",
+    "HAS(w2) OR NEAR(w3, 1)",
+    "NEAR(w0, 5) NOT NEAR(w2, 1)",
+    "NEAR(w1, 4)",
+    "NEAR(w0, 6) AND NEAR(w1, 6)",
+]
+
+
+@pytest.fixture(scope="module")
+def built():
+    net = make_random_network(seed=650, num_junctions=24, num_objects=12, vocabulary=4)
+    partition = BfsPartitioner(seed=6).partition(net, 4)
+    fragments = build_fragments(net, partition)
+    indexes, _ = build_all_indexes(net, fragments, NPDBuildConfig(max_radius=math.inf))
+    return net, partition, fragments, indexes
+
+
+def live_deployment(built):
+    """(cluster, manager) with manager swaps wired into the cluster."""
+    net, partition, fragments, indexes = built
+    cluster = PipelinedCluster.start(fragments, indexes, num_machines=4)
+    manager = EpochManager(
+        network=net,
+        partition=partition,
+        fragments=list(fragments),
+        indexes=list(indexes),
+    )
+    manager.subscribe(
+        lambda state, delta: cluster.apply_updates(state.epoch, list(delta.values()))
+    )
+    return cluster, manager
+
+
+class TestLiveServing:
+    def test_acceptance_stream_of_updates_with_concurrent_queries(self, built):
+        """≥100 mixed ops through the wire; queries answered throughout;
+        final answers bit-identical to a from-scratch rebuild."""
+        net, _partition, _fragments, _indexes = built
+        cluster, manager = live_deployment(built)
+        metrics = MetricsRegistry()
+        num_batches, batch_size = 12, 10  # 120 ops ≥ 100
+        batches = UpdateStreamGenerator(net, UpdateGenConfig(seed=650)).batches(
+            num_batches, batch_size
+        )
+        query_replies: list[dict] = []
+        query_failures: list[str] = []
+        stop = threading.Event()
+        try:
+            with serve_in_thread(
+                cluster, ServeConfig(max_inflight=16), metrics, updater=manager
+            ) as server:
+
+                def _query_loop() -> None:
+                    try:
+                        with ServeClient(server.host, server.port) as client:
+                            i = 0
+                            while not stop.is_set():
+                                reply = client.query(EXPRESSIONS[i % len(EXPRESSIONS)])
+                                query_replies.append(reply)
+                                i += 1
+                    except Exception as error:  # pragma: no cover
+                        query_failures.append(str(error))
+
+                prober = threading.Thread(target=_query_loop)
+                prober.start()
+
+                with ServeClient(server.host, server.port) as client:
+                    assert client.epoch() == 0
+                    for i, batch in enumerate(batches, start=1):
+                        reply = client.update(batch, request_id=f"u{i}")
+                        assert reply["ok"], reply
+                        assert reply["id"] == f"u{i}"
+                        assert reply["epoch"] == i
+                        assert reply["applied"]["num_ops"] == batch_size
+                        assert reply["staleness_ms"] >= 0
+                    assert client.epoch() == num_batches
+
+                    stop.set()
+                    prober.join()
+
+                    # (3) stats reports the new epoch and per-epoch metrics.
+                    stats = client.stats()
+                    live = stats["live"]
+                    assert live["epoch"] == num_batches
+                    assert live["applied_batches"] == num_batches
+                    assert live["applied_ops"] == num_batches * batch_size
+                    assert len(live["recent_swaps"]) == 5
+                    for swap in live["recent_swaps"]:
+                        assert swap["num_ops"] == batch_size
+                        assert swap["apply_seconds"] >= 0
+                        assert set(swap["ops_by_kind"]) <= {
+                            "add_keyword",
+                            "remove_keyword",
+                            "set_edge_weight",
+                        }
+                    assert stats["gauges"]["epoch"]["current"] == num_batches
+                    assert stats["counters"]["updates"] == num_batches
+                    assert stats["counters"]["update_ops"] == num_batches * batch_size
+                    assert stats["histograms"]["apply_seconds"]["count"] == num_batches
+                    assert stats["histograms"]["swap_seconds"]["count"] == num_batches
+                    assert (
+                        stats["histograms"]["staleness_seconds"]["count"] == num_batches
+                    )
+
+                    # (2) queries were answered while the swaps streamed.
+                    assert not query_failures, query_failures
+                    assert query_replies, "no query completed during the update stream"
+                    assert all(reply["ok"] for reply in query_replies)
+
+                    # (1) served answers are bit-identical to a from-scratch
+                    # rebuild of the index on the final network.
+                    final = manager.state
+                    rebuilt_fragments = build_fragments(final.network, final.partition)
+                    rebuilt_indexes, _ = build_all_indexes(
+                        final.network,
+                        rebuilt_fragments,
+                        NPDBuildConfig(max_radius=math.inf),
+                    )
+                    reference = SimulatedCluster.from_fragments(
+                        rebuilt_fragments, rebuilt_indexes
+                    )
+                    for expression in EXPRESSIONS:
+                        reply = client.query(expression)
+                        assert reply["ok"], reply
+                        expected = reference.execute(
+                            parse_query(expression)
+                        ).result_nodes
+                        assert set(reply["nodes"]) == set(expected), expression
+        finally:
+            stop.set()
+            cluster.shutdown()
+
+    def test_update_errors_are_typed(self, built):
+        cluster, manager = live_deployment(built)
+        try:
+            with serve_in_thread(
+                cluster, ServeConfig(max_inflight=8), updater=manager
+            ) as server:
+                with ServeClient(server.host, server.port) as client:
+                    empty = client.request({"op": "update", "ops": []})
+                    assert empty["error"] == "bad-update"
+                    malformed = client.request(
+                        {"op": "update", "ops": [{"op": "add_keyword", "node": 0}]}
+                    )
+                    assert malformed["error"] == "bad-update"
+                    junction = next(
+                        n
+                        for n in manager.state.network.nodes()
+                        if not manager.state.network.is_object(n)
+                    )
+                    invalid = client.update([AddKeyword(junction, "x")])
+                    assert invalid["error"] == "bad-update"
+                    # Nothing published: the epoch never moved.
+                    assert client.epoch() == 0
+        finally:
+            cluster.shutdown()
+
+    def test_update_without_live_support_rejected(self, built):
+        _net, _partition, fragments, indexes = built
+        cluster = PipelinedCluster.start(fragments, indexes, num_machines=2)
+        try:
+            with serve_in_thread(cluster, ServeConfig(max_inflight=8)) as server:
+                with ServeClient(server.host, server.port) as client:
+                    reply = client.update([AddKeyword(0, "x")])
+                    assert reply["error"] == "no-live"
+                    # The epoch op still answers from the cluster itself.
+                    assert client.epoch() == 0
+        finally:
+            cluster.shutdown()

@@ -235,6 +235,76 @@ class TestRebuildFragment:
             maintainer.rebuild_fragment(99)
 
 
+class TestBoundRuntimeInvalidation:
+    """Regression: compiled kernels must not serve stale state after maintenance.
+
+    A :class:`FragmentRuntime` compiles its index into a flat-array
+    kernel lazily and memoises it; before the version-tracking fix a
+    maintainer mutation left the memoised kernel (and coverage cache)
+    answering from the pre-update index.
+    """
+
+    def _merged(self, runtimes, query) -> frozenset[int]:
+        merged: set[int] = set()
+        for runtime in runtimes:
+            merged |= execute_fragment_task(runtime, query).local_result
+        return frozenset(merged)
+
+    def test_compiled_matches_reference_after_maintenance_batch(self):
+        maintainer = build_state(seed=70)
+        compiled = [
+            FragmentRuntime(f, i, compiled=True)
+            for f, i in zip(maintainer.fragments, maintainer.indexes)
+        ]
+        for runtime in compiled:
+            maintainer.bind(runtime)
+        warmup = sgkq(["w0", "w1"], 4.0)
+        self._merged(compiled, warmup)  # memoise kernels pre-mutation
+
+        net = maintainer.network
+        node = next(iter(net.object_nodes()))
+        carrier = next(n for n in net.nodes() if "w1" in net.keywords(n))
+        u, (v, w) = 0, next(iter(net.neighbors(0)))
+        maintainer.add_keyword(node, "hotfix")
+        maintainer.remove_keyword(carrier, "w1")
+        maintainer.set_edge_weight(u, v, w * 1.8)
+
+        oracle = CentralizedEvaluator(maintainer.network, strict_keywords=False)
+        reference = [
+            FragmentRuntime(f, i, compiled=False)
+            for f, i in zip(maintainer.fragments, maintainer.indexes)
+        ]
+        for keywords in (["hotfix", "w0"], ["w0", "w1"]):
+            for radius in (1.0, 4.0):
+                query = QClassQuery.from_chain(
+                    tuple(CoverageTerm(KeywordSource(kw), radius) for kw in keywords),
+                    [SetOp.INTERSECT],
+                )
+                expected = oracle.results(query)
+                assert self._merged(reference, query) == expected
+                # The bound, warmed, compiled runtimes agree — the kernels
+                # were invalidated and rebuilt, not served stale.
+                assert self._merged(compiled, query) == expected
+
+    def test_unbound_runtime_self_heals_on_keyword_mutation(self):
+        """In-place index mutations are caught by version tracking even
+        when the runtime was never registered with the maintainer."""
+        maintainer = build_state(seed=71)
+        runtimes = [
+            FragmentRuntime(f, i, compiled=True)
+            for f, i in zip(maintainer.fragments, maintainer.indexes)
+        ]
+        query = sgkq(["w0"], 3.0)
+        self._merged(runtimes, query)  # memoise kernels
+
+        node = next(iter(maintainer.network.object_nodes()))
+        maintainer.add_keyword(node, "w0")
+        oracle = CentralizedEvaluator(maintainer.network)
+        # Keyword ops mutate the shared index objects in place, so the
+        # unbound runtimes notice the version bump on their next query.
+        assert self._merged(runtimes, query) == oracle.results(query)
+
+
 class TestWithNodeKeywords:
     def test_shares_structure(self):
         net = make_random_network(seed=60)
