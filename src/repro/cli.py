@@ -12,7 +12,11 @@ Commands
               ``--live`` additionally accepts online ``update`` batches
               (epoch-versioned, write-ahead logged).
 ``loadgen`` — drive a running server closed-loop and print throughput,
-              tail latency and the server's own metrics.
+              tail latency and the server's own metrics (including a
+              per-stage latency table when tracing is sampling).
+``trace``   — fetch a running server's sampled traces, slow-query ring
+              and epoch-swap events; render span trees, or export them
+              as a Chrome trace-event file for Perfetto.
 ``updates`` — generate a synthetic update stream into a write-ahead
               log, or ``--replay`` a log against a built directory and
               report every epoch swap.
@@ -109,6 +113,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--log", default=None,
         help="write-ahead log for --live updates (default: DIR/updates.jsonl)",
     )
+    serve.add_argument(
+        "--trace", type=float, nargs="?", const=0.01, default=0.0, metavar="RATE",
+        help="sample queries for end-to-end tracing (bare flag: 1%%)",
+    )
+    serve.add_argument(
+        "--slow-ms", type=float, default=250.0, dest="slow_ms",
+        help="queries slower than this always enter the slow-query ring",
+    )
+    serve.add_argument(
+        "--trace-log", default=None, dest="trace_log",
+        help="also append sampled traces to this JSONL file (rotated)",
+    )
 
     loadgen = sub.add_parser("loadgen", help="closed-loop load test of a server")
     loadgen.add_argument("--host", default="127.0.0.1")
@@ -128,6 +144,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--rkq-fraction", type=float, default=0.25, dest="rkq_fraction"
     )
     loadgen.add_argument("--seed", type=int, default=0)
+
+    trace = sub.add_parser(
+        "trace", help="fetch and render a running server's sampled traces"
+    )
+    trace.add_argument("--host", default="127.0.0.1")
+    trace.add_argument("--port", type=int, default=7474)
+    trace.add_argument(
+        "-n", type=int, default=8, help="how many recent traces/slow entries/events"
+    )
+    trace.add_argument(
+        "--id", default=None, dest="trace_id", help="show one stored trace by id"
+    )
+    trace.add_argument(
+        "--chrome", default=None, metavar="OUT.json",
+        help="write the fetched traces as a Chrome trace-event file "
+        "(open in Perfetto or chrome://tracing)",
+    )
 
     updates = sub.add_parser(
         "updates", help="generate or replay a live-update log against built files"
@@ -296,6 +329,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_inflight=args.max_inflight,
             query_timeout_seconds=args.timeout,
             max_radius=manifest.get("max_radius"),
+            trace_sample_rate=args.trace,
+            slow_query_ms=args.slow_ms,
+            trace_log=args.trace_log,
         ),
         updater=updater,
     )
@@ -317,6 +353,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 'live updates: {"op": "update", "ops": [{"op": "add_keyword", '
                 '"node": 7, "keyword": "cafe"}, ...]} — current epoch via '
                 '{"op": "epoch"}'
+            )
+        if args.trace > 0.0:
+            print(
+                f"tracing: sampling {args.trace:.1%} of queries "
+                f"(slow >= {args.slow_ms:g}ms always ringed) — inspect with "
+                f"`python -m repro trace --port {server.port}`"
             )
         await server.serve_forever()
 
@@ -372,7 +414,119 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         total = sum(busy.values())
         shares = ", ".join(f"m{m}={s / total:.0%}" for m, s in sorted(busy.items()))
         print(f"worker busy-time shares: {shares}")
+    _print_stage_table(args.host, args.port)
     return 0
+
+
+def _print_stage_table(host: str, port: int) -> None:
+    """Closing per-stage latency table, from the metrics exposition op.
+
+    Stage histograms only fill when the server samples traces
+    (``serve --trace``); with no stage data the table is skipped.
+    """
+    from repro.obs.prometheus import parse_prometheus_text
+    from repro.serve import ServeClient
+
+    with ServeClient(host, port) as client:
+        samples = parse_prometheus_text(client.metrics_text())
+    stages = [
+        ("queue", "repro_stage_queue_seconds"),
+        ("eval", "repro_stage_eval_seconds"),
+        ("union", "repro_stage_union_seconds"),
+        ("serialize", "repro_stage_serialize_seconds"),
+    ]
+    rows = []
+    for label, metric in stages:
+        count = samples.get((f"{metric}_count", ()))
+        if not count:
+            continue
+        quantile = lambda q: samples.get((metric, (("quantile", q),)), 0.0) * 1000.0
+        rows.append((label, int(count), quantile("0.5"), quantile("0.95"), quantile("0.99")))
+    if not rows:
+        return
+    print("per-stage latency (sampled traces):")
+    print(f"  {'stage':<10} {'spans':>7} {'p50_ms':>9} {'p95_ms':>9} {'p99_ms':>9}")
+    for label, count, p50, p95, p99 in rows:
+        print(f"  {label:<10} {count:>7} {p50:>9.3f} {p95:>9.3f} {p99:>9.3f}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.export import write_chrome_trace
+    from repro.obs.trace import format_trace
+    from repro.serve import ServeClient
+
+    with ServeClient(args.host, args.port) as client:
+        reply = client.trace(trace_id=args.trace_id, n=args.n)
+
+    if args.trace_id is not None:
+        record = reply["trace"]
+        _print_trace_record(record)
+        if args.chrome:
+            count = write_chrome_trace(Path(args.chrome), [record])
+            print(f"wrote {count} span events to {args.chrome}")
+        return 0
+
+    sampling = reply.get("sampling", {})
+    print(
+        f"sampling: rate {sampling.get('rate', 0.0):.1%}, "
+        f"{sampling.get('sampled', 0)}/{sampling.get('seen', 0)} queries sampled, "
+        f"{sampling.get('stored', 0)} traces stored"
+    )
+    traces = reply.get("traces", [])
+    events = reply.get("events", [])
+    if not traces and not events:
+        print("no traces or events recorded (is the server sampling? serve --trace)")
+    # Interleave traces with obs events (epoch swaps, …) by their shared
+    # monotonic clock so swaps show up where they landed between queries.
+    timeline: list[tuple[float, str]] = []
+    for record in traces:
+        spans = record.get("spans", [])
+        at = min((s.get("start", 0.0) for s in spans), default=0.0)
+        header = (
+            f"trace {record.get('trace_id', '?')[:16]}  "
+            f"q={record.get('query', '?')!r}  "
+            f"{record.get('latency_ms', 0.0):.1f}ms"
+            + ("  SLOW" if record.get("slow") else "")
+            + ("  DEGRADED" if record.get("degraded") else "")
+        )
+        timeline.append((at, header + "\n" + format_trace(spans)))
+    for event in events:
+        fields = {
+            k: v
+            for k, v in event.items()
+            if k not in ("kind", "monotonic", "wall_time")
+        }
+        text = f"event {event.get('kind', '?')}  " + " ".join(
+            f"{key}={value}" for key, value in sorted(fields.items())
+        )
+        timeline.append((event.get("monotonic", 0.0), text))
+    for _, text in sorted(timeline, key=lambda entry: entry[0]):
+        print(text)
+    slow = reply.get("slow", [])
+    if slow:
+        print("slow-query ring (newest last):")
+        for entry in slow:
+            traced = entry.get("trace_id")
+            print(
+                f"  {entry.get('latency_ms', 0.0):9.1f}ms  "
+                f"q={entry.get('query', '?')!r}"
+                + (f"  trace={traced[:16]}" if traced else "  (unsampled)")
+            )
+    if args.chrome:
+        count = write_chrome_trace(Path(args.chrome), traces)
+        print(f"wrote {count} span events to {args.chrome}")
+    return 0
+
+
+def _print_trace_record(record: dict) -> None:
+    from repro.obs.trace import format_trace
+
+    print(
+        f"trace {record.get('trace_id', '?')}  q={record.get('query', '?')!r}  "
+        f"{record.get('latency_ms', 0.0):.1f}ms"
+        + ("  SLOW" if record.get("slow") else "")
+    )
+    print(format_trace(record.get("spans", [])))
 
 
 def _cmd_updates(args: argparse.Namespace) -> int:
@@ -462,6 +616,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "trace": _cmd_trace,
     "updates": _cmd_updates,
     "demo": _cmd_demo,
 }

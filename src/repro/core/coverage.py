@@ -329,10 +329,21 @@ def local_distance_map(
     return distances
 
 
+def _describe_source(term: CoverageTerm) -> str:
+    source = term.source
+    if isinstance(source, KeywordSource):
+        return source.keyword
+    assert isinstance(source, NodeSource)
+    return f"#{source.node}"
+
+
 def batch_distance_maps(
     runtime: FragmentRuntime,
     terms: Sequence[CoverageTerm],
     stats: CoverageStats | None = None,
+    *,
+    collector=None,
+    parent_id: str | None = None,
 ) -> list[dict[int, float]]:
     """Distance maps for every term of one query, in term order.
 
@@ -342,14 +353,43 @@ def batch_distance_maps(
     duplicate ``(source, radius)`` terms inside the query are evaluated
     once — common in machine-written expressions such as
     ``AND(cafe:2, OR(cafe:2, fuel:3))``.
+
+    ``collector`` (a :class:`repro.obs.trace.SpanCollector`, duck-typed
+    so this module stays obs-agnostic) records one ``eval`` span per
+    *evaluated* term — memoised duplicates cost nothing and get no span
+    — annotated with the term's source/radius, the settled-node count
+    and whether the coverage cache answered
+    (``cache=hit|miss|skip|off``).
     """
     memo: dict[tuple[object, float], dict[int, float]] = {}
     maps: list[dict[int, float]] = []
-    for term in terms:
+    for i, term in enumerate(terms):
         key = runtime._cache_key(term)
         hit = memo.get(key)
         if hit is None:
-            hit = local_distance_map(runtime, term, stats)
+            if collector is not None:
+                before = runtime.cache_stats
+                with collector.span(
+                    "eval",
+                    parent_id=parent_id,
+                    fragment_id=runtime.fragment.fragment_id,
+                    term=i,
+                    source=_describe_source(term),
+                    radius=term.radius,
+                ) as span:
+                    hit = local_distance_map(runtime, term, stats)
+                after = runtime.cache_stats
+                if after.hits > before.hits:
+                    span.tags["cache"] = "hit"
+                elif after.skipped > before.skipped:
+                    span.tags["cache"] = "skip"
+                elif after.misses > before.misses:
+                    span.tags["cache"] = "miss"
+                else:  # caching disabled: no counter moved
+                    span.tags["cache"] = "off"
+                span.tags["settled"] = len(hit)
+            else:
+                hit = local_distance_map(runtime, term, stats)
             memo[key] = hit
         maps.append(hit)
     return maps

@@ -56,14 +56,48 @@ class FragmentTaskResult:
     stats: CoverageStats = field(default_factory=CoverageStats)
 
 
-def execute_fragment_task(runtime: FragmentRuntime, query: QClassQuery) -> FragmentTaskResult:
-    """Run ``query`` on one fragment and return its local result."""
+def execute_fragment_task(
+    runtime: FragmentRuntime,
+    query: QClassQuery,
+    *,
+    collector=None,
+    parent_id: str | None = None,
+) -> FragmentTaskResult:
+    """Run ``query`` on one fragment and return its local result.
+
+    ``collector`` (a :class:`repro.obs.trace.SpanCollector`, duck-typed)
+    opts into stage tracing: one ``task`` span per fragment wrapping
+    per-term ``eval`` spans (see
+    :func:`~repro.core.coverage.batch_distance_maps`) and one ``union``
+    span for the D-expression evaluation.  The evaluation itself is
+    identical either way — tracing only observes, so answers are
+    bit-identical with it on or off.
+    """
     started = time.perf_counter()
     stats = CoverageStats()
-    # Batched term evaluation: every term of the query runs through the
-    # same kernel instance (shared scratch, duplicate terms memoised).
-    coverages = [set(m) for m in batch_distance_maps(runtime, query.terms, stats)]
-    local = query.expression.evaluate(coverages)
+    if collector is None:
+        # Batched term evaluation: every term of the query runs through
+        # the same kernel instance (shared scratch, duplicates memoised).
+        coverages = [set(m) for m in batch_distance_maps(runtime, query.terms, stats)]
+        local = query.expression.evaluate(coverages)
+    else:
+        fragment_id = runtime.fragment.fragment_id
+        with collector.span(
+            "task", parent_id=parent_id, fragment_id=fragment_id
+        ) as task_span:
+            maps = batch_distance_maps(
+                runtime,
+                query.terms,
+                stats,
+                collector=collector,
+                parent_id=task_span.span_id,
+            )
+            coverages = [set(m) for m in maps]
+            with collector.span(
+                "union", parent_id=task_span.span_id, fragment_id=fragment_id
+            ):
+                local = query.expression.evaluate(coverages)
+            task_span.tags["result_nodes"] = len(local)
     elapsed = time.perf_counter() - started
     return FragmentTaskResult(
         fragment_id=runtime.fragment.fragment_id,

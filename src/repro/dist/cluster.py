@@ -94,9 +94,13 @@ class SimulatedCluster:
                 skipped += stats.skipped
         return {"hits": hits, "misses": misses, "skipped": skipped}
 
-    def execute(self, query: QClassQuery) -> ClusterResponse:
-        """Answer one query."""
-        return self.coordinator.execute(query)
+    def execute(self, query: QClassQuery, *, trace=None) -> ClusterResponse:
+        """Answer one query.
+
+        ``trace`` (a :class:`~repro.obs.trace.TraceContext`) opts the
+        query into span recording; see :meth:`Coordinator.execute`.
+        """
+        return self.coordinator.execute(query, trace=trace)
 
     def apply_updates(
         self, epoch: int, replacements: list[tuple[Fragment, NPDIndex]]

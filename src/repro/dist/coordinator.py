@@ -11,6 +11,7 @@ serially) plus the modelled coordinator round-trip.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.core.executor import FragmentTaskResult
 from repro.core.queries import QClassQuery
@@ -18,6 +19,7 @@ from repro.dist.machine import WorkerMachine
 from repro.dist.messages import QueryTaskMessage, TaskResultMessage
 from repro.dist.network import COORDINATOR_ID, NetworkModel, TrafficLedger
 from repro.exceptions import ClusterError
+from repro.obs.trace import Span, SpanCollector, TraceContext
 
 __all__ = ["ClusterResponse", "Coordinator"]
 
@@ -40,6 +42,10 @@ class ClusterResponse:
         The modelled dispatch/collect transfer time alone.
     total_message_bytes:
         Bytes moved for this query (task + result messages).
+    spans:
+        The trace spans recorded for this query (empty unless a
+        :class:`~repro.obs.trace.TraceContext` was passed to
+        :meth:`Coordinator.execute`).
     """
 
     result_nodes: frozenset[int]
@@ -48,6 +54,7 @@ class ClusterResponse:
     response_seconds: float
     communication_seconds: float
     total_message_bytes: int
+    spans: tuple[Span, ...] = ()
 
 
 @dataclass
@@ -58,16 +65,33 @@ class Coordinator:
     network: NetworkModel = field(default_factory=NetworkModel)
     ledger: TrafficLedger = field(default_factory=TrafficLedger)
 
-    def execute(self, query: QClassQuery) -> ClusterResponse:
+    def execute(
+        self, query: QClassQuery, *, trace: TraceContext | None = None
+    ) -> ClusterResponse:
         """Answer ``query`` over all workers.
 
         Workers are simulated sequentially but timed individually; the
         reported ``response_seconds`` is what a concurrent deployment
         would observe (max over machines), matching how the paper reports
         distributed query time.
+
+        With a ``trace`` context the response additionally carries the
+        full span tree of the query: a root ``query`` span, one
+        ``dispatch`` span per machine, and under each a modelled
+        ``queue-wait`` span (duration = the task message's transfer
+        time), the worker-side ``task``/``eval``/``union`` spans, and a
+        modelled ``serialize`` span (duration = the result message's
+        transfer time) — the same shape the real process clusters
+        record, so trace trees are comparable across all three.
         """
         if not self.machines:
             raise ClusterError("the cluster has no worker machines")
+
+        collector: SpanCollector | None = None
+        root = None
+        if trace is not None:
+            collector = SpanCollector(trace.trace_id)
+            root = collector.start("query", parent_id=trace.span_id)
 
         comm_seconds = 0.0
         total_bytes = 0
@@ -81,19 +105,58 @@ class Coordinator:
             )
             task_bytes = task_msg.estimated_bytes()
             self.ledger.record(COORDINATOR_ID, machine.machine_id, task_bytes, "task")
-            comm_seconds += self.network.transfer_seconds(task_bytes)
+            task_transfer = self.network.transfer_seconds(task_bytes)
+            comm_seconds += task_transfer
             total_bytes += task_bytes
 
-            results = machine.execute(query)
+            dispatch = None
+            if collector is not None and root is not None:
+                dispatch = collector.start(
+                    "dispatch", parent_id=root.span_id, machine_id=machine.machine_id
+                )
+                now = dispatch.start
+                collector.record(
+                    "queue-wait",
+                    now,
+                    now + task_transfer,
+                    parent_id=dispatch.span_id,
+                    machine_id=machine.machine_id,
+                    bytes=task_bytes,
+                    modelled=True,
+                )
+
+            results = machine.execute(
+                query,
+                collector=collector,
+                parent_id=dispatch.span_id if dispatch is not None else None,
+            )
             machine_seconds[machine.machine_id] = sum(r.wall_seconds for r in results)
             all_results.extend(results)
 
+            result_bytes_total = 0
             for message in machine.result_messages(results):
                 result_bytes = message.estimated_bytes()
                 self.ledger.record(message.sender, COORDINATOR_ID, result_bytes, "result")
                 comm_seconds += self.network.transfer_seconds(result_bytes)
                 total_bytes += result_bytes
+                result_bytes_total += result_bytes
                 merged.update(message.result_nodes)
+
+            if collector is not None and dispatch is not None:
+                now = perf_counter()
+                collector.record(
+                    "serialize",
+                    now,
+                    now + self.network.transfer_seconds(result_bytes_total),
+                    parent_id=dispatch.span_id,
+                    machine_id=machine.machine_id,
+                    bytes=result_bytes_total,
+                    modelled=True,
+                )
+                dispatch.finish()
+
+        if root is not None:
+            root.finish()
 
         response = max(machine_seconds.values()) + comm_seconds
         all_results.sort(key=lambda r: r.fragment_id)
@@ -104,4 +167,5 @@ class Coordinator:
             response_seconds=response,
             communication_seconds=comm_seconds,
             total_message_bytes=total_bytes,
+            spans=tuple(collector.spans) if collector is not None else (),
         )

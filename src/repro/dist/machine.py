@@ -57,11 +57,34 @@ class WorkerMachine:
                 swapped.append(fragment.fragment_id)
         return swapped
 
-    def execute(self, query: QClassQuery) -> list[FragmentTaskResult]:
-        """Run the query task on every hosted fragment, serially."""
+    def execute(
+        self,
+        query: QClassQuery,
+        *,
+        collector=None,
+        parent_id: str | None = None,
+    ) -> list[FragmentTaskResult]:
+        """Run the query task on every hosted fragment, serially.
+
+        ``collector``/``parent_id`` opt into per-stage span recording
+        (see :func:`repro.core.executor.execute_fragment_task`); the
+        spans carry this machine's id.
+        """
         if not self.runtimes:
             raise ClusterError(f"machine {self.machine_id} hosts no fragments")
-        return [execute_fragment_task(runtime, query) for runtime in self.runtimes]
+        if collector is None:
+            return [execute_fragment_task(runtime, query) for runtime in self.runtimes]
+        results = []
+        marker = len(collector.spans)
+        for runtime in self.runtimes:
+            results.append(
+                execute_fragment_task(
+                    runtime, query, collector=collector, parent_id=parent_id
+                )
+            )
+        for span in collector.spans[marker:]:
+            span.machine_id = self.machine_id
+        return results
 
     def result_messages(self, results: list[FragmentTaskResult]) -> list[TaskResultMessage]:
         """Wrap task results as coordinator-bound messages."""

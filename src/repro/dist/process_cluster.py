@@ -34,12 +34,15 @@ from repro.core.npd import NPDIndex
 from repro.core.queries import QClassQuery
 from repro.dist.network import NetworkModel
 from repro.exceptions import ClusterError
+from repro.obs.trace import Span, SpanCollector, TraceContext
 
 __all__ = [
     "ProcessClusterResponse",
     "ProcessCluster",
     "spawn_workers",
     "emulate_delivery",
+    "worker_trace_collector",
+    "finish_worker_spans",
 ]
 
 _DEFAULT_TIMEOUT = 120.0
@@ -126,6 +129,58 @@ def emulate_delivery(
         time.sleep(delay)
 
 
+def worker_trace_collector(
+    trace_wire: tuple[str, str | None] | None,
+    sent_at: float | None,
+    received: float,
+    wire_bytes: int,
+) -> tuple[SpanCollector | None, str | None]:
+    """Worker-side trace setup, shared by both worker loops.
+
+    For a traced query (``trace_wire`` = ``(trace_id, parent span
+    id)``) this builds the local collector and records the
+    ``queue-wait`` span — sender timestamp to post-delivery dequeue,
+    which covers pipe transit, the emulated link, and time spent
+    behind earlier messages in the FIFO.  Returns ``(None, None)`` for
+    the untraced fast path.
+    """
+    if trace_wire is None:
+        return None, None
+    trace_id, parent_id = trace_wire
+    collector = SpanCollector(trace_id)
+    if sent_at is not None:
+        collector.record(
+            "queue-wait",
+            sent_at,
+            received,
+            parent_id=parent_id,
+            bytes=wire_bytes,
+        )
+    return collector, parent_id
+
+
+def finish_worker_spans(
+    collector: SpanCollector,
+    parent_id: str | None,
+    reply_body: object,
+    elapsed: float,
+) -> list[Span]:
+    """Measure reply serialisation, then return the spans to piggyback.
+
+    The serialize span must itself travel inside the reply, so the
+    reply body is pickled once as a measured probe and the final
+    message (with spans attached) is pickled by the caller — the double
+    pickle only happens on sampled queries.
+    """
+    started = time.perf_counter()
+    probe = pickle.dumps(("results", (reply_body, elapsed), 0.0))
+    ended = time.perf_counter()
+    collector.record(
+        "serialize", started, ended, parent_id=parent_id, bytes=len(probe)
+    )
+    return collector.spans
+
+
 def _worker_main(connection: Connection, payload: bytes) -> None:
     """Worker loop: deserialise runtimes once, then serve queries."""
     try:
@@ -166,14 +221,32 @@ def _worker_main(connection: Connection, payload: bytes) -> None:
                 connection.send(("error", f"unknown message kind {kind!r}"))
                 continue
             emulate_delivery(network_model, meta[0] if meta else None, len(raw))
+            received = time.perf_counter()
+            query, trace_wire = body
+            collector, parent_id = worker_trace_collector(
+                trace_wire, meta[0] if meta else None, received, len(raw)
+            )
             started = time.perf_counter()
-            results = [execute_fragment_task(runtime, body) for runtime in runtimes]
+            results = [
+                execute_fragment_task(
+                    runtime, query, collector=collector, parent_id=parent_id
+                )
+                for runtime in runtimes
+            ]
             elapsed = time.perf_counter() - started
             reply = [
                 (r.fragment_id, set(r.local_result), r.wall_seconds) for r in results
             ]
+            if collector is not None:
+                body_out = (
+                    reply,
+                    elapsed,
+                    finish_worker_spans(collector, parent_id, reply, elapsed),
+                )
+            else:
+                body_out = (reply, elapsed)
             connection.send_bytes(
-                pickle.dumps(("results", (reply, elapsed), time.perf_counter()))
+                pickle.dumps(("results", body_out, time.perf_counter()))
             )
     except EOFError:  # coordinator went away
         return
@@ -183,13 +256,18 @@ def _worker_main(connection: Connection, payload: bytes) -> None:
 
 @dataclass(frozen=True)
 class ProcessClusterResponse:
-    """Outcome of one concurrently executed query."""
+    """Outcome of one concurrently executed query.
+
+    ``spans`` holds the assembled trace spans when the query was
+    executed with a trace context (empty otherwise).
+    """
 
     result_nodes: frozenset[int]
     fragment_seconds: dict[int, float]
     machine_seconds: dict[int, float]
     wall_seconds: float
     message_bytes: int
+    spans: tuple[Span, ...] = ()
 
 
 class ProcessCluster:
@@ -305,43 +383,93 @@ class ProcessCluster:
         return kind, body, len(raw)
 
     def execute(
-        self, query: QClassQuery, *, timeout_seconds: float = _DEFAULT_TIMEOUT
+        self,
+        query: QClassQuery,
+        *,
+        timeout_seconds: float = _DEFAULT_TIMEOUT,
+        trace: TraceContext | None = None,
     ) -> ProcessClusterResponse:
-        """Broadcast the query, gather concurrently computed results."""
+        """Broadcast the query, gather concurrently computed results.
+
+        With a ``trace`` context each worker records its stage spans
+        (queue wait, per-fragment task/eval/union, serialization) and
+        piggybacks them on the result message it already sends; the
+        coordinator stamps machine ids and assembles the tree.  Traced
+        queries send per-machine payloads (each machine's dispatch span
+        id differs); the untraced fast path broadcasts one shared
+        payload exactly as before.
+        """
         if not self._alive:
             raise ClusterError("the cluster has been shut down")
         started = time.perf_counter()
-        payload = pickle.dumps(("query", query, started))
-        for machine_id, connection in enumerate(self._connections):
-            try:
-                connection.send_bytes(payload)
-            except (BrokenPipeError, OSError):
-                raise ClusterError(
-                    f"worker {machine_id} is gone; the cluster is unusable"
-                ) from None
+
+        collector: SpanCollector | None = None
+        root = None
+        dispatch_spans: dict[int, Span] = {}
+        total_bytes = 0
+        if trace is None:
+            payload = pickle.dumps(("query", (query, None), started))
+            for machine_id, connection in enumerate(self._connections):
+                try:
+                    connection.send_bytes(payload)
+                except (BrokenPipeError, OSError):
+                    raise ClusterError(
+                        f"worker {machine_id} is gone; the cluster is unusable"
+                    ) from None
+            total_bytes = len(payload) * len(self._connections)
+        else:
+            collector = SpanCollector(trace.trace_id)
+            root = collector.start("query", parent_id=trace.span_id)
+            for machine_id, connection in enumerate(self._connections):
+                dispatch = collector.start(
+                    "dispatch", parent_id=root.span_id, machine_id=machine_id
+                )
+                dispatch_spans[machine_id] = dispatch
+                payload = pickle.dumps(
+                    (
+                        "query",
+                        (query, (trace.trace_id, dispatch.span_id)),
+                        time.perf_counter(),
+                    )
+                )
+                try:
+                    connection.send_bytes(payload)
+                except (BrokenPipeError, OSError):
+                    raise ClusterError(
+                        f"worker {machine_id} is gone; the cluster is unusable"
+                    ) from None
+                total_bytes += len(payload)
 
         merged: set[int] = set()
         fragment_seconds: dict[int, float] = {}
         machine_seconds: dict[int, float] = {}
-        total_bytes = len(payload) * len(self._connections)
         for machine_id, connection in enumerate(self._connections):
             kind, body, wire_bytes = self._receive(
                 connection, timeout_seconds, machine_id, self._network_model
             )
             if kind == "error":
                 raise ClusterError(f"worker {machine_id} failed:\n{body}")
-            reply, elapsed = body
+            reply, elapsed, *extra = body
             machine_seconds[machine_id] = elapsed
             total_bytes += wire_bytes
             for fragment_id, nodes, seconds in reply:
                 merged.update(nodes)
                 fragment_seconds[fragment_id] = seconds
+            if collector is not None:
+                worker_spans: list[Span] = extra[0] if extra else []
+                for span in worker_spans:
+                    span.machine_id = machine_id
+                collector.extend(worker_spans)
+                dispatch_spans[machine_id].finish()
+        if root is not None:
+            root.finish()
         return ProcessClusterResponse(
             result_nodes=frozenset(merged),
             fragment_seconds=fragment_seconds,
             machine_seconds=machine_seconds,
             wall_seconds=time.perf_counter() - started,
             message_bytes=total_bytes,
+            spans=tuple(collector.spans) if collector is not None else (),
         )
 
     # ------------------------------------------------------------------

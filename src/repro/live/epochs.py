@@ -38,6 +38,7 @@ from repro.exceptions import LiveUpdateError
 from repro.graph.road_network import RoadNetwork
 from repro.live.log import UpdateLog
 from repro.live.ops import UpdateOp
+from repro.obs.events import emit as emit_event
 from repro.partition.base import Partition
 
 __all__ = ["EpochState", "EpochSwap", "EpochManager"]
@@ -214,6 +215,16 @@ class EpochManager:
                 swap_seconds=swap_seconds,
             )
             self._history.append(swap)
+            # Structured obs event so `repro trace` can interleave epoch
+            # swaps with traced queries on the shared monotonic clock.
+            emit_event(
+                "epoch_swap",
+                epoch=swap.epoch,
+                num_ops=swap.num_ops,
+                changed_fragments=list(swap.changed_fragments),
+                apply_ms=swap.apply_seconds * 1000.0,
+                swap_ms=swap.swap_seconds * 1000.0,
+            )
             return swap
 
     # ------------------------------------------------------------------

@@ -1,0 +1,53 @@
+"""repro.obs — end-to-end observability for the distributed query path.
+
+The paper's cost model (Theorem 5) says a query's distributed cost is
+the makespan of per-fragment local evaluations plus two coordinator
+transfers; this subpackage makes that claim *measurable on live
+traffic* rather than only derivable from ``core/report.py``:
+
+* :mod:`repro.obs.trace` — dependency-free trace context, spans, a
+  thread-safe bounded :class:`Tracer`, trace-tree assembly;
+* :mod:`repro.obs.events` — structured event log (epoch swaps, worker
+  deaths) with a process-global default;
+* :mod:`repro.obs.export` — JSONL trace sink with rotation and Chrome
+  trace-event (``chrome://tracing`` / Perfetto) export;
+* :mod:`repro.obs.prometheus` — Prometheus text-format exposition of
+  the serve layer's :class:`~repro.serve.metrics.MetricsRegistry`.
+
+Layering: ``obs`` imports nothing from the rest of the package, so
+``core``, ``dist``, ``serve`` and ``live`` may all use it freely.
+"""
+
+from repro.obs.events import Event, EventLog, emit, global_events
+from repro.obs.export import JsonlTraceSink, chrome_trace_events, write_chrome_trace
+from repro.obs.prometheus import parse_prometheus_text, render_prometheus
+from repro.obs.trace import (
+    Span,
+    SpanCollector,
+    TraceContext,
+    Tracer,
+    assemble_tree,
+    format_trace,
+    new_span_id,
+    new_trace_id,
+)
+
+__all__ = [
+    "TraceContext",
+    "Span",
+    "SpanCollector",
+    "Tracer",
+    "assemble_tree",
+    "format_trace",
+    "new_trace_id",
+    "new_span_id",
+    "Event",
+    "EventLog",
+    "emit",
+    "global_events",
+    "JsonlTraceSink",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "render_prometheus",
+    "parse_prometheus_text",
+]

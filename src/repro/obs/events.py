@@ -1,0 +1,97 @@
+"""Structured event log: bounded, thread-safe, process-global by default.
+
+Spans cover *queries*; events cover everything else worth interleaving
+with them — epoch swaps, worker deaths, admission decisions.  An
+:class:`EventLog` is a bounded ring of :class:`Event` records, each
+carrying both a wall-clock timestamp (for humans and JSONL sinks) and a
+``perf_counter`` timestamp (comparable with span timings).
+
+A process-global default log (:func:`global_events` / :func:`emit`)
+exists so producers that predate the serve layer — notably
+:class:`repro.live.epochs.EpochManager` — can publish events without
+any wiring; the serve layer's ``trace`` op drains it alongside traces,
+which is how ``repro trace`` shows epoch swaps interleaved with
+queries.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["Event", "EventLog", "global_events", "emit"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured occurrence."""
+
+    kind: str
+    wall_time: float  # time.time()
+    monotonic: float  # time.perf_counter(), comparable with span times
+    fields: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-able form."""
+        return {
+            "kind": self.kind,
+            "wall_time": self.wall_time,
+            "monotonic": self.monotonic,
+            **self.fields,
+        }
+
+
+class EventLog:
+    """A bounded, thread-safe ring of events."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("event-log capacity must be positive")
+        self._events: deque[Event] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._total = 0
+
+    def emit(self, kind: str, **fields) -> Event:
+        """Append one event (oldest entries roll off at capacity)."""
+        event = Event(
+            kind=kind,
+            wall_time=time.time(),
+            monotonic=time.perf_counter(),
+            fields=fields,
+        )
+        with self._lock:
+            self._events.append(event)
+            self._total += 1
+        return event
+
+    @property
+    def total(self) -> int:
+        """Events ever emitted (including ones that rolled off)."""
+        with self._lock:
+            return self._total
+
+    def tail(self, n: int = 32) -> list[dict]:
+        """The most recent ``n`` events as dicts, oldest first."""
+        with self._lock:
+            events = list(self._events)
+        return [event.to_dict() for event in events[-max(0, n):]]
+
+    def clear(self) -> None:
+        """Drop every retained event (counters keep their totals)."""
+        with self._lock:
+            self._events.clear()
+
+
+_GLOBAL = EventLog()
+
+
+def global_events() -> EventLog:
+    """The process-global event log."""
+    return _GLOBAL
+
+
+def emit(kind: str, **fields) -> Event:
+    """Emit onto the process-global log."""
+    return _GLOBAL.emit(kind, **fields)

@@ -1,0 +1,149 @@
+"""Trace exporters: JSONL sink with rotation, Chrome trace-event JSON.
+
+Two consumption paths:
+
+* :class:`JsonlTraceSink` — an append-only, size-rotated JSONL file of
+  finished trace records, the durable form (one JSON object per line,
+  ``grep``-able, replayable);
+* :func:`chrome_trace_events` / :func:`write_chrome_trace` — the
+  interactive form: the Chrome trace-event format that
+  ``chrome://tracing`` and https://ui.perfetto.dev load directly.
+  Machines become processes (coordinator = pid 0, machine *m* =
+  pid *m* + 1), fragments become threads, and every span is one
+  complete ``"ph": "X"`` duration event, so the per-machine
+  decomposition of a query reads as parallel swim-lanes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Sequence
+
+from repro.obs.trace import Span
+
+__all__ = ["JsonlTraceSink", "chrome_trace_events", "write_chrome_trace"]
+
+
+class JsonlTraceSink:
+    """Append finished traces to a JSONL file, rotating by size.
+
+    When the file would exceed ``max_bytes`` the current file is
+    renamed to ``<path>.1`` (shifting ``.1`` → ``.2`` … up to
+    ``backups``) and a fresh file is started, so long-running servers
+    keep a bounded, recent window on disk.
+    """
+
+    def __init__(self, path: str, *, max_bytes: int = 16_000_000, backups: int = 2) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        if backups < 0:
+            raise ValueError("backups cannot be negative")
+        self.path = str(path)
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self._lock = threading.Lock()
+        self._written = 0
+
+    def _rotate(self) -> None:
+        for i in range(self.backups, 0, -1):
+            source = self.path if i == 1 else f"{self.path}.{i - 1}"
+            target = f"{self.path}.{i}"
+            if os.path.exists(source):
+                os.replace(source, target)
+        if self.backups == 0 and os.path.exists(self.path):
+            os.remove(self.path)
+
+    def write(self, record: dict) -> None:
+        """Append one trace record as a JSON line (rotating if needed)."""
+        line = json.dumps(record, separators=(",", ":"), default=str) + "\n"
+        data = line.encode("utf-8")
+        with self._lock:
+            try:
+                current = os.path.getsize(self.path)
+            except OSError:
+                current = 0
+            if current and current + len(data) > self.max_bytes:
+                self._rotate()
+            with open(self.path, "ab") as handle:
+                handle.write(data)
+            self._written += 1
+
+    @property
+    def written(self) -> int:
+        """Trace records written through this sink (all rotations)."""
+        with self._lock:
+            return self._written
+
+
+def _span_records(spans: Sequence[Span | dict]) -> list[dict]:
+    return [span.to_dict() if isinstance(span, Span) else dict(span) for span in spans]
+
+
+def chrome_trace_events(spans: Sequence[Span | dict]) -> dict:
+    """Spans as a Chrome trace-event JSON object (Perfetto-loadable).
+
+    Timestamps are rebased so the earliest span starts at t=0 (Chrome
+    tracing expects microseconds from an arbitrary origin).  Open spans
+    (no ``end``) are rendered with zero duration rather than dropped.
+    """
+    records = _span_records(spans)
+    starts = [r["start"] for r in records if r.get("start") is not None]
+    base = min(starts) if starts else 0.0
+    events: list[dict] = []
+    seen_pids: dict[int, str] = {}
+    for record in records:
+        machine = record.get("machine", -1)
+        pid = 0 if machine is None or machine < 0 else machine + 1
+        if pid not in seen_pids:
+            seen_pids[pid] = "coordinator" if pid == 0 else f"machine {pid - 1}"
+        fragment = record.get("fragment")
+        tid = 0 if fragment is None else fragment + 1
+        start = record.get("start") or base
+        end = record.get("end")
+        duration = max(0.0, (end - start)) if end is not None else 0.0
+        args = dict(record.get("tags") or {})
+        args["trace_id"] = record.get("trace_id")
+        if fragment is not None:
+            args["fragment"] = fragment
+        events.append(
+            {
+                "name": record["name"],
+                "cat": "query",
+                "ph": "X",
+                "ts": (start - base) * 1e6,
+                "dur": duration * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    for pid, name in sorted(seen_pids.items()):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, traces: Sequence[dict]) -> int:
+    """Write stored trace records as one Chrome trace JSON file.
+
+    ``traces`` are the serve layer's trace records (each holding a
+    ``"spans"`` list).  Every trace's spans land in the same file —
+    Perfetto separates them by time and by the ``trace_id`` arg.
+    Returns the number of span events written.
+    """
+    all_spans: list[dict] = []
+    for trace in traces:
+        all_spans.extend(trace.get("spans", []))
+    payload = chrome_trace_events(all_spans)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, default=str)
+    return sum(1 for event in payload["traceEvents"] if event.get("ph") == "X")

@@ -1,0 +1,123 @@
+"""Prometheus text-format exposition (and a matching tiny parser).
+
+:func:`render_prometheus` turns a metrics *state dict* — the locked
+snapshot produced by
+:meth:`repro.serve.metrics.MetricsRegistry.exposition_state` — into the
+Prometheus text exposition format (version 0.0.4):
+
+* counters   → ``<ns>_<name>_total``;
+* gauges     → ``<ns>_<name>`` plus ``<ns>_<name>_peak``;
+* histograms → summary-style ``{quantile="…"}`` series plus ``_sum``,
+  ``_count`` and ``_max`` (values in seconds, the Prometheus base
+  unit);
+* busy time  → ``<ns>_machine_busy_seconds_total{machine="…"}``.
+
+Taking a plain dict rather than the registry keeps this module
+dependency-free (``obs`` sits below ``serve`` in the layering) and
+keeps all locking inside the registry.
+
+:func:`parse_prometheus_text` inverts the rendering just enough for the
+load generator to read stage latencies back from a server's ``metrics``
+op without a client library.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["render_prometheus", "parse_prometheus_text"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _metric_name(namespace: str, name: str) -> str:
+    return _NAME_OK.sub("_", f"{namespace}_{name}")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    return repr(float(value))
+
+
+def render_prometheus(state: dict, *, namespace: str = "repro") -> str:
+    """The exposition text for one metrics state dict.
+
+    ``state`` has the shape returned by ``MetricsRegistry
+    .exposition_state()``: ``counters`` (name → int), ``gauges`` (name →
+    {"current", "peak"}), ``histograms`` (name → {"count", "sum",
+    "max", "quantiles": {"0.5": seconds, …}}), ``busy_seconds``
+    (machine id → seconds).
+    """
+    lines: list[str] = []
+
+    for name, value in sorted(state.get("counters", {}).items()):
+        metric = _metric_name(namespace, name)
+        if not metric.endswith("_total"):
+            metric += "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name, gauge in sorted(state.get("gauges", {}).items()):
+        metric = _metric_name(namespace, name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gauge.get('current', 0.0))}")
+        lines.append(f"# TYPE {metric}_peak gauge")
+        lines.append(f"{metric}_peak {_format_value(gauge.get('peak', 0.0))}")
+
+    for name, summary in sorted(state.get("histograms", {}).items()):
+        metric = _metric_name(namespace, name)
+        lines.append(f"# TYPE {metric} summary")
+        for quantile, seconds in sorted(summary.get("quantiles", {}).items()):
+            lines.append(f'{metric}{{quantile="{quantile}"}} {_format_value(seconds)}')
+        lines.append(f"{metric}_sum {_format_value(summary.get('sum', 0.0))}")
+        lines.append(f"{metric}_count {_format_value(summary.get('count', 0))}")
+        lines.append(f"# TYPE {metric}_max gauge")
+        lines.append(f"{metric}_max {_format_value(summary.get('max', 0.0))}")
+
+    busy = state.get("busy_seconds", {})
+    if busy:
+        metric = _metric_name(namespace, "machine_busy_seconds")
+        lines.append(f"# TYPE {metric}_total counter")
+        for machine, seconds in sorted(busy.items(), key=lambda kv: str(kv[0])):
+            lines.append(
+                f'{metric}_total{{machine="{machine}"}} {_format_value(seconds)}'
+            )
+
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Samples of an exposition as ``{(name, sorted labels): value}``.
+
+    Comment and malformed lines are skipped; label values have their
+    escapes undone.  Just enough of the format for round-trip tests and
+    the load generator's stage-latency table.
+    """
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            continue
+        labels: list[tuple[str, str]] = []
+        raw = match.group("labels")
+        if raw:
+            for key, value in _LABEL_RE.findall(raw):
+                labels.append(
+                    (key, value.replace('\\"', '"').replace("\\\\", "\\"))
+                )
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            continue
+        samples[(match.group("name"), tuple(sorted(labels)))] = value
+    return samples

@@ -88,6 +88,28 @@ class ServeClient:
             raise ClusterError(f"epoch failed: {reply}")
         return reply["epoch"]
 
+    def trace(self, *, trace_id: str | None = None, n: int = 8) -> dict:
+        """Recent sampled traces, the slow-query ring, and obs events.
+
+        With ``trace_id`` the reply carries that single stored trace
+        under ``"trace"``; otherwise ``"traces"`` (newest last),
+        ``"slow"``, ``"events"`` and the ``"sampling"`` counters.
+        """
+        payload: dict = {"op": "trace", "n": n}
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+        reply = self.request(payload)
+        if not reply.get("ok"):
+            raise ClusterError(f"trace failed: {reply}")
+        return reply
+
+    def metrics_text(self) -> str:
+        """The server's metrics in Prometheus text exposition format."""
+        reply = self.request({"op": "metrics"})
+        if not reply.get("ok"):
+            raise ClusterError(f"metrics failed: {reply}")
+        return reply["text"]
+
     def update(self, ops, request_id=None) -> dict:
         """Apply one live-update batch.
 

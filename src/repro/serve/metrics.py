@@ -53,27 +53,74 @@ class LatencyHistogram:
         with self._lock:
             return self._count
 
-    def percentile(self, fraction: float) -> float:
-        """Windowed percentile, e.g. ``percentile(0.95)`` (seconds)."""
-        if not (0.0 <= fraction <= 1.0):
-            raise DisksError("percentile fraction must lie in [0, 1]")
-        with self._lock:
-            ordered = sorted(self._window)
+    @staticmethod
+    def _rank(ordered: list[float], fraction: float) -> float:
         if not ordered:
             return 0.0
         index = min(len(ordered) - 1, max(0, round(fraction * len(ordered)) - 1))
         return ordered[index]
 
+    def percentile(self, fraction: float) -> float:
+        """Windowed percentile, e.g. ``percentile(0.95)`` (seconds).
+
+        Only the window *copy* happens under the lock; the O(n log n)
+        sort runs outside it, so a slow percentile read never stalls
+        the hot ``observe`` path.
+        """
+        if not (0.0 <= fraction <= 1.0):
+            raise DisksError("percentile fraction must lie in [0, 1]")
+        with self._lock:
+            window = list(self._window)
+        return self._rank(sorted(window), fraction)
+
+    def percentiles(self, fractions: tuple[float, ...]) -> tuple[float, ...]:
+        """Several windowed percentiles from a single copy-and-sort."""
+        for fraction in fractions:
+            if not (0.0 <= fraction <= 1.0):
+                raise DisksError("percentile fraction must lie in [0, 1]")
+        with self._lock:
+            window = list(self._window)
+        ordered = sorted(window)
+        return tuple(self._rank(ordered, fraction) for fraction in fractions)
+
+    def state(self) -> dict:
+        """Exact totals plus windowed quantiles, in base seconds.
+
+        This is the exposition-friendly view: one lock hold for the
+        totals and the window copy, one sort for every quantile.
+        """
+        with self._lock:
+            count, total, peak = self._count, self._sum, self._max
+            window = list(self._window)
+        ordered = sorted(window)
+        return {
+            "count": count,
+            "sum": total,
+            "max": peak,
+            "quantiles": {
+                "0.5": self._rank(ordered, 0.50),
+                "0.95": self._rank(ordered, 0.95),
+                "0.99": self._rank(ordered, 0.99),
+            },
+        }
+
     def snapshot(self) -> dict:
         """JSON-able summary (milliseconds for human readability)."""
         with self._lock:
             count, total, peak = self._count, self._sum, self._max
+            window = list(self._window)
+        ordered = sorted(window)
+        p50, p95, p99 = (
+            self._rank(ordered, 0.50),
+            self._rank(ordered, 0.95),
+            self._rank(ordered, 0.99),
+        )
         return {
             "count": count,
             "mean_ms": (total / count * 1000.0) if count else 0.0,
-            "p50_ms": self.percentile(0.50) * 1000.0,
-            "p95_ms": self.percentile(0.95) * 1000.0,
-            "p99_ms": self.percentile(0.99) * 1000.0,
+            "p50_ms": p50 * 1000.0,
+            "p95_ms": p95 * 1000.0,
+            "p99_ms": p99 * 1000.0,
             "max_ms": peak * 1000.0,
         }
 
@@ -137,6 +184,25 @@ class MetricsRegistry:
             self._busy_seconds[machine_id] += seconds
 
     # Snapshot ----------------------------------------------------------
+    def exposition_state(self) -> dict:
+        """Everything in base units (seconds), shaped for exporters.
+
+        :func:`repro.obs.prometheus.render_prometheus` consumes exactly
+        this structure; keeping the registry exporter-agnostic means
+        ``obs`` stays importable without ``serve`` and vice versa.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = {name: dict(g) for name, g in self._gauges.items()}
+            histograms = list(self._histograms.items())
+            busy = {str(machine): seconds for machine, seconds in self._busy_seconds.items()}
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": {name: h.state() for name, h in histograms},
+            "busy_seconds": busy,
+        }
+
     def snapshot(self) -> dict:
         """One JSON-able view of everything, for the ``stats`` command."""
         with self._lock:

@@ -63,8 +63,14 @@ from repro.core.fragment import Fragment
 from repro.core.npd import NPDIndex
 from repro.core.queries import QClassQuery
 from repro.dist.network import NetworkModel
-from repro.dist.process_cluster import emulate_delivery, spawn_workers
+from repro.dist.process_cluster import (
+    emulate_delivery,
+    finish_worker_spans,
+    spawn_workers,
+    worker_trace_collector,
+)
 from repro.exceptions import ClusterError
+from repro.obs.trace import Span, SpanCollector, TraceContext
 
 __all__ = ["PipelinedResponse", "PendingQuery", "PendingApply", "PipelinedCluster"]
 
@@ -120,19 +126,35 @@ def _pipelined_worker_main(connection: Connection, payload: bytes) -> None:
                 connection.send(("error", (None, f"unknown message kind {kind!r}")))
                 continue
             emulate_delivery(network_model, meta[0] if meta else None, len(raw))
-            request_id, query = body
+            received = time.perf_counter()
+            request_id, query, trace_wire = body
             try:
+                collector, parent_id = worker_trace_collector(
+                    trace_wire, meta[0] if meta else None, received, len(raw)
+                )
                 started = time.perf_counter()
-                results = [execute_fragment_task(rt, query) for rt in runtimes]
+                results = [
+                    execute_fragment_task(
+                        rt, query, collector=collector, parent_id=parent_id
+                    )
+                    for rt in runtimes
+                ]
                 elapsed = time.perf_counter() - started
                 reply = [
                     (r.fragment_id, set(r.local_result), r.wall_seconds)
                     for r in results
                 ]
-                connection.send_bytes(
-                    pickle.dumps(
-                        ("results", (request_id, reply, elapsed), time.perf_counter())
+                if collector is not None:
+                    body_out = (
+                        request_id,
+                        reply,
+                        elapsed,
+                        finish_worker_spans(collector, parent_id, reply, elapsed),
                     )
+                else:
+                    body_out = (request_id, reply, elapsed)
+                connection.send_bytes(
+                    pickle.dumps(("results", body_out, time.perf_counter()))
                 )
             except Exception:
                 connection.send(("error", (request_id, traceback.format_exc())))
@@ -154,6 +176,7 @@ class PipelinedResponse:
     wall_seconds: float
     message_bytes: int
     degraded: bool = False
+    spans: tuple[Span, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -199,6 +222,9 @@ class _InFlight:
         "fragment_seconds",
         "machine_seconds",
         "message_bytes",
+        "collector",
+        "root",
+        "dispatch_spans",
     )
 
     def __init__(self, awaiting: set[int], degraded: bool) -> None:
@@ -210,6 +236,9 @@ class _InFlight:
         self.fragment_seconds: dict[int, float] = {}
         self.machine_seconds: dict[int, float] = {}
         self.message_bytes = 0
+        self.collector: SpanCollector | None = None
+        self.root: Span | None = None
+        self.dispatch_spans: dict[int, Span] = {}
 
 
 class PipelinedCluster:
@@ -399,8 +428,15 @@ class PipelinedCluster:
                 request_id, epoch, swapped, elapsed = body
                 self._absorb_apply_ack(machine_id, request_id, swapped, len(raw))
                 continue
-            request_id, reply, elapsed = body
-            self._absorb_reply(machine_id, request_id, reply, elapsed, len(raw))
+            request_id, reply, elapsed, *extra = body
+            self._absorb_reply(
+                machine_id,
+                request_id,
+                reply,
+                elapsed,
+                len(raw),
+                extra[0] if extra else None,
+            )
 
     def _absorb_reply(
         self,
@@ -409,6 +445,7 @@ class PipelinedCluster:
         reply: list[tuple[int, set[int], float]],
         elapsed: float,
         wire_bytes: int,
+        spans: list[Span] | None = None,
     ) -> None:
         with self._lock:
             inflight = self._pending.get(request_id)
@@ -419,10 +456,19 @@ class PipelinedCluster:
             for fragment_id, nodes, seconds in reply:
                 inflight.merged.update(nodes)
                 inflight.fragment_seconds[fragment_id] = seconds
+            if spans and inflight.collector is not None:
+                for span in spans:
+                    span.machine_id = machine_id
+                inflight.collector.extend(spans)
+            dispatch = inflight.dispatch_spans.get(machine_id)
+            if dispatch is not None and dispatch.end is None:
+                dispatch.finish()
             inflight.awaiting.discard(machine_id)
             if inflight.awaiting:
                 return
             del self._pending[request_id]
+            if inflight.root is not None and inflight.root.end is None:
+                inflight.root.finish()
         response = PipelinedResponse(
             result_nodes=frozenset(inflight.merged),
             fragment_seconds=dict(inflight.fragment_seconds),
@@ -430,6 +476,9 @@ class PipelinedCluster:
             wall_seconds=time.perf_counter() - inflight.started,
             message_bytes=inflight.message_bytes,
             degraded=inflight.degraded,
+            spans=tuple(inflight.collector.spans)
+            if inflight.collector is not None
+            else (),
         )
         if not inflight.future.done():
             inflight.future.set_result(response)
@@ -502,8 +551,18 @@ class PipelinedCluster:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def submit(self, query: QClassQuery) -> PendingQuery:
-        """Fan the query out to every live worker; return immediately."""
+    def submit(
+        self, query: QClassQuery, *, trace: TraceContext | None = None
+    ) -> PendingQuery:
+        """Fan the query out to every live worker; return immediately.
+
+        ``trace`` opts the query into span recording: each worker
+        piggybacks its ``queue-wait``/``task``/``eval``/``union``/
+        ``serialize`` spans on the reply it was sending anyway, and the
+        resolved :class:`PipelinedResponse` carries the assembled tree.
+        Traced queries pay one pickle per machine (the dispatch span ids
+        differ); untraced queries keep the single shared payload.
+        """
         if not self._alive:
             raise ClusterError("the cluster has been shut down")
         with self._lock:
@@ -516,19 +575,52 @@ class PipelinedCluster:
                 raise ClusterError("every worker has died; the cluster cannot serve")
             request_id = next(self._ids)
             inflight = _InFlight(set(live), degraded=bool(self._dead))
+            if trace is not None:
+                inflight.collector = SpanCollector(trace.trace_id)
+                inflight.root = inflight.collector.start(
+                    "query", parent_id=trace.span_id
+                )
+                for machine_id in live:
+                    inflight.dispatch_spans[machine_id] = inflight.collector.start(
+                        "dispatch",
+                        parent_id=inflight.root.span_id,
+                        machine_id=machine_id,
+                    )
             self._pending[request_id] = inflight
-        payload = pickle.dumps(("query", (request_id, query), time.perf_counter()))
-        sent = 0
+        if trace is None:
+            shared = pickle.dumps(
+                ("query", (request_id, query, None), time.perf_counter())
+            )
+            payloads = {machine_id: shared for machine_id in live}
+        else:
+            payloads = {
+                machine_id: pickle.dumps(
+                    (
+                        "query",
+                        (
+                            request_id,
+                            query,
+                            (
+                                trace.trace_id,
+                                inflight.dispatch_spans[machine_id].span_id,
+                            ),
+                        ),
+                        time.perf_counter(),
+                    )
+                )
+                for machine_id in live
+            }
+        sent_bytes = 0
         with self._fanout_lock:
             for machine_id in live:
                 try:
                     with self._send_locks[machine_id]:
-                        self._connections[machine_id].send_bytes(payload)
-                    sent += 1
+                        self._connections[machine_id].send_bytes(payloads[machine_id])
+                    sent_bytes += len(payloads[machine_id])
                 except (BrokenPipeError, OSError):
                     self._on_worker_death(machine_id)
         with self._lock:
-            inflight.message_bytes += len(payload) * sent
+            inflight.message_bytes += sent_bytes
         return PendingQuery(request_id=request_id, future=inflight.future)
 
     # ------------------------------------------------------------------
@@ -617,10 +709,14 @@ class PipelinedCluster:
             self._pending.pop(request_id, None)
 
     def execute(
-        self, query: QClassQuery, *, timeout_seconds: float = _DEFAULT_TIMEOUT
+        self,
+        query: QClassQuery,
+        *,
+        timeout_seconds: float = _DEFAULT_TIMEOUT,
+        trace: TraceContext | None = None,
     ) -> PipelinedResponse:
         """Synchronous convenience wrapper over :meth:`submit`."""
-        pending = self.submit(query)
+        pending = self.submit(query, trace=trace)
         try:
             return pending.future.result(timeout=timeout_seconds)
         except FutureTimeoutError:

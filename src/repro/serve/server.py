@@ -37,12 +37,17 @@ import asyncio
 import contextlib
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterator
 
 from repro.core.language import parse_query
 from repro.exceptions import ClusterError, LiveUpdateError, QueryError
 from repro.live.ops import op_from_record
+from repro.obs.events import global_events
+from repro.obs.export import JsonlTraceSink
+from repro.obs.prometheus import render_prometheus
+from repro.obs.trace import Tracer
 from repro.serve.admission import AdmissionController
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.protocol import decode_line, encode_line
@@ -58,6 +63,15 @@ class ServeConfig:
     :attr:`DisksServer.port` after :meth:`DisksServer.start`).
     ``max_radius`` guards queries against exceeding the deployment's
     built ``maxR`` — pass the manifest value when serving from files.
+
+    Tracing knobs: ``trace_sample_rate`` is the probability a query is
+    traced end-to-end (0.0 = off, the default — the hot path then only
+    carries ``None`` placeholders); sampled traces land in a bounded
+    in-memory store (``trace_capacity``) served by the ``trace`` wire
+    op, and optionally stream to a rotating JSONL file (``trace_log``).
+    Queries slower than ``slow_query_ms`` always enter the slow-query
+    ring — with full spans when sampled, as a coarse entry otherwise
+    (spans cannot be collected retroactively).
     """
 
     host: str = "127.0.0.1"
@@ -65,6 +79,10 @@ class ServeConfig:
     max_inflight: int = 16
     query_timeout_seconds: float = 30.0
     max_radius: float | None = None
+    trace_sample_rate: float = 0.0
+    slow_query_ms: float = 250.0
+    trace_log: str | None = None
+    trace_capacity: int = 256
 
 
 class DisksServer:
@@ -83,6 +101,14 @@ class DisksServer:
         self.config = config or ServeConfig()
         self.metrics = metrics or MetricsRegistry()
         self.admission = AdmissionController(self.config.max_inflight)
+        self.tracer = Tracer(
+            sample_rate=self.config.trace_sample_rate,
+            capacity=self.config.trace_capacity,
+        )
+        self._trace_sink = (
+            JsonlTraceSink(self.config.trace_log) if self.config.trace_log else None
+        )
+        self._slow_queries: deque[dict] = deque(maxlen=64)
         self._server: asyncio.AbstractServer | None = None
         self.host = self.config.host
         self.port: int | None = None
@@ -192,6 +218,20 @@ class DisksServer:
                 writer,
                 write_lock,
                 {"id": request_id, "ok": True, "epoch": self._current_epoch()},
+            )
+        elif op == "trace":
+            await self._respond(
+                writer, write_lock, self._trace_payload(request_id, request)
+            )
+        elif op == "metrics":
+            await self._respond(
+                writer,
+                write_lock,
+                {
+                    "id": request_id,
+                    "ok": True,
+                    "text": render_prometheus(self.metrics.exposition_state()),
+                },
             )
         elif op == "update":
             await self._handle_update(request_id, request, writer, write_lock)
@@ -372,8 +412,12 @@ class DisksServer:
                     },
                 )
                 return
+            trace = self.tracer.maybe_trace()
             try:
-                pending = self._cluster.submit(query)
+                if trace is not None:
+                    pending = self._cluster.submit(query, trace=trace)
+                else:
+                    pending = self._cluster.submit(query)
             except ClusterError as error:
                 self.metrics.increment("errors")
                 await self._respond(
@@ -413,26 +457,107 @@ class DisksServer:
             self.metrics.increment("completed")
             for machine_id, seconds in response.machine_seconds.items():
                 self.metrics.add_busy(machine_id, seconds)
-            await self._respond(
-                writer,
-                write_lock,
-                {
-                    "id": request_id,
-                    "ok": True,
-                    "nodes": sorted(response.result_nodes),
-                    "degraded": response.degraded or self._cluster.degraded,
-                    "timing": {
-                        "latency_ms": latency * 1000.0,
-                        "wall_ms": response.wall_seconds * 1000.0,
-                        "makespan_ms": max(response.machine_seconds.values(), default=0.0)
-                        * 1000.0,
-                        "message_bytes": response.message_bytes,
-                    },
+            slow = latency * 1000.0 >= self.config.slow_query_ms
+            if trace is not None:
+                self._finish_trace(trace, text, response, latency, slow)
+            elif slow:
+                # Unsampled slow query: spans cannot be collected after
+                # the fact, so the ring gets a coarse entry instead.
+                self.metrics.increment("slow_queries")
+                self._slow_queries.append(
+                    self._slow_entry(None, text, response, latency)
+                )
+            reply = {
+                "id": request_id,
+                "ok": True,
+                "nodes": sorted(response.result_nodes),
+                "degraded": response.degraded or self._cluster.degraded,
+                "timing": {
+                    "latency_ms": latency * 1000.0,
+                    "wall_ms": response.wall_seconds * 1000.0,
+                    "makespan_ms": max(response.machine_seconds.values(), default=0.0)
+                    * 1000.0,
+                    "message_bytes": response.message_bytes,
                 },
-            )
+            }
+            if trace is not None:
+                reply["trace_id"] = trace.trace_id
+            await self._respond(writer, write_lock, reply)
         finally:
             self.admission.release()
             self.metrics.observe_gauge("inflight", self.admission.depth)
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    _STAGE_HISTOGRAMS = {
+        "queue-wait": "stage_queue_seconds",
+        "eval": "stage_eval_seconds",
+        "union": "stage_union_seconds",
+        "serialize": "stage_serialize_seconds",
+    }
+
+    def _finish_trace(self, trace, text, response, latency, slow) -> None:
+        """Store a sampled query's spans; feed stage histograms and sinks."""
+        spans = getattr(response, "spans", ())
+        for span in spans:
+            histogram = self._STAGE_HISTOGRAMS.get(span.name)
+            if histogram is not None and span.end is not None:
+                self.metrics.observe(histogram, span.duration_seconds)
+        record = self.tracer.record(
+            trace.trace_id,
+            spans,
+            query=text,
+            latency_ms=latency * 1000.0,
+            slow=slow,
+            degraded=bool(response.degraded or self._cluster.degraded),
+        )
+        if slow:
+            self.metrics.increment("slow_queries")
+            self._slow_queries.append(
+                self._slow_entry(trace.trace_id, text, response, latency)
+            )
+        if self._trace_sink is not None:
+            self._trace_sink.write(record)
+
+    @staticmethod
+    def _slow_entry(trace_id, text, response, latency) -> dict:
+        return {
+            "trace_id": trace_id,
+            "query": text,
+            "latency_ms": latency * 1000.0,
+            "wall_ms": response.wall_seconds * 1000.0,
+            "degraded": bool(response.degraded),
+            "wall_time": time.time(),
+        }
+
+    def _trace_payload(self, request_id, request: dict) -> dict:
+        """The ``trace`` op: recent traces, slow ring, events, counters."""
+        trace_id = request.get("trace_id")
+        if isinstance(trace_id, str):
+            record = self.tracer.get(trace_id)
+            if record is None:
+                return {
+                    "id": request_id,
+                    "ok": False,
+                    "error": "unknown-trace",
+                    "detail": trace_id,
+                }
+            return {"id": request_id, "ok": True, "trace": record}
+        n = request.get("n", 8)
+        if not isinstance(n, int) or n < 0:
+            n = 8
+        return {
+            "id": request_id,
+            "ok": True,
+            "sampling": {
+                "rate": self.tracer.sample_rate,
+                **self.tracer.counts,
+            },
+            "traces": self.tracer.recent(n),
+            "slow": list(self._slow_queries)[-n:],
+            "events": global_events().tail(n),
+        }
 
     # ------------------------------------------------------------------
     # Stats
@@ -455,6 +580,11 @@ class DisksServer:
         cache_stats = getattr(self._cluster, "coverage_cache_stats", None)
         if callable(cache_stats):
             snapshot["coverage_cache"] = cache_stats()
+        snapshot["tracing"] = {
+            "rate": self.tracer.sample_rate,
+            **self.tracer.counts,
+            "slow_ring": len(self._slow_queries),
+        }
         epoch = self._current_epoch()
         if epoch is not None:
             live: dict = {"epoch": epoch}

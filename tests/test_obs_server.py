@@ -1,0 +1,281 @@
+"""Serve-layer observability: sampling, trace op, metrics op, slow ring."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core import NPDBuildConfig, build_all_indexes, build_fragments
+from repro.live import AddKeyword, EpochManager
+from repro.obs import global_events, parse_prometheus_text
+from repro.obs.export import write_chrome_trace
+from repro.partition import BfsPartitioner
+from repro.serve import (
+    LatencyHistogram,
+    MetricsRegistry,
+    PipelinedCluster,
+    ServeClient,
+    ServeConfig,
+    serve_in_thread,
+)
+
+from helpers import make_random_network
+
+NUM_FRAGMENTS = 4
+
+
+@pytest.fixture(scope="module")
+def built():
+    net = make_random_network(seed=777, num_junctions=24, num_objects=12, vocabulary=4)
+    partition = BfsPartitioner(seed=7).partition(net, NUM_FRAGMENTS)
+    fragments = build_fragments(net, partition)
+    indexes, _ = build_all_indexes(net, fragments, NPDBuildConfig(max_radius=math.inf))
+    return net, partition, fragments, indexes
+
+
+@pytest.fixture(scope="module")
+def cluster(built):
+    _net, _partition, fragments, indexes = built
+    with PipelinedCluster.start(fragments, indexes, num_machines=NUM_FRAGMENTS) as cluster:
+        yield cluster
+
+
+QUERY = "NEAR(w0, 3) AND NEAR(w1, 4)"
+
+
+class TestSampledServing:
+    def test_traced_query_round_trip(self, cluster, tmp_path):
+        log_path = tmp_path / "traces.jsonl"
+        config = ServeConfig(trace_sample_rate=1.0, trace_log=str(log_path))
+        with serve_in_thread(cluster, config) as server:
+            with ServeClient(server.host, server.port) as client:
+                reply = client.query(QUERY)
+                assert reply["ok"] is True
+                assert "trace_id" in reply
+
+                # the full trace is retrievable by id
+                single = client.trace(trace_id=reply["trace_id"])
+                spans = single["trace"]["spans"]
+                names = {span["name"] for span in spans}
+                assert names == {
+                    "query",
+                    "dispatch",
+                    "queue-wait",
+                    "task",
+                    "eval",
+                    "union",
+                    "serialize",
+                }
+                task_fragments = {
+                    span["fragment"] for span in spans if span["name"] == "task"
+                }
+                assert task_fragments == set(range(NUM_FRAGMENTS))
+
+                # recent listing carries it too, plus sampling counters
+                listing = client.trace()
+                assert listing["sampling"]["rate"] == 1.0
+                assert listing["sampling"]["sampled"] >= 1
+                assert any(
+                    t["trace_id"] == reply["trace_id"] for t in listing["traces"]
+                )
+        # every sampled trace also streamed to the JSONL sink
+        lines = log_path.read_text().splitlines()
+        assert len(lines) >= 1
+        assert json.loads(lines[0])["trace_id"]
+
+    def test_unknown_trace_id_is_an_error(self, cluster):
+        with serve_in_thread(cluster, ServeConfig(trace_sample_rate=1.0)) as server:
+            with ServeClient(server.host, server.port) as client:
+                reply = client.request({"op": "trace", "trace_id": "no-such-trace"})
+                assert reply["ok"] is False
+                assert reply["error"] == "unknown-trace"
+
+    def test_answers_identical_with_sampling_on_and_off(self, cluster):
+        with serve_in_thread(cluster, ServeConfig(trace_sample_rate=1.0)) as traced_server:
+            with ServeClient(traced_server.host, traced_server.port) as client:
+                traced_nodes = client.query(QUERY)["nodes"]
+        with serve_in_thread(cluster, ServeConfig()) as plain_server:
+            with ServeClient(plain_server.host, plain_server.port) as client:
+                plain_reply = client.query(QUERY)
+        assert plain_reply["nodes"] == traced_nodes
+        assert "trace_id" not in plain_reply
+
+    def test_stage_histograms_feed_the_metrics_op(self, cluster):
+        with serve_in_thread(cluster, ServeConfig(trace_sample_rate=1.0)) as server:
+            with ServeClient(server.host, server.port) as client:
+                for _ in range(3):
+                    assert client.query(QUERY)["ok"]
+                samples = parse_prometheus_text(client.metrics_text())
+        for stage in ("queue", "eval", "union", "serialize"):
+            metric = f"repro_stage_{stage}_seconds"
+            assert samples[(f"{metric}_count", ())] > 0
+            assert (metric, (("quantile", "0.95"),)) in samples
+        assert samples[("repro_completed_total", ())] == 3.0
+
+    def test_chrome_export_of_server_traces(self, cluster, tmp_path):
+        with serve_in_thread(cluster, ServeConfig(trace_sample_rate=1.0)) as server:
+            with ServeClient(server.host, server.port) as client:
+                assert client.query(QUERY)["ok"]
+                traces = client.trace()["traces"]
+        out = tmp_path / "chrome.json"
+        count = write_chrome_trace(str(out), traces)
+        assert count > 0
+        loaded = json.loads(out.read_text())
+        phases = {event["ph"] for event in loaded["traceEvents"]}
+        assert phases == {"X", "M"}
+
+
+class TestSlowQueryRing:
+    def test_sampled_slow_query_carries_its_trace_id(self, cluster):
+        config = ServeConfig(trace_sample_rate=1.0, slow_query_ms=0.0)
+        with serve_in_thread(cluster, config) as server:
+            with ServeClient(server.host, server.port) as client:
+                reply = client.query(QUERY)
+                slow = client.trace()["slow"]
+        assert slow
+        assert slow[-1]["trace_id"] == reply["trace_id"]
+        assert slow[-1]["query"] == QUERY
+
+    def test_unsampled_slow_query_gets_a_coarse_entry(self, cluster):
+        config = ServeConfig(trace_sample_rate=0.0, slow_query_ms=0.0)
+        with serve_in_thread(cluster, config) as server:
+            with ServeClient(server.host, server.port) as client:
+                assert client.query(QUERY)["ok"]
+                listing = client.trace()
+                stats = client.stats()
+        entry = listing["slow"][-1]
+        assert entry["trace_id"] is None
+        assert entry["query"] == QUERY
+        assert listing["traces"] == []  # nothing sampled
+        assert stats["counters"]["slow_queries"] == 1
+
+    def test_fast_queries_stay_out_of_the_ring(self, cluster):
+        config = ServeConfig(trace_sample_rate=1.0, slow_query_ms=60_000.0)
+        with serve_in_thread(cluster, config) as server:
+            with ServeClient(server.host, server.port) as client:
+                assert client.query(QUERY)["ok"]
+                listing = client.trace()
+        assert listing["slow"] == []
+        assert listing["traces"]  # sampled, just not slow
+
+
+class TestStatsAndSampling:
+    def test_stats_reports_tracing_counters(self, cluster):
+        with serve_in_thread(cluster, ServeConfig(trace_sample_rate=1.0)) as server:
+            with ServeClient(server.host, server.port) as client:
+                client.query(QUERY)
+                stats = client.stats()
+        tracing = stats["tracing"]
+        assert tracing["rate"] == 1.0
+        assert tracing["seen"] >= 1
+        assert tracing["sampled"] >= 1
+
+    def test_zero_rate_collects_nothing(self, cluster):
+        with serve_in_thread(cluster, ServeConfig()) as server:
+            with ServeClient(server.host, server.port) as client:
+                for _ in range(3):
+                    assert client.query(QUERY)["ok"]
+                listing = client.trace()
+                stats = client.stats()
+        assert listing["traces"] == []
+        assert listing["sampling"]["sampled"] == 0
+        assert stats["tracing"]["seen"] == 3
+
+
+class TestEpochSwapEvents:
+    def test_epoch_swaps_surface_in_the_trace_op(self, built):
+        net, partition, fragments, indexes = built
+        manager = EpochManager(
+            network=net,
+            partition=partition,
+            fragments=list(fragments),
+            indexes=[index.copy() for index in indexes],
+        )
+        with PipelinedCluster.start(
+            list(manager.state.fragments),
+            list(manager.state.indexes),
+            num_machines=NUM_FRAGMENTS,
+        ) as cluster:
+            manager.subscribe(
+                lambda state, delta: cluster.apply_updates(
+                    state.epoch, list(delta.values())
+                )
+            )
+            before = len(global_events().tail(64))
+            with serve_in_thread(cluster, updater=manager) as server:
+                with ServeClient(server.host, server.port) as client:
+                    node = next(net.object_nodes())
+                    reply = client.update([AddKeyword(node=node, keyword="w9")])
+                    assert reply["ok"], reply
+                    listing = client.trace(n=64)
+        swaps = [e for e in listing["events"] if e["kind"] == "epoch_swap"]
+        assert swaps
+        latest = swaps[-1]
+        assert latest["epoch"] == manager.epoch
+        assert latest["num_ops"] == 1
+        assert "apply_ms" in latest and "swap_ms" in latest
+        assert len(listing["events"]) >= before
+
+
+class TestHistogramSnapshotPath:
+    def test_percentiles_single_sort_matches_percentile(self):
+        histogram = LatencyHistogram()
+        for value in [0.5, 0.1, 0.9, 0.3, 0.7]:
+            histogram.observe(value)
+        p50, p95, p99 = histogram.percentiles((0.50, 0.95, 0.99))
+        assert p50 == histogram.percentile(0.50)
+        assert p95 == histogram.percentile(0.95)
+        assert p99 == histogram.percentile(0.99)
+        assert p50 <= p95 <= p99
+
+    def test_state_is_exposition_shaped(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.2)
+        histogram.observe(0.4)
+        state = histogram.state()
+        assert state["count"] == 2
+        assert state["sum"] == pytest.approx(0.6)
+        assert state["max"] == pytest.approx(0.4)
+        assert set(state["quantiles"]) == {"0.5", "0.95", "0.99"}
+
+    def test_registry_exposition_state_round_trips(self):
+        registry = MetricsRegistry()
+        registry.increment("completed", by=4)
+        registry.observe_gauge("inflight", 3.0)
+        registry.observe("latency_seconds", 0.05)
+        registry.add_busy(0, 1.25)
+        state = registry.exposition_state()
+        assert state["counters"]["completed"] == 4
+        assert state["gauges"]["inflight"]["peak"] == 3.0
+        assert state["histograms"]["latency_seconds"]["count"] == 1
+        assert state["busy_seconds"]["0"] == 1.25
+
+
+class TestCliWiring:
+    def test_trace_parser(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["trace", "--port", "7500", "-n", "4", "--chrome", "out.json"]
+        )
+        assert args.command == "trace"
+        assert args.port == 7500
+        assert args.n == 4
+        assert args.chrome == "out.json"
+        assert args.trace_id is None
+
+    def test_serve_trace_flags(self):
+        from repro.cli import build_parser
+
+        bare = build_parser().parse_args(["serve", "--dir", "d", "--trace"])
+        assert bare.trace == 0.01
+        explicit = build_parser().parse_args(
+            ["serve", "--dir", "d", "--trace", "0.5", "--slow-ms", "10", "--trace-log", "t.jsonl"]
+        )
+        assert explicit.trace == 0.5
+        assert explicit.slow_ms == 10.0
+        assert explicit.trace_log == "t.jsonl"
+        off = build_parser().parse_args(["serve", "--dir", "d"])
+        assert off.trace == 0.0

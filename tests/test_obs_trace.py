@@ -1,0 +1,288 @@
+"""Unit tests for the obs primitives: spans, tracer, events, exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Event,
+    EventLog,
+    JsonlTraceSink,
+    Span,
+    SpanCollector,
+    TraceContext,
+    Tracer,
+    assemble_tree,
+    chrome_trace_events,
+    format_trace,
+    new_span_id,
+    new_trace_id,
+    parse_prometheus_text,
+    render_prometheus,
+    write_chrome_trace,
+)
+
+
+class TestTraceContext:
+    def test_wire_round_trip(self):
+        context = TraceContext(trace_id=new_trace_id(), span_id=new_span_id())
+        assert TraceContext.from_wire(context.to_wire()) == context
+
+    def test_child_rebinds_parent(self):
+        root = TraceContext(trace_id="t")
+        child = root.child("abc")
+        assert child.trace_id == "t"
+        assert child.span_id == "abc"
+
+    def test_ids_are_unique_hex(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(i) == 32 for i in ids)
+        assert all(len(new_span_id()) == 16 for _ in range(4))
+
+
+class TestSpanCollector:
+    def test_start_and_finish(self):
+        collector = SpanCollector("t")
+        span = collector.start("query", machine_id=2, fragment_id=1, color="red")
+        assert span.end is None
+        assert span.duration_seconds == 0.0
+        span.finish()
+        assert span.end is not None
+        assert span.duration_seconds >= 0.0
+        # finish is idempotent
+        end = span.end
+        span.finish()
+        assert span.end == end
+
+    def test_span_context_manager_times_the_body(self):
+        collector = SpanCollector("t")
+        with collector.span("task") as span:
+            pass
+        assert span.end is not None
+        assert collector.spans == [span]
+
+    def test_record_closed_span_and_extend(self):
+        collector = SpanCollector("t")
+        collector.record("queue-wait", 1.0, 2.5, bytes=17)
+        other = SpanCollector("t")
+        other.extend(collector.spans)
+        assert other.spans[0].duration_seconds == pytest.approx(1.5)
+        assert other.spans[0].tags == {"bytes": 17}
+
+    def test_span_dict_round_trip(self):
+        span = Span(
+            trace_id="t",
+            span_id="s",
+            parent_id="p",
+            name="eval",
+            start=1.0,
+            end=2.0,
+            machine_id=3,
+            fragment_id=7,
+            tags={"cache": "hit"},
+        )
+        assert Span.from_dict(span.to_dict()) == span
+
+
+class TestTracer:
+    def test_rate_zero_never_samples(self):
+        tracer = Tracer(sample_rate=0.0)
+        assert all(tracer.maybe_trace() is None for _ in range(50))
+        assert tracer.counts == {"seen": 50, "sampled": 0, "stored": 0}
+
+    def test_rate_one_always_samples(self):
+        tracer = Tracer(sample_rate=1.0)
+        contexts = [tracer.maybe_trace() for _ in range(10)]
+        assert all(c is not None for c in contexts)
+        assert len({c.trace_id for c in contexts}) == 10
+        assert tracer.counts["sampled"] == 10
+
+    def test_seeded_sampling_is_deterministic(self):
+        a = Tracer(sample_rate=0.5, seed=7)
+        b = Tracer(sample_rate=0.5, seed=7)
+        pattern_a = [a.maybe_trace() is not None for _ in range(40)]
+        pattern_b = [b.maybe_trace() is not None for _ in range(40)]
+        assert pattern_a == pattern_b
+        assert any(pattern_a) and not all(pattern_a)
+
+    def test_storage_is_bounded_and_ordered(self):
+        tracer = Tracer(sample_rate=1.0, capacity=3)
+        for i in range(5):
+            tracer.record(f"t{i}", [], index=i)
+        recent = tracer.recent(10)
+        assert [r["trace_id"] for r in recent] == ["t2", "t3", "t4"]
+        assert tracer.get("t0") is None
+        assert tracer.get("t4")["index"] == 4
+
+    def test_span_truncation(self):
+        tracer = Tracer(sample_rate=1.0, max_spans_per_trace=2)
+        collector = SpanCollector("t")
+        for _ in range(5):
+            collector.start("eval").finish()
+        record = tracer.record("t", collector.spans)
+        assert len(record["spans"]) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestAssembleTree:
+    def _spans(self):
+        collector = SpanCollector("t")
+        root = collector.start("query", at=0.0)
+        d0 = collector.start("dispatch", parent_id=root.span_id, at=1.0)
+        collector.start("task", parent_id=d0.span_id, at=3.0).finish(at=4.0)
+        collector.start("queue-wait", parent_id=d0.span_id, at=2.0).finish(at=3.0)
+        d0.finish(at=5.0)
+        root.finish(at=6.0)
+        return collector.spans
+
+    def test_nesting_and_child_order(self):
+        roots = assemble_tree(self._spans())
+        assert len(roots) == 1
+        (dispatch,) = roots[0]["children"]
+        assert [c["name"] for c in dispatch["children"]] == ["queue-wait", "task"]
+
+    def test_orphans_surface_as_roots(self):
+        spans = self._spans()
+        orphan = Span(
+            trace_id="t",
+            span_id="x",
+            parent_id="missing-parent",
+            name="eval",
+            start=0.5,
+            end=0.6,
+        )
+        roots = assemble_tree(spans + [orphan])
+        assert {r["name"] for r in roots} == {"query", "eval"}
+
+    def test_format_trace_mentions_every_stage(self):
+        text = format_trace(self._spans())
+        for name in ("query", "dispatch", "queue-wait", "task"):
+            assert name in text
+        assert "ms" in text
+
+
+class TestEventLog:
+    def test_bounded_ring_keeps_newest(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.emit("tick", index=i)
+        tail = log.tail()
+        assert [e["index"] for e in tail] == [2, 3, 4]
+        assert log.total == 5
+        log.clear()
+        assert log.tail() == []
+        assert log.total == 5
+
+    def test_event_dict_flattens_fields(self):
+        event = Event(kind="epoch_swap", wall_time=1.0, monotonic=2.0, fields={"epoch": 3})
+        record = event.to_dict()
+        assert record["kind"] == "epoch_swap"
+        assert record["epoch"] == 3
+
+
+class TestJsonlTraceSink:
+    def test_appends_json_lines(self, tmp_path):
+        sink = JsonlTraceSink(str(tmp_path / "traces.jsonl"))
+        sink.write({"trace_id": "a", "spans": []})
+        sink.write({"trace_id": "b", "spans": []})
+        lines = (tmp_path / "traces.jsonl").read_text().splitlines()
+        assert [json.loads(line)["trace_id"] for line in lines] == ["a", "b"]
+        assert sink.written == 2
+
+    def test_rotation_keeps_bounded_backups(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        sink = JsonlTraceSink(str(path), max_bytes=80, backups=2)
+        for i in range(20):
+            sink.write({"trace_id": f"trace-{i:04d}", "spans": []})
+        assert path.exists()
+        assert (tmp_path / "traces.jsonl.1").exists()
+        assert (tmp_path / "traces.jsonl.2").exists()
+        assert not (tmp_path / "traces.jsonl.3").exists()
+        # the live file holds the newest record
+        last = json.loads(path.read_text().splitlines()[-1])
+        assert last["trace_id"] == "trace-0019"
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlTraceSink(str(tmp_path / "x"), max_bytes=0)
+        with pytest.raises(ValueError):
+            JsonlTraceSink(str(tmp_path / "x"), backups=-1)
+
+
+class TestChromeExport:
+    def _spans(self):
+        collector = SpanCollector("t")
+        root = collector.start("query", at=10.0)
+        task = collector.start("task", parent_id=root.span_id, at=10.1, machine_id=1, fragment_id=2)
+        task.finish(at=10.3)
+        root.finish(at=10.5)
+        return collector.spans
+
+    def test_events_are_rebased_and_mapped(self):
+        payload = chrome_trace_events(self._spans())
+        events = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert min(e["ts"] for e in events) == 0.0
+        query = next(e for e in events if e["name"] == "query")
+        task = next(e for e in events if e["name"] == "task")
+        assert query["pid"] == 0  # coordinator
+        assert task["pid"] == 2  # machine 1
+        assert task["tid"] == 3  # fragment 2
+        assert task["dur"] == pytest.approx(0.2e6)
+        metadata = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in metadata}
+        assert names == {"coordinator", "machine 1"}
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        spans = [span.to_dict() for span in self._spans()]
+        count = write_chrome_trace(str(path), [{"trace_id": "t", "spans": spans}])
+        assert count == len(spans)
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert len([e for e in loaded["traceEvents"] if e["ph"] == "X"]) == count
+
+
+class TestPrometheus:
+    def _state(self):
+        return {
+            "counters": {"completed": 12, "shed": 1},
+            "gauges": {"inflight": {"current": 2.0, "peak": 5.0}},
+            "histograms": {
+                "latency_seconds": {
+                    "count": 12,
+                    "sum": 0.6,
+                    "max": 0.2,
+                    "quantiles": {"0.5": 0.04, "0.95": 0.15, "0.99": 0.19},
+                }
+            },
+            "busy_seconds": {"0": 1.5, "1": 2.5},
+        }
+
+    def test_render_and_parse_round_trip(self):
+        text = render_prometheus(self._state())
+        samples = parse_prometheus_text(text)
+        assert samples[("repro_completed_total", ())] == 12.0
+        assert samples[("repro_inflight", ())] == 2.0
+        assert samples[("repro_inflight_peak", ())] == 5.0
+        assert samples[("repro_latency_seconds", (("quantile", "0.95"),))] == 0.15
+        assert samples[("repro_latency_seconds_count", ())] == 12.0
+        assert samples[("repro_latency_seconds_max", ())] == 0.2
+        assert samples[("repro_machine_busy_seconds_total", (("machine", "1"),))] == 2.5
+
+    def test_type_lines_present(self):
+        text = render_prometheus(self._state())
+        assert "# TYPE repro_completed_total counter" in text
+        assert "# TYPE repro_latency_seconds summary" in text
+        assert "# TYPE repro_inflight gauge" in text
+
+    def test_parser_skips_malformed_lines(self):
+        samples = parse_prometheus_text("# comment\ngarbage{\nvalid_metric 1.0\n")
+        assert samples == {("valid_metric", ()): 1.0}
