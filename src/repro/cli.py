@@ -13,7 +13,12 @@ Commands
               (epoch-versioned, write-ahead logged).
 ``loadgen`` — drive a running server closed-loop and print throughput,
               tail latency and the server's own metrics (including a
-              per-stage latency table when tracing is sampling).
+              per-stage latency table when tracing is sampling);
+              ``--subs``/``--update-ops`` mix standing subscriptions
+              and live updates into the run.
+``subscriptions`` — register synthetic standing queries on a running
+              ``serve --live --sub`` server and stream its pushed
+              ``notify``/``resync`` frames.
 ``trace``   — fetch a running server's sampled traces, slow-query ring
               and epoch-swap events; render span trees, or export them
               as a Chrome trace-event file for Perfetto.
@@ -110,6 +115,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="accept live update batches (op 'update'), epoch-versioned",
     )
     serve.add_argument(
+        "--sub", action="store_true",
+        help="accept standing queries (ops 'subscribe'/'unsubscribe', pushed "
+        "'notify' frames); requires --live",
+    )
+    serve.add_argument(
         "--log", default=None,
         help="write-ahead log for --live updates (default: DIR/updates.jsonl)",
     )
@@ -144,6 +154,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--rkq-fraction", type=float, default=0.25, dest="rkq_fraction"
     )
     loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--subs", type=int, default=0,
+        help="register this many standing subscriptions before the run "
+        "(requires a server started with --sub)",
+    )
+    loadgen.add_argument(
+        "--update-ops", type=int, default=0, dest="update_ops",
+        help="mix this many live-update ops into the run (requires --live)",
+    )
+    loadgen.add_argument(
+        "--update-batch", type=int, default=10, dest="update_batch",
+        help="ops per update batch for --update-ops",
+    )
+
+    subscriptions = sub.add_parser(
+        "subscriptions",
+        help="register standing queries on a running server and watch notifications",
+    )
+    subscriptions.add_argument("--host", default="127.0.0.1")
+    subscriptions.add_argument("--port", type=int, default=7474)
+    subscriptions.add_argument(
+        "--dataset", default="aus_tiny", choices=sorted(DATASET_PRESETS),
+        help="preset used to synthesise the subscriptions (match the server's build)",
+    )
+    subscriptions.add_argument("--count", type=int, default=8)
+    subscriptions.add_argument("--keywords", type=int, default=2)
+    subscriptions.add_argument(
+        "--radius-fraction", type=float, default=0.5, dest="radius_fraction",
+        help="subscription radius as a fraction of the server's maxR",
+    )
+    subscriptions.add_argument(
+        "--rkq-fraction", type=float, default=0.5, dest="rkq_fraction"
+    )
+    subscriptions.add_argument(
+        "--scored-fraction", type=float, default=0.0, dest="scored_fraction",
+        help="fraction of subscriptions that also get 'rescored' notifications",
+    )
+    subscriptions.add_argument("--seed", type=int, default=0)
+    subscriptions.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="stop after this many seconds (default: until interrupted)",
+    )
 
     trace = sub.add_parser(
         "trace", help="fetch and render a running server's sampled traces"
@@ -304,8 +356,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import DisksServer, PipelinedCluster, ServeConfig
 
     manifest, fragments, indexes = _load_built(Path(args.dir))
+    if args.sub and not args.live:
+        print("error: --sub requires --live (subscriptions follow epoch swaps)",
+              file=sys.stderr)
+        return 2
     cluster = PipelinedCluster.start(fragments, indexes, num_machines=args.machines)
     updater = None
+    sub_engine = None
     if args.live:
         from repro.live import EpochManager, UpdateLog
 
@@ -321,6 +378,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         updater.subscribe(
             lambda state, delta: cluster.apply_updates(state.epoch, list(delta.values()))
         )
+        if args.sub:
+            from repro.sub import SubscriptionEngine
+
+            sub_engine = SubscriptionEngine(updater)
     server = DisksServer(
         cluster,
         config=ServeConfig(
@@ -334,6 +395,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             trace_log=args.trace_log,
         ),
         updater=updater,
+        sub_engine=sub_engine,
     )
 
     async def _run() -> None:
@@ -354,6 +416,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 '"node": 7, "keyword": "cafe"}, ...]} — current epoch via '
                 '{"op": "epoch"}'
             )
+        if sub_engine is not None:
+            print(
+                'standing queries: {"op": "subscribe", "q": "NEAR(cafe, 5)"} '
+                "— result diffs are pushed as {\"push\": \"notify\", ...} frames "
+                f"(try `python -m repro subscriptions --port {server.port}`)"
+            )
         if args.trace > 0.0:
             print(
                 f"tracing: sampling {args.trace:.1%} of queries "
@@ -372,6 +440,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import threading
+
     from repro.serve import ServeClient, generate_expressions, run_loadgen
 
     with ServeClient(args.host, args.port) as probe:
@@ -382,6 +452,72 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         return 2
 
     dataset = load_dataset(args.dataset)
+
+    # Standing subscriptions ride a dedicated connection; their pushed
+    # notifications are drained and summarised after the run.
+    sub_client = None
+    sub_ids: list[str] = []
+    if args.subs > 0:
+        from repro.workloads import SubGenConfig, SubscriptionGenerator
+
+        specs = SubscriptionGenerator(
+            dataset.network,
+            SubGenConfig(
+                seed=args.seed,
+                num_keywords=args.keywords,
+                radius=max_radius * args.radius_fraction,
+                rkq_fraction=args.rkq_fraction,
+            ),
+        ).specs(args.subs)
+        sub_client = ServeClient(args.host, args.port)
+        for i, spec in enumerate(specs):
+            reply = sub_client.request(spec.to_request(request_id=f"sub{i}"))
+            if not reply.get("ok"):
+                print(
+                    f"error: subscribe failed ({reply.get('error')}): "
+                    f"{reply.get('detail', '')}",
+                    file=sys.stderr,
+                )
+                sub_client.close()
+                return 1
+            sub_ids.append(reply["sub"])
+        print(f"registered {len(sub_ids)} standing subscriptions")
+
+    # Live updates stream from their own connection, concurrently with
+    # the query load.
+    update_thread = None
+    update_outcome: dict = {"applied": 0, "failed": 0}
+    if args.update_ops > 0:
+        from repro.workloads import UpdateGenConfig, UpdateStreamGenerator
+
+        generator = UpdateStreamGenerator(
+            dataset.network, UpdateGenConfig(seed=args.seed)
+        )
+        batches = []
+        remaining = args.update_ops
+        while remaining > 0:
+            size = min(args.update_batch, remaining)
+            batches.append(generator.ops(size))
+            remaining -= size
+
+        def _apply_updates() -> None:
+            try:
+                with ServeClient(args.host, args.port) as update_client:
+                    for i, batch in enumerate(batches):
+                        reply = update_client.update(batch, request_id=f"u{i}")
+                        if reply.get("ok"):
+                            update_outcome["applied"] += 1
+                        else:
+                            update_outcome["failed"] += 1
+                            update_outcome.setdefault("error", reply.get("error"))
+            except DisksError as error:
+                update_outcome["failed"] += len(batches) - (
+                    update_outcome["applied"] + update_outcome["failed"]
+                )
+                update_outcome.setdefault("error", str(error))
+
+        update_thread = threading.Thread(target=_apply_updates, name="loadgen-updates")
+
     expressions = generate_expressions(
         dataset.network,
         count=args.queries,
@@ -394,12 +530,39 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         f"replaying {len(expressions)} queries against {args.host}:{args.port} "
         f"from {args.clients} closed-loop clients ..."
     )
+    if update_thread is not None:
+        update_thread.start()
     report = run_loadgen(args.host, args.port, expressions, num_clients=args.clients)
+    if update_thread is not None:
+        update_thread.join()
+        line = (
+            f"updates: {update_outcome['applied']} batches applied, "
+            f"{update_outcome['failed']} failed"
+        )
+        if update_outcome.get("error"):
+            line += f" (first error: {update_outcome['error']})"
+        print(line)
     print(
         f"done in {report.wall_seconds:.2f}s: {report.ok} ok, {report.shed} shed, "
         f"{report.errors} errors — {report.throughput_qps:.0f} q/s, "
         f"p50 {report.p50_ms:.1f}ms, p95 {report.p95_ms:.1f}ms, p99 {report.p99_ms:.1f}ms"
     )
+    if sub_client is not None:
+        notify = resync = added = removed = rescored = 0
+        for frame in sub_client.notifications(timeout_seconds=0.5):
+            if frame.get("push") == "notify":
+                notify += 1
+                added += len(frame.get("added", ()))
+                removed += len(frame.get("removed", ()))
+                rescored += len(frame.get("rescored", ()))
+            elif frame.get("push") == "resync":
+                resync += 1
+        print(
+            f"subscriptions: {notify} notify frames "
+            f"(+{added} −{removed} ~{rescored}), {resync} resyncs "
+            f"across {len(sub_ids)} standing queries"
+        )
+        sub_client.close()
     with ServeClient(args.host, args.port) as client:
         stats = client.stats()
     histogram = stats["histograms"].get("latency_seconds", {})
@@ -415,6 +578,74 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         shares = ", ".join(f"m{m}={s / total:.0%}" for m, s in sorted(busy.items()))
         print(f"worker busy-time shares: {shares}")
     _print_stage_table(args.host, args.port)
+    return 0
+
+
+def _cmd_subscriptions(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.serve import ServeClient
+    from repro.workloads import SubGenConfig, SubscriptionGenerator
+
+    with ServeClient(args.host, args.port) as probe:
+        info = probe.info()
+    max_radius = info.get("max_radius")
+    if max_radius is None:
+        print("error: the server reports no maxR; cannot scale radii", file=sys.stderr)
+        return 2
+
+    dataset = load_dataset(args.dataset)
+    specs = SubscriptionGenerator(
+        dataset.network,
+        SubGenConfig(
+            seed=args.seed,
+            num_keywords=args.keywords,
+            radius=max_radius * args.radius_fraction,
+            rkq_fraction=args.rkq_fraction,
+            scored_fraction=args.scored_fraction,
+        ),
+    ).specs(args.count)
+
+    with ServeClient(args.host, args.port) as client:
+        for i, spec in enumerate(specs):
+            reply = client.request(spec.to_request(request_id=f"sub{i}"))
+            if not reply.get("ok"):
+                print(
+                    f"error: subscribe failed ({reply.get('error')}): "
+                    f"{reply.get('detail', '')}",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"registered {reply['sub']} [{spec.kind}"
+                + (", scored" if spec.scored else "")
+                + f"] q={spec.expression!r} — {len(reply['nodes'])} initial results"
+            )
+        print("watching for notifications (Ctrl-C to stop) ...")
+        deadline = None if args.watch is None else time.time() + args.watch
+        try:
+            while deadline is None or time.time() < deadline:
+                for frame in client.notifications(timeout_seconds=0.5):
+                    if frame.get("push") == "notify":
+                        parts = []
+                        if frame.get("added"):
+                            parts.append("+" + ",".join(map(str, frame["added"])))
+                        if frame.get("removed"):
+                            parts.append("−" + ",".join(map(str, frame["removed"])))
+                        if frame.get("rescored"):
+                            parts.append("~" + ",".join(map(str, frame["rescored"])))
+                        print(
+                            f"{frame['sub']} @epoch {frame['epoch']}: "
+                            + (" ".join(parts) or "(empty)")
+                        )
+                    elif frame.get("push") == "resync":
+                        print(
+                            f"{frame['sub']} @epoch {frame['epoch']}: RESYNC "
+                            f"({frame.get('dropped', 0)} notices dropped) — "
+                            f"{len(frame.get('nodes', ()))} results"
+                        )
+        except KeyboardInterrupt:
+            print("\nstopping")
     return 0
 
 
@@ -616,6 +847,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "subscriptions": _cmd_subscriptions,
     "trace": _cmd_trace,
     "updates": _cmd_updates,
     "demo": _cmd_demo,

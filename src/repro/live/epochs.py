@@ -47,6 +47,13 @@ __all__ = ["EpochState", "EpochSwap", "EpochManager"]
 # fragment id to its new (fragment, index) pair.
 EpochSubscriber = Callable[["EpochState", dict[int, tuple[Fragment, NPDIndex]]], None]
 
+# Swap subscribers additionally receive the full EpochSwap report —
+# changed keywords and the topology flag drive subscription routing
+# (repro.sub) without re-parsing the op batch.
+SwapSubscriber = Callable[
+    ["EpochState", dict[int, tuple[Fragment, NPDIndex]], "EpochSwap"], None
+]
+
 
 @dataclass(frozen=True)
 class EpochState:
@@ -74,7 +81,14 @@ class EpochState:
 
 @dataclass(frozen=True)
 class EpochSwap:
-    """Report of one published epoch transition."""
+    """Report of one published epoch transition.
+
+    ``changed_keywords`` are the keywords touched by keyword ops in the
+    batch and ``topology_changed`` is whether any edge-weight op ran —
+    together with ``changed_fragments`` they are exactly what the
+    standing-query router (:mod:`repro.sub.registry`) needs to map a
+    swap to the affected subscription set.
+    """
 
     epoch: int
     num_ops: int
@@ -82,6 +96,8 @@ class EpochSwap:
     changed_fragments: tuple[int, ...]
     apply_seconds: float
     swap_seconds: float
+    changed_keywords: tuple[str, ...] = ()
+    topology_changed: bool = False
 
     def to_dict(self) -> dict[str, object]:
         """JSON-friendly form for metrics and the serve layer."""
@@ -92,6 +108,8 @@ class EpochSwap:
             "changed_fragments": list(self.changed_fragments),
             "apply_seconds": self.apply_seconds,
             "swap_seconds": self.swap_seconds,
+            "changed_keywords": list(self.changed_keywords),
+            "topology_changed": self.topology_changed,
         }
 
 
@@ -114,6 +132,9 @@ class EpochManager:
     _state: EpochState = field(init=False, repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, init=False, repr=False)
     _subscribers: list[EpochSubscriber] = field(default_factory=list, init=False, repr=False)
+    _swap_subscribers: list[SwapSubscriber] = field(
+        default_factory=list, init=False, repr=False
+    )
     _history: list[EpochSwap] = field(default_factory=list, init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -146,8 +167,51 @@ class EpochManager:
         return tuple(self._history)
 
     def subscribe(self, subscriber: EpochSubscriber) -> None:
-        """Call ``subscriber(state, delta)`` after every published swap."""
+        """Call ``subscriber(state, delta)`` after every published swap.
+
+        Subscriber exceptions are *non-fatal*: the swap is already
+        published when subscribers run, so a broken subscriber must not
+        wedge epoch progression for the whole cluster — failures are
+        recorded as ``subscriber_error`` obs events instead.
+        """
         self._subscribers.append(subscriber)
+
+    def subscribe_swaps(self, subscriber: SwapSubscriber) -> None:
+        """Call ``subscriber(state, delta, swap)`` after every swap.
+
+        The richer channel used by the standing-query engine
+        (:class:`repro.sub.engine.SubscriptionEngine`): the
+        :class:`EpochSwap` carries the changed keywords and the
+        topology flag that drive subscription routing.  Same non-fatal
+        error policy as :meth:`subscribe`.
+        """
+        self._swap_subscribers.append(subscriber)
+
+    def unsubscribe(self, subscriber) -> bool:
+        """Remove a subscriber registered with either subscribe method.
+
+        Returns whether anything was removed (idempotent otherwise).
+        """
+        removed = False
+        for listing in (self._subscribers, self._swap_subscribers):
+            try:
+                listing.remove(subscriber)
+                removed = True
+            except ValueError:
+                pass
+        return removed
+
+    def _notify(self, subscriber, *args) -> None:
+        """Run one subscriber; failures become obs events, not errors."""
+        try:
+            subscriber(*args)
+        except Exception as exc:
+            emit_event(
+                "subscriber_error",
+                epoch=args[0].epoch,
+                subscriber=getattr(subscriber, "__qualname__", repr(subscriber)),
+                error=f"{type(exc).__name__}: {exc}",
+            )
 
     # ------------------------------------------------------------------
     # Write side
@@ -196,16 +260,23 @@ class EpochManager:
             )
             self._state = new_state  # the atomic swap: readers now see N+1
             delta = new_state.delta_from(sorted(changed))
-            for subscriber in self._subscribers:
-                subscriber(new_state, delta)
+            for subscriber in list(self._subscribers):
+                self._notify(subscriber, new_state, delta)
             swap_seconds = time.perf_counter() - swap_started
 
             if self.log is not None:
                 self.log.commit(new_state.epoch, len(ops))
 
             ops_by_kind: dict[str, int] = {}
+            keywords: set[str] = set()
+            topology = False
             for op in ops:
                 ops_by_kind[op.kind] = ops_by_kind.get(op.kind, 0) + 1
+                keyword = getattr(op, "keyword", None)
+                if keyword is not None:
+                    keywords.add(keyword)
+                else:
+                    topology = True
             swap = EpochSwap(
                 epoch=new_state.epoch,
                 num_ops=len(ops),
@@ -213,6 +284,8 @@ class EpochManager:
                 changed_fragments=tuple(sorted(changed)),
                 apply_seconds=apply_seconds,
                 swap_seconds=swap_seconds,
+                changed_keywords=tuple(sorted(keywords)),
+                topology_changed=topology,
             )
             self._history.append(swap)
             # Structured obs event so `repro trace` can interleave epoch
@@ -225,6 +298,10 @@ class EpochManager:
                 apply_ms=swap.apply_seconds * 1000.0,
                 swap_ms=swap.swap_seconds * 1000.0,
             )
+            # Swap subscribers (the standing-query engine) run last so
+            # their re-evaluation work is excluded from swap_seconds.
+            for subscriber in list(self._swap_subscribers):
+                self._notify(subscriber, new_state, delta, swap)
             return swap
 
     # ------------------------------------------------------------------

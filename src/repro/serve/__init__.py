@@ -15,6 +15,12 @@ shape the paper's throughput story (§1, §5) actually implies:
 * :mod:`repro.serve.protocol` — the wire format and the
   query-object→query-language renderer.
 
+Standing queries: pass a :class:`~repro.sub.engine.SubscriptionEngine`
+as ``sub_engine`` (server constructor or :func:`serve_in_thread`) and
+the frontend additionally speaks ``subscribe``/``unsubscribe``, pushing
+``notify``/``resync`` frames to subscribing connections as live updates
+change their results (see :mod:`repro.sub`).
+
 Quick start::
 
     from repro.serve import PipelinedCluster, ServeConfig, serve_in_thread, ServeClient

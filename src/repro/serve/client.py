@@ -22,7 +22,9 @@ import random
 import socket
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.exceptions import ClusterError, DisksError
 from repro.graph.road_network import RoadNetwork
@@ -33,7 +35,17 @@ __all__ = ["ServeClient", "LoadgenReport", "generate_expressions", "run_loadgen"
 
 
 class ServeClient:
-    """A synchronous NDJSON client for :class:`~repro.serve.DisksServer`."""
+    """A synchronous NDJSON client for :class:`~repro.serve.DisksServer`.
+
+    One connection carries both request/response traffic and — once
+    :meth:`subscribe` has registered a standing query — server-pushed
+    ``notify`` / ``resync`` frames.  The client demultiplexes on the
+    ``push`` key: :meth:`read_reply` skips pushed frames (parking them
+    for :meth:`notifications`), and :meth:`notifications` parks replies
+    it encounters for the next :meth:`read_reply`.  The transport is an
+    explicit receive buffer, so a timed-out wait in
+    :meth:`notifications` never corrupts a partially received line.
+    """
 
     def __init__(
         self, host: str = "127.0.0.1", port: int = 7474, *, timeout_seconds: float = 30.0
@@ -42,20 +54,58 @@ class ServeClient:
             self._sock = socket.create_connection((host, port), timeout=timeout_seconds)
         except OSError as error:
             raise ClusterError(f"cannot reach server at {host}:{port}: {error}") from None
-        self._file = self._sock.makefile("rwb")
+        self._timeout = timeout_seconds
+        self._buffer = bytearray()
+        self._pushes: deque[dict] = deque()
+        self._replies: deque[dict] = deque()
 
     # Transport ---------------------------------------------------------
     def send(self, payload: dict) -> None:
         """Write one request line without waiting for the reply."""
-        self._file.write(encode_line(payload))
-        self._file.flush()
+        self._sock.sendall(encode_line(payload))
+
+    def _read_frame(self, timeout_seconds: float | None = None) -> dict:
+        """The next decoded frame, waiting at most ``timeout_seconds``.
+
+        ``None`` waits with the connection's default timeout.  On a
+        timed-out wait the partial line stays in the buffer and
+        ``TimeoutError`` propagates — the stream remains consistent.
+        """
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[: newline + 1])
+                del self._buffer[: newline + 1]
+                if line.strip():
+                    return decode_line(line)
+                continue
+            if timeout_seconds is not None:
+                self._sock.settimeout(timeout_seconds)
+            try:
+                chunk = self._sock.recv(65536)
+            except (TimeoutError, BlockingIOError):
+                raise TimeoutError("no frame within the wait window") from None
+            finally:
+                if timeout_seconds is not None:
+                    self._sock.settimeout(self._timeout)
+            if not chunk:
+                raise ClusterError("the server closed the connection")
+            self._buffer.extend(chunk)
 
     def read_reply(self) -> dict:
-        """Read the next reply line (not necessarily for the last send)."""
-        line = self._file.readline()
-        if not line:
-            raise ClusterError("the server closed the connection")
-        return decode_line(line)
+        """Read the next reply line (not necessarily for the last send).
+
+        Pushed ``notify``/``resync`` frames encountered on the way are
+        parked for :meth:`notifications`.
+        """
+        if self._replies:
+            return self._replies.popleft()
+        while True:
+            frame = self._read_frame()
+            if "push" in frame:
+                self._pushes.append(frame)
+                continue
+            return frame
 
     def request(self, payload: dict) -> dict:
         """One synchronous round trip."""
@@ -121,12 +171,56 @@ class ServeClient:
         ]
         return self.request({"id": request_id, "op": "update", "ops": records})
 
+    # Standing queries --------------------------------------------------
+    def subscribe(
+        self, expression: str, request_id=None, *, sub_id: str | None = None,
+        scored: bool = False,
+    ) -> dict:
+        """Register a standing query on this connection.
+
+        The reply carries the subscription id under ``"sub"`` and the
+        full initial result under ``"nodes"``; subsequent changes
+        arrive as pushed frames via :meth:`notifications`.
+        """
+        payload: dict = {"id": request_id, "op": "subscribe", "q": expression}
+        if sub_id is not None:
+            payload["sub"] = sub_id
+        if scored:
+            payload["scored"] = True
+        return self.request(payload)
+
+    def unsubscribe(self, sub_id: str, request_id=None) -> dict:
+        """Drop a standing query registered on this connection."""
+        return self.request({"id": request_id, "op": "unsubscribe", "sub": sub_id})
+
+    def notifications(self, *, timeout_seconds: float = 0.0) -> Iterator[dict]:
+        """Yield pushed frames until a wait for the next one expires.
+
+        Each frame is a dict with ``frame["push"]`` either ``"notify"``
+        (incremental ``added``/``removed``/``rescored`` lists) or
+        ``"resync"`` (the full ``nodes`` list after queue shedding —
+        discard deltas for epochs ≤ its epoch).  ``timeout_seconds`` is
+        the per-frame wait: the default ``0.0`` drains only what has
+        already arrived.  Reply frames encountered while waiting are
+        parked for :meth:`read_reply`, so notifications can be consumed
+        mid-conversation on a connection that also issues requests.
+        """
+        while True:
+            if self._pushes:
+                yield self._pushes.popleft()
+                continue
+            try:
+                frame = self._read_frame(timeout_seconds)
+            except TimeoutError:
+                return
+            if "push" in frame:
+                yield frame
+            else:
+                self._replies.append(frame)
+
     def close(self) -> None:
         """Close the connection."""
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._sock.close()
 
     def __enter__(self) -> "ServeClient":
         return self

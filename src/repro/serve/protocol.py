@@ -14,11 +14,29 @@ updates ride the same connection: ``{"op": "update", "ops": [<op
 record>, ...]}`` applies one batch through the server's
 :class:`~repro.live.epochs.EpochManager` (op records are the
 ``to_record`` form of :mod:`repro.live.ops`) and replies with the
-published :class:`~repro.live.epochs.EpochSwap` summary.  Error replies
-are ``{"ok": false, "error": <kind>}`` with kinds ``overloaded``
-(shed), ``parse``, ``radius``, ``timeout``, ``cluster``, ``bad-json``,
-``bad-request``, ``unknown-op``, ``no-live`` (the server was started
-without an updater), ``bad-update`` (a malformed or invalid op batch).
+published :class:`~repro.live.epochs.EpochSwap` summary.
+
+Standing queries (:mod:`repro.sub`) also ride the same connection:
+``{"op": "subscribe", "q": <expression>, "scored": <bool>?, "sub":
+<id>?}`` registers a long-lived query and replies with its id and full
+initial result (``{"ok": true, "sub": "s1", "epoch": 0, "nodes":
+[...]}``); ``{"op": "unsubscribe", "sub": "s1"}`` drops it.  Result
+changes arrive as *pushed* frames — no ``id``, identified by a
+``push`` key — interleaved with replies on the subscribing connection:
+``{"push": "notify", "sub": "s1", "epoch": 3, "added": [...],
+"removed": [...], "rescored": [...]}`` carries one epoch's diff, and
+``{"push": "resync", "sub": "s1", "epoch": 5, "nodes": [...],
+"dropped": 2}`` replaces the subscription's state wholesale after the
+server shed notifications to a slow consumer (clients must discard
+deltas for epochs ≤ the resync epoch).  Subscriptions die with the
+connection.
+
+Error replies are ``{"ok": false, "error": <kind>}`` with kinds
+``overloaded`` (shed), ``parse``, ``radius``, ``timeout``, ``cluster``,
+``bad-json``, ``bad-request``, ``unknown-op``, ``no-live`` (the server
+was started without an updater), ``bad-update`` (a malformed or invalid
+op batch), ``no-sub`` (the server was started without standing-query
+support), ``bad-subscribe`` (a malformed or duplicate subscription).
 
 This module also renders :class:`QClassQuery` objects back into the
 query language of :mod:`repro.core.language`, which is how the load

@@ -29,6 +29,18 @@ event loop — and the ``epoch`` admin op.  Update observability:
 ``epoch`` gauge, ``updates`` / ``update_ops`` counters,
 ``apply_seconds`` / ``swap_seconds`` / ``staleness_seconds`` histograms
 (staleness = batch arrival to epoch publication).
+
+Standing queries: constructed with a ``sub_engine`` (a
+:class:`~repro.sub.engine.SubscriptionEngine` attached to the same
+updater), the server additionally accepts ``subscribe`` /
+``unsubscribe`` and pushes ``notify`` frames over the subscribing
+connection as epochs change its results.  Each connection owns one
+bounded notification queue (``sub_queue_limit``); when a slow consumer
+fills it, further notices for that subscription are *dropped* and a
+single ``resync`` frame — carrying the full current result — is
+delivered once the queue drains, so a stalled reader costs bounded
+memory rather than unbounded buffering.  Subscriptions die with their
+connection.
 """
 
 from __future__ import annotations
@@ -42,7 +54,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.core.language import parse_query
-from repro.exceptions import ClusterError, LiveUpdateError, QueryError
+from repro.exceptions import ClusterError, DisksError, LiveUpdateError, QueryError
 from repro.live.ops import op_from_record
 from repro.obs.events import global_events
 from repro.obs.export import JsonlTraceSink
@@ -53,6 +65,91 @@ from repro.serve.metrics import MetricsRegistry
 from repro.serve.protocol import decode_line, encode_line
 
 __all__ = ["ServeConfig", "DisksServer", "serve_in_thread"]
+
+
+class _SubChannel:
+    """One connection's notification path: bounded queue, shed to resync.
+
+    Notices arrive on the *updater's* thread (the engine's sinks run
+    inside the epoch-swap callback); frames leave on the server's event
+    loop.  The handoff is a plain deque under a threading lock plus a
+    ``call_soon_threadsafe`` kick that spawns one drain task at a time.
+    When the queue is full the notice is dropped and the subscription
+    marked for resync — after the queue drains, one ``resync`` frame
+    with the full current result (at a no-earlier epoch) replaces
+    everything that was lost.  Clients must treat a ``resync`` as
+    authoritative and discard deltas for epochs ≤ its epoch.
+    """
+
+    def __init__(self, server: "DisksServer", writer, write_lock, loop, limit: int):
+        self._server = server
+        self._writer = writer
+        self._write_lock = write_lock
+        self._loop = loop
+        self._limit = limit
+        self._lock = threading.Lock()
+        self._queue: deque[dict] = deque()
+        self._resync: set[str] = set()
+        self._dropped: dict[str, int] = {}
+        self._draining = False
+        self._closed = False
+        self.subs: set[str] = set()
+
+    def push(self, notice) -> None:
+        """Engine sink: enqueue one notice (updater thread)."""
+        with self._lock:
+            if self._closed:
+                return
+            if len(self._queue) >= self._limit:
+                self._resync.add(notice.sub_id)
+                self._dropped[notice.sub_id] = self._dropped.get(notice.sub_id, 0) + 1
+                self._server.metrics.increment("sub_dropped")
+            else:
+                self._queue.append({"push": "notify", **notice.to_dict()})
+            schedule = not self._draining
+            if schedule:
+                self._draining = True
+        if schedule:
+            try:
+                self._loop.call_soon_threadsafe(self._spawn)
+            except RuntimeError:  # the loop is shutting down
+                pass
+
+    def close(self) -> None:
+        """Stop accepting notices (the connection is going away)."""
+        with self._lock:
+            self._closed = True
+            self._queue.clear()
+            self._resync.clear()
+
+    def _spawn(self) -> None:
+        asyncio.ensure_future(self._drain())
+
+    async def _drain(self) -> None:
+        while True:
+            resync_id: str | None = None
+            with self._lock:
+                if self._queue:
+                    frame = self._queue.popleft()
+                elif self._resync:
+                    resync_id = self._resync.pop()
+                    frame = None
+                else:
+                    self._draining = False
+                    return
+            if frame is None:
+                assert resync_id is not None
+                dropped = self._dropped.pop(resync_id, 0)
+                engine = self._server.sub_engine
+                try:
+                    snapshot = engine.snapshot(resync_id) if engine else None
+                except DisksError:
+                    continue  # unsubscribed while the resync was pending
+                if snapshot is None:
+                    continue
+                frame = {"push": "resync", "dropped": dropped, **snapshot}
+                self._server.metrics.increment("sub_resyncs")
+            await self._server._respond(self._writer, self._write_lock, frame)
 
 
 @dataclass(frozen=True)
@@ -83,6 +180,7 @@ class ServeConfig:
     slow_query_ms: float = 250.0
     trace_log: str | None = None
     trace_capacity: int = 256
+    sub_queue_limit: int = 256
 
 
 class DisksServer:
@@ -95,9 +193,11 @@ class DisksServer:
         config: ServeConfig | None = None,
         metrics: MetricsRegistry | None = None,
         updater=None,
+        sub_engine=None,
     ) -> None:
         self._cluster = cluster
         self._updater = updater
+        self.sub_engine = sub_engine
         self.config = config or ServeConfig()
         self.metrics = metrics or MetricsRegistry()
         self.admission = AdmissionController(self.config.max_inflight)
@@ -114,6 +214,10 @@ class DisksServer:
         self.port: int | None = None
         if updater is not None:
             self.metrics.observe_gauge("epoch", updater.epoch)
+        if sub_engine is not None:
+            # The engine shares the server's metrics and tracer so its
+            # gauges/histograms/spans land in the same stats snapshot.
+            sub_engine.bind(metrics=self.metrics, tracer=self.tracer)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -149,6 +253,13 @@ class DisksServer:
     ) -> None:
         write_lock = asyncio.Lock()
         tasks: set[asyncio.Task] = set()
+        channel = _SubChannel(
+            self,
+            writer,
+            write_lock,
+            asyncio.get_running_loop(),
+            self.config.sub_queue_limit,
+        )
         try:
             while True:
                 line = await reader.readline()
@@ -156,12 +267,20 @@ class DisksServer:
                     break
                 if not line.strip():
                     continue
-                task = asyncio.create_task(self._handle_line(line, writer, write_lock))
+                task = asyncio.create_task(
+                    self._handle_line(line, writer, write_lock, channel)
+                )
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
         except (ConnectionResetError, OSError):
             pass
         finally:
+            channel.close()
+            if channel.subs and self.sub_engine is not None:
+                # Subscriptions die with their connection; unregister off
+                # the loop (the engine lock may be held by a re-eval).
+                for sub_id in list(channel.subs):
+                    await asyncio.to_thread(self.sub_engine.unregister, sub_id)
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
             with contextlib.suppress(ConnectionResetError, OSError):
@@ -178,7 +297,11 @@ class DisksServer:
                 await writer.drain()
 
     async def _handle_line(
-        self, line: bytes, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        channel: _SubChannel,
     ) -> None:
         try:
             request = decode_line(line)
@@ -235,6 +358,12 @@ class DisksServer:
             )
         elif op == "update":
             await self._handle_update(request_id, request, writer, write_lock)
+        elif op == "subscribe":
+            await self._handle_subscribe(request_id, request, writer, write_lock, channel)
+        elif op == "unsubscribe":
+            await self._handle_unsubscribe(
+                request_id, request, writer, write_lock, channel
+            )
         elif op == "query":
             await self._handle_query(request_id, request, writer, write_lock)
         else:
@@ -352,6 +481,160 @@ class DisksServer:
             self.admission.release()
             self.metrics.observe_gauge("inflight", self.admission.depth)
 
+    def _parse_query_text(self, request_id, text):
+        """Parse + radius-check a wire query; ``(query, None)`` on success,
+        ``(None, error_reply)`` otherwise.  Shared by ``query`` and
+        ``subscribe``."""
+        if not isinstance(text, str):
+            self.metrics.increment("bad_requests")
+            return None, {
+                "id": request_id,
+                "ok": False,
+                "error": "bad-request",
+                "detail": "the request needs a query string under 'q'",
+            }
+        try:
+            query = parse_query(text)
+        except QueryError as error:
+            self.metrics.increment("parse_errors")
+            return None, {
+                "id": request_id,
+                "ok": False,
+                "error": "parse",
+                "detail": str(error),
+            }
+        if (
+            self.config.max_radius is not None
+            and query.max_radius > self.config.max_radius
+        ):
+            self.metrics.increment("radius_rejections")
+            return None, {
+                "id": request_id,
+                "ok": False,
+                "error": "radius",
+                "detail": (
+                    f"radius {query.max_radius:g} exceeds the deployment "
+                    f"maxR {self.config.max_radius:g}"
+                ),
+            }
+        return query, None
+
+    async def _handle_subscribe(
+        self,
+        request_id,
+        request: dict,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        channel: _SubChannel,
+    ) -> None:
+        self.metrics.increment("subscribes_received")
+        if self.sub_engine is None:
+            await self._respond(
+                writer,
+                write_lock,
+                {
+                    "id": request_id,
+                    "ok": False,
+                    "error": "no-sub",
+                    "detail": "this server was started without standing-query support",
+                },
+            )
+            return
+        query, rejection = self._parse_query_text(request_id, request.get("q"))
+        if rejection is not None:
+            await self._respond(writer, write_lock, rejection)
+            return
+        sub_id = request.get("sub")
+        if sub_id is not None and not isinstance(sub_id, str):
+            self.metrics.increment("bad_requests")
+            await self._respond(
+                writer,
+                write_lock,
+                {
+                    "id": request_id,
+                    "ok": False,
+                    "error": "bad-subscribe",
+                    "detail": "'sub' must be a string when given",
+                },
+            )
+            return
+        if not self.admission.try_acquire():
+            self.metrics.increment("shed")
+            await self._respond(
+                writer, write_lock, {"id": request_id, "ok": False, "error": "overloaded"}
+            )
+            return
+        try:
+            # Registration materializes the initial result (runs every
+            # in-scope fragment task), so it goes off the event loop.
+            try:
+                subscription = await asyncio.to_thread(
+                    self.sub_engine.register,
+                    query,
+                    sub_id=sub_id,
+                    sink=channel.push,
+                    scored=bool(request.get("scored", False)),
+                )
+            except DisksError as error:
+                self.metrics.increment("update_errors")
+                await self._respond(
+                    writer,
+                    write_lock,
+                    {
+                        "id": request_id,
+                        "ok": False,
+                        "error": "bad-subscribe",
+                        "detail": str(error),
+                    },
+                )
+                return
+            channel.subs.add(subscription.sub_id)
+            await self._respond(
+                writer,
+                write_lock,
+                {
+                    "id": request_id,
+                    "ok": True,
+                    "sub": subscription.sub_id,
+                    "epoch": subscription.epoch,
+                    "scored": subscription.scored,
+                    "nodes": sorted(subscription.result),
+                },
+            )
+        finally:
+            self.admission.release()
+
+    async def _handle_unsubscribe(
+        self,
+        request_id,
+        request: dict,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        channel: _SubChannel,
+    ) -> None:
+        if self.sub_engine is None:
+            await self._respond(
+                writer,
+                write_lock,
+                {
+                    "id": request_id,
+                    "ok": False,
+                    "error": "no-sub",
+                    "detail": "this server was started without standing-query support",
+                },
+            )
+            return
+        sub_id = request.get("sub")
+        removed = False
+        if isinstance(sub_id, str):
+            removed = await asyncio.to_thread(self.sub_engine.unregister, sub_id)
+            channel.subs.discard(sub_id)
+        await self._respond(
+            writer,
+            write_lock,
+            {"id": request_id, "ok": True, "sub": sub_id, "removed": removed},
+        )
+
     async def _handle_query(
         self,
         request_id,
@@ -370,47 +653,9 @@ class DisksServer:
         self.metrics.observe_gauge("inflight", self.admission.depth)
         try:
             text = request.get("q")
-            if not isinstance(text, str):
-                self.metrics.increment("bad_requests")
-                await self._respond(
-                    writer,
-                    write_lock,
-                    {
-                        "id": request_id,
-                        "ok": False,
-                        "error": "bad-request",
-                        "detail": "the request needs a query string under 'q'",
-                    },
-                )
-                return
-            try:
-                query = parse_query(text)
-            except QueryError as error:
-                self.metrics.increment("parse_errors")
-                await self._respond(
-                    writer,
-                    write_lock,
-                    {"id": request_id, "ok": False, "error": "parse", "detail": str(error)},
-                )
-                return
-            if (
-                self.config.max_radius is not None
-                and query.max_radius > self.config.max_radius
-            ):
-                self.metrics.increment("radius_rejections")
-                await self._respond(
-                    writer,
-                    write_lock,
-                    {
-                        "id": request_id,
-                        "ok": False,
-                        "error": "radius",
-                        "detail": (
-                            f"radius {query.max_radius:g} exceeds the deployment "
-                            f"maxR {self.config.max_radius:g}"
-                        ),
-                    },
-                )
+            query, rejection = self._parse_query_text(request_id, text)
+            if rejection is not None:
+                await self._respond(writer, write_lock, rejection)
                 return
             trace = self.tracer.maybe_trace()
             try:
@@ -585,6 +830,8 @@ class DisksServer:
             **self.tracer.counts,
             "slow_ring": len(self._slow_queries),
         }
+        if self.sub_engine is not None:
+            snapshot["subscriptions"] = self.sub_engine.stats()
         epoch = self._current_epoch()
         if epoch is not None:
             live: dict = {"epoch": epoch}
@@ -604,6 +851,7 @@ def serve_in_thread(
     config: ServeConfig | None = None,
     metrics: MetricsRegistry | None = None,
     updater=None,
+    sub_engine=None,
 ) -> Iterator[DisksServer]:
     """Run a :class:`DisksServer` on a background event loop.
 
@@ -613,7 +861,9 @@ def serve_in_thread(
         with serve_in_thread(cluster) as server:
             client = ServeClient(server.host, server.port)
     """
-    server = DisksServer(cluster, config=config, metrics=metrics, updater=updater)
+    server = DisksServer(
+        cluster, config=config, metrics=metrics, updater=updater, sub_engine=sub_engine
+    )
     loop = asyncio.new_event_loop()
     started = threading.Event()
     failure: list[BaseException] = []

@@ -1,0 +1,40 @@
+"""repro.sub — standing spatial-keyword queries (location-aware pub/sub).
+
+The paper's SGKQ/RKQ queries are one-shot; this package makes them
+*standing*: a client registers a long-lived query once and is pushed
+``added`` / ``removed`` / ``rescored`` diffs whenever live updates
+(:mod:`repro.live`) change its answer, in the spirit of distributed
+spatial-keyword kNN monitoring systems for location-aware pub/sub.
+
+The pieces:
+
+* :class:`~repro.sub.registry.SubscriptionRegistry` — the subscription
+  store plus a per-fragment × per-term inverted routing index, so one
+  epoch delta maps to exactly the affected subscription set;
+* :class:`~repro.sub.engine.SubscriptionEngine` — delta-driven
+  incremental re-evaluation: on each
+  :class:`~repro.live.epochs.EpochManager` swap, only the subscriptions
+  touched by the changed-fragment delta re-run, and only on the changed
+  fragments (Lemma 1 makes per-fragment partial results independently
+  maintainable), then diff against the last materialized result;
+* push delivery rides the serve layer (:mod:`repro.serve.server`
+  ``subscribe`` / ``unsubscribe`` wire ops, ``notify`` push frames with
+  bounded per-client queues that shed to a resync marker).
+"""
+
+from repro.sub.engine import SubscriptionEngine, SubscriptionNotice
+from repro.sub.registry import (
+    Subscription,
+    SubscriptionRegistry,
+    compute_scope,
+    restricting_terms,
+)
+
+__all__ = [
+    "Subscription",
+    "SubscriptionRegistry",
+    "SubscriptionEngine",
+    "SubscriptionNotice",
+    "compute_scope",
+    "restricting_terms",
+]

@@ -1,6 +1,11 @@
 """Workloads: the paper's query generator and synthetic dataset presets."""
 
 from repro.workloads.querygen import QueryGenerator, QueryGenConfig
+from repro.workloads.subgen import (
+    SubGenConfig,
+    SubscriptionGenerator,
+    SubscriptionSpec,
+)
 from repro.workloads.updategen import UpdateGenConfig, UpdateStreamGenerator
 from repro.workloads.driver import (
     TimedQuery,
@@ -20,6 +25,9 @@ from repro.workloads.datasets import (
 __all__ = [
     "QueryGenerator",
     "QueryGenConfig",
+    "SubGenConfig",
+    "SubscriptionGenerator",
+    "SubscriptionSpec",
     "UpdateGenConfig",
     "UpdateStreamGenerator",
     "TimedQuery",

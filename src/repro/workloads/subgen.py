@@ -1,0 +1,105 @@
+"""Standing-subscription workloads for the pub/sub subsystem.
+
+Builds on the §6 query generator: each subscription is an SGKQ or RKQ
+drawn by the same frequency-weighted protocol, rendered into the wire
+language, plus the knobs a monitoring workload adds on top — the
+SGKQ/RKQ mix (RKQs are *scoped*: their coverage ball pins them to a few
+fragments, which is what makes delta routing selective) and the
+fraction of subscriptions that want ``rescored`` notifications
+(distance drift without membership change).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.queries import QClassQuery
+from repro.exceptions import DisksError
+from repro.graph.road_network import RoadNetwork
+from repro.serve.protocol import render_query
+from repro.workloads.querygen import QueryGenConfig, QueryGenerator
+
+__all__ = ["SubGenConfig", "SubscriptionSpec", "SubscriptionGenerator"]
+
+
+@dataclass(frozen=True)
+class SubGenConfig:
+    """Knobs of the subscription generator.
+
+    ``rkq_fraction`` is the share of standing queries anchored to a
+    location (scoped — routable by fragment); ``scored_fraction`` the
+    share registered with per-term distance tracking (``rescored``
+    notifications).
+    """
+
+    seed: int = 0
+    num_keywords: int = 2
+    radius: float = 4.0
+    rkq_fraction: float = 0.5
+    scored_fraction: float = 0.0
+
+
+@dataclass(frozen=True)
+class SubscriptionSpec:
+    """One generated standing query, ready for the ``subscribe`` op."""
+
+    expression: str
+    scored: bool
+    kind: str  # "sgkq" | "rkq"
+
+    def to_request(self, request_id=None) -> dict:
+        """The wire request registering this subscription."""
+        payload: dict = {"id": request_id, "op": "subscribe", "q": self.expression}
+        if self.scored:
+            payload["scored"] = True
+        return payload
+
+
+class SubscriptionGenerator:
+    """Deterministic (seeded) generator of standing-query workloads."""
+
+    def __init__(
+        self, network: RoadNetwork, config: SubGenConfig | None = None
+    ) -> None:
+        self._config = config or SubGenConfig()
+        if not 0.0 <= self._config.rkq_fraction <= 1.0:
+            raise DisksError("rkq_fraction must lie in [0, 1]")
+        if not 0.0 <= self._config.scored_fraction <= 1.0:
+            raise DisksError("scored_fraction must lie in [0, 1]")
+        self._rng = random.Random(self._config.seed)
+        self._queries = QueryGenerator(network, QueryGenConfig(seed=self._config.seed))
+
+    def query(self) -> tuple[QClassQuery, str]:
+        """One standing query plus its kind tag."""
+        if self._rng.random() < self._config.rkq_fraction:
+            return (
+                self._queries.rkq(self._config.num_keywords, self._config.radius),
+                "rkq",
+            )
+        return (
+            self._queries.sgkq(self._config.num_keywords, self._config.radius),
+            "sgkq",
+        )
+
+    def queries(self, count: int) -> list[QClassQuery]:
+        """``count`` standing queries as query objects (library use)."""
+        if count < 1:
+            raise DisksError("the subscription stream needs at least one query")
+        return [self.query()[0] for _ in range(count)]
+
+    def specs(self, count: int) -> list[SubscriptionSpec]:
+        """``count`` wire-ready subscription specs."""
+        if count < 1:
+            raise DisksError("the subscription stream needs at least one query")
+        specs: list[SubscriptionSpec] = []
+        for _ in range(count):
+            query, kind = self.query()
+            specs.append(
+                SubscriptionSpec(
+                    expression=render_query(query),
+                    scored=self._rng.random() < self._config.scored_fraction,
+                    kind=kind,
+                )
+            )
+        return specs

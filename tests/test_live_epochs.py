@@ -156,6 +156,112 @@ class TestApply:
         )
 
 
+class TestDeltaFrom:
+    """Satellite: `EpochState.delta_from` edge cases."""
+
+    def test_empty_change_set_yields_empty_delta(self):
+        manager = make_manager(seed=120)
+        assert manager.state.delta_from([]) == {}
+
+    def test_all_fragments_delta_is_the_identity_pairing(self):
+        manager = make_manager(seed=121)
+        state = manager.state
+        delta = state.delta_from(range(len(state.fragments)))
+        assert set(delta) == set(range(len(state.fragments)))
+        for fid, (fragment, index) in delta.items():
+            assert state.fragments[fid] is fragment
+            assert state.indexes[fid] is index
+
+    def test_remove_keyword_only_delta(self):
+        """A RemoveKeyword-only batch is a keyword delta: the swap names
+        the keyword, no topology flag, and the delta pairs are the new
+        epoch's objects for exactly the changed fragments."""
+        manager = make_manager(seed=122)
+        net = manager.state.network
+        keyword = sorted(net.all_keywords())[0]
+        carrier = next(
+            n for n in net.object_nodes() if keyword in net.keywords(n)
+        )
+        seen: list[dict] = []
+        manager.subscribe(lambda state, delta: seen.append(delta))
+        swap = manager.apply([RemoveKeyword(carrier, keyword)])
+        assert swap.ops_by_kind == {"remove_keyword": 1}
+        assert swap.changed_keywords == (keyword,)
+        assert swap.topology_changed is False
+        [delta] = seen
+        assert set(delta) == set(swap.changed_fragments)
+        state = manager.state
+        for fid, (fragment, index) in delta.items():
+            assert state.fragments[fid] is fragment
+            assert state.indexes[fid] is index
+
+    def test_edge_op_sets_topology_flag(self):
+        manager = make_manager(seed=123)
+        u, (v, w) = 0, next(iter(manager.state.network.neighbors(0)))
+        node = next(iter(manager.state.network.object_nodes()))
+        swap = manager.apply([AddKeyword(node, "both"), SetEdgeWeight(u, v, w * 2)])
+        assert swap.topology_changed is True
+        assert swap.changed_keywords == ("both",)
+        assert swap.to_dict()["topology_changed"] is True
+        assert swap.to_dict()["changed_keywords"] == ["both"]
+
+
+class TestSubscriberChannel:
+    """Satellite: unsubscribe + non-fatal subscriber failures."""
+
+    def test_unsubscribe_stops_deliveries(self):
+        manager = make_manager(seed=130)
+        node = next(iter(manager.state.network.object_nodes()))
+        calls: list[int] = []
+        subscriber = lambda state, delta: calls.append(state.epoch)  # noqa: E731
+        manager.subscribe(subscriber)
+        manager.apply([AddKeyword(node, "one")])
+        assert calls == [1]
+        assert manager.unsubscribe(subscriber) is True
+        assert manager.unsubscribe(subscriber) is False  # idempotent
+        manager.apply([AddKeyword(node, "two")])
+        assert calls == [1]
+
+    def test_unsubscribe_swap_subscriber(self):
+        manager = make_manager(seed=131)
+        node = next(iter(manager.state.network.object_nodes()))
+        swaps: list[tuple[int, bool]] = []
+        subscriber = lambda state, delta, swap: swaps.append(  # noqa: E731
+            (swap.epoch, swap.topology_changed)
+        )
+        manager.subscribe_swaps(subscriber)
+        manager.apply([AddKeyword(node, "swap-probe")])
+        assert swaps == [(1, False)]
+        assert manager.unsubscribe(subscriber) is True
+        manager.apply([AddKeyword(node, "swap-probe-2")])
+        assert swaps == [(1, False)]
+
+    def test_broken_subscriber_is_non_fatal(self):
+        from repro.obs.events import global_events
+
+        manager = make_manager(seed=132)
+        node = next(iter(manager.state.network.object_nodes()))
+
+        def broken(state, delta):
+            raise RuntimeError("subscriber crashed")
+
+        healthy: list[int] = []
+        manager.subscribe(broken)
+        manager.subscribe(lambda state, delta: healthy.append(state.epoch))
+        swap = manager.apply([AddKeyword(node, "resilient")])
+        # The swap published, later subscribers still ran...
+        assert swap.epoch == 1
+        assert manager.epoch == 1
+        assert healthy == [1]
+        # ...and the failure surfaced as an obs event, not an exception.
+        errors = [
+            event
+            for event in global_events().tail(64)
+            if event["kind"] == "subscriber_error"
+        ]
+        assert errors and "subscriber crashed" in errors[-1]["error"]
+
+
 class TestRecovery:
     def test_recover_replays_committed_prefix(self, tmp_path):
         log = UpdateLog(tmp_path / "wal.jsonl")

@@ -120,8 +120,7 @@ class TestProtocol:
             parse_reply = client.query("NEAR(")
             assert parse_reply["error"] == "parse"
             client.send({"raw": True})
-            client._file.write(b"this is not json\n")
-            client._file.flush()
+            client._sock.sendall(b"this is not json\n")
             replies = [client.read_reply(), client.read_reply()]
             assert any(r.get("error") == "bad-json" for r in replies)
 

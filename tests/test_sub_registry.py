@@ -1,0 +1,228 @@
+"""Tests for the subscription routing index (`repro.sub.registry`).
+
+The correctness bar for routing is *iff*: a subscription must be routed
+to a delta exactly when one of its terms (keywords) or a fragment
+intersecting its coverage radius changed — a miss serves stale results,
+a spurious hit burns the re-evaluation budget.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import NPDBuildConfig, build_all_indexes, build_fragments
+from repro.core.coverage import FragmentRuntime
+from repro.core.dfunction import SetOp
+from repro.core.executor import execute_fragment_task
+from repro.core.queries import (
+    CoverageTerm,
+    KeywordSource,
+    NodeSource,
+    QClassQuery,
+    rkq,
+    sgkq,
+    sgkq_extended,
+)
+from repro.exceptions import DisksError
+from repro.partition import BfsPartitioner
+from repro.sub import SubscriptionRegistry, compute_scope, restricting_terms
+from repro.sub.registry import (
+    Subscription,
+    fragment_in_scope,
+    node_source_terms,
+    query_keywords,
+)
+
+from helpers import make_random_network
+
+
+def build_base(seed: int, k: int = 3):
+    net = make_random_network(seed=seed, num_junctions=18, num_objects=10, vocabulary=4)
+    partition = BfsPartitioner(seed=seed).partition(net, k)
+    fragments = build_fragments(net, partition)
+    indexes, _ = build_all_indexes(net, fragments, NPDBuildConfig(max_radius=math.inf))
+    return net, fragments, list(indexes)
+
+
+def chain(terms, ops):
+    return QClassQuery.from_chain(tuple(terms), list(ops))
+
+
+KW = [CoverageTerm(KeywordSource(f"w{i}"), 2.0) for i in range(4)]
+
+
+class TestRestrictingTerms:
+    def test_leaf_restricts_to_itself(self):
+        query = sgkq(["w0"], 2.0)
+        assert restricting_terms(query.expression) == {0}
+
+    def test_intersection_collects_both_sides(self):
+        query = rkq(5, ["w0", "w1"], 3.0)
+        assert restricting_terms(query.expression) == {0, 1, 2}
+
+    def test_subtraction_keeps_only_the_left(self):
+        query = chain(KW[:2], [SetOp.SUBTRACT])
+        assert restricting_terms(query.expression) == {0}
+        extended = sgkq_extended(
+            all_within=[("w0", 2.0), ("w1", 2.0)], none_within=[("w2", 2.0)]
+        )
+        restricting = restricting_terms(extended.expression)
+        assert 0 in restricting and 1 in restricting
+        assert len(restricting) == 2  # the subtracted term never restricts
+
+    def test_union_keeps_only_common_restrictors(self):
+        query = chain(KW[:2], [SetOp.UNION])
+        assert restricting_terms(query.expression) == frozenset()
+
+    def test_union_then_intersection(self):
+        # (w0 ∪ w1) ∩ w2: only w2 provably bounds the result.
+        query = chain(KW[:3], [SetOp.UNION, SetOp.INTERSECT])
+        assert restricting_terms(query.expression) == {2}
+
+
+class TestComputeScope:
+    def test_sgkq_is_unscoped(self):
+        _net, fragments, indexes = build_base(seed=70)
+        assert compute_scope(sgkq(["w0", "w1"], 3.0), fragments, indexes) is None
+
+    def test_union_of_node_terms_is_unscoped(self):
+        # R(5,2) ∪ w0 — the node ball does not bound the union.
+        _net, fragments, indexes = build_base(seed=70)
+        query = chain(
+            [CoverageTerm(NodeSource(5), 2.0), KW[0]], [SetOp.UNION]
+        )
+        assert compute_scope(query, fragments, indexes) is None
+        assert node_source_terms(query) == []
+
+    def test_rkq_scope_contains_home_fragment(self):
+        _net, fragments, indexes = build_base(seed=71)
+        location = next(iter(fragments[1].members))
+        query = rkq(location, ["w0"], 2.5)
+        scope = compute_scope(query, fragments, indexes)
+        assert scope is not None
+        assert 1 in scope
+
+    def test_out_of_scope_fragments_are_provably_empty(self):
+        """The scope claim the whole router rests on: executing the query
+        on a fragment outside its scope yields nothing, and restricting
+        evaluation to the scope loses nothing."""
+        net, fragments, indexes = build_base(seed=72)
+        for location in sorted(net.object_nodes())[:4]:
+            for radius in (1.0, 3.0):
+                query = rkq(location, ["w0", "w1"], radius)
+                scope = compute_scope(query, fragments, indexes)
+                assert scope is not None
+                in_scope: set[int] = set()
+                out_of_scope: set[int] = set()
+                for fragment, index in zip(fragments, indexes):
+                    runtime = FragmentRuntime(fragment, index)
+                    local = execute_fragment_task(runtime, query).local_result
+                    if fragment.fragment_id in scope:
+                        in_scope |= local
+                    else:
+                        out_of_scope |= local
+                assert out_of_scope == set()
+                # Spot-check fragment_in_scope agrees with membership.
+                term = query.terms[0]
+                for fragment, index in zip(fragments, indexes):
+                    assert fragment_in_scope(term, fragment, index) == (
+                        fragment.fragment_id in scope
+                    )
+
+    def test_query_keywords_include_subtracted_terms(self):
+        query = sgkq_extended(
+            all_within=[("w0", 2.0), ("w1", 2.0)], none_within=[("w3", 2.0)]
+        )
+        assert query_keywords(query) == {"w0", "w1", "w3"}
+        assert query_keywords(rkq(3, ["w2"], 1.0)) == {"w2"}
+
+
+def make_sub(sub_id: str, keywords, scope) -> Subscription:
+    return Subscription(
+        sub_id=sub_id,
+        query=sgkq(sorted(keywords) or ["w0"], 1.0),
+        keywords=frozenset(keywords),
+        scope=None if scope is None else frozenset(scope),
+    )
+
+
+@pytest.fixture()
+def registry():
+    reg = SubscriptionRegistry()
+    reg.add(make_sub("un", {"a", "b"}, None))
+    reg.add(make_sub("left", {"a"}, {0, 1}))
+    reg.add(make_sub("right", {"c"}, {2}))
+    return reg
+
+
+class TestRouting:
+    def test_keyword_delta_routes_by_term_and_fragment(self, registry):
+        # Keyword `a` changed in fragment 0: the unscoped sub and the
+        # sub scoped to {0,1} qualify; the {2}-scoped sub does not.
+        assert registry.affected({0}, {"a"}, False) == {"un", "left"}
+
+    def test_keyword_delta_outside_scope_misses(self, registry):
+        # `c` changed, but only in fragments 0/1 — outside `right`'s scope.
+        assert registry.affected({0, 1}, {"c"}, False) == set()
+
+    def test_keyword_delta_without_matching_term_misses(self, registry):
+        assert registry.affected({2}, {"zzz"}, False) == set()
+        # Regression: a changed keyword no subscription indexes must not
+        # blow up routing (it once did, as set |= tuple).
+        assert registry.affected({0, 1, 2}, {"never-seen", "a"}, False) == {
+            "un",
+            "left",
+        }
+
+    def test_topology_delta_ignores_terms(self, registry):
+        # Distances shifted in fragment 2: every sub scoped there plus
+        # all unscoped subs qualify, regardless of keywords.
+        assert registry.affected({2}, (), True) == {"un", "right"}
+        assert registry.affected({0}, (), True) == {"un", "left"}
+
+    def test_remove_cleans_both_indexes(self, registry):
+        removed = registry.remove("left")
+        assert removed is not None and removed.sub_id == "left"
+        assert registry.remove("left") is None
+        assert registry.routed_by_keyword("a") == {"un"}
+        assert registry.routed_by_fragment(0) == set()
+        assert registry.affected({0}, {"a"}, False) == {"un"}
+        assert len(registry) == 2 and "left" not in registry
+
+    def test_duplicate_id_rejected(self, registry):
+        with pytest.raises(DisksError, match="already registered"):
+            registry.add(make_sub("un", {"x"}, None))
+
+    def test_rescope_moves_fragment_routes(self, registry):
+        registry.rescope("right", frozenset({0}))
+        assert registry.routed_by_fragment(2) == set()
+        assert registry.routed_by_fragment(0) == {"left", "right"}
+        assert registry.affected({0}, (), True) == {"un", "left", "right"}
+        assert registry.affected({2}, (), True) == {"un"}
+
+    def test_rescope_to_unscoped_and_back(self, registry):
+        registry.rescope("left", None)
+        assert registry.affected({2}, {"a"}, False) == {"un", "left"}
+        registry.rescope("left", frozenset({1}))
+        assert registry.affected({2}, {"a"}, False) == {"un"}
+        assert registry.affected({1}, {"a"}, False) == {"un", "left"}
+
+    def test_rescope_unknown_is_a_no_op(self, registry):
+        registry.rescope("ghost", frozenset({0}))
+        assert "ghost" not in registry
+
+    def test_new_ids_are_sequential(self):
+        reg = SubscriptionRegistry()
+        assert reg.new_id() == "s1"
+        assert reg.new_id() == "s2"
+
+    def test_stats_counts_shape(self, registry):
+        stats = registry.stats()
+        assert stats["subscriptions"] == 3
+        assert stats["scoped"] == 2
+        assert stats["unscoped"] == 1
+        assert stats["keywords_indexed"] == 3  # a, b, c
+        assert stats["fragment_routes"] == 3  # left×{0,1} + right×{2}
+        assert registry.ids() == ["un", "left", "right"]
