@@ -135,6 +135,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-log", default=None, dest="trace_log",
         help="also append sampled traces to this JSONL file (rotated)",
     )
+    serve.add_argument(
+        "--wire", default="binary", choices=("binary", "pickle"),
+        help="coordinator<->worker pipe encoding (binary is the fast path)",
+    )
+    serve.add_argument(
+        "--no-shm", action="store_false", dest="shm",
+        help="ship fragments to workers by pickle instead of shared memory",
+    )
 
     loadgen = sub.add_parser("loadgen", help="closed-loop load test of a server")
     loadgen.add_argument("--host", default="127.0.0.1")
@@ -166,6 +174,15 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--update-batch", type=int, default=10, dest="update_batch",
         help="ops per update batch for --update-ops",
+    )
+    loadgen.add_argument(
+        "--wire", default="ndjson", choices=("ndjson", "binary"),
+        help="client protocol: NDJSON lines or DSKW binary frames",
+    )
+    loadgen.add_argument(
+        "--batch", type=int, default=1,
+        help="queries per BATCH frame (binary wire only; keep <= the "
+        "server's --max-inflight or the excess is shed)",
     )
 
     subscriptions = sub.add_parser(
@@ -360,7 +377,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("error: --sub requires --live (subscriptions follow epoch swaps)",
               file=sys.stderr)
         return 2
-    cluster = PipelinedCluster.start(fragments, indexes, num_machines=args.machines)
+    cluster = PipelinedCluster.start(
+        fragments,
+        indexes,
+        num_machines=args.machines,
+        use_shm=args.shm,
+        pipe_wire=args.wire,
+    )
     updater = None
     sub_engine = None
     if args.live:
@@ -375,9 +398,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             indexes=indexes,
             log=UpdateLog(log_path),
         )
-        updater.subscribe(
-            lambda state, delta: cluster.apply_updates(state.epoch, list(delta.values()))
-        )
+        updater.bind_cluster(cluster)
         if args.sub:
             from repro.sub import SubscriptionEngine
 
@@ -408,7 +429,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(
             'protocol: one JSON object per line, e.g. '
             '{"id": 1, "q": "NEAR(kw0001, 5) AND NEAR(kw0002, 5)"} '
-            '— admin ops: {"op": "stats"}, {"op": "info"}, {"op": "ping"}'
+            '— admin ops: {"op": "stats"}, {"op": "info"}, {"op": "ping"}; '
+            "binary clients open with the 6-byte DSKW preamble on the same port"
         )
         if updater is not None:
             print(
@@ -526,13 +548,21 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         rkq_fraction=args.rkq_fraction,
         seed=args.seed,
     )
+    wire_note = args.wire if args.batch == 1 else f"{args.wire}, batch {args.batch}"
     print(
         f"replaying {len(expressions)} queries against {args.host}:{args.port} "
-        f"from {args.clients} closed-loop clients ..."
+        f"from {args.clients} closed-loop clients ({wire_note}) ..."
     )
     if update_thread is not None:
         update_thread.start()
-    report = run_loadgen(args.host, args.port, expressions, num_clients=args.clients)
+    report = run_loadgen(
+        args.host,
+        args.port,
+        expressions,
+        num_clients=args.clients,
+        protocol=args.wire,
+        batch=args.batch,
+    )
     if update_thread is not None:
         update_thread.join()
         line = (

@@ -56,7 +56,7 @@ rounding in the bucket index can never place a label one bucket early.
 from __future__ import annotations
 
 from array import array
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from heapq import heapify, heappop, heappush
 
 from repro.core.fragment import Fragment
@@ -180,6 +180,73 @@ class FragmentKernel:
         self._buckets: list[list[int]] = []
         self.bucket_limit = 4 * n + 64
 
+    @classmethod
+    def from_packed(
+        cls,
+        *,
+        fragment_id: int,
+        num_nodes: int,
+        indptr,
+        indices,
+        weights,
+        node_globals,
+        kw_local,
+        kw_portals,
+        node_portals,
+        inv_delta: float,
+        bucket_limit: int,
+    ) -> "FragmentKernel":
+        """Rehydrate a kernel from already-packed flat sequences.
+
+        This is the shared-memory attach path (:mod:`repro.shm`): the
+        array arguments may be :class:`memoryview` casts over a mapped
+        segment — everything the settle loops do (len, index, slice,
+        bisect) works identically on views and ``array`` objects.  The
+        dense-renumbering dict is *not* rebuilt; ``_dense_id`` falls
+        back to a bisect over the sorted global-id table, which costs
+        O(log n) only on the rare :class:`NodeSource` seed lookup.  The
+        per-row tuple view and the scratch are rebuilt locally (CPU in
+        the attaching process, nothing crosses the pipe).
+        """
+        self = object.__new__(cls)
+        self.fragment_id = fragment_id
+        self.num_nodes = num_nodes
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self._globals = node_globals
+        self._dense = None
+        self._rows = tuple(
+            tuple(zip(indices[indptr[i] : indptr[i + 1]], weights[indptr[i] : indptr[i + 1]]))
+            for i in range(num_nodes)
+        )
+        self._kw_local = kw_local
+        self._kw_portals = kw_portals
+        self._node_portals = node_portals
+        self._dist = [0.0] * num_nodes
+        self._stamp = [0] * num_nodes
+        self._generation = 0
+        self._inv_delta = inv_delta
+        self._buckets = []
+        self.bucket_limit = bucket_limit
+        return self
+
+    def _dense_id(self, node: int) -> int | None:
+        """Global node id -> dense id, or ``None`` if not a member.
+
+        Kernels built by ``__init__`` keep the renumbering dict; packed
+        kernels bisect the sorted global table instead of materialising
+        a per-process dict that would cost more to build than every
+        lookup it will ever serve.
+        """
+        dense = self._dense
+        if dense is not None:
+            return dense.get(node)
+        i = bisect_left(self._globals, node)
+        if i < self.num_nodes and self._globals[i] == node:
+            return i
+        return None
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -245,7 +312,7 @@ class FragmentKernel:
                         seeds.append(v)
                         seeds_dl += 1
         elif isinstance(source, NodeSource):
-            v = self._dense.get(source.node)
+            v = self._dense_id(source.node)
             if v is not None:
                 dist[v] = 0.0
                 stamp[v] = g

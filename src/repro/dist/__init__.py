@@ -16,6 +16,7 @@ experiment shapes on one host:
 
 from repro.dist.messages import (
     ApplyUpdatesMessage,
+    AttachSegmentsMessage,
     EpochAckMessage,
     Message,
     QueryTaskMessage,
@@ -37,6 +38,7 @@ __all__ = [
     "QueryTaskMessage",
     "TaskResultMessage",
     "ApplyUpdatesMessage",
+    "AttachSegmentsMessage",
     "EpochAckMessage",
     "NetworkModel",
     "TrafficLedger",

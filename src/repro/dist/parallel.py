@@ -71,9 +71,23 @@ def parallel_build_indexes(
     return indexes, stats
 
 
-def _run_one(args: tuple[FragmentRuntime, QClassQuery]) -> FragmentTaskResult:
-    runtime, query = args
-    return execute_fragment_task(runtime, query)
+# Same pattern for the query path: the runtimes (fragment + index each)
+# dwarf the query, so they cross to each worker exactly once via the
+# initializer and every job carries only (runtime position, query).
+_WORKER_RUNTIMES: Sequence[FragmentRuntime] | None = None
+
+
+def _query_pool_init(runtimes: Sequence[FragmentRuntime]) -> None:
+    global _WORKER_RUNTIMES
+    _WORKER_RUNTIMES = runtimes
+
+
+def _run_one(args: tuple[int, QClassQuery]) -> FragmentTaskResult:
+    position, query = args
+    runtimes = _WORKER_RUNTIMES
+    if runtimes is None:  # pragma: no cover - initializer always runs first
+        raise RuntimeError("worker pool was started without _query_pool_init")
+    return execute_fragment_task(runtimes[position], query)
 
 
 def parallel_execute_query(
@@ -86,8 +100,10 @@ def parallel_execute_query(
 
     The answer is the Lemma-1 union of the per-fragment results.
     """
-    jobs = [(runtime, query) for runtime in runtimes]
-    with ProcessPoolExecutor(max_workers=processes) as pool:
+    jobs = [(position, query) for position in range(len(runtimes))]
+    with ProcessPoolExecutor(
+        max_workers=processes, initializer=_query_pool_init, initargs=(tuple(runtimes),)
+    ) as pool:
         results = list(pool.map(_run_one, jobs))
     merged: set[int] = set()
     for result in results:

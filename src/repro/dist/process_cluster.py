@@ -35,11 +35,13 @@ from repro.core.queries import QClassQuery
 from repro.dist.network import NetworkModel
 from repro.exceptions import ClusterError
 from repro.obs.trace import Span, SpanCollector, TraceContext
+from repro.shm import SharedSegmentStore, ShmWorkerRuntimes
 
 __all__ = [
     "ProcessClusterResponse",
     "ProcessCluster",
     "spawn_workers",
+    "build_worker_runtimes",
     "emulate_delivery",
     "worker_trace_collector",
     "finish_worker_spans",
@@ -55,7 +57,8 @@ def spawn_workers(
     worker_main,
     network_model: NetworkModel | None = None,
     compiled: bool = True,
-) -> tuple[list[Process], list[Connection], list[list[int]]]:
+    shm_store=None,
+) -> tuple[list[Process], list[Connection], list[list[int]], list[int]]:
     """Fork one worker process per machine, fragments assigned round-robin.
 
     Shared by :class:`ProcessCluster` and the pipelined serving cluster
@@ -63,7 +66,14 @@ def spawn_workers(
     worker loop they run over the returned pipe connections.  The third
     returned value maps each machine to the fragment ids it hosts, so
     epoch deltas (:meth:`ProcessCluster.apply_updates`) can be routed to
-    only the owning worker.
+    only the owning worker; the fourth is the per-machine startup
+    payload size in bytes (what actually crossed the pipe at fork).
+
+    ``shm_store`` (a :class:`repro.shm.SharedSegmentStore`) switches the
+    startup hand-off to the zero-copy plane: each fragment's compiled
+    kernel is packed into a shared-memory segment on the coordinator and
+    the worker receives only the O(1)-byte manifests — the fragments and
+    indexes themselves never cross the pipe.  Requires ``compiled``.
 
     ``network_model`` turns the analytic interconnect model into *wall
     clock*: every message carries its send timestamp, and the receiving
@@ -80,6 +90,11 @@ def spawn_workers(
         raise ClusterError("fragments and indexes must align")
     if not fragments:
         raise ClusterError("a cluster needs at least one fragment")
+    if shm_store is not None and not compiled:
+        raise ClusterError(
+            "shared-memory workers run packed kernels; compiled=False needs "
+            "the pickled hand-off"
+        )
     if num_machines is None:
         num_machines = len(fragments)
     num_machines = max(1, min(num_machines, len(fragments)))
@@ -93,11 +108,22 @@ def spawn_workers(
     context = get_context("fork")
     processes: list[Process] = []
     connections: list[Connection] = []
+    startup_bytes: list[int] = []
     for machine_id, pairs in enumerate(assignments):
+        if shm_store is not None:
+            manifests = [
+                shm_store.publish(fragment, index, epoch=0)
+                for fragment, index in pairs
+            ]
+            shm_store.lease(machine_id, manifests)
+            payload = pickle.dumps(("shm", manifests, network_model, compiled))
+        else:
+            payload = pickle.dumps(("pickle", pairs, network_model, compiled))
+        startup_bytes.append(len(payload))
         parent_end, child_end = Pipe()
         process = context.Process(
             target=worker_main,
-            args=(child_end, pickle.dumps((pairs, network_model, compiled))),
+            args=(child_end, payload),
             name=f"disks-worker-{machine_id}",
             daemon=True,
         )
@@ -108,7 +134,7 @@ def spawn_workers(
     fragment_assignments = [
         [fragment.fragment_id for fragment, _index in pairs] for pairs in assignments
     ]
-    return processes, connections, fragment_assignments
+    return processes, connections, fragment_assignments, startup_bytes
 
 
 def emulate_delivery(
@@ -181,17 +207,36 @@ def finish_worker_spans(
     return collector.spans
 
 
+def build_worker_runtimes(mode: str, data, compiled: bool):
+    """Materialise a worker's runtimes from either startup hand-off.
+
+    ``("pickle", pairs)`` compiles kernels from the shipped fragments —
+    the scratch arrays live where the queries run and never cross a
+    pipe.  ``("shm", manifests)`` attaches the coordinator-packed
+    shared-memory segments instead: nothing but the manifests crossed
+    the pipe, and the flat arrays are mapped, not copied.  Returns
+    ``(registry, runtimes)`` — the registry is ``None`` in pickle mode
+    and the attach point for ``apply_shm`` epoch swaps otherwise.
+    """
+    if mode == "shm":
+        registry = ShmWorkerRuntimes()
+        registry.attach(data)
+        return registry, registry.runtimes()
+    if mode != "pickle":
+        raise ClusterError(f"unknown worker startup mode {mode!r}")
+    runtimes = [
+        FragmentRuntime(fragment, index, compiled=compiled)
+        for fragment, index in data
+    ]
+    return None, runtimes
+
+
 def _worker_main(connection: Connection, payload: bytes) -> None:
     """Worker loop: deserialise runtimes once, then serve queries."""
+    registry = None
     try:
-        pairs: list[tuple[Fragment, NPDIndex]]
-        pairs, network_model, compiled = pickle.loads(payload)
-        # Kernels are compiled here, in the worker, so the scratch arrays
-        # live where the queries run and never cross a pipe.
-        runtimes = [
-            FragmentRuntime(fragment, index, compiled=compiled)
-            for fragment, index in pairs
-        ]
+        mode, data, network_model, compiled = pickle.loads(payload)
+        registry, runtimes = build_worker_runtimes(mode, data, compiled)
         connection.send(("ready", len(runtimes)))
         while True:
             raw = connection.recv_bytes()
@@ -199,6 +244,19 @@ def _worker_main(connection: Connection, payload: bytes) -> None:
             if kind == "stop":
                 connection.send(("stopped", None))
                 return
+            if kind == "apply_shm":
+                epoch, manifests = body
+                emulate_delivery(network_model, meta[0] if meta else None, len(raw))
+                started = time.perf_counter()
+                swapped = registry.attach(manifests)
+                runtimes = registry.runtimes()
+                elapsed = time.perf_counter() - started
+                connection.send_bytes(
+                    pickle.dumps(
+                        ("applied", (epoch, swapped, elapsed), time.perf_counter())
+                    )
+                )
+                continue
             if kind == "apply":
                 epoch, new_pairs = body
                 emulate_delivery(network_model, meta[0] if meta else None, len(raw))
@@ -252,6 +310,11 @@ def _worker_main(connection: Connection, payload: bytes) -> None:
         return
     except Exception:  # pragma: no cover - surfaced to the coordinator
         connection.send(("error", traceback.format_exc()))
+    finally:
+        # Unmap attached segments before interpreter shutdown so their
+        # __del__ never races the kernels' exported memoryviews.
+        if registry is not None:
+            registry.release_all()
 
 
 @dataclass(frozen=True)
@@ -279,11 +342,15 @@ class ProcessCluster:
         connections: list[Connection],
         network_model: NetworkModel | None = None,
         fragment_assignments: list[list[int]] | None = None,
+        shm_store: SharedSegmentStore | None = None,
+        startup_bytes: list[int] | None = None,
     ) -> None:
         self._processes = processes
         self._connections = connections
         self._network_model = network_model
         self._assignments = fragment_assignments or [[] for _ in processes]
+        self._shm_store = shm_store
+        self.startup_bytes = startup_bytes or []
         self._alive = True
         self.current_epoch = 0
 
@@ -300,6 +367,7 @@ class ProcessCluster:
         timeout_seconds: float = _DEFAULT_TIMEOUT,
         network_model: NetworkModel | None = None,
         compiled: bool = True,
+        use_shm: bool = False,
     ) -> "ProcessCluster":
         """Fork the workers and wait until every one reports ready.
 
@@ -307,11 +375,22 @@ class ProcessCluster:
         sleeping for each message's transfer time (see
         :func:`spawn_workers`).  ``compiled`` selects the packed kernel
         (default) or the dict-based reference evaluator in the workers.
+        ``use_shm`` hands fragments to workers as shared-memory segment
+        manifests instead of pickled state (see :mod:`repro.shm`).
         """
-        processes, connections, assignments = spawn_workers(
-            fragments, indexes, num_machines, _worker_main, network_model, compiled
+        shm_store = SharedSegmentStore() if use_shm else None
+        processes, connections, assignments, startup_bytes = spawn_workers(
+            fragments,
+            indexes,
+            num_machines,
+            _worker_main,
+            network_model,
+            compiled,
+            shm_store,
         )
-        cluster = cls(processes, connections, network_model, assignments)
+        cluster = cls(
+            processes, connections, network_model, assignments, shm_store, startup_bytes
+        )
         for machine_id, connection in enumerate(connections):
             try:
                 kind, body, _ = cls._receive(connection, timeout_seconds, machine_id)
@@ -350,6 +429,8 @@ class ProcessCluster:
                 process.terminate()
         for connection in self._connections:
             connection.close()
+        if self._shm_store is not None:
+            self._shm_store.unlink_all()
 
     # ------------------------------------------------------------------
     # Execution
@@ -499,6 +580,7 @@ class ProcessCluster:
             )
         started = time.perf_counter()
         involved: list[int] = []
+        leases: dict[int, list] = {}
         total_bytes = 0
         for machine_id, connection in enumerate(self._connections):
             hosted = set(self._assignments[machine_id])
@@ -509,7 +591,17 @@ class ProcessCluster:
             ]
             if not mine:
                 continue
-            payload = pickle.dumps(("apply", (epoch, mine), time.perf_counter()))
+            if self._shm_store is not None:
+                manifests = [
+                    self._shm_store.publish(fragment, index, epoch=epoch)
+                    for fragment, index in mine
+                ]
+                leases[machine_id] = manifests
+                payload = pickle.dumps(
+                    ("apply_shm", (epoch, manifests), time.perf_counter())
+                )
+            else:
+                payload = pickle.dumps(("apply", (epoch, mine), time.perf_counter()))
             total_bytes += len(payload)
             try:
                 connection.send_bytes(payload)
@@ -540,6 +632,11 @@ class ProcessCluster:
                 )
             swapped.extend(machine_swapped)
             total_bytes += wire_bytes
+            if self._shm_store is not None:
+                # The ack proves the serial worker holds no old-epoch
+                # reads; its lease moves forward and fully superseded
+                # segments are unlinked.
+                self._shm_store.lease(machine_id, leases[machine_id])
         self.current_epoch = epoch
         return {
             "epoch": epoch,

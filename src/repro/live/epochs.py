@@ -187,6 +187,24 @@ class EpochManager:
         """
         self._swap_subscribers.append(subscriber)
 
+    def bind_cluster(self, cluster) -> EpochSubscriber:
+        """Subscribe a cluster so every swap pushes its delta to workers.
+
+        ``cluster`` needs an ``apply_updates(epoch, replacements)``
+        method (:class:`repro.dist.ProcessCluster` and
+        :class:`repro.serve.PipelinedCluster` both qualify).  Returns
+        the registered subscriber so callers can :meth:`unsubscribe`
+        when the cluster shuts down before the manager does.
+        """
+
+        def _push(state: EpochState, delta: dict[int, tuple[Fragment, NPDIndex]]) -> None:
+            if delta:
+                cluster.apply_updates(state.epoch, list(delta.values()))
+
+        _push.__qualname__ = f"bind_cluster({type(cluster).__name__})"
+        self.subscribe(_push)
+        return _push
+
     def unsubscribe(self, subscriber) -> bool:
         """Remove a subscriber registered with either subscribe method.
 

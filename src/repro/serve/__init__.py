@@ -6,8 +6,11 @@ shape the paper's throughput story (§1, §5) actually implies:
 * :mod:`repro.serve.pipeline` — the pipelined worker protocol
   (request-id multiplexing, dispatcher threads, worker-crash
   detection + degraded mode);
-* :mod:`repro.serve.server` — the asyncio NDJSON TCP frontend with
+* :mod:`repro.serve.server` — the asyncio TCP frontend (NDJSON and the
+  DSKW binary protocol on one port, routed by first-byte sniff) with
   admission control, load shedding and per-query timeouts;
+* :mod:`repro.serve.wire` — the binary frame grammar shared by the TCP
+  frontend and the coordinator↔worker pipes (the fast data plane);
 * :mod:`repro.serve.admission` / :mod:`repro.serve.metrics` — the
   robustness and observability substrate (``stats`` admin command);
 * :mod:`repro.serve.client` — a blocking client plus the closed-loop
@@ -34,6 +37,7 @@ Quick start::
 
 from repro.serve.admission import AdmissionController
 from repro.serve.client import (
+    BinaryServeClient,
     LoadgenReport,
     ServeClient,
     generate_expressions,
@@ -55,6 +59,7 @@ __all__ = [
     "MetricsRegistry",
     "LatencyHistogram",
     "ServeClient",
+    "BinaryServeClient",
     "LoadgenReport",
     "generate_expressions",
     "run_loadgen",

@@ -26,12 +26,20 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro.core.language import parse_query
 from repro.exceptions import ClusterError, DisksError
 from repro.graph.road_network import RoadNetwork
+from repro.serve import wire
 from repro.serve.protocol import encode_line, decode_line, render_query
 from repro.workloads.querygen import QueryGenConfig, QueryGenerator
 
-__all__ = ["ServeClient", "LoadgenReport", "generate_expressions", "run_loadgen"]
+__all__ = [
+    "ServeClient",
+    "BinaryServeClient",
+    "LoadgenReport",
+    "generate_expressions",
+    "run_loadgen",
+]
 
 
 class ServeClient:
@@ -229,6 +237,138 @@ class ServeClient:
         self.close()
 
 
+class BinaryServeClient:
+    """A synchronous client for the DSKW binary protocol.
+
+    Connects, sends the 6-byte preamble, and expects the server's HELLO
+    frame before anything else.  Queries travel as QUERY/BATCH frames
+    and come back as ANSWER frames decoded into the same reply-dict
+    shape the NDJSON client produces — callers can swap protocols
+    without changing how they read results.  Admin ops (``stats``,
+    ``trace``, ...) ride in JSON frames on the same connection.
+
+    :meth:`prepare` parses + encodes a query expression once; the hot
+    loop then pays one 8-byte id pack per send instead of a parse and a
+    JSON encode.
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 7474, *, timeout_seconds: float = 30.0
+    ) -> None:
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout_seconds)
+        except OSError as error:
+            raise ClusterError(f"cannot reach server at {host}:{port}: {error}") from None
+        self._timeout = timeout_seconds
+        self._decoder = wire.FrameDecoder()
+        self._pushes: deque[dict] = deque()
+        self._next_id = 0
+        self._sock.sendall(wire.encode_preamble())
+        frame_type, payload = self._read_frame()
+        if frame_type != wire.FRAME_HELLO:
+            raise ClusterError(f"expected a HELLO frame, got type {frame_type}")
+        self.version, self.features = wire.decode_hello(payload)
+
+    # Transport ---------------------------------------------------------
+    def _read_frame(self) -> tuple[int, bytes]:
+        while True:
+            try:
+                frame = self._decoder.next_frame()
+            except wire.WireProtocolError as error:
+                raise ClusterError(f"protocol error from the server: {error}") from None
+            if frame is not None:
+                return frame
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ClusterError("the server closed the connection")
+            self._decoder.feed(chunk)
+
+    def _allocate_id(self, request_id: int | None) -> int:
+        if request_id is not None:
+            return request_id
+        self._next_id += 1
+        return self._next_id
+
+    def prepare(self, expression: str) -> bytes:
+        """Parse + encode one query expression into a reusable body."""
+        return wire.encode_query_body(parse_query(expression))
+
+    def send_query(self, prepared: bytes | str, request_id: int | None = None) -> int:
+        """Fire one QUERY frame without waiting; returns its id."""
+        if isinstance(prepared, str):
+            prepared = self.prepare(prepared)
+        request_id = self._allocate_id(request_id)
+        self._sock.sendall(
+            wire.encode_frame(
+                wire.FRAME_QUERY, request_id.to_bytes(8, "little") + prepared
+            )
+        )
+        return request_id
+
+    def read_reply(self) -> dict:
+        """The next non-push reply, as an NDJSON-shaped dict."""
+        while True:
+            frame_type, payload = self._read_frame()
+            if frame_type == wire.FRAME_ANSWER:
+                return wire.decode_answer(payload)
+            if frame_type == wire.FRAME_ERROR:
+                return wire.decode_error(payload)
+            if frame_type == wire.FRAME_UPDATE_ACK:
+                return wire.decode_update_ack(payload)
+            if frame_type == wire.FRAME_JSON:
+                reply = wire.decode_json_payload(payload)
+                if "push" in reply:
+                    self._pushes.append(reply)
+                    continue
+                return reply
+            raise ClusterError(f"unexpected frame type {frame_type} from the server")
+
+    def query(self, expression: str, request_id: int | None = None) -> dict:
+        """One synchronous round trip over the binary path."""
+        self.send_query(expression, request_id)
+        return self.read_reply()
+
+    def query_batch(self, prepared: list[bytes], first_id: int | None = None) -> list[dict]:
+        """Send one BATCH frame; replies returned in request-id order."""
+        if not prepared:
+            return []
+        base = self._allocate_id(first_id)
+        self._next_id = max(self._next_id, base + len(prepared) - 1)
+        entries = [(base + i, body) for i, body in enumerate(prepared)]
+        self._sock.sendall(wire.encode_batch(entries))
+        replies = {reply["id"]: reply for reply in (self.read_reply() for _ in entries)}
+        return [replies[request_id] for request_id, _ in entries]
+
+    def update(self, ops, request_id: int | None = None) -> dict:
+        """Apply one live-update batch over an UPDATE frame."""
+        records = [op.to_record() if hasattr(op, "to_record") else op for op in ops]
+        request_id = self._allocate_id(request_id)
+        self._sock.sendall(wire.encode_update(request_id, records))
+        return self.read_reply()
+
+    def request(self, payload: dict) -> dict:
+        """One admin round trip in a JSON frame."""
+        self._sock.sendall(wire.encode_json_frame(payload))
+        return self.read_reply()
+
+    def stats(self) -> dict:
+        """The server's metrics snapshot."""
+        reply = self.request({"op": "stats"})
+        if not reply.get("ok"):
+            raise ClusterError(f"stats failed: {reply}")
+        return reply["stats"]
+
+    def close(self) -> None:
+        """Close the connection."""
+        self._sock.close()
+
+    def __enter__(self) -> "BinaryServeClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
 def generate_expressions(
     network: RoadNetwork,
     *,
@@ -304,12 +444,27 @@ def run_loadgen(
     *,
     num_clients: int = 4,
     timeout_seconds: float = 60.0,
+    protocol: str = "ndjson",
+    batch: int = 1,
 ) -> LoadgenReport:
-    """Replay ``expressions`` closed-loop from ``num_clients`` connections."""
+    """Replay ``expressions`` closed-loop from ``num_clients`` connections.
+
+    ``protocol`` picks the wire: ``"ndjson"`` (the default, one JSON
+    line per query) or ``"binary"`` (DSKW frames with queries prepared
+    once per connection).  ``batch`` > 1 packs that many queries into
+    each BATCH frame on the binary path — per-query latency is then the
+    batch round trip divided by its size.
+    """
     if not expressions:
         raise DisksError("the load generator needs a non-empty query stream")
     if num_clients < 1:
         raise DisksError("the load generator needs at least one client")
+    if protocol not in ("ndjson", "binary"):
+        raise DisksError(f"unknown loadgen protocol {protocol!r}")
+    if batch < 1:
+        raise DisksError("the batch size must be at least 1")
+    if batch > 1 and protocol != "binary":
+        raise DisksError("query batching needs the binary protocol")
     num_clients = min(num_clients, len(expressions))
     shards: list[list[str]] = [[] for _ in range(num_clients)]
     for i, expression in enumerate(expressions):
@@ -319,26 +474,50 @@ def run_loadgen(
     outcomes = {"ok": 0, "shed": 0, "errors": 0}
     latencies: list[float] = []
 
+    def _absorb(reply: dict, elapsed: float) -> None:
+        with lock:
+            if reply.get("ok"):
+                outcomes["ok"] += 1
+                latencies.append(elapsed)
+            elif reply.get("error") == "overloaded":
+                outcomes["shed"] += 1
+            else:
+                outcomes["errors"] += 1
+
+    def _drive_ndjson(shard: list[str]) -> None:
+        with ServeClient(host, port, timeout_seconds=timeout_seconds) as client:
+            for expression in shard:
+                started = time.perf_counter()
+                try:
+                    reply = client.query(expression)
+                except ClusterError:
+                    with lock:
+                        outcomes["errors"] += 1
+                    continue
+                _absorb(reply, time.perf_counter() - started)
+
+    def _drive_binary(shard: list[str]) -> None:
+        with BinaryServeClient(host, port, timeout_seconds=timeout_seconds) as client:
+            prepared = [client.prepare(expression) for expression in shard]
+            for start in range(0, len(prepared), batch):
+                chunk = prepared[start : start + batch]
+                started = time.perf_counter()
+                try:
+                    replies = client.query_batch(chunk)
+                except ClusterError:
+                    with lock:
+                        outcomes["errors"] += len(chunk)
+                    continue
+                per_query = (time.perf_counter() - started) / len(chunk)
+                for reply in replies:
+                    _absorb(reply, per_query)
+
     def _drive(shard: list[str]) -> None:
         try:
-            with ServeClient(host, port, timeout_seconds=timeout_seconds) as client:
-                for expression in shard:
-                    started = time.perf_counter()
-                    try:
-                        reply = client.query(expression)
-                    except ClusterError:
-                        with lock:
-                            outcomes["errors"] += 1
-                        continue
-                    elapsed = time.perf_counter() - started
-                    with lock:
-                        if reply.get("ok"):
-                            outcomes["ok"] += 1
-                            latencies.append(elapsed)
-                        elif reply.get("error") == "overloaded":
-                            outcomes["shed"] += 1
-                        else:
-                            outcomes["errors"] += 1
+            if protocol == "binary":
+                _drive_binary(shard)
+            else:
+                _drive_ndjson(shard)
         except ClusterError:
             with lock:
                 outcomes["errors"] += len(shard)

@@ -57,13 +57,13 @@ from dataclasses import dataclass
 from multiprocessing.connection import Connection
 from multiprocessing.process import BaseProcess
 
-from repro.core.coverage import FragmentRuntime
 from repro.core.executor import execute_fragment_task
 from repro.core.fragment import Fragment
 from repro.core.npd import NPDIndex
 from repro.core.queries import QClassQuery
 from repro.dist.network import NetworkModel
 from repro.dist.process_cluster import (
+    build_worker_runtimes,
     emulate_delivery,
     finish_worker_spans,
     spawn_workers,
@@ -71,6 +71,8 @@ from repro.dist.process_cluster import (
 )
 from repro.exceptions import ClusterError
 from repro.obs.trace import Span, SpanCollector, TraceContext
+from repro.serve import wire
+from repro.shm import SharedSegmentStore
 
 __all__ = ["PipelinedResponse", "PendingQuery", "PendingApply", "PipelinedCluster"]
 
@@ -81,22 +83,44 @@ def _pipelined_worker_main(connection: Connection, payload: bytes) -> None:
     """Worker loop: one tagged reply per tagged request, errors included.
 
     Unlike the lockstep worker, a task failure poisons only its own
-    request — the loop keeps serving afterwards.
+    request — the loop keeps serving afterwards.  Requests may arrive
+    pickled or as binary pipe frames (:func:`repro.serve.wire.loads_pipe`
+    sniffs the first byte); a reply is sent in the encoding its request
+    arrived in, so the coordinator can migrate one message class at a
+    time.  Traced queries and all control traffic stay pickled.
     """
+    registry = None
     try:
-        pairs: list[tuple[Fragment, NPDIndex]]
-        pairs, network_model, compiled = pickle.loads(payload)
-        runtimes = [
-            FragmentRuntime(fragment, index, compiled=compiled)
-            for fragment, index in pairs
-        ]
+        mode, data, network_model, compiled = pickle.loads(payload)
+        registry, runtimes = build_worker_runtimes(mode, data, compiled)
         connection.send(("ready", len(runtimes)))
         while True:
             raw = connection.recv_bytes()
-            kind, body, *meta = pickle.loads(raw)
+            binary = raw[0] != 0x80  # pickle protocol ≥ 2 opcode
+            kind, body, *meta = wire.loads_pipe(raw)
             if kind == "stop":
                 connection.send(("stopped", None))
                 return
+            if kind == "apply_shm":
+                emulate_delivery(network_model, meta[0] if meta else None, len(raw))
+                request_id, epoch, manifests = body
+                try:
+                    started = time.perf_counter()
+                    swapped = registry.attach(manifests)
+                    runtimes = registry.runtimes()
+                    elapsed = time.perf_counter() - started
+                    connection.send_bytes(
+                        pickle.dumps(
+                            (
+                                "applied",
+                                (request_id, epoch, swapped, elapsed),
+                                time.perf_counter(),
+                            )
+                        )
+                    )
+                except Exception:
+                    connection.send(("error", (request_id, traceback.format_exc())))
+                continue
             if kind == "apply":
                 emulate_delivery(network_model, meta[0] if meta else None, len(raw))
                 request_id, epoch, new_pairs = body
@@ -151,15 +175,28 @@ def _pipelined_worker_main(connection: Connection, payload: bytes) -> None:
                         elapsed,
                         finish_worker_spans(collector, parent_id, reply, elapsed),
                     )
+                    connection.send_bytes(
+                        pickle.dumps(("results", body_out, time.perf_counter()))
+                    )
+                elif binary:
+                    connection.send_bytes(
+                        wire.dumps_pipe_results(
+                            request_id, reply, elapsed, time.perf_counter()
+                        )
+                    )
                 else:
-                    body_out = (request_id, reply, elapsed)
-                connection.send_bytes(
-                    pickle.dumps(("results", body_out, time.perf_counter()))
-                )
+                    connection.send_bytes(
+                        pickle.dumps(
+                            ("results", (request_id, reply, elapsed), time.perf_counter())
+                        )
+                    )
             except Exception:
                 connection.send(("error", (request_id, traceback.format_exc())))
     except (EOFError, OSError):  # coordinator went away
         return
+    finally:
+        if registry is not None:
+            registry.release_all()
 
 
 @dataclass(frozen=True)
@@ -199,7 +236,15 @@ class PendingApply:
 class _InFlightApply:
     """Coordinator-side state for one epoch delta being applied."""
 
-    __slots__ = ("future", "epoch", "awaiting", "started", "swapped", "message_bytes")
+    __slots__ = (
+        "future",
+        "epoch",
+        "awaiting",
+        "started",
+        "swapped",
+        "message_bytes",
+        "manifests",
+    )
 
     def __init__(self, epoch: int, awaiting: set[int]) -> None:
         self.future: Future[dict[str, object]] = Future()
@@ -208,6 +253,9 @@ class _InFlightApply:
         self.started = time.perf_counter()
         self.swapped: list[int] = []
         self.message_bytes = 0
+        # machine_id -> the segment manifests shipped to it (shm mode);
+        # an ack moves that machine's store leases to the new epoch.
+        self.manifests: dict[int, list] = {}
 
 
 class _InFlight:
@@ -257,11 +305,17 @@ class PipelinedCluster:
         connections: list[Connection],
         network_model: NetworkModel | None = None,
         fragment_assignments: list[list[int]] | None = None,
+        shm_store: SharedSegmentStore | None = None,
+        startup_bytes: list[int] | None = None,
+        pipe_wire: str = "pickle",
     ) -> None:
         self._processes = processes
         self._connections = connections
         self._network_model = network_model
         self._assignments = fragment_assignments or [[] for _ in processes]
+        self._shm_store = shm_store
+        self.startup_bytes = startup_bytes or []
+        self._pipe_wire = pipe_wire
         self._send_locks = [threading.Lock() for _ in connections]
         # Serialises whole fan-outs (query vs apply) so their relative
         # order is identical on every pipe — the torn-epoch guard.
@@ -289,6 +343,8 @@ class PipelinedCluster:
         timeout_seconds: float = _DEFAULT_TIMEOUT,
         network_model: NetworkModel | None = None,
         compiled: bool = True,
+        use_shm: bool = False,
+        pipe_wire: str = "binary",
     ) -> "PipelinedCluster":
         """Fork the workers, handshake, then start the dispatchers.
 
@@ -299,16 +355,36 @@ class PipelinedCluster:
         precisely the dispatch win this class exists for.  ``compiled``
         selects the packed kernel (default) or the dict-based reference
         evaluator in the workers.
+
+        ``use_shm`` hands fragments to workers as shared-memory segment
+        manifests (:mod:`repro.shm`) instead of pickled state.
+        ``pipe_wire`` selects the encoding of *untraced* query traffic on
+        the worker pipes: ``"binary"`` (default — the struct-packed
+        frames of :mod:`repro.serve.wire`) or ``"pickle"`` (the legacy
+        path, kept for A/B benchmarking).  Workers answer in whichever
+        encoding each request arrived in, so the two interoperate.
         """
-        processes, connections, assignments = spawn_workers(
+        if pipe_wire not in ("binary", "pickle"):
+            raise ClusterError(f"unknown pipe wire encoding {pipe_wire!r}")
+        shm_store = SharedSegmentStore() if use_shm else None
+        processes, connections, assignments, startup_bytes = spawn_workers(
             fragments,
             indexes,
             num_machines,
             _pipelined_worker_main,
             network_model,
             compiled,
+            shm_store,
         )
-        cluster = cls(processes, connections, network_model, assignments)
+        cluster = cls(
+            processes,
+            connections,
+            network_model,
+            assignments,
+            shm_store,
+            startup_bytes,
+            pipe_wire,
+        )
         for machine_id, connection in enumerate(connections):
             if not connection.poll(timeout_seconds):
                 cluster.shutdown()
@@ -384,6 +460,8 @@ class PipelinedCluster:
             connection.close()
         for thread in self._dispatchers:
             thread.join(timeout=timeout_seconds)
+        if self._shm_store is not None:
+            self._shm_store.unlink_all()
         with self._lock:
             leftover = list(self._pending.values())
             self._pending.clear()
@@ -412,7 +490,7 @@ class PipelinedCluster:
                 if not self._closing:
                     self._on_worker_death(machine_id)
                 return
-            kind, body, *meta = pickle.loads(raw)
+            kind, body, *meta = wire.loads_pipe(raw)
             if kind == "stopped":
                 return
             emulate_delivery(self._network_model, meta[0] if meta else None, len(raw))
@@ -493,10 +571,16 @@ class PipelinedCluster:
             apply.swapped.extend(swapped)
             apply.message_bytes += wire_bytes
             apply.awaiting.discard(machine_id)
-            if apply.awaiting:
-                return
-            del self._pending_applies[request_id]
-        self._complete_apply(apply)
+            shipped = apply.manifests.get(machine_id)
+            done = not apply.awaiting
+            if done:
+                del self._pending_applies[request_id]
+        if shipped is not None and self._shm_store is not None:
+            # Serial worker + FIFO pipe: this ack proves no in-flight
+            # query still reads the superseded epoch on that machine.
+            self._shm_store.lease(machine_id, shipped)
+        if done:
+            self._complete_apply(apply)
 
     def _complete_apply(self, apply: _InFlightApply) -> None:
         self.current_epoch = max(self.current_epoch, apply.epoch)
@@ -519,6 +603,11 @@ class PipelinedCluster:
             apply.future.set_exception(error)
 
     def _on_worker_death(self, machine_id: int) -> None:
+        if self._shm_store is not None:
+            # The dead worker's mappings died with it; dropping its
+            # leases lets superseded segments retire without waiting on
+            # an ack that will never come.
+            self._shm_store.release_machine(machine_id)
         with self._lock:
             if machine_id in self._dead:
                 return
@@ -588,9 +677,15 @@ class PipelinedCluster:
                     )
             self._pending[request_id] = inflight
         if trace is None:
-            shared = pickle.dumps(
-                ("query", (request_id, query, None), time.perf_counter())
-            )
+            # The untraced fast path: one shared payload, struct-packed
+            # when the pipes speak binary (cheaper to encode and ~2-4×
+            # smaller than the pickled tuple on typical queries).
+            if self._pipe_wire == "binary":
+                shared = wire.dumps_pipe_query(request_id, query, time.perf_counter())
+            else:
+                shared = pickle.dumps(
+                    ("query", (request_id, query, None), time.perf_counter())
+                )
             payloads = {machine_id: shared for machine_id in live}
         else:
             payloads = {
@@ -664,6 +759,13 @@ class PipelinedCluster:
                 self._pending_applies.pop(request_id, None)
             self._complete_apply(apply)
             return PendingApply(request_id=request_id, epoch=epoch, future=apply.future)
+        published: dict[int, object] = {}
+        if self._shm_store is not None:
+            # Pack each changed fragment once, then ship only manifests.
+            for fragment, index in replacements:
+                published[fragment.fragment_id] = self._shm_store.publish(
+                    fragment, index, epoch=epoch
+                )
         sent_bytes = 0
         with self._fanout_lock:
             for machine_id in involved:
@@ -672,9 +774,22 @@ class PipelinedCluster:
                     for fragment, index in replacements
                     if fragment.fragment_id in self._assignments[machine_id]
                 ]
-                payload = pickle.dumps(
-                    ("apply", (request_id, epoch, mine), time.perf_counter())
-                )
+                if self._shm_store is not None:
+                    manifests = [
+                        published[fragment.fragment_id] for fragment, _index in mine
+                    ]
+                    apply.manifests[machine_id] = manifests
+                    payload = pickle.dumps(
+                        (
+                            "apply_shm",
+                            (request_id, epoch, manifests),
+                            time.perf_counter(),
+                        )
+                    )
+                else:
+                    payload = pickle.dumps(
+                        ("apply", (request_id, epoch, mine), time.perf_counter())
+                    )
                 try:
                     with self._send_locks[machine_id]:
                         self._connections[machine_id].send_bytes(payload)

@@ -60,11 +60,32 @@ from repro.obs.events import global_events
 from repro.obs.export import JsonlTraceSink
 from repro.obs.prometheus import render_prometheus
 from repro.obs.trace import Tracer
+from repro.serve import wire
 from repro.serve.admission import AdmissionController
 from repro.serve.metrics import MetricsRegistry
-from repro.serve.protocol import decode_line, encode_line
+from repro.serve.protocol import decode_line, encode_line, render_query
 
 __all__ = ["ServeConfig", "DisksServer", "serve_in_thread"]
+
+
+class _Connection:
+    """One accepted socket: writer, write lock, protocol, sub channel.
+
+    ``binary`` is fixed at accept time by the first byte on the wire
+    (``D`` opens a DSKW binary connection, anything else is NDJSON) and
+    decides how :meth:`DisksServer._respond` encodes reply dicts —
+    NDJSON lines or JSON frames.  Binary-native replies (ANSWER, ERROR,
+    UPDATE_ACK frames) bypass ``_respond`` and go straight to
+    ``_send_raw``.
+    """
+
+    __slots__ = ("writer", "write_lock", "binary", "channel")
+
+    def __init__(self, writer: asyncio.StreamWriter, binary: bool) -> None:
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.binary = binary
+        self.channel: _SubChannel | None = None
 
 
 class _SubChannel:
@@ -81,10 +102,9 @@ class _SubChannel:
     authoritative and discard deltas for epochs ≤ its epoch.
     """
 
-    def __init__(self, server: "DisksServer", writer, write_lock, loop, limit: int):
+    def __init__(self, server: "DisksServer", conn: _Connection, loop, limit: int):
         self._server = server
-        self._writer = writer
-        self._write_lock = write_lock
+        self._conn = conn
         self._loop = loop
         self._limit = limit
         self._lock = threading.Lock()
@@ -149,7 +169,7 @@ class _SubChannel:
                     continue
                 frame = {"push": "resync", "dropped": dropped, **snapshot}
                 self._server.metrics.increment("sub_resyncs")
-            await self._server._respond(self._writer, self._write_lock, frame)
+            await self._server._respond(self._conn, frame)
 
 
 @dataclass(frozen=True)
@@ -181,6 +201,8 @@ class ServeConfig:
     trace_log: str | None = None
     trace_capacity: int = 256
     sub_queue_limit: int = 256
+    max_frame_bytes: int = wire.MAX_FRAME_BYTES
+    frame_timeout_seconds: float = 5.0
 
 
 class DisksServer:
@@ -251,78 +273,184 @@ class DisksServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        write_lock = asyncio.Lock()
-        tasks: set[asyncio.Task] = set()
-        channel = _SubChannel(
-            self,
-            writer,
-            write_lock,
-            asyncio.get_running_loop(),
-            self.config.sub_queue_limit,
-        )
+        # One sniffed byte routes the connection: a DSKW preamble opens
+        # the binary protocol, anything else (NDJSON starts with `{`)
+        # stays on the line protocol.  No flag, no second port.
         try:
-            while True:
-                line = await reader.readline()
-                if not line:
-                    break
-                if not line.strip():
-                    continue
-                task = asyncio.create_task(
-                    self._handle_line(line, writer, write_lock, channel)
-                )
-                tasks.add(task)
-                task.add_done_callback(tasks.discard)
+            first = await reader.read(1)
+        except (ConnectionResetError, OSError):
+            first = b""
+        if not first:
+            with contextlib.suppress(ConnectionResetError, OSError):
+                writer.close()
+                await writer.wait_closed()
+            return
+        conn = _Connection(writer, binary=(first == wire.MAGIC[:1]))
+        conn.channel = _SubChannel(
+            self, conn, asyncio.get_running_loop(), self.config.sub_queue_limit
+        )
+        tasks: set[asyncio.Task] = set()
+        try:
+            if conn.binary:
+                self.metrics.increment("binary_connections")
+                await self._binary_loop(first, reader, conn, tasks)
+            else:
+                self.metrics.increment("ndjson_connections")
+                await self._ndjson_loop(first, reader, conn, tasks)
         except (ConnectionResetError, OSError):
             pass
         finally:
-            channel.close()
-            if channel.subs and self.sub_engine is not None:
+            conn.channel.close()
+            if conn.channel.subs and self.sub_engine is not None:
                 # Subscriptions die with their connection; unregister off
                 # the loop (the engine lock may be held by a re-eval).
-                for sub_id in list(channel.subs):
+                for sub_id in list(conn.channel.subs):
                     await asyncio.to_thread(self.sub_engine.unregister, sub_id)
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
             with contextlib.suppress(ConnectionResetError, OSError):
                 writer.close()
+            # A loop shutdown can cancel the handler while it waits for
+            # the close handshake; the socket is already closed, so the
+            # cancellation is only noise.
+            with contextlib.suppress(
+                ConnectionResetError, OSError, asyncio.CancelledError
+            ):
                 await writer.wait_closed()
 
-    async def _respond(
-        self, writer: asyncio.StreamWriter, write_lock: asyncio.Lock, payload: dict
-    ) -> None:
-        data = encode_line(payload)
-        async with write_lock:
-            with contextlib.suppress(ConnectionResetError, OSError):
-                writer.write(data)
-                await writer.drain()
-
-    async def _handle_line(
+    async def _ndjson_loop(
         self,
-        line: bytes,
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
-        channel: _SubChannel,
+        first: bytes,
+        reader: asyncio.StreamReader,
+        conn: _Connection,
+        tasks: set[asyncio.Task],
     ) -> None:
+        prefix = first if first.strip() else b""
+        while True:
+            line = await reader.readline()
+            if prefix:
+                line, prefix = prefix + line, b""
+            if not line:
+                break
+            if not line.strip():
+                continue
+            task = asyncio.create_task(self._handle_line(line, conn))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+
+    async def _binary_loop(
+        self,
+        first: bytes,
+        reader: asyncio.StreamReader,
+        conn: _Connection,
+        tasks: set[asyncio.Task],
+    ) -> None:
+        """Negotiate, then read frames until EOF or a protocol error.
+
+        Partial reads (a torn length prefix, a frame that stops arriving
+        mid-payload) are bounded by ``frame_timeout_seconds`` — an
+        adversarial or broken peer gets an ERROR frame and a closed
+        connection, never a hung handler.  Waiting for the *start* of
+        the next frame is unbounded: an idle connection is fine.
+        """
+        timeout = self.config.frame_timeout_seconds
+        try:
+            rest = await asyncio.wait_for(reader.readexactly(5), timeout)
+        except (asyncio.IncompleteReadError, asyncio.TimeoutError):
+            self.metrics.increment("wire_errors")
+            return
+        try:
+            features = wire.decode_preamble(first + rest)
+        except wire.WireProtocolError as error:
+            self.metrics.increment("wire_errors")
+            await self._send_raw(conn, wire.encode_error(None, "wire", str(error)))
+            return
+        await self._send_raw(conn, wire.encode_hello(features))
+        while True:
+            lead = await reader.read(1)
+            if not lead:
+                return  # clean EOF between frames
+            try:
+                header = lead + await asyncio.wait_for(reader.readexactly(3), timeout)
+                (length,) = wire.LENGTH_PREFIX.unpack(header)
+                if length < 1 or length > self.config.max_frame_bytes:
+                    raise wire.WireProtocolError(
+                        f"declared frame length {length} out of range"
+                    )
+                frame = await asyncio.wait_for(reader.readexactly(length), timeout)
+                jobs = self._decode_frame_jobs(frame[0], frame[1:], conn)
+            except (asyncio.IncompleteReadError, asyncio.TimeoutError):
+                self.metrics.increment("wire_errors")
+                await self._send_raw(
+                    conn, wire.encode_error(None, "wire", "truncated frame")
+                )
+                return
+            except wire.WireProtocolError as error:
+                self.metrics.increment("wire_errors")
+                await self._send_raw(conn, wire.encode_error(None, "wire", str(error)))
+                return
+            for job in jobs:
+                task = asyncio.create_task(job)
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+
+    def _decode_frame_jobs(self, frame_type: int, payload: bytes, conn: _Connection):
+        """Decode one binary frame into handler coroutines.
+
+        Decoding happens inline on the connection loop — a malformed
+        frame must kill the connection *before* later frames dispatch —
+        while query execution runs as tasks so the connection pipelines.
+        """
+        if frame_type == wire.FRAME_QUERY:
+            request_id, query = wire.decode_query_payload(payload)
+            return [self._handle_wire_query(request_id, query, conn)]
+        if frame_type == wire.FRAME_BATCH:
+            return [self._handle_wire_batch(wire.decode_batch(payload), conn)]
+        if frame_type == wire.FRAME_UPDATE:
+            request_id, records = wire.decode_update(payload)
+            return [self._handle_wire_update(request_id, records, conn)]
+        if frame_type == wire.FRAME_JSON:
+            request = wire.decode_json_payload(payload)
+            return [self._dispatch_request(request, conn)]
+        raise wire.WireProtocolError(
+            f"unexpected frame type {frame_type} from a client"
+        )
+
+    async def _send_raw(self, conn: _Connection, data: bytes) -> None:
+        async with conn.write_lock:
+            with contextlib.suppress(ConnectionResetError, OSError):
+                conn.writer.write(data)
+                await conn.writer.drain()
+
+    async def _respond(self, conn: _Connection, payload: dict) -> None:
+        if conn.binary:
+            data = wire.encode_json_frame(payload)
+        else:
+            data = encode_line(payload)
+        await self._send_raw(conn, data)
+
+    async def _handle_line(self, line: bytes, conn: _Connection) -> None:
         try:
             request = decode_line(line)
         except ValueError as error:
             self.metrics.increment("bad_requests")
             await self._respond(
-                writer,
-                write_lock,
+                conn,
                 {"id": None, "ok": False, "error": "bad-json", "detail": str(error)},
             )
             return
+        await self._dispatch_request(request, conn)
+
+    async def _dispatch_request(self, request: dict, conn: _Connection) -> None:
         request_id = request.get("id")
         op = request.get("op", "query")
         if op == "stats":
             await self._respond(
-                writer, write_lock, {"id": request_id, "ok": True, "stats": self.stats()}
+                conn, {"id": request_id, "ok": True, "stats": self.stats()}
             )
         elif op == "info":
             await self._respond(
-                writer,
-                write_lock,
+                conn,
                 {
                     "id": request_id,
                     "ok": True,
@@ -333,23 +461,16 @@ class DisksServer:
                 },
             )
         elif op == "ping":
-            await self._respond(
-                writer, write_lock, {"id": request_id, "ok": True, "pong": True}
-            )
+            await self._respond(conn, {"id": request_id, "ok": True, "pong": True})
         elif op == "epoch":
             await self._respond(
-                writer,
-                write_lock,
-                {"id": request_id, "ok": True, "epoch": self._current_epoch()},
+                conn, {"id": request_id, "ok": True, "epoch": self._current_epoch()}
             )
         elif op == "trace":
-            await self._respond(
-                writer, write_lock, self._trace_payload(request_id, request)
-            )
+            await self._respond(conn, self._trace_payload(request_id, request))
         elif op == "metrics":
             await self._respond(
-                writer,
-                write_lock,
+                conn,
                 {
                     "id": request_id,
                     "ok": True,
@@ -357,20 +478,17 @@ class DisksServer:
                 },
             )
         elif op == "update":
-            await self._handle_update(request_id, request, writer, write_lock)
+            await self._handle_update(request_id, request, conn)
         elif op == "subscribe":
-            await self._handle_subscribe(request_id, request, writer, write_lock, channel)
+            await self._handle_subscribe(request_id, request, conn)
         elif op == "unsubscribe":
-            await self._handle_unsubscribe(
-                request_id, request, writer, write_lock, channel
-            )
+            await self._handle_unsubscribe(request_id, request, conn)
         elif op == "query":
-            await self._handle_query(request_id, request, writer, write_lock)
+            await self._handle_query(request_id, request, conn)
         else:
             self.metrics.increment("bad_requests")
             await self._respond(
-                writer,
-                write_lock,
+                conn,
                 {"id": request_id, "ok": False, "error": "unknown-op", "detail": op},
             )
 
@@ -380,56 +498,41 @@ class DisksServer:
             return self._updater.epoch
         return getattr(self._cluster, "current_epoch", None)
 
-    async def _handle_update(
-        self,
-        request_id,
-        request: dict,
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
-    ) -> None:
+    async def _apply_update_records(self, request_id, records) -> dict:
+        """Run one update batch; returns the reply dict (not yet sent).
+
+        Shared by the NDJSON ``update`` op and the binary UPDATE frame —
+        one admission/metrics/apply path, two encodings of the outcome.
+        """
         self.metrics.increment("updates_received")
         if self._updater is None:
-            await self._respond(
-                writer,
-                write_lock,
-                {
-                    "id": request_id,
-                    "ok": False,
-                    "error": "no-live",
-                    "detail": "this server was started without live-update support",
-                },
-            )
-            return
-        records = request.get("ops")
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": "no-live",
+                "detail": "this server was started without live-update support",
+            }
         if not isinstance(records, list) or not records:
             self.metrics.increment("bad_requests")
-            await self._respond(
-                writer,
-                write_lock,
-                {
-                    "id": request_id,
-                    "ok": False,
-                    "error": "bad-update",
-                    "detail": "the request needs a non-empty op list under 'ops'",
-                },
-            )
-            return
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": "bad-update",
+                "detail": "the request needs a non-empty op list under 'ops'",
+            }
         try:
             ops = [op_from_record(record) for record in records]
         except LiveUpdateError as error:
             self.metrics.increment("update_errors")
-            await self._respond(
-                writer,
-                write_lock,
-                {"id": request_id, "ok": False, "error": "bad-update", "detail": str(error)},
-            )
-            return
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": "bad-update",
+                "detail": str(error),
+            }
         if not self.admission.try_acquire():
             self.metrics.increment("shed")
-            await self._respond(
-                writer, write_lock, {"id": request_id, "ok": False, "error": "overloaded"}
-            )
-            return
+            return {"id": request_id, "ok": False, "error": "overloaded"}
         arrived = time.perf_counter()
         self.metrics.observe_gauge("inflight", self.admission.depth)
         try:
@@ -440,25 +543,20 @@ class DisksServer:
                 swap = await asyncio.to_thread(self._updater.apply, ops)
             except LiveUpdateError as error:
                 self.metrics.increment("update_errors")
-                await self._respond(
-                    writer,
-                    write_lock,
-                    {
-                        "id": request_id,
-                        "ok": False,
-                        "error": "bad-update",
-                        "detail": str(error),
-                    },
-                )
-                return
+                return {
+                    "id": request_id,
+                    "ok": False,
+                    "error": "bad-update",
+                    "detail": str(error),
+                }
             except ClusterError as error:
                 self.metrics.increment("errors")
-                await self._respond(
-                    writer,
-                    write_lock,
-                    {"id": request_id, "ok": False, "error": "cluster", "detail": str(error)},
-                )
-                return
+                return {
+                    "id": request_id,
+                    "ok": False,
+                    "error": "cluster",
+                    "detail": str(error),
+                }
             staleness = time.perf_counter() - arrived
             self.metrics.increment("updates")
             self.metrics.increment("update_ops", by=swap.num_ops)
@@ -466,20 +564,37 @@ class DisksServer:
             self.metrics.observe("apply_seconds", swap.apply_seconds)
             self.metrics.observe("swap_seconds", swap.swap_seconds)
             self.metrics.observe("staleness_seconds", staleness)
-            await self._respond(
-                writer,
-                write_lock,
-                {
-                    "id": request_id,
-                    "ok": True,
-                    "epoch": swap.epoch,
-                    "applied": swap.to_dict(),
-                    "staleness_ms": staleness * 1000.0,
-                },
-            )
+            return {
+                "id": request_id,
+                "ok": True,
+                "epoch": swap.epoch,
+                "applied": swap.to_dict(),
+                "staleness_ms": staleness * 1000.0,
+            }
         finally:
             self.admission.release()
             self.metrics.observe_gauge("inflight", self.admission.depth)
+
+    async def _handle_update(self, request_id, request: dict, conn: _Connection) -> None:
+        reply = await self._apply_update_records(request_id, request.get("ops"))
+        await self._respond(conn, reply)
+
+    async def _handle_wire_update(
+        self, request_id: int, records: list, conn: _Connection
+    ) -> None:
+        reply = await self._apply_update_records(request_id, records)
+        if reply.get("ok"):
+            frame = wire.encode_update_ack(
+                request_id,
+                epoch=reply["epoch"],
+                applied=reply["applied"]["num_ops"],
+                staleness_ms=reply["staleness_ms"],
+            )
+        else:
+            frame = wire.encode_error(
+                request_id, reply["error"], reply.get("detail", "")
+            )
+        await self._send_raw(conn, frame)
 
     def _parse_query_text(self, request_id, text):
         """Parse + radius-check a wire query; ``(query, None)`` on success,
@@ -520,18 +635,13 @@ class DisksServer:
         return query, None
 
     async def _handle_subscribe(
-        self,
-        request_id,
-        request: dict,
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
-        channel: _SubChannel,
+        self, request_id, request: dict, conn: _Connection
     ) -> None:
+        channel = conn.channel
         self.metrics.increment("subscribes_received")
         if self.sub_engine is None:
             await self._respond(
-                writer,
-                write_lock,
+                conn,
                 {
                     "id": request_id,
                     "ok": False,
@@ -542,14 +652,13 @@ class DisksServer:
             return
         query, rejection = self._parse_query_text(request_id, request.get("q"))
         if rejection is not None:
-            await self._respond(writer, write_lock, rejection)
+            await self._respond(conn, rejection)
             return
         sub_id = request.get("sub")
         if sub_id is not None and not isinstance(sub_id, str):
             self.metrics.increment("bad_requests")
             await self._respond(
-                writer,
-                write_lock,
+                conn,
                 {
                     "id": request_id,
                     "ok": False,
@@ -561,7 +670,7 @@ class DisksServer:
         if not self.admission.try_acquire():
             self.metrics.increment("shed")
             await self._respond(
-                writer, write_lock, {"id": request_id, "ok": False, "error": "overloaded"}
+                conn, {"id": request_id, "ok": False, "error": "overloaded"}
             )
             return
         try:
@@ -578,8 +687,7 @@ class DisksServer:
             except DisksError as error:
                 self.metrics.increment("update_errors")
                 await self._respond(
-                    writer,
-                    write_lock,
+                    conn,
                     {
                         "id": request_id,
                         "ok": False,
@@ -590,8 +698,7 @@ class DisksServer:
                 return
             channel.subs.add(subscription.sub_id)
             await self._respond(
-                writer,
-                write_lock,
+                conn,
                 {
                     "id": request_id,
                     "ok": True,
@@ -605,17 +712,11 @@ class DisksServer:
             self.admission.release()
 
     async def _handle_unsubscribe(
-        self,
-        request_id,
-        request: dict,
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
-        channel: _SubChannel,
+        self, request_id, request: dict, conn: _Connection
     ) -> None:
         if self.sub_engine is None:
             await self._respond(
-                writer,
-                write_lock,
+                conn,
                 {
                     "id": request_id,
                     "ok": False,
@@ -628,66 +729,85 @@ class DisksServer:
         removed = False
         if isinstance(sub_id, str):
             removed = await asyncio.to_thread(self.sub_engine.unregister, sub_id)
-            channel.subs.discard(sub_id)
+            conn.channel.subs.discard(sub_id)
         await self._respond(
-            writer,
-            write_lock,
-            {"id": request_id, "ok": True, "sub": sub_id, "removed": removed},
+            conn, {"id": request_id, "ok": True, "sub": sub_id, "removed": removed}
         )
 
-    async def _handle_query(
-        self,
-        request_id,
-        request: dict,
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
-    ) -> None:
+    async def _run_query(self, query, text):
+        """Submit + await one parsed query; ``(response, trace, latency)``.
+
+        Raises :class:`ClusterError` and :class:`asyncio.TimeoutError`
+        for the caller to encode; on success all completion metrics,
+        tracing and the slow ring are already fed.  Shared by the NDJSON
+        query op and the binary QUERY/BATCH frames, which is what makes
+        the two protocol paths answer-identical by construction.
+
+        ``text`` is the query-language rendering for traces and the
+        slow-query ring — either a string or a zero-arg callable, so the
+        binary path only pays for rendering on the sampled/slow queries
+        that actually record it.
+        """
+        arrived = time.perf_counter()
+        trace = self.tracer.maybe_trace()
+        if trace is not None:
+            pending = self._cluster.submit(query, trace=trace)
+        else:
+            pending = self._cluster.submit(query)
+        try:
+            response = await asyncio.wait_for(
+                asyncio.wrap_future(pending.future),
+                self.config.query_timeout_seconds,
+            )
+        except asyncio.TimeoutError:
+            self._cluster.forget(pending.request_id)
+            self.metrics.increment("timeouts")
+            raise
+        latency = time.perf_counter() - arrived
+        self.metrics.observe("latency_seconds", latency)
+        self.metrics.increment("completed")
+        for machine_id, seconds in response.machine_seconds.items():
+            self.metrics.add_busy(machine_id, seconds)
+        slow = latency * 1000.0 >= self.config.slow_query_ms
+        if trace is not None or slow:
+            rendered = text() if callable(text) else text
+            if trace is not None:
+                self._finish_trace(trace, rendered, response, latency, slow)
+            else:
+                # Unsampled slow query: spans cannot be collected after
+                # the fact, so the ring gets a coarse entry instead.
+                self.metrics.increment("slow_queries")
+                self._slow_queries.append(
+                    self._slow_entry(None, rendered, response, latency)
+                )
+        return response, trace, latency
+
+    async def _handle_query(self, request_id, request: dict, conn: _Connection) -> None:
         self.metrics.increment("received")
         if not self.admission.try_acquire():
             self.metrics.increment("shed")
             await self._respond(
-                writer, write_lock, {"id": request_id, "ok": False, "error": "overloaded"}
+                conn, {"id": request_id, "ok": False, "error": "overloaded"}
             )
             return
-        arrived = time.perf_counter()
         self.metrics.observe_gauge("inflight", self.admission.depth)
         try:
             text = request.get("q")
             query, rejection = self._parse_query_text(request_id, text)
             if rejection is not None:
-                await self._respond(writer, write_lock, rejection)
-                return
-            trace = self.tracer.maybe_trace()
-            try:
-                if trace is not None:
-                    pending = self._cluster.submit(query, trace=trace)
-                else:
-                    pending = self._cluster.submit(query)
-            except ClusterError as error:
-                self.metrics.increment("errors")
-                await self._respond(
-                    writer,
-                    write_lock,
-                    {"id": request_id, "ok": False, "error": "cluster", "detail": str(error)},
-                )
+                await self._respond(conn, rejection)
                 return
             try:
-                response = await asyncio.wait_for(
-                    asyncio.wrap_future(pending.future),
-                    self.config.query_timeout_seconds,
-                )
+                response, trace, latency = await self._run_query(query, text)
             except asyncio.TimeoutError:
-                self._cluster.forget(pending.request_id)
-                self.metrics.increment("timeouts")
                 await self._respond(
-                    writer, write_lock, {"id": request_id, "ok": False, "error": "timeout"}
+                    conn, {"id": request_id, "ok": False, "error": "timeout"}
                 )
                 return
             except ClusterError as error:
                 self.metrics.increment("errors")
                 await self._respond(
-                    writer,
-                    write_lock,
+                    conn,
                     {
                         "id": request_id,
                         "ok": False,
@@ -697,21 +817,6 @@ class DisksServer:
                     },
                 )
                 return
-            latency = time.perf_counter() - arrived
-            self.metrics.observe("latency_seconds", latency)
-            self.metrics.increment("completed")
-            for machine_id, seconds in response.machine_seconds.items():
-                self.metrics.add_busy(machine_id, seconds)
-            slow = latency * 1000.0 >= self.config.slow_query_ms
-            if trace is not None:
-                self._finish_trace(trace, text, response, latency, slow)
-            elif slow:
-                # Unsampled slow query: spans cannot be collected after
-                # the fact, so the ring gets a coarse entry instead.
-                self.metrics.increment("slow_queries")
-                self._slow_queries.append(
-                    self._slow_entry(None, text, response, latency)
-                )
             reply = {
                 "id": request_id,
                 "ok": True,
@@ -727,10 +832,71 @@ class DisksServer:
             }
             if trace is not None:
                 reply["trace_id"] = trace.trace_id
-            await self._respond(writer, write_lock, reply)
+            await self._respond(conn, reply)
         finally:
             self.admission.release()
             self.metrics.observe_gauge("inflight", self.admission.depth)
+
+    async def _wire_query_reply(self, request_id: int, query) -> bytes:
+        """Run one binary query; return its ANSWER or ERROR frame bytes."""
+        self.metrics.increment("received")
+        if not self.admission.try_acquire():
+            self.metrics.increment("shed")
+            return wire.encode_error(request_id, "overloaded")
+        self.metrics.observe_gauge("inflight", self.admission.depth)
+        try:
+            if (
+                self.config.max_radius is not None
+                and query.max_radius > self.config.max_radius
+            ):
+                self.metrics.increment("radius_rejections")
+                return wire.encode_error(
+                    request_id,
+                    "radius",
+                    f"radius {query.max_radius:g} exceeds the deployment "
+                    f"maxR {self.config.max_radius:g}",
+                )
+            try:
+                response, _trace, latency = await self._run_query(
+                    query, lambda: render_query(query)
+                )
+            except asyncio.TimeoutError:
+                return wire.encode_error(request_id, "timeout")
+            except ClusterError as error:
+                self.metrics.increment("errors")
+                return wire.encode_error(request_id, "cluster", str(error))
+            return wire.encode_answer(
+                request_id,
+                response.result_nodes,
+                degraded=bool(response.degraded or self._cluster.degraded),
+                latency_ms=latency * 1000.0,
+                wall_ms=response.wall_seconds * 1000.0,
+                makespan_ms=max(response.machine_seconds.values(), default=0.0)
+                * 1000.0,
+                message_bytes=response.message_bytes,
+            )
+        finally:
+            self.admission.release()
+            self.metrics.observe_gauge("inflight", self.admission.depth)
+
+    async def _handle_wire_query(
+        self, request_id: int, query, conn: _Connection
+    ) -> None:
+        """One binary QUERY: ANSWER frame or ERROR frame."""
+        await self._send_raw(conn, await self._wire_query_reply(request_id, query))
+
+    async def _handle_wire_batch(self, entries, conn: _Connection) -> None:
+        """One BATCH frame: run every entry concurrently, reply in one write.
+
+        Entries still pass admission control individually (a batch
+        larger than the inflight budget sheds its excess), but their
+        ANSWER/ERROR frames are concatenated into a single socket write
+        — the response-side half of the batching amortisation.
+        """
+        frames = await asyncio.gather(
+            *(self._wire_query_reply(request_id, query) for request_id, query in entries)
+        )
+        await self._send_raw(conn, b"".join(frames))
 
     # ------------------------------------------------------------------
     # Tracing

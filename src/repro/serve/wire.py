@@ -1,0 +1,664 @@
+"""Binary wire format: the fast half of the serving data plane.
+
+The NDJSON protocol (:mod:`repro.serve.protocol`) stays — it is the
+admin/debug surface and the compatibility path for old clients — but a
+query crossing it costs a regex parse, two JSON codec passes and a
+text-framed socket write.  This module defines the compact
+length-prefixed struct-packed frames that carry query/answer/update
+payloads on both the TCP frontend and the coordinator↔worker pipes.
+
+TCP negotiation (first bytes on a fresh connection)::
+
+    client -> b"DSKW" + u8 version + u8 feature bits     (6 bytes)
+    server -> HELLO frame (u8 version + u8 feature bits)
+
+NDJSON requests begin with ``{`` (0x7B) — never ``D`` — so the server
+sniffs one byte and routes each connection to the right handler; no
+flag, no separate port.
+
+Frame grammar (all integers little-endian)::
+
+    frame   := u32 length | u8 type | payload        length = 1 + len(payload)
+    HELLO   (1)  u8 version | u8 features
+    QUERY   (2)  u64 id | query
+    ANSWER  (3)  u64 id | u8 flags(bit0 degraded) | u32 n | n×u64 nodes
+                 | f64 latency_ms | f64 wall_ms | f64 makespan_ms
+                 | u64 message_bytes
+    ERROR   (4)  u8 has_id | u64 id | str error | str detail
+    JSON    (5)  utf-8 JSON object (admin ops, pushes, anything NDJSON says)
+    BATCH   (6)  u32 count | count × (u32 len | QUERY-payload)
+    UPDATE  (7)  u64 id | u32 count | count × op
+    UPDATE_ACK (8) u64 id | u64 epoch | u32 applied | f64 staleness_ms
+
+    query   := u16 nterms | nterms × term | expr | str label
+    term    := u8 kind(0 kw, 1 node) | (str keyword | u64 node) | f64 radius
+    expr    := u16 nops | nops × (u8 0 leaf + u16 index | u8 1 ∪ | 2 ∩ | 3 −)
+               — postfix; decoded with an explicit stack
+    op      := u8 1 add_keyword    | u64 node | str keyword
+             | u8 2 remove_keyword | u64 node | str keyword
+             | u8 3 set_edge_weight| u64 u | u64 v | f64 weight
+    str     := u16 len | utf-8 bytes
+
+``f64`` is IEEE-754 binary64: radii, distances and timings round-trip
+bit-exactly (including infinities), which is what lets the differential
+suite demand bit-identical answers from both protocol paths.
+
+Every decode error — truncated payload, trailing garbage, bad opcode,
+undecodable UTF-8, a declared length beyond :data:`MAX_FRAME_BYTES` —
+raises :class:`WireProtocolError`.  Transports treat that as a protocol
+error: reply with an ERROR frame and close.  :class:`FrameDecoder` is
+the sans-IO incremental parser (feed bytes, pop frames) used by the
+client and the fuzz tests.
+
+The same payload codecs run on the worker pipes: pickle frames start
+with 0x80 (protocol ≥ 2 opcode) and binary pipe frames with the tags
+``Q``/``R``, so :func:`loads_pipe` sniffs one byte and returns the
+exact ``(kind, body, sent_at)`` tuples the pickled protocol produced —
+workers and dispatchers accept both encodings on one pipe, no flag day.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import struct
+
+from repro.core.dfunction import DExpression, SetOp
+from repro.core.queries import CoverageTerm, KeywordSource, NodeSource, QClassQuery
+from repro.exceptions import QueryError
+
+__all__ = [
+    "MAGIC",
+    "WIRE_VERSION",
+    "MAX_FRAME_BYTES",
+    "LENGTH_PREFIX",
+    "FRAME_HELLO",
+    "FRAME_QUERY",
+    "FRAME_ANSWER",
+    "FRAME_ERROR",
+    "FRAME_JSON",
+    "FRAME_BATCH",
+    "FRAME_UPDATE",
+    "FRAME_UPDATE_ACK",
+    "WireProtocolError",
+    "FrameDecoder",
+    "encode_frame",
+    "encode_preamble",
+    "decode_preamble",
+    "encode_hello",
+    "decode_hello",
+    "encode_query_payload",
+    "decode_query_payload",
+    "encode_query_body",
+    "encode_answer",
+    "decode_answer",
+    "encode_error",
+    "decode_error",
+    "encode_json_frame",
+    "decode_json_payload",
+    "encode_batch",
+    "decode_batch",
+    "encode_update",
+    "decode_update",
+    "encode_update_ack",
+    "decode_update_ack",
+    "dumps_pipe_query",
+    "dumps_pipe_results",
+    "loads_pipe",
+]
+
+MAGIC = b"DSKW"
+WIRE_VERSION = 1
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+FRAME_HELLO = 1
+FRAME_QUERY = 2
+FRAME_ANSWER = 3
+FRAME_ERROR = 4
+FRAME_JSON = 5
+FRAME_BATCH = 6
+FRAME_UPDATE = 7
+FRAME_UPDATE_ACK = 8
+
+_FRAME_TYPES = frozenset(
+    (
+        FRAME_HELLO,
+        FRAME_QUERY,
+        FRAME_ANSWER,
+        FRAME_ERROR,
+        FRAME_JSON,
+        FRAME_BATCH,
+        FRAME_UPDATE,
+        FRAME_UPDATE_ACK,
+    )
+)
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+# The u32 frame-length prefix, exported for transports that read the
+# header themselves (the asyncio server) instead of using FrameDecoder.
+LENGTH_PREFIX = _U32
+_U64 = struct.Struct("<Q")
+_F64 = struct.Struct("<d")
+_HEADER = struct.Struct("<IB")
+
+_PIPE_QUERY_TAG = 0x51  # 'Q'
+_PIPE_RESULTS_TAG = 0x52  # 'R'
+_PICKLE_OPCODE = 0x80  # every pickle protocol ≥ 2 stream starts with this
+
+_OPCODE_LEAF = 0
+_OPCODES = {1: SetOp.UNION, 2: SetOp.INTERSECT, 3: SetOp.SUBTRACT}
+_OPCODE_OF = {op: code for code, op in _OPCODES.items()}
+
+
+class WireProtocolError(ValueError):
+    """A frame or payload violates the binary wire grammar."""
+
+
+# ----------------------------------------------------------------------
+# Primitive readers/writers
+# ----------------------------------------------------------------------
+class _Reader:
+    """Bounds-checked cursor over one payload; truncation is an error."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes | memoryview) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        end = self.pos + n
+        if n < 0 or end > len(self.data):
+            raise WireProtocolError(
+                f"payload truncated: wanted {n} bytes at offset {self.pos}, "
+                f"have {len(self.data) - self.pos}"
+            )
+        chunk = bytes(self.data[self.pos : end])
+        self.pos = end
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        return _U16.unpack(self.take(2))[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    def u64(self) -> int:
+        return _U64.unpack(self.take(8))[0]
+
+    def f64(self) -> float:
+        return _F64.unpack(self.take(8))[0]
+
+    def string(self) -> str:
+        raw = self.take(self.u16())
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise WireProtocolError(f"undecodable string: {error}") from None
+
+    def finish(self) -> None:
+        if self.pos != len(self.data):
+            raise WireProtocolError(
+                f"{len(self.data) - self.pos} trailing garbage bytes after payload"
+            )
+
+
+def _put_string(out: bytearray, text: str) -> None:
+    raw = text.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise WireProtocolError(f"string too long for the wire ({len(raw)} bytes)")
+    out += _U16.pack(len(raw))
+    out += raw
+
+
+# ----------------------------------------------------------------------
+# Frames
+# ----------------------------------------------------------------------
+def encode_frame(frame_type: int, payload: bytes) -> bytes:
+    """One complete frame: u32 length, u8 type, payload."""
+    length = 1 + len(payload)
+    if length > MAX_FRAME_BYTES:
+        raise WireProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    return _HEADER.pack(length, frame_type) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser: feed arbitrary chunks, pop whole frames.
+
+    Sans-IO so the same logic serves the blocking client, the tests and
+    the fuzzer.  A declared length of zero (no type byte) or beyond
+    ``max_frame_bytes`` raises immediately — a reader must never
+    allocate or wait on an adversarial length prefix.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self._buffer = bytearray()
+        self._max = max_frame_bytes
+
+    def feed(self, data: bytes) -> None:
+        """Append freshly received bytes to the reassembly buffer."""
+        self._buffer += data
+
+    def next_frame(self) -> tuple[int, bytes] | None:
+        """``(frame_type, payload)`` if a whole frame is buffered, else None."""
+        if len(self._buffer) < 4:
+            return None
+        (length,) = _U32.unpack(self._buffer[:4])
+        if length < 1:
+            raise WireProtocolError("frame length must cover the type byte")
+        if length > self._max:
+            raise WireProtocolError(f"declared frame length {length} exceeds {self._max}")
+        if len(self._buffer) < 4 + length:
+            return None
+        frame_type = self._buffer[4]
+        payload = bytes(self._buffer[5 : 4 + length])
+        del self._buffer[: 4 + length]
+        if frame_type not in _FRAME_TYPES:
+            raise WireProtocolError(f"unknown frame type {frame_type}")
+        return frame_type, payload
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+
+def encode_preamble(features: int = 0) -> bytes:
+    """The 6 bytes a binary client sends first."""
+    return MAGIC + bytes((WIRE_VERSION, features & 0xFF))
+
+
+def decode_preamble(raw: bytes) -> int:
+    """Validate a client preamble; returns the feature bits."""
+    if len(raw) != 6 or raw[:4] != MAGIC:
+        raise WireProtocolError("bad magic: not a DSKW binary connection")
+    if raw[4] != WIRE_VERSION:
+        raise WireProtocolError(f"unsupported wire version {raw[4]}")
+    return raw[5]
+
+
+def encode_hello(features: int = 0) -> bytes:
+    """The server's HELLO frame acknowledging a binary connection."""
+    return encode_frame(FRAME_HELLO, bytes((WIRE_VERSION, features & 0xFF)))
+
+
+def decode_hello(payload: bytes) -> tuple[int, int]:
+    """``(version, features)`` from a HELLO payload; checks the version."""
+    reader = _Reader(payload)
+    version = reader.u8()
+    features = reader.u8()
+    reader.finish()
+    if version != WIRE_VERSION:
+        raise WireProtocolError(f"server speaks wire version {version}, not {WIRE_VERSION}")
+    return version, features
+
+
+# ----------------------------------------------------------------------
+# Query payloads
+# ----------------------------------------------------------------------
+def encode_query_body(query: QClassQuery) -> bytes:
+    """The id-less query encoding — prepend a u64 id at send time.
+
+    Split out so clients can *prepare* a query once and reuse the body
+    across sends; the hot loop then does one 8-byte pack per request.
+    """
+    out = bytearray()
+    terms = query.terms
+    if len(terms) > 0xFFFF:
+        raise WireProtocolError(f"too many terms for the wire ({len(terms)})")
+    out += _U16.pack(len(terms))
+    for term in terms:
+        source = term.source
+        if isinstance(source, KeywordSource):
+            out.append(0)
+            _put_string(out, source.keyword)
+        else:
+            assert isinstance(source, NodeSource)
+            out.append(1)
+            out += _U64.pack(source.node)
+        out += _F64.pack(term.radius)
+    opcodes = bytearray()
+    count = _postfix(query.expression, opcodes)
+    out += _U16.pack(count)
+    out += opcodes
+    _put_string(out, query.label)
+    return bytes(out)
+
+
+def _postfix(expr: DExpression, out: bytearray) -> int:
+    if expr.op is None:
+        out.append(_OPCODE_LEAF)
+        out += _U16.pack(expr.index)
+        return 1
+    count = _postfix(expr.left, out)
+    count += _postfix(expr.right, out)
+    out.append(_OPCODE_OF[expr.op])
+    return count + 1
+
+
+def encode_query_payload(request_id: int, query: QClassQuery) -> bytes:
+    """A full QUERY payload: u64 request id + the query body."""
+    return _U64.pack(request_id) + encode_query_body(query)
+
+
+def decode_query_payload(payload: bytes) -> tuple[int, QClassQuery]:
+    """``(request_id, query)`` from a QUERY payload."""
+    reader = _Reader(payload)
+    request_id = reader.u64()
+    query = _read_query(reader)
+    reader.finish()
+    return request_id, query
+
+
+def _read_query(reader: _Reader) -> QClassQuery:
+    nterms = reader.u16()
+    terms = []
+    try:
+        for _ in range(nterms):
+            kind = reader.u8()
+            if kind == 0:
+                source = KeywordSource(reader.string())
+            elif kind == 1:
+                source = NodeSource(reader.u64())
+            else:
+                raise WireProtocolError(f"unknown term kind {kind}")
+            terms.append(CoverageTerm(source, reader.f64()))
+        nops = reader.u16()
+        stack: list[DExpression] = []
+        for _ in range(nops):
+            opcode = reader.u8()
+            if opcode == _OPCODE_LEAF:
+                stack.append(DExpression(index=reader.u16()))
+            else:
+                op = _OPCODES.get(opcode)
+                if op is None:
+                    raise WireProtocolError(f"unknown expression opcode {opcode}")
+                if len(stack) < 2:
+                    raise WireProtocolError("expression stack underflow")
+                right = stack.pop()
+                left = stack.pop()
+                stack.append(DExpression(op=op, left=left, right=right))
+        if len(stack) != 1:
+            raise WireProtocolError(
+                f"expression stream left {len(stack)} values on the stack, wanted 1"
+            )
+        label = reader.string()
+        return QClassQuery(tuple(terms), stack[0], label)
+    except QueryError as error:
+        raise WireProtocolError(f"invalid query: {error}") from None
+
+
+# ----------------------------------------------------------------------
+# Answers / errors / JSON / batches
+# ----------------------------------------------------------------------
+def encode_answer(
+    request_id: int,
+    nodes,
+    *,
+    degraded: bool,
+    latency_ms: float,
+    wall_ms: float,
+    makespan_ms: float,
+    message_bytes: int,
+) -> bytes:
+    """An ANSWER frame: sorted result nodes plus the timing block."""
+    out = bytearray(_U64.pack(request_id))
+    out.append(1 if degraded else 0)
+    ordered = sorted(nodes)
+    out += _U32.pack(len(ordered))
+    out += struct.pack(f"<{len(ordered)}Q", *ordered) if ordered else b""
+    out += _F64.pack(latency_ms)
+    out += _F64.pack(wall_ms)
+    out += _F64.pack(makespan_ms)
+    out += _U64.pack(message_bytes)
+    return encode_frame(FRAME_ANSWER, bytes(out))
+
+
+def decode_answer(payload: bytes) -> dict:
+    """An ANSWER payload as the NDJSON reply dict shape."""
+    reader = _Reader(payload)
+    request_id = reader.u64()
+    flags = reader.u8()
+    n = reader.u32()
+    nodes = list(struct.unpack(f"<{n}Q", reader.take(n * 8))) if n else []
+    latency_ms = reader.f64()
+    wall_ms = reader.f64()
+    makespan_ms = reader.f64()
+    message_bytes = reader.u64()
+    reader.finish()
+    return {
+        "id": request_id,
+        "ok": True,
+        "nodes": nodes,
+        "degraded": bool(flags & 1),
+        "timing": {
+            "latency_ms": latency_ms,
+            "wall_ms": wall_ms,
+            "makespan_ms": makespan_ms,
+            "message_bytes": message_bytes,
+        },
+    }
+
+
+def encode_error(request_id: int | None, error: str, detail: str = "") -> bytes:
+    """An ERROR frame; ``request_id`` is None for connection-level faults."""
+    out = bytearray()
+    out.append(0 if request_id is None else 1)
+    out += _U64.pack(request_id or 0)
+    _put_string(out, error)
+    _put_string(out, detail)
+    return encode_frame(FRAME_ERROR, bytes(out))
+
+
+def decode_error(payload: bytes) -> dict:
+    """An ERROR payload as the NDJSON error reply dict shape."""
+    reader = _Reader(payload)
+    has_id = reader.u8()
+    request_id = reader.u64()
+    error = reader.string()
+    detail = reader.string()
+    reader.finish()
+    reply = {"id": request_id if has_id else None, "ok": False, "error": error}
+    if detail:
+        reply["detail"] = detail
+    return reply
+
+
+def encode_json_frame(payload: dict) -> bytes:
+    """A JSON escape-hatch frame for requests with no packed encoding."""
+    return encode_frame(
+        FRAME_JSON, json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    )
+
+
+def decode_json_payload(payload: bytes) -> dict:
+    """The dict carried by a JSON frame; rejects non-object payloads."""
+    try:
+        decoded = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireProtocolError(f"bad JSON frame: {error}") from None
+    if not isinstance(decoded, dict):
+        raise WireProtocolError("a JSON frame must carry an object")
+    return decoded
+
+
+def encode_batch(entries: list[tuple[int, bytes]]) -> bytes:
+    """A BATCH frame from ``(request_id, prepared query body)`` pairs."""
+    out = bytearray(_U32.pack(len(entries)))
+    for request_id, body in entries:
+        item = _U64.pack(request_id) + body
+        out += _U32.pack(len(item))
+        out += item
+    return encode_frame(FRAME_BATCH, bytes(out))
+
+
+def decode_batch(payload: bytes) -> list[tuple[int, QClassQuery]]:
+    """The ``(request_id, query)`` entries packed in a BATCH frame."""
+    reader = _Reader(payload)
+    count = reader.u32()
+    if count > 0xFFFF:
+        raise WireProtocolError(f"batch of {count} queries is unreasonable")
+    queries = []
+    for _ in range(count):
+        queries.append(decode_query_payload(reader.take(reader.u32())))
+    reader.finish()
+    return queries
+
+
+# ----------------------------------------------------------------------
+# Updates
+# ----------------------------------------------------------------------
+_OP_KINDS = {"add_keyword": 1, "remove_keyword": 2, "set_edge_weight": 3}
+_OP_NAMES = {code: name for name, code in _OP_KINDS.items()}
+
+
+def encode_update(request_id: int, op_records: list[dict]) -> bytes:
+    """An UPDATE frame from :mod:`repro.live.ops` ``to_record`` dicts."""
+    out = bytearray(_U64.pack(request_id))
+    out += _U32.pack(len(op_records))
+    for record in op_records:
+        code = _OP_KINDS.get(record.get("op"))
+        if code is None:
+            raise WireProtocolError(f"unknown update kind {record.get('op')!r}")
+        out.append(code)
+        if code in (1, 2):
+            out += _U64.pack(record["node"])
+            _put_string(out, record["keyword"])
+        else:
+            out += _U64.pack(record["u"])
+            out += _U64.pack(record["v"])
+            out += _F64.pack(record["weight"])
+    return encode_frame(FRAME_UPDATE, bytes(out))
+
+
+def decode_update(payload: bytes) -> tuple[int, list[dict]]:
+    """``(request_id, op records)`` from an UPDATE payload."""
+    reader = _Reader(payload)
+    request_id = reader.u64()
+    count = reader.u32()
+    if count > 0xFFFFF:
+        raise WireProtocolError(f"update batch of {count} ops is unreasonable")
+    records = []
+    for _ in range(count):
+        code = reader.u8()
+        name = _OP_NAMES.get(code)
+        if name is None:
+            raise WireProtocolError(f"unknown update opcode {code}")
+        if code in (1, 2):
+            records.append(
+                {"op": name, "node": reader.u64(), "keyword": reader.string()}
+            )
+        else:
+            records.append(
+                {
+                    "op": name,
+                    "u": reader.u64(),
+                    "v": reader.u64(),
+                    "weight": reader.f64(),
+                }
+            )
+    reader.finish()
+    return request_id, records
+
+
+def encode_update_ack(
+    request_id: int, *, epoch: int, applied: int, staleness_ms: float
+) -> bytes:
+    """An UPDATE_ACK frame reporting the epoch the batch landed in."""
+    out = bytearray(_U64.pack(request_id))
+    out += _U64.pack(epoch)
+    out += _U32.pack(applied)
+    out += _F64.pack(staleness_ms)
+    return encode_frame(FRAME_UPDATE_ACK, bytes(out))
+
+
+def decode_update_ack(payload: bytes) -> dict:
+    """An UPDATE_ACK payload as the NDJSON update reply dict shape."""
+    reader = _Reader(payload)
+    request_id = reader.u64()
+    epoch = reader.u64()
+    applied = reader.u32()
+    staleness_ms = reader.f64()
+    reader.finish()
+    return {
+        "id": request_id,
+        "ok": True,
+        "epoch": epoch,
+        "applied": applied,
+        "staleness_ms": staleness_ms,
+    }
+
+
+# ----------------------------------------------------------------------
+# Worker-pipe payloads (coexist with pickle on the same pipes)
+# ----------------------------------------------------------------------
+def dumps_pipe_query(request_id: int, query: QClassQuery, sent_at: float) -> bytes:
+    """Binary pipe frame for one untraced query request."""
+    return (
+        bytes((_PIPE_QUERY_TAG,))
+        + _F64.pack(sent_at)
+        + _U64.pack(request_id)
+        + encode_query_body(query)
+    )
+
+
+def dumps_pipe_results(
+    request_id: int,
+    reply: list[tuple[int, set[int], float]],
+    elapsed: float,
+    sent_at: float,
+) -> bytes:
+    """Binary pipe frame for one result reply (fragment→nodes sets)."""
+    out = bytearray((_PIPE_RESULTS_TAG,))
+    out += _F64.pack(sent_at)
+    out += _U64.pack(request_id)
+    out += _F64.pack(elapsed)
+    out += _U32.pack(len(reply))
+    for fragment_id, nodes, seconds in reply:
+        out += _U32.pack(fragment_id)
+        out += _F64.pack(seconds)
+        ordered = sorted(nodes)
+        out += _U32.pack(len(ordered))
+        if ordered:
+            out += struct.pack(f"<{len(ordered)}Q", *ordered)
+    return bytes(out)
+
+
+def loads_pipe(raw: bytes):
+    """Decode one pipe payload, binary or pickled, by first-byte sniff.
+
+    Returns the exact ``(kind, body, sent_at)`` tuples the pickled
+    protocol uses, so both worker loops and both dispatcher loops stay
+    encoding-agnostic:
+
+    * ``("query", (request_id, query, None), sent_at)``
+    * ``("results", (request_id, reply, elapsed), sent_at)``
+    """
+    first = raw[0]
+    if first == _PICKLE_OPCODE:
+        return pickle.loads(raw)
+    reader = _Reader(raw)
+    tag = reader.u8()
+    sent_at = reader.f64()
+    if tag == _PIPE_QUERY_TAG:
+        request_id = reader.u64()
+        query = _read_query(reader)
+        reader.finish()
+        return "query", (request_id, query, None), sent_at
+    if tag == _PIPE_RESULTS_TAG:
+        request_id = reader.u64()
+        elapsed = reader.f64()
+        nfrag = reader.u32()
+        reply = []
+        for _ in range(nfrag):
+            fragment_id = reader.u32()
+            seconds = reader.f64()
+            n = reader.u32()
+            nodes = set(struct.unpack(f"<{n}Q", reader.take(n * 8))) if n else set()
+            reply.append((fragment_id, nodes, seconds))
+        reader.finish()
+        return "results", (request_id, reply, elapsed), sent_at
+    raise WireProtocolError(f"unknown pipe payload tag {tag:#x}")

@@ -148,12 +148,17 @@ class TestPipelinedCluster:
             with pytest.raises(ClusterError, match="epoch must advance"):
                 cluster.submit_updates(swap.epoch, replacements)
 
-    def test_queries_never_observe_torn_epoch(self, built):
+    @pytest.mark.parametrize("use_shm", [False, True], ids=["pickled", "shm"])
+    def test_queries_never_observe_torn_epoch(self, built, use_shm):
         """Satellite: concurrent queries see all-old or all-new, never a mix.
 
         The update flips every carrier of one keyword: the old and the
         new answer sets are disjoint, so any torn read (some machines on
         epoch 0, others on epoch 1) would surface as a blended result.
+        Runs over both worker data planes — pickled runtimes and
+        shared-memory segments — because the shm path swaps epochs by
+        remapping arrays in place, which is exactly where a torn read
+        would originate.
         """
         net, partition, fragments, indexes = built
         keyword = "w0"
@@ -179,7 +184,9 @@ class TestPipelinedCluster:
         observed: list[frozenset[int]] = []
         failures: list[str] = []
         stop = threading.Event()
-        with PipelinedCluster.start(fragments, indexes, num_machines=4) as cluster:
+        with PipelinedCluster.start(
+            fragments, indexes, num_machines=4, use_shm=use_shm
+        ) as cluster:
             assert cluster.execute(query).result_nodes == old_answer
 
             def _probe() -> None:
@@ -240,3 +247,107 @@ class TestPipelinedCluster:
             assert response.result_nodes <= new_oracle.results(query)
         finally:
             cluster.shutdown()
+
+
+def _devshm_has(name: str) -> bool:
+    import os
+
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+class TestSharedMemoryLifecycle:
+    """Satellite: the shm data plane never leaks segments.
+
+    Segment names are taken from the coordinator's
+    ``SharedSegmentStore`` and checked against ``/dev/shm`` directly, so
+    a leak shows up as an orphaned file the OS would keep until reboot.
+    """
+
+    def test_double_attach_is_idempotent(self, built):
+        from repro.shm import ShmWorkerRuntimes, SharedSegmentStore
+
+        _net, _partition, fragments, indexes = built
+        store = SharedSegmentStore()
+        manifest = store.publish(fragments[0], indexes[0], epoch=0)
+        try:
+            registry = ShmWorkerRuntimes()
+            assert registry.attach([manifest]) == [fragments[0].fragment_id]
+            first = registry.runtimes()[0]
+            # Same manifest again: no re-map, no new runtime, no swap.
+            assert registry.attach([manifest]) == []
+            assert registry.runtimes()[0] is first
+            assert len(registry.runtimes()) == 1
+            registry.release_all()
+            # Releasing the attach must not unlink the coordinator's segment.
+            assert _devshm_has(manifest.name)
+        finally:
+            store.unlink_all()
+        assert not _devshm_has(manifest.name)
+
+    def test_epoch_swap_retires_superseded_segments(self, built):
+        """Old-epoch segments are unlinked once every machine acks."""
+        _net, _partition, fragments, indexes = built
+        manager, swap, replacements = swap_via_manager(built, seed=28)
+        new_oracle = CentralizedEvaluator(manager.state.network)
+        with PipelinedCluster.start(
+            fragments, indexes, num_machines=4, use_shm=True
+        ) as cluster:
+            store = cluster._shm_store
+            assert store is not None
+            before = set(store.segment_names())
+            assert len(before) == len(fragments)
+            assert all(_devshm_has(name) for name in before)
+
+            cluster.apply_updates(swap.epoch, replacements)
+
+            after = set(store.segment_names())
+            # One live segment per fragment, with the changed fragments'
+            # epoch-0 segments replaced and unlinked from /dev/shm.
+            assert len(after) == len(fragments)
+            retired = before - after
+            assert len(retired) == len(swap.changed_fragments)
+            assert all(not _devshm_has(name) for name in retired)
+            assert all(_devshm_has(name) for name in after)
+            for probe in probe_queries(manager.state.network):
+                assert cluster.execute(probe).result_nodes == new_oracle.results(probe)
+        # Shutdown unlinks every remaining segment.
+        assert all(not _devshm_has(name) for name in before | after)
+
+    def test_worker_crash_mid_query_leaks_no_segments(self, built):
+        """A killed worker releases its leases; shutdown leaves /dev/shm clean."""
+        _net, _partition, fragments, indexes = built
+        query = next(probe_queries(_net))
+        cluster = PipelinedCluster.start(fragments, indexes, num_machines=4, use_shm=True)
+        names: list[str] = []
+        try:
+            names = cluster._shm_store.segment_names()
+            assert names and all(_devshm_has(name) for name in names)
+
+            stop = threading.Event()
+
+            def _hammer() -> None:
+                while not stop.is_set():
+                    try:
+                        cluster.execute(query, timeout_seconds=10)
+                    except ClusterError:
+                        return  # degraded shed — the crash landed mid-query
+
+            threads = [threading.Thread(target=_hammer) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.05)  # let queries reach the worker pipes
+            cluster._processes[2].kill()
+            for _ in range(100):
+                if cluster.degraded:
+                    break
+                time.sleep(0.05)
+            stop.set()
+            for thread in threads:
+                thread.join()
+            assert cluster.degraded
+            # Survivors still answer (possibly a subset) on shared pages.
+            response = cluster.execute(query, timeout_seconds=15)
+            assert response.degraded
+        finally:
+            cluster.shutdown()
+        assert all(not _devshm_has(name) for name in names)

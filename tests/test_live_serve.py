@@ -187,6 +187,47 @@ class TestLiveServing:
         finally:
             cluster.shutdown()
 
+    def test_binary_update_frame_applies_end_to_end(self, built):
+        """An UPDATE frame through a real socket lands as an epoch swap.
+
+        Regression test: the wire codec and ``op_from_record`` must agree
+        on the record key (``op``), or binary updates decode but never
+        apply.  Both UpdateOp objects and raw record dicts must work, and
+        an NDJSON client on the same server must observe the new epoch.
+        """
+        from repro.serve import BinaryServeClient
+
+        cluster, manager = live_deployment(built)
+        try:
+            with serve_in_thread(
+                cluster, ServeConfig(max_inflight=8), updater=manager
+            ) as server:
+                target = next(
+                    n
+                    for n in manager.state.network.nodes()
+                    if manager.state.network.is_object(n)
+                )
+                with BinaryServeClient(server.host, server.port) as binary:
+                    before = binary.query("NEAR(w0, 4)")["nodes"]
+                    ack = binary.update([AddKeyword(target, "w0")])
+                    assert ack["ok"], ack
+                    assert ack["epoch"] == 1
+                    assert ack["applied"] == 1
+                    assert ack["staleness_ms"] >= 0
+                    after = binary.query("NEAR(w0, 4)")["nodes"]
+                    assert target in after
+                    assert set(before) <= set(after)
+                    # Raw to_record dicts ride the same frame.
+                    raw = binary.update(
+                        [{"op": "remove_keyword", "node": target, "keyword": "w0"}]
+                    )
+                    assert raw["ok"] and raw["epoch"] == 2, raw
+                    assert binary.query("NEAR(w0, 4)")["nodes"] == before
+                with ServeClient(server.host, server.port) as ndjson:
+                    assert ndjson.epoch() == 2
+        finally:
+            cluster.shutdown()
+
     def test_update_without_live_support_rejected(self, built):
         _net, _partition, fragments, indexes = built
         cluster = PipelinedCluster.start(fragments, indexes, num_machines=2)

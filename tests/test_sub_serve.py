@@ -27,7 +27,7 @@ from repro.serve import (
     serve_in_thread,
 )
 from repro.serve.protocol import encode_line
-from repro.serve.server import _SubChannel
+from repro.serve.server import _Connection, _SubChannel
 from repro.sub import SubscriptionEngine, SubscriptionNotice
 
 from helpers import make_random_network
@@ -234,18 +234,19 @@ class TestShedding:
             async def drain(self) -> None:
                 pass
 
-        async def respond(writer, write_lock, payload):
-            async with write_lock:
-                writer.write(encode_line(payload))
-                await writer.drain()
+        async def respond(conn, payload):
+            async with conn.write_lock:
+                conn.writer.write(encode_line(payload))
+                await conn.writer.drain()
 
         server = SimpleNamespace(
             metrics=metrics, sub_engine=engine, _respond=respond
         )
 
         async def scenario():
+            conn = _Connection(FakeWriter(), binary=False)
             channel = _SubChannel(
-                server, FakeWriter(), asyncio.Lock(), asyncio.get_running_loop(), 1
+                server, conn, asyncio.get_running_loop(), 1
             )
             channel.subs.add(sub.sub_id)
 
