@@ -1,0 +1,256 @@
+"""Semantic result cache under a skewed workload with live churn.
+
+Real query traffic is Zipf-skewed — a few popular keyword combinations
+dominate — while the road network keeps absorbing a trickle of updates.
+This benchmark replays exactly that shape against two identically-built
+deployments (same dataset seeds, same partition, same update sequence):
+one served with ``ServeConfig(cache=True)``, one without.  Between
+replay rounds, single-op keyword updates confined to one fragment
+(1/12 ≈ 8% fragment churn per swap, under the ≤10% target) swap epochs
+through a live :class:`EpochManager`, so the cache keeps paying its
+invalidation costs while it earns its hits.
+
+Both deployments run behind the same emulated interconnect
+(``NetworkModel``, 2 ms one-way — the routed-datacenter link of the
+serve benchmark), because on single-host pipes the network the cache
+short-circuits does not exist.  The correctness gate — identical final
+answers for the whole query pool, cache-on vs cache-off — runs in every
+mode; set ``BENCH_CACHE_CORRECTNESS_ONLY=1`` (the CI smoke job does) to
+skip the timing assertion and shrink the workload.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+from repro.core import NPDBuildConfig, build_all_indexes, build_fragments
+from repro.dist import NetworkModel
+from repro.live import AddKeyword, EpochManager, RemoveKeyword
+from repro.partition import BfsPartitioner
+from repro.serve import (
+    PipelinedCluster,
+    ServeClient,
+    ServeConfig,
+    generate_expressions,
+    run_loadgen,
+    serve_in_thread,
+)
+from repro.workloads.datasets import DATASET_PRESETS, build_dataset
+
+from repro.bench_support import Table, print_experiment_header, record_benchmark
+
+CORRECTNESS_ONLY = os.environ.get("BENCH_CACHE_CORRECTNESS_ONLY") == "1"
+
+BENCH_FILE = "BENCH_cache.json"
+REQUIRED_SPEEDUP = 5.0
+ZIPF_EXPONENT = 1.0
+NUM_FRAGMENTS = 12
+NUM_MACHINES = 4
+NUM_CLIENTS = 4
+LAMBDA = 5.0
+LINK = NetworkModel(latency_seconds=2e-3)
+POOL_SIZE = 8 if CORRECTNESS_ONLY else 24  # per radius class; pool is 2x this
+ROUNDS = 2 if CORRECTNESS_ONLY else 4
+QUERIES_PER_ROUND = 16 if CORRECTNESS_ONLY else 240
+UPDATES_PER_ROUND = 2 if CORRECTNESS_ONLY else 3
+
+
+def _fresh_state():
+    """Deterministic deployment state, built uncached.
+
+    ``load_dataset``/``engine`` are memoised module-wide and
+    :meth:`EpochManager.apply` mutates the network in place, so this
+    benchmark must never share a network with the other suites.
+    """
+    data = build_dataset(DATASET_PRESETS["aus_tiny"])
+    net = data.network
+    partition = BfsPartitioner(seed=5).partition(net, NUM_FRAGMENTS)
+    fragments = build_fragments(net, partition)
+    max_radius = LAMBDA * net.average_edge_weight
+    indexes, _ = build_all_indexes(net, fragments, NPDBuildConfig(max_radius=max_radius))
+    return net, partition, fragments, indexes, max_radius
+
+
+def _zipf_stream(pool: list[str], count: int, seed: int) -> list[str]:
+    """Sample the replayed stream with Zipf weights over pool rank."""
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** ZIPF_EXPONENT for rank in range(len(pool))]
+    return rng.choices(pool, weights=weights, k=count)
+
+
+def _pool_keywords(pool: list[str]):
+    """Keyword usage counts across the query pool, least-used first."""
+    from collections import Counter
+
+    from repro.core import parse_query
+    from repro.core.queries import KeywordSource
+
+    counts: Counter[str] = Counter()
+    for expression in pool:
+        for term in parse_query(expression).terms:
+            if isinstance(term.source, KeywordSource):
+                counts[term.source.keyword] += 1
+    return [kw for kw, _n in sorted(counts.items(), key=lambda kv: (kv[1], kv[0]))]
+
+
+def _update_plan(net, partition, pool: list[str]) -> list:
+    """Keyword toggles confined to fragment 0, valid in sequence.
+
+    Each op touches exactly one fragment (≈8% of the 12), and
+    add/remove alternation on initially-absent keywords keeps every op
+    applicable no matter how many rounds replay it.  Toggled keywords
+    are drawn from the *least-queried* end of the pool's vocabulary:
+    every swap still invalidates real entries (the cache keeps paying
+    for churn), without the unrealistic case of updates hammering
+    exactly the hottest query keywords.
+    """
+    candidates = _pool_keywords(pool)
+    targets = []
+    for keyword in candidates:
+        for node in net.object_nodes():
+            if partition.assignment[node] != 0 or keyword in net.keywords(node):
+                continue
+            targets.append((node, keyword))
+            break
+        if len(targets) == 4:
+            break
+    assert targets, "fragment 0 holds no object with a spare pool keyword"
+    plan, adding = [], {pair: True for pair in targets}
+    for i in range(ROUNDS * UPDATES_PER_ROUND):
+        node, keyword = targets[i % len(targets)]
+        op = AddKeyword if adding[(node, keyword)] else RemoveKeyword
+        plan.append(op(node, keyword))
+        adding[(node, keyword)] = not adding[(node, keyword)]
+    return plan
+
+
+def _run_deployment(cache: bool, pool: list[str], stream: list[str]):
+    """One full replay: per-round loadgen with updates between rounds.
+
+    Returns ``(ok, wall_seconds, final_answers, result_cache_stats)``.
+    """
+    net, partition, fragments, indexes, _max_radius = _fresh_state()
+    cluster = PipelinedCluster.start(
+        fragments, indexes, num_machines=NUM_MACHINES, network_model=LINK
+    )
+    manager = EpochManager(
+        network=net,
+        partition=partition,
+        fragments=list(fragments),
+        indexes=list(indexes),
+    )
+    manager.subscribe(
+        lambda state, delta: cluster.apply_updates(state.epoch, list(delta.values()))
+    )
+    plan = _update_plan(net, partition, pool)
+    config = ServeConfig(max_inflight=32, cache=cache)
+    ok = 0
+    wall = 0.0
+    try:
+        with serve_in_thread(cluster, config, updater=manager) as server:
+            with ServeClient(server.host, server.port) as client:
+                client.query(stream[0])  # warm the workers
+            for round_index in range(ROUNDS):
+                report = run_loadgen(
+                    server.host,
+                    server.port,
+                    stream[
+                        round_index * QUERIES_PER_ROUND
+                        : (round_index + 1) * QUERIES_PER_ROUND
+                    ],
+                    num_clients=NUM_CLIENTS,
+                )
+                assert report.errors == 0 and report.shed == 0, report
+                ok += report.ok
+                wall += report.wall_seconds
+                for i in range(UPDATES_PER_ROUND):
+                    manager.apply([plan[round_index * UPDATES_PER_ROUND + i]])
+            with ServeClient(server.host, server.port) as client:
+                final = {e: sorted(client.query(e)["nodes"]) for e in pool}
+                stats = client.stats().get("result_cache")
+    finally:
+        cluster.shutdown()
+    return ok, wall, final, stats
+
+
+def test_semantic_cache_speedup():
+    print_experiment_header(
+        "CACHE",
+        "epoch-aware semantic result cache",
+        "Zipf(1.0) replay with ≤10% fragment churn per swap: "
+        "ServeConfig(cache=True) vs cache-off on twin deployments.",
+    )
+    state = _fresh_state()
+    net, _partition, _fragments, _indexes, max_radius = state
+    # Two radius classes from the same seed: identical keyword draws at
+    # maxR and maxR/2, so every narrow query is subsumable by its wide
+    # sibling's cached entry — the radius-drilldown traffic pattern.
+    wide = generate_expressions(
+        net, count=POOL_SIZE, radius=max_radius, num_keywords=5,
+        seed=17, zipf=ZIPF_EXPONENT,
+    )
+    narrow = generate_expressions(
+        net, count=POOL_SIZE, radius=max_radius / 2, num_keywords=5,
+        seed=17, zipf=ZIPF_EXPONENT,
+    )
+    pool = [e for pair in zip(wide, narrow) for e in pair]
+    stream = _zipf_stream(pool, ROUNDS * QUERIES_PER_ROUND, seed=18)
+
+    off_ok, off_wall, off_final, off_stats = _run_deployment(False, pool, stream)
+    on_ok, on_wall, on_final, on_stats = _run_deployment(True, pool, stream)
+
+    # The correctness gate, in every mode: after identical update
+    # sequences, both deployments answer the whole pool identically.
+    assert off_final == on_final
+    assert off_stats is None and on_stats is not None
+    assert on_stats["hits"] + on_stats["subsumption_hits"] > 0
+    assert on_stats["invalidations"] > 0, "churn never reached the cache"
+
+    off_qps = off_ok / off_wall
+    on_qps = on_ok / on_wall
+    speedup = on_qps / off_qps
+    hit_rate = (on_stats["hits"] + on_stats["subsumption_hits"]) / max(
+        1, on_stats["hits"] + on_stats["subsumption_hits"] + on_stats["misses"]
+    )
+
+    table = Table(
+        f"{len(stream)} Zipf({ZIPF_EXPONENT:g}) queries over {POOL_SIZE} shapes, "
+        f"{ROUNDS} rounds, {ROUNDS * UPDATES_PER_ROUND} swaps, "
+        f"{LINK.latency_seconds * 1e3:g} ms link (AUS)",
+        ["serving", "qps", "hit rate", "invalidations"],
+    )
+    table.add_row("cache off", off_qps, "-", "-")
+    table.add_row(
+        "cache on", on_qps, f"{hit_rate:.0%}", on_stats["invalidations"]
+    )
+    table.show()
+    print(f"    speedup: {speedup:.2f}x")
+
+    record_benchmark(
+        BENCH_FILE,
+        {
+            "experiment": "semantic_result_cache",
+            "zipf_exponent": ZIPF_EXPONENT,
+            "pool_size": POOL_SIZE,
+            "num_queries": len(stream),
+            "rounds": ROUNDS,
+            "swaps": ROUNDS * UPDATES_PER_ROUND,
+            "fragment_churn": 1 / NUM_FRAGMENTS,
+            "link_latency_ms": LINK.latency_seconds * 1e3,
+            "cache_off_qps": off_qps,
+            "cache_on_qps": on_qps,
+            "speedup": speedup,
+            "hit_rate": hit_rate,
+            "subsumption_hits": on_stats["subsumption_hits"],
+            "invalidations": on_stats["invalidations"],
+            "stale_rejects": on_stats["stale_rejects"],
+            "correctness_only": CORRECTNESS_ONLY,
+        },
+    )
+
+    if not CORRECTNESS_ONLY:
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"expected the semantic cache ≥{REQUIRED_SPEEDUP}x the uncached "
+            f"serve path, got {speedup:.2f}x ({on_qps:.1f} vs {off_qps:.1f} qps)"
+        )

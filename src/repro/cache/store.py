@@ -1,0 +1,335 @@
+"""The semantic result cache: LRU store + epoch-delta invalidation.
+
+Concurrency contract: :meth:`SemanticResultCache.probe` and
+:meth:`~SemanticResultCache.admit` run on the serving thread(s);
+:meth:`~SemanticResultCache.on_swap` runs on the updater thread as an
+:meth:`EpochManager.subscribe_swaps` subscriber — *after* the cluster
+has swapped (regular subscribers fire first) and *inside* the apply
+lock, so an update ack reaches the client only once invalidation has
+completed (read-your-writes).  One internal lock serialises all three.
+
+Epoch recheck at admission: a probe that misses records the epoch it
+saw; :meth:`admit` inserts only if that epoch is still current.  The
+race this closes: query Q probes at epoch e, an update swaps the
+cluster to e+1 while Q's answer is in flight, then Q's (pre- or
+post-swap — the fan-out lock makes it one or the other on all
+machines) answer returns.  If the swap's invalidation ran first, the
+stale answer must not be admitted under e+1 — the epoch check rejects
+it.  If admission wins the lock first, the entry lands stamped ``e``
+and the swap's eviction scan (or, for entries the swap does not
+touch, the fact that the answer is identical at both epochs) makes it
+safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.cache.keys import CanonicalQuery, canonicalize, filter_answer, subsumes
+from repro.core.queries import QClassQuery
+from repro.sub.registry import compute_scope
+
+__all__ = ["AdmissionTicket", "CacheHit", "SemanticResultCache"]
+
+# Deterministic size model (bytes) — an estimate for LRU budgeting, not
+# an exact measurement; stable across interpreters so tests can pin it.
+_ENTRY_OVERHEAD = 256
+_PER_FRAGMENT_OVERHEAD = 64
+_PER_NODE = 16
+_PER_DISTANCE = 16
+
+
+@dataclass(frozen=True)
+class CacheHit:
+    """A served answer: the nodes plus how they were derived."""
+
+    nodes: frozenset[int]
+    kind: str  # "exact" | "subsumption"
+    epoch: int
+
+
+@dataclass(frozen=True)
+class AdmissionTicket:
+    """Returned by a missing probe; presents the miss-time epoch at admit."""
+
+    canonical: CanonicalQuery
+    epoch: int
+    query: QClassQuery
+
+
+@dataclass
+class _Entry:
+    canonical: CanonicalQuery
+    answer: frozenset[int]
+    # fragment_id -> {node -> per-term distance tuple (entry term order)};
+    # None when the cluster cannot explain — the entry then serves exact
+    # hits only, never subsumption.
+    partials: dict[int, dict[int, tuple]] | None
+    epoch: int
+    scope: frozenset[int] | None  # None = depends on every fragment
+    size_bytes: int = field(default=0)
+
+
+def _entry_bytes(
+    answer: frozenset[int], partials: dict[int, dict[int, tuple]] | None
+) -> int:
+    total = _ENTRY_OVERHEAD + _PER_NODE * len(answer)
+    for nodes in (partials or {}).values():
+        total += _PER_FRAGMENT_OVERHEAD
+        for distances in nodes.values():
+            total += _PER_NODE + _PER_DISTANCE * len(distances)
+    return total
+
+
+class SemanticResultCache:
+    """Query-level result cache with subsumption and epoch invalidation.
+
+    ``max_entries``/``max_bytes`` bound the LRU; an entry whose own size
+    exceeds ``max_bytes`` is never admitted.  ``subsumption=False``
+    degrades the cache to an exact-key memo table (for A/B runs).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_entries: int = 1024,
+        max_bytes: int = 32 * 1024 * 1024,
+        subsumption: bool = True,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        self._max_entries = max_entries
+        self._max_bytes = max_bytes
+        self._subsumption = subsumption
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
+        self._by_shape: dict[tuple, set[tuple]] = {}
+        self._by_keyword: dict[str, set[tuple]] = {}
+        self._radius_dependent: set[tuple] = set()
+        self._bytes = 0
+        self._epoch = 0
+        self._updater = None
+        self._metrics = None
+        self._hits = 0
+        self._misses = 0
+        self._subsumption_hits = 0
+        self._evictions = 0
+        self._invalidations = 0
+        self._inserts = 0
+        self._stale_rejects = 0
+        self._oversize_rejects = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def bind(self, metrics) -> None:
+        """Mirror counters/gauges into a MetricsRegistry (Prometheus)."""
+        self._metrics = metrics
+        metrics.observe_gauge("cache_entries", 0)
+        metrics.observe_gauge("cache_bytes", 0)
+
+    def attach(self, updater) -> None:
+        """Ride the updater's swap feed; seed the current epoch."""
+        self._updater = updater
+        with self._lock:
+            self._epoch = updater.epoch
+        updater.subscribe_swaps(self.on_swap)
+
+    # ------------------------------------------------------------------
+    # Lookup / admission
+    # ------------------------------------------------------------------
+    def probe(
+        self, query: QClassQuery
+    ) -> tuple[CacheHit | None, AdmissionTicket | None]:
+        """Look the query up; a miss returns a ticket for later admission."""
+        canonical = canonicalize(query)
+        with self._lock:
+            key = canonical.key
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                self._count("cache_hits")
+                return CacheHit(entry.answer, "exact", entry.epoch), None
+            if self._subsumption:
+                for other_key in self._by_shape.get(canonical.shape, ()):
+                    other = self._entries[other_key]
+                    if other.partials is None:
+                        continue  # no distance maps — exact hits only
+                    if not subsumes(other.canonical, canonical):
+                        continue
+                    nodes: set[int] = set()
+                    for partial in other.partials.values():
+                        nodes |= filter_answer(other.canonical, canonical, partial)
+                    self._entries.move_to_end(other_key)
+                    self._subsumption_hits += 1
+                    self._count("cache_subsumption_hits")
+                    return CacheHit(frozenset(nodes), "subsumption", other.epoch), None
+            self._misses += 1
+            self._count("cache_misses")
+            return None, AdmissionTicket(canonical, self._epoch, query)
+
+    def admit(
+        self,
+        ticket: AdmissionTicket,
+        answer: frozenset[int],
+        partials: dict[int, dict[int, tuple]] | None,
+    ) -> bool:
+        """Insert a computed answer — unless the epoch moved since the probe."""
+        scope = self._compute_scope(ticket.query)
+        size = _entry_bytes(answer, partials)
+        with self._lock:
+            if ticket.epoch != self._epoch:
+                self._stale_rejects += 1
+                return False
+            if size > self._max_bytes:
+                self._oversize_rejects += 1
+                return False
+            key = ticket.canonical.key
+            if key in self._entries:  # concurrent identical miss already landed
+                self._entries.move_to_end(key)
+                return False
+            entry = _Entry(
+                canonical=ticket.canonical,
+                answer=frozenset(answer),
+                partials=partials,
+                epoch=ticket.epoch,
+                scope=scope,
+                size_bytes=size,
+            )
+            self._entries[key] = entry
+            self._index(key, entry)
+            self._bytes += size
+            self._inserts += 1
+            while len(self._entries) > self._max_entries or self._bytes > self._max_bytes:
+                victim_key, victim = self._entries.popitem(last=False)
+                self._unindex(victim_key, victim)
+                self._bytes -= victim.size_bytes
+                self._evictions += 1
+                self._count("cache_evictions")
+            self._gauges()
+        return True
+
+    def _compute_scope(self, query: QClassQuery) -> frozenset[int] | None:
+        """Fragment-dependency scope, from the updater's current indexes.
+
+        Mirrors the standing-query registry: an out-of-scope fragment
+        provably contributes nothing to the restricting terms, so
+        keyword churn confined to it cannot change the answer.  Without
+        an updater the cache never sees swaps, so the scope is moot.
+        """
+        if self._updater is None:
+            return None
+        state = self._updater.state
+        return compute_scope(query, state.fragments, state.indexes)
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def on_swap(self, state, delta, swap) -> None:
+        """Epoch-delta invalidation: evict only what the swap can affect.
+
+        Topology change (any op without a keyword): every
+        radius-dependent entry goes — edge weights reach arbitrarily far
+        through coverage radii, and a stale fragment scope may even be
+        too small.  Pure-HAS entries (all radii 0) survive unless their
+        keywords changed.  Keyword churn: an entry goes iff one of its
+        keywords changed AND its fragment scope intersects the changed
+        fragments (an unscoped entry intersects everything).
+        """
+        with self._lock:
+            victims: set[tuple] = set()
+            if swap.topology_changed:
+                victims |= self._radius_dependent
+            if swap.changed_keywords:
+                changed_fragments = set(swap.changed_fragments)
+                for keyword in swap.changed_keywords:
+                    for key in self._by_keyword.get(keyword, ()):
+                        entry = self._entries[key]
+                        if entry.scope is None or entry.scope & changed_fragments:
+                            victims.add(key)
+            for key in victims:
+                entry = self._entries.pop(key)
+                self._unindex(key, entry)
+                self._bytes -= entry.size_bytes
+                self._invalidations += 1
+                self._count("cache_evictions")
+            self._epoch = swap.epoch
+            self._gauges()
+
+    def clear(self) -> None:
+        """Drop every entry (counters survive)."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._by_shape.clear()
+            self._by_keyword.clear()
+            self._radius_dependent.clear()
+            self._bytes = 0
+            self._evictions += dropped
+            self._gauges()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        with self._lock:
+            return self._epoch
+
+    def stats(self) -> dict[str, object]:
+        """Counter/config snapshot (the ``result_cache`` stats block)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "hits": self._hits,
+                "misses": self._misses,
+                "subsumption_hits": self._subsumption_hits,
+                "evictions": self._evictions + self._invalidations,
+                "invalidations": self._invalidations,
+                "inserts": self._inserts,
+                "stale_rejects": self._stale_rejects,
+                "oversize_rejects": self._oversize_rejects,
+                "epoch": self._epoch,
+                "subsumption": self._subsumption,
+                "max_entries": self._max_entries,
+                "max_bytes": self._max_bytes,
+            }
+
+    # ------------------------------------------------------------------
+    # Internals (call with the lock held)
+    # ------------------------------------------------------------------
+    def _index(self, key: tuple, entry: _Entry) -> None:
+        self._by_shape.setdefault(entry.canonical.shape, set()).add(key)
+        for keyword in entry.canonical.keywords:
+            self._by_keyword.setdefault(keyword, set()).add(key)
+        if entry.canonical.radius_dependent:
+            self._radius_dependent.add(key)
+
+    def _unindex(self, key: tuple, entry: _Entry) -> None:
+        bucket = self._by_shape.get(entry.canonical.shape)
+        if bucket is not None:
+            bucket.discard(key)
+            if not bucket:
+                del self._by_shape[entry.canonical.shape]
+        for keyword in entry.canonical.keywords:
+            bucket = self._by_keyword.get(keyword)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._by_keyword[keyword]
+        self._radius_dependent.discard(key)
+
+    def _count(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.increment(name)
+
+    def _gauges(self) -> None:
+        if self._metrics is not None:
+            self._metrics.observe_gauge("cache_entries", len(self._entries))
+            self._metrics.observe_gauge("cache_bytes", self._bytes)

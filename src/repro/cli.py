@@ -143,6 +143,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-shm", action="store_false", dest="shm",
         help="ship fragments to workers by pickle instead of shared memory",
     )
+    serve.add_argument(
+        "--cache", action="store_true",
+        help="semantic result cache: repeat/subsumed queries answered "
+        "without dispatch, invalidated per epoch delta under --live",
+    )
+    serve.add_argument(
+        "--cache-entries", type=int, default=1024, dest="cache_entries",
+        help="result-cache LRU capacity (entries)",
+    )
+    serve.add_argument(
+        "--cache-bytes", type=int, default=32 * 1024 * 1024, dest="cache_bytes",
+        help="result-cache memory budget (estimated bytes)",
+    )
+    serve.add_argument(
+        "--no-subsumption", action="store_false", dest="cache_subsumption",
+        help="disable radius subsumption (exact-key memo only)",
+    )
 
     loadgen = sub.add_parser("loadgen", help="closed-loop load test of a server")
     loadgen.add_argument("--host", default="127.0.0.1")
@@ -162,6 +179,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--rkq-fraction", type=float, default=0.25, dest="rkq_fraction"
     )
     loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--zipf", type=float, default=None, metavar="S",
+        help="Zipf(S) keyword skew over the global frequency rank "
+        "(default: the paper's frequency-proportional selection)",
+    )
     loadgen.add_argument(
         "--subs", type=int, default=0,
         help="register this many standing subscriptions before the run "
@@ -414,6 +436,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             trace_sample_rate=args.trace,
             slow_query_ms=args.slow_ms,
             trace_log=args.trace_log,
+            cache=args.cache,
+            cache_max_entries=args.cache_entries,
+            cache_max_bytes=args.cache_bytes,
+            cache_subsumption=args.cache_subsumption,
         ),
         updater=updater,
         sub_engine=sub_engine,
@@ -449,6 +475,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"tracing: sampling {args.trace:.1%} of queries "
                 f"(slow >= {args.slow_ms:g}ms always ringed) — inspect with "
                 f"`python -m repro trace --port {server.port}`"
+            )
+        if args.cache:
+            print(
+                f"result cache: on ({args.cache_entries} entries / "
+                f"{args.cache_bytes} bytes, subsumption "
+                f"{'on' if args.cache_subsumption else 'off'}) — counters in "
+                '{"op": "stats"} under "result_cache"'
             )
         await server.serve_forever()
 
@@ -547,6 +580,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         num_keywords=args.keywords,
         rkq_fraction=args.rkq_fraction,
         seed=args.seed,
+        zipf=args.zipf,
     )
     wire_note = args.wire if args.batch == 1 else f"{args.wire}, batch {args.batch}"
     print(

@@ -377,11 +377,17 @@ def generate_expressions(
     num_keywords: int = 2,
     rkq_fraction: float = 0.25,
     seed: int = 0,
+    zipf: float | None = None,
 ) -> list[str]:
-    """A reproducible stream of wire-language queries (§6 protocol)."""
+    """A reproducible stream of wire-language queries (§6 protocol).
+
+    ``zipf`` switches the keyword selection to Zipf(s) skew over the
+    global frequency rank (see :class:`QueryGenConfig.zipf_exponent`);
+    ``None`` keeps the paper's frequency-proportional default.
+    """
     if count < 1:
         raise DisksError("the expression stream needs at least one query")
-    generator = QueryGenerator(network, QueryGenConfig(seed=seed))
+    generator = QueryGenerator(network, QueryGenConfig(seed=seed, zipf_exponent=zipf))
     rng = random.Random(seed)
     expressions: list[str] = []
     for _ in range(count):

@@ -57,7 +57,7 @@ from dataclasses import dataclass
 from multiprocessing.connection import Connection
 from multiprocessing.process import BaseProcess
 
-from repro.core.executor import execute_fragment_task
+from repro.core.executor import execute_fragment_task, execute_fragment_task_explained
 from repro.core.fragment import Fragment
 from repro.core.npd import NPDIndex
 from repro.core.queries import QClassQuery
@@ -146,6 +146,46 @@ def _pipelined_worker_main(connection: Connection, payload: bytes) -> None:
                 except Exception:
                     connection.send(("error", (request_id, traceback.format_exc())))
                 continue
+            if kind == "cache_stats":
+                # Control round-trip: aggregate this worker's per-runtime
+                # coverage-cache counters (shm runtimes report zeros).
+                request_id = body
+                totals = {"hits": 0, "misses": 0, "skipped": 0}
+                for rt in runtimes:
+                    stats = rt.cache_stats
+                    totals["hits"] += stats.hits
+                    totals["misses"] += stats.misses
+                    totals["skipped"] += stats.skipped
+                connection.send_bytes(
+                    pickle.dumps(("stats", (request_id, totals), time.perf_counter()))
+                )
+                continue
+            if kind == "explain":
+                # Like "query", but each fragment also returns the exact
+                # per-term distances of its result nodes — the payload the
+                # semantic result cache stores for subsumption filtering.
+                # Always pickled: the distance dicts don't fit the binary
+                # result frame, and explain traffic is cache-miss-rate only.
+                emulate_delivery(network_model, meta[0] if meta else None, len(raw))
+                request_id, query = body
+                try:
+                    started = time.perf_counter()
+                    explained = [
+                        execute_fragment_task_explained(rt, query) for rt in runtimes
+                    ]
+                    elapsed = time.perf_counter() - started
+                    reply = [
+                        (result.fragment_id, explanations, result.wall_seconds)
+                        for result, explanations in explained
+                    ]
+                    connection.send_bytes(
+                        pickle.dumps(
+                            ("results", (request_id, reply, elapsed), time.perf_counter())
+                        )
+                    )
+                except Exception:
+                    connection.send(("error", (request_id, traceback.format_exc())))
+                continue
             if kind != "query":  # pragma: no cover - protocol guard
                 connection.send(("error", (None, f"unknown message kind {kind!r}")))
                 continue
@@ -214,6 +254,8 @@ class PipelinedResponse:
     message_bytes: int
     degraded: bool = False
     spans: tuple[Span, ...] = ()
+    # Explain mode only: fragment_id -> {node -> per-term distances}.
+    partials: dict[int, dict[int, tuple]] | None = None
 
 
 @dataclass(frozen=True)
@@ -273,6 +315,7 @@ class _InFlight:
         "collector",
         "root",
         "dispatch_spans",
+        "partials",
     )
 
     def __init__(self, awaiting: set[int], degraded: bool) -> None:
@@ -287,6 +330,18 @@ class _InFlight:
         self.collector: SpanCollector | None = None
         self.root: Span | None = None
         self.dispatch_spans: dict[int, Span] = {}
+        self.partials: dict[int, dict[int, tuple]] = {}
+
+
+class _InFlightStats:
+    """Coordinator-side aggregation for one coverage-cache stats sweep."""
+
+    __slots__ = ("future", "awaiting", "totals")
+
+    def __init__(self, awaiting: set[int]) -> None:
+        self.future: Future[dict[str, int]] = Future()
+        self.awaiting = awaiting
+        self.totals: dict[str, int] = {"hits": 0, "misses": 0, "skipped": 0}
 
 
 class PipelinedCluster:
@@ -323,6 +378,7 @@ class PipelinedCluster:
         self._lock = threading.Lock()
         self._pending: dict[int, _InFlight] = {}
         self._pending_applies: dict[int, _InFlightApply] = {}
+        self._pending_stats: dict[int, _InFlightStats] = {}
         self._ids = itertools.count()
         self._dead: set[int] = set()
         self._alive = True
@@ -467,6 +523,8 @@ class PipelinedCluster:
             self._pending.clear()
             leftover_applies = list(self._pending_applies.values())
             self._pending_applies.clear()
+            leftover_stats = list(self._pending_stats.values())
+            self._pending_stats.clear()
         for inflight in leftover:
             if not inflight.future.done():
                 inflight.future.set_exception(
@@ -476,6 +534,11 @@ class PipelinedCluster:
             if not apply.future.done():
                 apply.future.set_exception(
                     ClusterError("the cluster was shut down mid-apply")
+                )
+        for pending in leftover_stats:
+            if not pending.future.done():
+                pending.future.set_exception(
+                    ClusterError("the cluster was shut down mid-stats")
                 )
 
     # ------------------------------------------------------------------
@@ -506,6 +569,10 @@ class PipelinedCluster:
                 request_id, epoch, swapped, elapsed = body
                 self._absorb_apply_ack(machine_id, request_id, swapped, len(raw))
                 continue
+            if kind == "stats":
+                request_id, totals = body
+                self._absorb_stats(machine_id, request_id, totals)
+                continue
             request_id, reply, elapsed, *extra = body
             self._absorb_reply(
                 machine_id,
@@ -532,6 +599,11 @@ class PipelinedCluster:
             inflight.machine_seconds[machine_id] = elapsed
             inflight.message_bytes += wire_bytes
             for fragment_id, nodes, seconds in reply:
+                # Explain replies carry {node -> distances} dicts; plain
+                # replies carry node sets.  Either way the keys/elements
+                # are the fragment's result nodes.
+                if isinstance(nodes, dict):
+                    inflight.partials[fragment_id] = nodes
                 inflight.merged.update(nodes)
                 inflight.fragment_seconds[fragment_id] = seconds
             if spans and inflight.collector is not None:
@@ -557,6 +629,7 @@ class PipelinedCluster:
             spans=tuple(inflight.collector.spans)
             if inflight.collector is not None
             else (),
+            partials=dict(inflight.partials) if inflight.partials else None,
         )
         if not inflight.future.done():
             inflight.future.set_result(response)
@@ -593,14 +666,33 @@ class PipelinedCluster:
         if not apply.future.done():
             apply.future.set_result(summary)
 
+    def _absorb_stats(
+        self, machine_id: int, request_id: int, totals: dict[str, int]
+    ) -> None:
+        with self._lock:
+            pending = self._pending_stats.get(request_id)
+            if pending is None:
+                return
+            for name, value in totals.items():
+                pending.totals[name] = pending.totals.get(name, 0) + value
+            pending.awaiting.discard(machine_id)
+            if pending.awaiting:
+                return
+            del self._pending_stats[request_id]
+        if not pending.future.done():
+            pending.future.set_result(dict(pending.totals))
+
     def _fail_request(self, request_id: int, error: ClusterError) -> None:
         with self._lock:
             inflight = self._pending.pop(request_id, None)
             apply = self._pending_applies.pop(request_id, None)
+            stats = self._pending_stats.pop(request_id, None)
         if inflight is not None and not inflight.future.done():
             inflight.future.set_exception(error)
         if apply is not None and not apply.future.done():
             apply.future.set_exception(error)
+        if stats is not None and not stats.future.done():
+            stats.future.set_exception(error)
 
     def _on_worker_death(self, machine_id: int) -> None:
         if self._shm_store is not None:
@@ -627,6 +719,14 @@ class PipelinedCluster:
                 if not apply.awaiting:
                     del self._pending_applies[rid]
                     finished_applies.append(apply)
+            # Stats sweeps likewise complete on the survivors' counters.
+            finished_stats: list[_InFlightStats] = []
+            for rid in list(self._pending_stats):
+                pending = self._pending_stats[rid]
+                pending.awaiting.discard(machine_id)
+                if not pending.awaiting:
+                    del self._pending_stats[rid]
+                    finished_stats.append(pending)
         for request_id in affected:
             self._fail_request(
                 request_id,
@@ -636,12 +736,19 @@ class PipelinedCluster:
             )
         for apply in finished_applies:
             self._complete_apply(apply)
+        for pending in finished_stats:
+            if not pending.future.done():
+                pending.future.set_result(dict(pending.totals))
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def submit(
-        self, query: QClassQuery, *, trace: TraceContext | None = None
+        self,
+        query: QClassQuery,
+        *,
+        trace: TraceContext | None = None,
+        explain: bool = False,
     ) -> PendingQuery:
         """Fan the query out to every live worker; return immediately.
 
@@ -651,6 +758,12 @@ class PipelinedCluster:
         resolved :class:`PipelinedResponse` carries the assembled tree.
         Traced queries pay one pickle per machine (the dispatch span ids
         differ); untraced queries keep the single shared payload.
+
+        ``explain`` asks each worker for the exact per-term distances of
+        its result nodes alongside the node sets (the semantic result
+        cache's admission payload); the response then carries
+        ``partials``.  Result nodes are identical either way.  Ignored
+        for traced queries (trace wins).
         """
         if not self._alive:
             raise ClusterError("the cluster has been shut down")
@@ -680,7 +793,11 @@ class PipelinedCluster:
             # The untraced fast path: one shared payload, struct-packed
             # when the pipes speak binary (cheaper to encode and ~2-4×
             # smaller than the pickled tuple on typical queries).
-            if self._pipe_wire == "binary":
+            if explain:
+                shared = pickle.dumps(
+                    ("explain", (request_id, query), time.perf_counter())
+                )
+            elif self._pipe_wire == "binary":
                 shared = wire.dumps_pipe_query(request_id, query, time.perf_counter())
             else:
                 shared = pickle.dumps(
@@ -823,15 +940,59 @@ class PipelinedCluster:
         with self._lock:
             self._pending.pop(request_id, None)
 
+    def coverage_cache_stats(
+        self, *, timeout_seconds: float = 10.0
+    ) -> dict[str, int]:
+        """Cluster-wide coverage-cache counters, summed over live workers.
+
+        Same shape as :meth:`SimulatedCluster.coverage_cache_stats`, so
+        the serve layer's ``stats`` op surfaces either cluster kind
+        identically.  Rides the multiplexed pipes as a control
+        round-trip; dead workers are skipped (their counters died with
+        them), and a worker dying mid-sweep completes the sweep on the
+        survivors.
+        """
+        if not self._alive:
+            raise ClusterError("the cluster has been shut down")
+        with self._lock:
+            live = [
+                machine_id
+                for machine_id in range(len(self._connections))
+                if machine_id not in self._dead
+            ]
+            request_id = next(self._ids)
+            pending = _InFlightStats(set(live))
+            if live:
+                self._pending_stats[request_id] = pending
+        if not live:
+            return dict(pending.totals)
+        payload = pickle.dumps(("cache_stats", request_id, time.perf_counter()))
+        with self._fanout_lock:
+            for machine_id in live:
+                try:
+                    with self._send_locks[machine_id]:
+                        self._connections[machine_id].send_bytes(payload)
+                except (BrokenPipeError, OSError):
+                    self._on_worker_death(machine_id)
+        try:
+            return pending.future.result(timeout=timeout_seconds)
+        except FutureTimeoutError:
+            with self._lock:
+                self._pending_stats.pop(request_id, None)
+            raise ClusterError(
+                f"coverage cache stats were not collected within {timeout_seconds}s"
+            ) from None
+
     def execute(
         self,
         query: QClassQuery,
         *,
         timeout_seconds: float = _DEFAULT_TIMEOUT,
         trace: TraceContext | None = None,
+        explain: bool = False,
     ) -> PipelinedResponse:
         """Synchronous convenience wrapper over :meth:`submit`."""
-        pending = self.submit(query, trace=trace)
+        pending = self.submit(query, trace=trace, explain=explain)
         try:
             return pending.future.result(timeout=timeout_seconds)
         except FutureTimeoutError:

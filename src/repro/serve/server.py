@@ -47,12 +47,14 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import inspect
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.cache.store import SemanticResultCache
 from repro.core.language import parse_query
 from repro.exceptions import ClusterError, DisksError, LiveUpdateError, QueryError
 from repro.live.ops import op_from_record
@@ -66,6 +68,27 @@ from repro.serve.metrics import MetricsRegistry
 from repro.serve.protocol import decode_line, encode_line, render_query
 
 __all__ = ["ServeConfig", "DisksServer", "serve_in_thread"]
+
+
+@dataclass(frozen=True)
+class _CachedResponse:
+    """A cache hit shaped like a cluster response.
+
+    Mirrors the attributes ``_run_query`` consumers read off a
+    :class:`~repro.serve.pipeline.PipelinedResponse`; no dispatch
+    happened, so the timing/byte fields are zero and ``cached`` lets
+    tests (and the slow-query ring) tell the two apart.
+    """
+
+    result_nodes: frozenset[int]
+    fragment_seconds: dict = field(default_factory=dict)
+    machine_seconds: dict = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    message_bytes: int = 0
+    degraded: bool = False
+    spans: tuple = ()
+    partials: None = None
+    cached: bool = True
 
 
 class _Connection:
@@ -189,6 +212,12 @@ class ServeConfig:
     Queries slower than ``slow_query_ms`` always enter the slow-query
     ring — with full spans when sampled, as a coarse entry otherwise
     (spans cannot be collected retroactively).
+
+    Cache knobs: ``cache=True`` layers the epoch-aware semantic result
+    cache (:mod:`repro.cache`) in front of dispatch — both NDJSON and
+    binary queries consult it, answers stay bit-identical to cache-off.
+    ``cache_max_entries``/``cache_max_bytes`` bound the LRU;
+    ``cache_subsumption=False`` degrades it to an exact-key memo table.
     """
 
     host: str = "127.0.0.1"
@@ -203,6 +232,10 @@ class ServeConfig:
     sub_queue_limit: int = 256
     max_frame_bytes: int = wire.MAX_FRAME_BYTES
     frame_timeout_seconds: float = 5.0
+    cache: bool = False
+    cache_max_entries: int = 1024
+    cache_max_bytes: int = 32 * 1024 * 1024
+    cache_subsumption: bool = True
 
 
 class DisksServer:
@@ -230,6 +263,26 @@ class DisksServer:
         self._trace_sink = (
             JsonlTraceSink(self.config.trace_log) if self.config.trace_log else None
         )
+        self.result_cache = None
+        self._cluster_explains = False
+        if self.config.cache:
+            self.result_cache = SemanticResultCache(
+                max_entries=self.config.cache_max_entries,
+                max_bytes=self.config.cache_max_bytes,
+                subsumption=self.config.cache_subsumption,
+            )
+            self.result_cache.bind(self.metrics)
+            if updater is not None:
+                self.result_cache.attach(updater)
+            # Subsumption needs the per-term distances only explain-mode
+            # dispatch returns; clusters without it still get the
+            # exact-key memo behaviour.
+            try:
+                self._cluster_explains = (
+                    "explain" in inspect.signature(cluster.submit).parameters
+                )
+            except (TypeError, ValueError):  # pragma: no cover - exotic callables
+                self._cluster_explains = False
         self._slow_queries: deque[dict] = deque(maxlen=64)
         self._server: asyncio.AbstractServer | None = None
         self.host = self.config.host
@@ -445,9 +498,11 @@ class DisksServer:
         request_id = request.get("id")
         op = request.get("op", "query")
         if op == "stats":
-            await self._respond(
-                conn, {"id": request_id, "ok": True, "stats": self.stats()}
-            )
+            # Off the loop: collecting cluster-wide coverage-cache
+            # counters round-trips the worker pipes behind any queries
+            # already queued on them.
+            stats = await asyncio.to_thread(self.stats)
+            await self._respond(conn, {"id": request_id, "ok": True, "stats": stats})
         elif op == "info":
             await self._respond(
                 conn,
@@ -741,17 +796,40 @@ class DisksServer:
         for the caller to encode; on success all completion metrics,
         tracing and the slow ring are already fed.  Shared by the NDJSON
         query op and the binary QUERY/BATCH frames, which is what makes
-        the two protocol paths answer-identical by construction.
+        the two protocol paths answer-identical by construction — and
+        what makes the semantic result cache cover both with one probe
+        site.
 
         ``text`` is the query-language rendering for traces and the
         slow-query ring — either a string or a zero-arg callable, so the
         binary path only pays for rendering on the sampled/slow queries
         that actually record it.
+
+        Cache interplay: traced queries bypass the cache (their spans
+        must describe a real dispatch), degraded clusters bypass it
+        (partial answers must be neither served from nor admitted to
+        it), and a miss dispatches in explain mode so the admission
+        carries the per-term distance maps subsumption filters on.  The
+        epoch recheck lives in :meth:`SemanticResultCache.admit`.
         """
         arrived = time.perf_counter()
         trace = self.tracer.maybe_trace()
+        cache = self.result_cache
+        ticket = None
+        if cache is not None and trace is None and not self._cluster.degraded:
+            hit, ticket = cache.probe(query)
+            if hit is not None:
+                latency = time.perf_counter() - arrived
+                self.metrics.observe("latency_seconds", latency)
+                self.metrics.increment("completed")
+                response = _CachedResponse(
+                    result_nodes=hit.nodes, wall_seconds=latency
+                )
+                return response, None, latency
         if trace is not None:
             pending = self._cluster.submit(query, trace=trace)
+        elif ticket is not None and self._cluster_explains:
+            pending = self._cluster.submit(query, explain=True)
         else:
             pending = self._cluster.submit(query)
         try:
@@ -768,6 +846,14 @@ class DisksServer:
         self.metrics.increment("completed")
         for machine_id, seconds in response.machine_seconds.items():
             self.metrics.add_busy(machine_id, seconds)
+        if (
+            ticket is not None
+            and not response.degraded
+            and not self._cluster.degraded
+        ):
+            self.result_cache.admit(
+                ticket, response.result_nodes, getattr(response, "partials", None)
+            )
         slow = latency * 1000.0 >= self.config.slow_query_ms
         if trace is not None or slow:
             rendered = text() if callable(text) else text
@@ -990,7 +1076,13 @@ class DisksServer:
         # misses / skipped-by-size) surface them here.
         cache_stats = getattr(self._cluster, "coverage_cache_stats", None)
         if callable(cache_stats):
-            snapshot["coverage_cache"] = cache_stats()
+            try:
+                snapshot["coverage_cache"] = cache_stats()
+            except ClusterError:
+                # A dying cluster should not take the stats op with it.
+                pass
+        if self.result_cache is not None:
+            snapshot["result_cache"] = self.result_cache.stats()
         snapshot["tracing"] = {
             "rate": self.tracer.sample_rate,
             **self.tracer.counts,

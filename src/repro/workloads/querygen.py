@@ -35,11 +35,19 @@ class QueryGenConfig:
     ``initial_range`` is the starting circle radius in coordinate units;
     it doubles (up to ``max_range_doublings`` times) whenever the circle
     holds fewer distinct keywords than requested.
+
+    ``zipf_exponent`` replaces the paper's frequency-proportional
+    keyword weighting with a Zipf(s) distribution over the *global
+    frequency rank* — weight ``1/(rank+1)^s`` with rank 0 the most
+    frequent keyword — the million-user traffic shape where a few
+    popular terms dominate.  ``None`` (the default) keeps the paper's §6
+    behaviour; ``0.0`` is uniform over the candidate pool.
     """
 
     seed: int = 0
     initial_range: float = 5.0
     max_range_doublings: int = 12
+    zipf_exponent: float | None = None
 
 
 class QueryGenerator:
@@ -55,6 +63,15 @@ class QueryGenerator:
         self._objects = list(network.object_nodes())
         if not self._objects:
             raise QueryError("the network has no object nodes to draw keywords from")
+        self._rank: dict[str, int] | None = None
+        if self._config.zipf_exponent is not None:
+            # Global frequency rank, ties broken lexicographically so the
+            # rank (and thus the workload) is deterministic.
+            ordered = sorted(
+                self._inverted.vocabulary,
+                key=lambda kw: (-self._inverted.frequency(kw), kw),
+            )
+            self._rank = {kw: rank for rank, kw in enumerate(ordered)}
 
     # ------------------------------------------------------------------
     # The §6 selection protocol
@@ -87,10 +104,21 @@ class QueryGenerator:
             "the dataset vocabulary may be too small"
         )
 
+    def _keyword_weight(self, keyword: str) -> float:
+        if self._rank is None:
+            return float(max(1, self._inverted.frequency(keyword)))
+        exponent = self._config.zipf_exponent
+        rank = self._rank.get(keyword, len(self._rank))
+        return 1.0 / float(rank + 1) ** exponent
+
     def _frequency_weighted_sample(self, keywords: list[str], count: int) -> list[str]:
-        """Sample ``count`` distinct keywords ∝ global frequency."""
+        """Sample ``count`` distinct keywords ∝ global frequency.
+
+        With ``zipf_exponent`` set, ∝ ``1/(rank+1)^s`` instead — the
+        same sequential without-replacement scan, different weights.
+        """
         pool = list(keywords)
-        weights = [max(1, self._inverted.frequency(kw)) for kw in pool]
+        weights = [self._keyword_weight(kw) for kw in pool]
         chosen: list[str] = []
         for _ in range(count):
             total = float(sum(weights))

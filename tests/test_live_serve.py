@@ -240,3 +240,124 @@ class TestLiveServing:
                     assert client.epoch() == 0
         finally:
             cluster.shutdown()
+
+
+class _GatedCluster:
+    """Submit proxy that parks each computed answer at a gate.
+
+    The relay thread lets the worker finish the query, signals
+    ``answer_ready``, then holds the response until ``gate`` opens — so
+    a test can land an epoch swap in the window between the cache probe
+    and the answer's admission.  Everything else forwards to the real
+    cluster (including the ``explain`` keyword the cache's feature
+    detection looks for).
+    """
+
+    def __init__(self, real):
+        self._real = real
+        self.gate = threading.Event()
+        self.answer_ready = threading.Event()
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+    def submit(self, query, *, trace=None, explain=False):
+        from concurrent.futures import Future
+        from types import SimpleNamespace
+
+        pending = self._real.submit(query, trace=trace, explain=explain)
+        relayed: Future = Future()
+
+        def relay() -> None:
+            try:
+                response = pending.future.result()
+            except Exception as error:
+                self.gate.wait()
+                relayed.set_exception(error)
+                return
+            self.answer_ready.set()
+            self.gate.wait()
+            relayed.set_result(response)
+
+        threading.Thread(target=relay, daemon=True).start()
+        return SimpleNamespace(future=relayed, request_id=pending.request_id)
+
+
+class TestMidFlightUpdateCacheSafety:
+    def test_update_between_probe_and_admission_never_caches_stale(self):
+        """Regression for the cache's epoch recheck at admission.
+
+        Interleaving forced here: query Q probes the cache (miss, epoch
+        0) and dispatches; its pre-swap answer is computed, *then* an
+        UPDATE swaps the cluster to epoch 1, and only then does Q's
+        answer reach admission.  The pre-swap answer must not land in
+        the cache stamped with the post-swap epoch — a follow-up query
+        must recompute and see the update.
+        """
+        net = make_random_network(
+            seed=650, num_junctions=24, num_objects=12, vocabulary=4
+        )
+        partition = BfsPartitioner(seed=6).partition(net, 4)
+        fragments = build_fragments(net, partition)
+        indexes, _ = build_all_indexes(
+            net, fragments, NPDBuildConfig(max_radius=math.inf)
+        )
+        cluster = PipelinedCluster.start(fragments, indexes, num_machines=2)
+        manager = EpochManager(
+            network=net,
+            partition=partition,
+            fragments=list(fragments),
+            indexes=list(indexes),
+        )
+        manager.subscribe(
+            lambda state, delta: cluster.apply_updates(state.epoch, list(delta.values()))
+        )
+        gated = _GatedCluster(cluster)
+        expression = "HAS(w0)"
+        target = next(
+            node
+            for node in net.nodes()
+            if net.is_object(node) and "w0" not in net.keywords(node)
+        )
+        first_reply: list[dict] = []
+        try:
+            with serve_in_thread(
+                gated, ServeConfig(max_inflight=8, cache=True), updater=manager
+            ) as server:
+
+                def in_flight_query() -> None:
+                    with ServeClient(server.host, server.port) as client:
+                        first_reply.append(client.query(expression))
+
+                prober = threading.Thread(target=in_flight_query)
+                prober.start()
+                assert gated.answer_ready.wait(timeout=30), "query never dispatched"
+                # Pre-swap answer exists but has not been admitted: swap now.
+                manager.apply([AddKeyword(target, "w0")])
+                gated.gate.set()
+                prober.join(timeout=30)
+                assert first_reply and first_reply[0]["ok"], first_reply
+
+                cache_stats = server.result_cache.stats()
+                assert cache_stats["stale_rejects"] >= 1
+                assert cache_stats["entries"] == 0
+                assert cache_stats["epoch"] == 1
+
+                # The in-flight reply was computed pre-swap (admitted
+                # before the update — allowed); the *next* query must
+                # recompute against the new epoch, not serve it back.
+                assert target not in set(first_reply[0]["nodes"])
+                with ServeClient(server.host, server.port) as client:
+                    after = set(client.query(expression)["nodes"])
+                state = manager.state
+                reference = SimulatedCluster.from_fragments(
+                    list(state.fragments), list(state.indexes)
+                )
+                expected = set(
+                    reference.execute(parse_query(expression)).result_nodes
+                )
+                assert after == expected
+                assert target in after
+        finally:
+            gated.gate.set()
+            cluster.shutdown()

@@ -68,9 +68,13 @@ class TestProtocol:
             stats = client.stats()
             assert stats["admission"]["limit"] == 16
             assert stats["cluster"]["machines"] == 4
-            # Worker-process clusters keep runtimes out of reach, so the
-            # duck-typed coverage-cache block is absent here.
-            assert "coverage_cache" not in stats
+            # Worker-process clusters aggregate the coverage-cache
+            # counters over a control round-trip to every worker.
+            assert set(stats["coverage_cache"]) == {"hits", "misses", "skipped"}
+            for value in stats["coverage_cache"].values():
+                assert isinstance(value, int) and value >= 0
+            # No ServeConfig(cache=True): the result cache stays absent.
+            assert "result_cache" not in stats
 
     def test_stats_surfaces_coverage_cache_counters(self, built):
         """Clusters that aggregate cache counters show up in ``stats``."""
