@@ -1,0 +1,439 @@
+"""HA serving tier: failover exactness, load-aware routing, scale-out.
+
+Four claims of the replica-group tier (`repro.ha`), on the AUS preset:
+
+1. **Failover is free of wrong answers** — with replication factor 2,
+   SIGKILLing one worker mid-run loses *zero* queries: every answer is
+   bit-identical to the unkilled reference run (which itself matches
+   the centralized oracle), and closed-loop throughput drops by at
+   most 25%.
+2. **Load-aware routing beats round-robin under skew** — with one
+   machine slowed per task (the `machine_delays` knob), busy-second
+   routing steers fragment tasks onto the fast replicas; round-robin
+   keeps paying the slow machine on half its tasks.
+3. **Frontends scale out** — two frontends over the same cluster, each
+   with its own asyncio loop, admission gate, and client population,
+   clear more queries per second than one.
+4. **Idempotency is group-wide** — the same keyed update submitted to
+   *both* frontends concurrently applies exactly once.
+
+The numbers land in ``BENCH_ha.json`` at the repo root.  Set
+``BENCH_HA_CORRECTNESS_ONLY=1`` (the CI smoke job does) to skip the
+timing assertions and run a scaled-down workload; the exactness
+assertions — zero wrong answers across a kill, exactly-once applies —
+hold in both modes.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.baselines import CentralizedEvaluator
+from repro.core import parse_query
+from repro.dist import NetworkModel
+from repro.ha import FrontendGuard, HACluster, frontend_group
+from repro.live import AddKeyword, EpochManager
+from repro.serve import ServeClient, ServeConfig, generate_expressions
+
+from common import dataset, engine
+from repro.bench_support import Table, print_experiment_header, record_benchmark
+
+CORRECTNESS_ONLY = os.environ.get("BENCH_HA_CORRECTNESS_ONLY") == "1"
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_ha.json"
+
+DATASET = "aus_tiny"
+NUM_FRAGMENTS = 8
+NUM_MACHINES = 4
+NUM_CLIENTS = 4
+NUM_QUERIES = 24 if CORRECTNESS_ONLY else 96
+LINK = NetworkModel(latency_seconds=2e-3)
+MAX_QPS_DROP = 0.25  # the acceptance bound on failover cost
+SKEW_DELAY_SECONDS = 0.01  # per-task delay on the slow machine
+
+
+def _workload():
+    deployment = engine(DATASET, NUM_FRAGMENTS)
+    expressions = generate_expressions(
+        dataset(DATASET).network,
+        count=NUM_QUERIES,
+        radius=deployment.max_radius * 0.5,
+        seed=7,
+    )
+    queries = [parse_query(expression) for expression in expressions]
+    return deployment, queries
+
+
+def _drive(cluster, queries, *, kill=None, num_clients=NUM_CLIENTS):
+    """Closed-loop drive straight at the coordinator.
+
+    ``kill=(machine_id, at_seconds)`` arms a timer that SIGKILLs the
+    worker mid-run.  Returns (answers by query index, wall seconds,
+    error strings).
+    """
+    work = list(enumerate(queries))
+    answers: dict[int, frozenset[int]] = {}
+    errors: list[str] = []
+    lock = threading.Lock()
+
+    def _loop() -> None:
+        while True:
+            with lock:
+                if not work:
+                    return
+                i, query = work.pop()
+            try:
+                result = frozenset(cluster.execute(query).result_nodes)
+            except Exception as error:  # noqa: BLE001 - recorded, asserted on
+                with lock:
+                    errors.append(f"q{i}: {error}")
+                continue
+            with lock:
+                answers[i] = result
+    threads = [
+        threading.Thread(target=_loop, name=f"ha-bench-client-{c}")
+        for c in range(num_clients)
+    ]
+    timer = None
+    if kill is not None:
+        machine_id, at_seconds = kill
+        timer = threading.Timer(at_seconds, cluster.kill_worker, args=(machine_id,))
+        timer.daemon = True
+    started = time.perf_counter()
+    if timer is not None:
+        timer.start()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    if timer is not None:
+        timer.cancel()
+    return answers, wall, errors
+
+
+def test_failover_loses_no_answers():
+    print_experiment_header(
+        "HA",
+        "kill one replica mid-run",
+        "R=2 chained declustering; a SIGKILL mid-run must cost zero "
+        "wrong or failed queries and at most 25% throughput.",
+    )
+    deployment, queries = _workload()
+    oracle = CentralizedEvaluator(dataset(DATASET).network)
+    expected = [frozenset(oracle.results(query)) for query in queries]
+
+    with HACluster.start(
+        deployment.fragments,
+        deployment.indexes,
+        num_machines=NUM_MACHINES,
+        replication_factor=2,
+    ) as reference:
+        reference.execute(queries[0])  # warm the workers
+        ref_answers, ref_wall, ref_errors = _drive(reference, queries)
+
+    kill_at = max(0.05, ref_wall / 3)
+    with HACluster.start(
+        deployment.fragments,
+        deployment.indexes,
+        num_machines=NUM_MACHINES,
+        replication_factor=2,
+    ) as killed:
+        killed.execute(queries[0])
+        answers, wall, errors = _drive(killed, queries, kill=(1, kill_at))
+        stats = killed.ha_stats()
+
+    assert not ref_errors and not errors, (ref_errors, errors)
+    assert [ref_answers[i] for i in range(len(queries))] == expected
+    wrong = [i for i in range(len(queries)) if answers[i] != expected[i]]
+    assert not wrong, f"{len(wrong)} answers diverged after the kill: {wrong[:5]}"
+    assert stats["dead_machines"] == [1]
+    assert stats["failovers"] == 1
+
+    ref_qps = len(queries) / ref_wall
+    killed_qps = len(queries) / wall
+    drop = 1.0 - killed_qps / ref_qps
+
+    table = Table(
+        f"{len(queries)} queries, {NUM_CLIENTS} clients, {NUM_MACHINES} workers "
+        f"x2 replication, worker 1 killed at t+{kill_at:.2f}s (AUS)",
+        ["run", "qps", "wrong", "failed", "reroutes", "restarts"],
+    )
+    table.add_row("unkilled reference", ref_qps, 0, 0, 0, 0)
+    table.add_row(
+        "kill mid-run", killed_qps, len(wrong), len(errors),
+        stats["reroutes"], stats["restarts"],
+    )
+    table.show()
+    print(f"    failover throughput cost: {max(drop, 0.0):.1%}")
+
+    record_benchmark(
+        BENCH_FILE,
+        {
+            "experiment": "ha_failover",
+            "num_queries": len(queries),
+            "num_clients": NUM_CLIENTS,
+            "num_machines": NUM_MACHINES,
+            "replication_factor": 2,
+            "reference_qps": ref_qps,
+            "killed_qps": killed_qps,
+            "qps_drop": drop,
+            "wrong_answers": len(wrong),
+            "failed_queries": len(errors),
+            "reroutes": stats["reroutes"],
+            "restarts": stats["restarts"],
+            "correctness_only": CORRECTNESS_ONLY,
+        },
+    )
+
+    if not CORRECTNESS_ONLY:
+        assert drop <= MAX_QPS_DROP, (
+            f"failover cost {drop:.1%} exceeds the {MAX_QPS_DROP:.0%} bound "
+            f"({killed_qps:.1f} vs {ref_qps:.1f} qps)"
+        )
+
+
+def test_load_aware_routing_beats_round_robin_under_skew():
+    print_experiment_header(
+        "HA",
+        "load-aware vs round-robin routing",
+        f"Machine 0 sleeps {SKEW_DELAY_SECONDS * 1e3:g} ms per task; "
+        "busy-second routing should route around it.",
+    )
+    deployment, queries = _workload()
+    oracle = CentralizedEvaluator(dataset(DATASET).network)
+    expected = [frozenset(oracle.results(query)) for query in queries]
+
+    walls: dict[str, float] = {}
+    busy_shares: dict[str, float] = {}
+    for routing in ("rr", "load"):
+        with HACluster.start(
+            deployment.fragments,
+            deployment.indexes,
+            num_machines=3,
+            replication_factor=2,
+            routing=routing,
+            machine_delays={0: SKEW_DELAY_SECONDS},
+        ) as cluster:
+            cluster.execute(queries[0])
+            answers, wall, errors = _drive(cluster, queries)
+            stats = cluster.ha_stats()
+        assert not errors, errors
+        assert all(answers[i] == expected[i] for i in range(len(queries)))
+        walls[routing] = wall
+        busy = stats["busy_seconds"]
+        busy_shares[routing] = busy[0] / (sum(busy.values()) or 1.0)
+
+    advantage = walls["rr"] / walls["load"]
+    table = Table(
+        f"{len(queries)} queries, {NUM_CLIENTS} clients, 3 workers x2 "
+        "replication, machine 0 skewed (AUS)",
+        ["routing", "total (s)", "qps", "slow-machine busy share"],
+    )
+    for routing in ("rr", "load"):
+        table.add_row(
+            routing, walls[routing], len(queries) / walls[routing],
+            busy_shares[routing],
+        )
+    table.show()
+    print(f"    load-aware advantage: {advantage:.2f}x")
+
+    record_benchmark(
+        BENCH_FILE,
+        {
+            "experiment": "ha_routing_skew",
+            "num_queries": len(queries),
+            "skew_delay_ms": SKEW_DELAY_SECONDS * 1e3,
+            "rr_qps": len(queries) / walls["rr"],
+            "load_qps": len(queries) / walls["load"],
+            "advantage": advantage,
+            "rr_slow_share": busy_shares["rr"],
+            "load_slow_share": busy_shares["load"],
+            "correctness_only": CORRECTNESS_ONLY,
+        },
+    )
+
+    # Routing away from the skewed machine is structural: its busy share
+    # must shrink under load-aware routing even in smoke mode.
+    assert busy_shares["load"] < busy_shares["rr"], (
+        f"load-aware routing left machine 0 as busy as round-robin "
+        f"({busy_shares['load']:.0%} vs {busy_shares['rr']:.0%})"
+    )
+    if not CORRECTNESS_ONLY:
+        assert advantage > 1.0, (
+            f"expected load-aware routing to beat round-robin under skew, "
+            f"got {advantage:.2f}x"
+        )
+
+
+def _drive_frontends(frontends, expressions) -> tuple[float, int]:
+    """One closed-loop client per frontend; returns (wall, ok count)."""
+    shares = [expressions[i :: len(frontends)] for i in range(len(frontends))]
+    ok = [0] * len(frontends)
+
+    def _loop(index: int) -> None:
+        front = frontends[index]
+        with ServeClient(front.host, front.port) as client:
+            for expression in shares[index]:
+                if client.query(expression).get("ok"):
+                    ok[index] += 1
+
+    threads = [
+        threading.Thread(target=_loop, args=(i,)) for i in range(len(frontends))
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - started, sum(ok)
+
+
+def test_two_frontends_outserve_one():
+    print_experiment_header(
+        "HA",
+        "multi-frontend scale-out",
+        "Same cluster, emulated link: two frontends with their own "
+        "loops, gates, and clients vs one.",
+    )
+    deployment, _queries = _workload()
+    expressions = generate_expressions(
+        dataset(DATASET).network,
+        count=NUM_QUERIES,
+        radius=deployment.max_radius * 0.5,
+        seed=7,
+    )
+    with HACluster.start(
+        deployment.fragments,
+        deployment.indexes,
+        num_machines=NUM_MACHINES,
+        replication_factor=2,
+        network_model=LINK,
+    ) as cluster:
+        cluster.execute(_queries[0])
+        results: dict[int, tuple[float, int]] = {}
+        for count in (1, 2):
+            with frontend_group(
+                cluster, count=count, config=ServeConfig(port=0)
+            ) as frontends:
+                results[count] = _drive_frontends(frontends, expressions)
+
+    qps = {count: ok / wall for count, (wall, ok) in results.items()}
+    table = Table(
+        f"{NUM_QUERIES} queries, one closed-loop client per frontend, "
+        f"{LINK.latency_seconds * 1e3:g} ms one-way link (AUS)",
+        ["frontends", "ok", "total (s)", "qps"],
+    )
+    for count, (wall, ok) in sorted(results.items()):
+        table.add_row(count, ok, wall, qps[count])
+    table.show()
+    print(f"    scale-out: {qps[2] / qps[1]:.2f}x")
+
+    assert all(ok == NUM_QUERIES for _wall, ok in results.values())
+    record_benchmark(
+        BENCH_FILE,
+        {
+            "experiment": "ha_frontend_scaleout",
+            "num_queries": NUM_QUERIES,
+            "one_frontend_qps": qps[1],
+            "two_frontend_qps": qps[2],
+            "scaleout": qps[2] / qps[1],
+            "correctness_only": CORRECTNESS_ONLY,
+        },
+    )
+    if not CORRECTNESS_ONLY:
+        assert qps[2] > qps[1], (
+            f"two frontends should outserve one, got {qps[2]:.1f} vs "
+            f"{qps[1]:.1f} qps"
+        )
+
+
+def test_duplicate_updates_apply_exactly_once_across_frontends():
+    print_experiment_header(
+        "HA",
+        "cross-frontend idempotency",
+        "The same keyed update raced onto both frontends must apply "
+        "exactly once.",
+    )
+    deployment = engine(DATASET, NUM_FRAGMENTS)
+    data = dataset(DATASET)
+    manager = EpochManager(
+        network=data.network,
+        partition=deployment.partition,
+        fragments=list(deployment.fragments),
+        indexes=list(deployment.indexes),
+    )
+    nodes = sorted(data.network.object_nodes())
+    rounds = 4 if CORRECTNESS_ONLY else 12
+    deduped = 0
+    with HACluster.start(
+        deployment.fragments,
+        deployment.indexes,
+        num_machines=NUM_MACHINES,
+        replication_factor=2,
+    ) as cluster:
+        manager.bind_cluster(cluster)
+        guard = FrontendGuard()
+        with frontend_group(
+            cluster,
+            count=2,
+            config=ServeConfig(port=0),
+            updater=manager,
+            guard=guard,
+        ) as frontends:
+            for round_id in range(rounds):
+                ops = [AddKeyword(nodes[round_id % len(nodes)], f"ha{round_id}")]
+                replies: list[dict] = []
+                barrier = threading.Barrier(2)
+
+                def _submit(front, replies=replies, ops=ops, round_id=round_id):
+                    with ServeClient(front.host, front.port) as client:
+                        barrier.wait()
+                        reply = client.update(
+                            ops,
+                            request_id=f"r{round_id}",
+                            idempotency_key=f"round-{round_id}",
+                        )
+                    replies.append(reply)
+
+                threads = [
+                    threading.Thread(target=_submit, args=(front,))
+                    for front in frontends
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                assert all(reply["ok"] for reply in replies), replies
+                assert manager.epoch == round_id + 1, (
+                    f"round {round_id}: duplicate applied twice "
+                    f"(epoch {manager.epoch})"
+                )
+                epochs = {reply["epoch"] for reply in replies}
+                assert epochs == {round_id + 1}, replies
+                deduped += sum(1 for reply in replies if reply.get("deduped"))
+            stats = guard.idempotency.stats()
+
+    table = Table(
+        f"{rounds} update rounds, 2 copies each, 2 frontends (AUS)",
+        ["submitted", "applied", "deduped", "final epoch"],
+    )
+    table.add_row(rounds * 2, stats["owned"], stats["deduped"], manager.epoch)
+    table.show()
+
+    assert stats["owned"] == rounds
+    assert stats["deduped"] == deduped == rounds
+    record_benchmark(
+        BENCH_FILE,
+        {
+            "experiment": "ha_idempotency",
+            "rounds": rounds,
+            "copies_per_round": 2,
+            "applied": stats["owned"],
+            "deduped": stats["deduped"],
+            "final_epoch": manager.epoch,
+            "correctness_only": CORRECTNESS_ONLY,
+        },
+    )

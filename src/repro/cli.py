@@ -19,6 +19,9 @@ Commands
 ``subscriptions`` — register synthetic standing queries on a running
               ``serve --live --sub`` server and stream its pushed
               ``notify``/``resync`` frames.
+``chaos``   — self-contained failover drill: a replicated HA cluster is
+              built, one worker is killed mid-run, and every answer is
+              checked bit-for-bit against a single-machine reference.
 ``trace``   — fetch a running server's sampled traces, slow-query ring
               and epoch-swap events; render span trees, or export them
               as a Chrome trace-event file for Perfetto.
@@ -160,6 +163,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-subsumption", action="store_false", dest="cache_subsumption",
         help="disable radius subsumption (exact-key memo only)",
     )
+    serve.add_argument(
+        "--replicas", type=int, default=1,
+        help="host each fragment on this many workers (repro.ha); >1 "
+        "survives worker loss with exact answers",
+    )
+    serve.add_argument(
+        "--routing", default="load", choices=("load", "rr"),
+        help="replica picker under --replicas: least-busy or round-robin",
+    )
+    serve.add_argument(
+        "--chaos", action="store_true",
+        help="allow the 'chaos' op to kill workers (fault drills)",
+    )
 
     loadgen = sub.add_parser("loadgen", help="closed-loop load test of a server")
     loadgen.add_argument("--host", default="127.0.0.1")
@@ -206,6 +222,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="queries per BATCH frame (binary wire only; keep <= the "
         "server's --max-inflight or the excess is shed)",
     )
+    loadgen.add_argument(
+        "--kill-worker", action="append", default=[], dest="kill_worker",
+        metavar="N@T",
+        help="fault injection: kill worker N at T seconds into the run "
+        "(repeatable; the server needs --chaos)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="self-contained failover drill: replicated cluster, kill a "
+        "worker mid-run, verify every answer stayed exact",
+    )
+    chaos.add_argument(
+        "--dataset", default="aus_tiny", choices=sorted(DATASET_PRESETS),
+        help="preset to build and drill against",
+    )
+    chaos.add_argument("--machines", type=int, default=4)
+    chaos.add_argument("--replicas", type=int, default=2)
+    chaos.add_argument("--queries", type=int, default=60)
+    chaos.add_argument("--clients", type=int, default=4)
+    chaos.add_argument("--kill", type=int, default=1, help="worker id to kill")
+    chaos.add_argument(
+        "--at", type=float, default=0.2, dest="kill_at",
+        help="seconds into the run to kill it",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
 
     subscriptions = sub.add_parser(
         "subscriptions",
@@ -399,13 +441,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("error: --sub requires --live (subscriptions follow epoch swaps)",
               file=sys.stderr)
         return 2
-    cluster = PipelinedCluster.start(
-        fragments,
-        indexes,
-        num_machines=args.machines,
-        use_shm=args.shm,
-        pipe_wire=args.wire,
-    )
+    guard = None
+    if args.replicas > 1:
+        from repro.ha import FrontendGuard, HACluster
+
+        cluster = HACluster.start(
+            fragments,
+            indexes,
+            num_machines=args.machines,
+            replication_factor=args.replicas,
+            routing=args.routing,
+            use_shm=args.shm,
+        )
+        guard = FrontendGuard()
+    else:
+        cluster = PipelinedCluster.start(
+            fragments,
+            indexes,
+            num_machines=args.machines,
+            use_shm=args.shm,
+            pipe_wire=args.wire,
+        )
     updater = None
     sub_engine = None
     if args.live:
@@ -440,9 +496,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cache_max_entries=args.cache_entries,
             cache_max_bytes=args.cache_bytes,
             cache_subsumption=args.cache_subsumption,
+            allow_chaos=args.chaos,
         ),
         updater=updater,
         sub_engine=sub_engine,
+        guard=guard,
     )
 
     async def _run() -> None:
@@ -452,6 +510,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"on {cluster.num_machines} workers at {server.host}:{server.port} "
             f"(maxR={manifest['max_radius']:.2f}, max in-flight {args.max_inflight})"
         )
+        if args.replicas > 1:
+            print(
+                f"HA: replication factor {args.replicas}, {args.routing} routing "
+                f"— chaos ops {'enabled' if args.chaos else 'disabled'}; "
+                'cluster health in {"op": "stats"} under "ha"'
+            )
         print(
             'protocol: one JSON object per line, e.g. '
             '{"id": 1, "q": "NEAR(kw0001, 5) AND NEAR(kw0002, 5)"} '
@@ -498,6 +562,19 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     import threading
 
     from repro.serve import ServeClient, generate_expressions, run_loadgen
+
+    kill_workers: list[tuple[int, float]] = []
+    for spec in args.kill_worker:
+        machine, _, at = spec.partition("@")
+        try:
+            kill_workers.append((int(machine), float(at)))
+        except ValueError:
+            print(
+                f"error: --kill-worker expects N@T (machine id @ seconds), "
+                f"got {spec!r}",
+                file=sys.stderr,
+            )
+            return 2
 
     with ServeClient(args.host, args.port) as probe:
         info = probe.info()
@@ -587,6 +664,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         f"replaying {len(expressions)} queries against {args.host}:{args.port} "
         f"from {args.clients} closed-loop clients ({wire_note}) ..."
     )
+    for machine, at in kill_workers:
+        print(f"fault injection: will kill worker {machine} at t+{at:g}s")
     if update_thread is not None:
         update_thread.start()
     report = run_loadgen(
@@ -596,6 +675,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         num_clients=args.clients,
         protocol=args.wire,
         batch=args.batch,
+        kill_workers=kill_workers or None,
     )
     if update_thread is not None:
         update_thread.join()
@@ -894,6 +974,122 @@ def _cmd_updates(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Self-contained failover drill: build, replicate, kill, verify."""
+    import threading
+    import time
+
+    from repro.ha import FrontendGuard, HACluster
+    from repro.serve import (
+        ServeClient,
+        ServeConfig,
+        generate_expressions,
+        serve_in_thread,
+    )
+
+    if args.replicas < 2:
+        print("error: a failover drill needs --replicas >= 2", file=sys.stderr)
+        return 2
+    if not 0 <= args.kill < args.machines:
+        print(
+            f"error: --kill {args.kill} is not a machine id in [0, {args.machines})",
+            file=sys.stderr,
+        )
+        return 2
+
+    dataset = load_dataset(args.dataset)
+    engine = DisksEngine.build(
+        dataset.network,
+        EngineConfig(
+            num_fragments=args.machines * 2,
+            partitioner=MultilevelPartitioner(seed=args.seed),
+        ),
+    )
+    expressions = generate_expressions(
+        dataset.network,
+        count=args.queries,
+        radius=engine.max_radius * 0.5,
+        seed=args.seed,
+    )
+    expected = [frozenset(engine.results(parse_query(expr))) for expr in expressions]
+    print(
+        f"drill: {args.queries} queries on {args.dataset}, "
+        f"{args.machines} workers x{args.replicas} replication, "
+        f"killing worker {args.kill} at t+{args.kill_at:g}s"
+    )
+
+    cluster = HACluster.start(
+        engine.fragments,
+        engine.indexes,
+        num_machines=args.machines,
+        replication_factor=args.replicas,
+    )
+    mismatches: list[str] = []
+    errors: list[str] = []
+    try:
+        with serve_in_thread(
+            cluster,
+            config=ServeConfig(port=0, allow_chaos=True),
+            guard=FrontendGuard(),
+        ) as server:
+            work = list(enumerate(expressions))
+            position = threading.Lock()
+
+            def _drive() -> None:
+                with ServeClient(server.host, server.port) as client:
+                    while True:
+                        with position:
+                            if not work:
+                                return
+                            i, expr = work.pop()
+                        reply = client.query(expr, request_id=i)
+                        if not reply.get("ok"):
+                            errors.append(f"q{i}: {reply.get('error')}")
+                        elif frozenset(reply["nodes"]) != expected[i]:
+                            mismatches.append(f"q{i}: {expr}")
+
+            def _kill() -> None:
+                time.sleep(args.kill_at)
+                with ServeClient(server.host, server.port) as client:
+                    reply = client.chaos_kill(args.kill)
+                print(
+                    f"killed worker {args.kill} "
+                    f"(was {'alive' if reply.get('was_alive') else 'already dead'})"
+                )
+
+            killer = threading.Thread(target=_kill, name="chaos-kill")
+            drivers = [
+                threading.Thread(target=_drive, name=f"chaos-client-{c}")
+                for c in range(args.clients)
+            ]
+            started = time.perf_counter()
+            killer.start()
+            for thread in drivers:
+                thread.start()
+            for thread in drivers:
+                thread.join()
+            killer.join()
+            wall = time.perf_counter() - started
+            stats = cluster.ha_stats()
+    finally:
+        cluster.shutdown()
+
+    print(
+        f"done in {wall:.2f}s: {args.queries - len(errors) - len(mismatches)} exact, "
+        f"{len(mismatches)} wrong, {len(errors)} failed — "
+        f"{stats['failovers']} failovers, {stats['reroutes']} tasks rerouted, "
+        f"{stats['restarts']} queries restarted, "
+        f"min replicas alive {stats['replicas_alive_min']}"
+    )
+    for line in mismatches[:5] + errors[:5]:
+        print(f"  {line}", file=sys.stderr)
+    if mismatches or errors:
+        print("FAIL: answers degraded during failover", file=sys.stderr)
+        return 1
+    print("PASS: every answer stayed exact across the kill")
+    return 0
+
+
 def _cmd_demo(_args: argparse.Namespace) -> int:
     names = {0: "A", 1: "B", 2: "C", 3: "D", 4: "E"}
     engine = DisksEngine.build(toy_figure1(), EngineConfig(num_fragments=2, lambda_factor=10.0))
@@ -912,6 +1108,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
     "subscriptions": _cmd_subscriptions,
+    "chaos": _cmd_chaos,
     "trace": _cmd_trace,
     "updates": _cmd_updates,
     "demo": _cmd_demo,

@@ -26,10 +26,15 @@ from repro.dist.network import NetworkModel, TrafficLedger, Transfer
 from repro.dist.machine import WorkerMachine
 from repro.dist.coordinator import Coordinator, ClusterResponse
 from repro.dist.cluster import SimulatedCluster
-from repro.dist.replication import ReplicatedCluster, ReplicatedClusterResponse
+from repro.dist.replication import (
+    ReplicaPlacement,
+    ReplicatedCluster,
+    ReplicatedClusterResponse,
+)
 from repro.dist.process_cluster import ProcessCluster, ProcessClusterResponse
 
 __all__ = [
+    "ReplicaPlacement",
     "ReplicatedCluster",
     "ReplicatedClusterResponse",
     "ProcessCluster",

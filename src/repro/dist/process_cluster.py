@@ -58,6 +58,7 @@ def spawn_workers(
     network_model: NetworkModel | None = None,
     compiled: bool = True,
     shm_store=None,
+    fragment_assignments: list[list[int]] | None = None,
 ) -> tuple[list[Process], list[Connection], list[list[int]], list[int]]:
     """Fork one worker process per machine, fragments assigned round-robin.
 
@@ -85,6 +86,14 @@ def spawn_workers(
     coordinator↔machine round trips the paper charges for are invisible;
     with it, single-host experiments reproduce their cost honestly.
     ``None`` (the default) adds nothing.
+
+    ``fragment_assignments`` overrides the round-robin layout with an
+    explicit machine → fragment-id mapping (one list per machine, ids
+    may repeat across machines).  This is how the HA tier forks replica
+    groups: :meth:`ReplicaPlacement.assignments` hands the chained
+    layout straight in, ``num_machines`` is ignored, and a fragment
+    hosted by several machines is published into shared memory exactly
+    once (``publish`` is idempotent per fragment+epoch).
     """
     if len(fragments) != len(indexes):
         raise ClusterError("fragments and indexes must align")
@@ -95,15 +104,27 @@ def spawn_workers(
             "shared-memory workers run packed kernels; compiled=False needs "
             "the pickled hand-off"
         )
-    if num_machines is None:
-        num_machines = len(fragments)
-    num_machines = max(1, min(num_machines, len(fragments)))
-
-    assignments: list[list[tuple[Fragment, NPDIndex]]] = [
-        [] for _ in range(num_machines)
-    ]
-    for i, pair in enumerate(zip(fragments, indexes)):
-        assignments[i % num_machines].append(pair)
+    if fragment_assignments is not None:
+        by_id = {
+            fragment.fragment_id: (fragment, index)
+            for fragment, index in zip(fragments, indexes)
+        }
+        unknown = {
+            fid for hosted in fragment_assignments for fid in hosted
+        } - set(by_id)
+        if unknown:
+            raise ClusterError(f"assignment names unknown fragments {sorted(unknown)}")
+        num_machines = len(fragment_assignments)
+        assignments: list[list[tuple[Fragment, NPDIndex]]] = [
+            [by_id[fid] for fid in hosted] for hosted in fragment_assignments
+        ]
+    else:
+        if num_machines is None:
+            num_machines = len(fragments)
+        num_machines = max(1, min(num_machines, len(fragments)))
+        assignments = [[] for _ in range(num_machines)]
+        for i, pair in enumerate(zip(fragments, indexes)):
+            assignments[i % num_machines].append(pair)
 
     context = get_context("fork")
     processes: list[Process] = []

@@ -1,21 +1,34 @@
-"""Fragment replication and failure handling.
+"""Fragment replication: placement, routing, and failure handling.
 
 The paper's deployment has exactly one machine per fragment; a machine
 loss would make part of the answer unreachable.  Because a worker's
 whole state is two immutable artefacts (the fragment and ``IND(P)``),
 replication is trivial and powerful: place each fragment's runtime on
 ``replication_factor`` machines, and at query time have the coordinator
-pick, per fragment, one *alive* replica (the least-loaded one).  The
-share-nothing property is untouched — replicas never talk to each other;
-they are just extra read-only copies.
+pick, per fragment, one *alive* replica.  The share-nothing property is
+untouched — replicas never talk to each other; they are just extra
+read-only copies.
 
-:class:`ReplicatedCluster` implements this with failure injection for
-testing and chaos-style benchmarks.
+Two layers live here:
+
+* :class:`ReplicaPlacement` — the pure placement/routing core: the
+  chained-declustering layout, replica lookup, and the per-fragment
+  alive-replica picker (load-aware or round-robin).  This is the single
+  source of truth for replica routing; both the in-process
+  :class:`ReplicatedCluster` simulation and the multiprocess
+  :class:`repro.ha.HACluster` serving tier plan through it.
+* :class:`ReplicatedCluster` — an in-process simulation with failure
+  injection for tests and chaos-style benchmarks.  Since the kernel/shm
+  era it also understands live epochs: :meth:`apply_updates` refreshes
+  *every* replica of a changed fragment via
+  :meth:`FragmentRuntime.refresh`, mirroring what the real serving tier
+  does across processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
 
 from repro.core.coverage import FragmentRuntime
 from repro.core.executor import FragmentTaskResult, execute_fragment_task
@@ -26,7 +39,120 @@ from repro.dist.messages import QueryTaskMessage, TaskResultMessage
 from repro.dist.network import COORDINATOR_ID, NetworkModel, TrafficLedger
 from repro.exceptions import ClusterError
 
-__all__ = ["ReplicatedClusterResponse", "ReplicatedCluster"]
+__all__ = ["ReplicaPlacement", "ReplicatedClusterResponse", "ReplicatedCluster"]
+
+ROUTING_POLICIES = ("load", "rr")
+
+
+@dataclass(frozen=True)
+class ReplicaPlacement:
+    """Which machines host which fragments, plus the routing picker.
+
+    ``replicas[i]`` is the tuple of machine ids hosting fragment ``i``.
+    The layout is chained declustering — fragment ``i`` lands on
+    machines ``i % m``, ``(i+1) % m``, … — which is automatically
+    anti-affine (no machine holds two replicas of the same fragment)
+    whenever ``replication_factor <= num_machines``.
+    """
+
+    replicas: tuple[tuple[int, ...], ...]
+    num_machines: int
+    replication_factor: int
+
+    @classmethod
+    def chained(
+        cls,
+        num_fragments: int,
+        num_machines: int,
+        replication_factor: int = 2,
+    ) -> "ReplicaPlacement":
+        """The classic chained-declustering layout."""
+        if num_machines < 1:
+            raise ClusterError("need at least one machine")
+        if not (1 <= replication_factor <= num_machines):
+            raise ClusterError(
+                f"replication factor {replication_factor} must be in "
+                f"[1, {num_machines}]"
+            )
+        replicas = tuple(
+            tuple((i + j) % num_machines for j in range(replication_factor))
+            for i in range(num_fragments)
+        )
+        return cls(
+            replicas=replicas,
+            num_machines=num_machines,
+            replication_factor=replication_factor,
+        )
+
+    @property
+    def num_fragments(self) -> int:
+        return len(self.replicas)
+
+    def machines_of(self, fragment_id: int) -> tuple[int, ...]:
+        """Machine ids hosting ``fragment_id`` (alive or not)."""
+        if 0 <= fragment_id < len(self.replicas):
+            return self.replicas[fragment_id]
+        return ()
+
+    def fragments_of(self, machine_id: int) -> tuple[int, ...]:
+        """Fragment ids hosted by ``machine_id``, in fragment order."""
+        return tuple(
+            i for i, machines in enumerate(self.replicas) if machine_id in machines
+        )
+
+    def assignments(self) -> list[list[int]]:
+        """Per-machine fragment-id lists, indexed by machine id."""
+        return [list(self.fragments_of(m)) for m in range(self.num_machines)]
+
+    def plan(
+        self,
+        fragment_ids: Iterable[int],
+        alive: Iterable[int],
+        *,
+        load: Mapping[int, float] | None = None,
+        policy: str = "load",
+        start: int = 0,
+    ) -> dict[int, int]:
+        """Choose one alive replica per fragment.
+
+        ``policy="load"`` picks the least-busy alive replica, breaking
+        ties by machine id; ``load`` carries the caller's view of each
+        machine's busyness (outstanding tasks, busy-seconds, …) and the
+        plan itself adds one unit per task it assigns, so a single
+        fan-out spreads even when all machines start equal.
+        ``policy="rr"`` rotates over alive replicas from ``start`` —
+        the load-oblivious baseline the benchmark compares against.
+
+        Raises :class:`ClusterError` if no machine is alive at all, or
+        names the first fragment with no alive replica.
+        """
+        if policy not in ROUTING_POLICIES:
+            raise ClusterError(f"unknown routing policy {policy!r}")
+        alive_set = set(alive)
+        if not alive_set:
+            raise ClusterError("every machine has failed")
+        failed = sorted(set(range(self.num_machines)) - alive_set)
+        running: dict[int, float] = {m: 0.0 for m in alive_set}
+        if load:
+            for machine_id, busy in load.items():
+                if machine_id in running:
+                    running[machine_id] += busy
+        placement: dict[int, int] = {}
+        for fragment_id in fragment_ids:
+            candidates = [m for m in self.machines_of(fragment_id) if m in alive_set]
+            if not candidates:
+                raise ClusterError(
+                    f"fragment {fragment_id} has no alive replica "
+                    f"(replication={self.replication_factor}, "
+                    f"failed={failed})"
+                )
+            if policy == "rr":
+                chosen = candidates[(start + fragment_id) % len(candidates)]
+            else:
+                chosen = min(candidates, key=lambda m: (running[m], m))
+            placement[fragment_id] = chosen
+            running[chosen] += 1.0
+        return placement
 
 
 @dataclass(frozen=True)
@@ -45,20 +171,32 @@ class ReplicatedCluster:
     """A cluster with ``replication_factor`` copies of every fragment."""
 
     machines: dict[int, list[FragmentRuntime]]
-    replication_factor: int
+    placement: ReplicaPlacement
     network: NetworkModel = field(default_factory=NetworkModel)
     ledger: TrafficLedger = field(default_factory=TrafficLedger)
+    routing: str = "load"
     _failed: set[int] = field(default_factory=set)
+    _epoch: int = 0
+
+    @property
+    def replication_factor(self) -> int:
+        return self.placement.replication_factor
+
+    @property
+    def current_epoch(self) -> int:
+        """Epoch of the last applied update batch (0 = as built)."""
+        return self._epoch
 
     @classmethod
     def from_fragments(
         cls,
-        fragments: list[Fragment],
-        indexes: list[NPDIndex],
+        fragments: Sequence[Fragment],
+        indexes: Sequence[NPDIndex],
         *,
         num_machines: int,
         replication_factor: int = 2,
         network: NetworkModel | None = None,
+        routing: str = "load",
     ) -> "ReplicatedCluster":
         """Place each fragment on ``replication_factor`` distinct machines.
 
@@ -69,24 +207,20 @@ class ReplicatedCluster:
         """
         if len(fragments) != len(indexes):
             raise ClusterError("fragments and indexes must align")
-        if num_machines < 1:
-            raise ClusterError("need at least one machine")
-        if not (1 <= replication_factor <= num_machines):
-            raise ClusterError(
-                f"replication factor {replication_factor} must be in "
-                f"[1, {num_machines}]"
-            )
+        placement = ReplicaPlacement.chained(
+            len(fragments), num_machines, replication_factor
+        )
         machines: dict[int, list[FragmentRuntime]] = {
             m: [] for m in range(num_machines)
         }
         for i, (fragment, index) in enumerate(zip(fragments, indexes)):
-            for j in range(replication_factor):
-                machine_id = (i + j) % num_machines
+            for machine_id in placement.machines_of(i):
                 machines[machine_id].append(FragmentRuntime(fragment, index))
         return cls(
             machines=machines,
-            replication_factor=replication_factor,
+            placement=placement,
             network=network or NetworkModel(),
+            routing=routing,
         )
 
     # ------------------------------------------------------------------
@@ -114,40 +248,16 @@ class ReplicatedCluster:
     # ------------------------------------------------------------------
     def replicas_of(self, fragment_id: int) -> list[int]:
         """Machine ids hosting ``fragment_id`` (alive or not)."""
-        return [
-            machine_id
-            for machine_id, runtimes in self.machines.items()
-            if any(rt.fragment.fragment_id == fragment_id for rt in runtimes)
-        ]
+        return sorted(self.placement.machines_of(fragment_id))
 
     def _plan_placement(self, fragment_ids: list[int]) -> dict[int, int]:
-        """Choose one alive machine per fragment, balancing assignments."""
-        load: dict[int, int] = {m: 0 for m in self.machines if m not in self._failed}
-        if not load:
-            raise ClusterError("every machine has failed")
-        placement: dict[int, int] = {}
-        for fragment_id in fragment_ids:
-            alive = [m for m in self.replicas_of(fragment_id) if m not in self._failed]
-            if not alive:
-                raise ClusterError(
-                    f"fragment {fragment_id} has no alive replica "
-                    f"(replication={self.replication_factor}, "
-                    f"failed={sorted(self._failed)})"
-                )
-            chosen = min(alive, key=lambda m: (load[m], m))
-            placement[fragment_id] = chosen
-            load[chosen] += 1
-        return placement
+        """Choose one alive machine per fragment via the shared core."""
+        alive = [m for m in self.machines if m not in self._failed]
+        return self.placement.plan(fragment_ids, alive, policy=self.routing)
 
     def execute(self, query: QClassQuery) -> ReplicatedClusterResponse:
         """Answer ``query`` using one alive replica per fragment."""
-        fragment_ids = sorted(
-            {
-                rt.fragment.fragment_id
-                for runtimes in self.machines.values()
-                for rt in runtimes
-            }
-        )
+        fragment_ids = list(range(self.placement.num_fragments))
         placement = self._plan_placement(fragment_ids)
 
         comm_seconds = 0.0
@@ -183,3 +293,36 @@ class ReplicatedCluster:
             machine_seconds=machine_seconds,
             response_seconds=max(machine_seconds.values()) + comm_seconds,
         )
+
+    # ------------------------------------------------------------------
+    # Live epochs
+    # ------------------------------------------------------------------
+    def apply_updates(
+        self,
+        epoch: int,
+        replacements: Iterable[tuple[Fragment, NPDIndex]],
+    ) -> dict[int, int]:
+        """Swap replacement state into *every* replica of each fragment.
+
+        Mirrors the real serving tier's epoch-atomic apply: a changed
+        fragment is refreshed on all its replicas (alive and failed —
+        a restored machine must not resurrect a stale epoch), via
+        :meth:`FragmentRuntime.refresh`.  Returns fragment id →
+        replica-count refreshed.
+        """
+        if epoch <= self._epoch:
+            raise ClusterError(
+                f"epoch must advance: have {self._epoch}, got {epoch}"
+            )
+        refreshed: dict[int, int] = {}
+        for fragment, index in replacements:
+            fragment_id = fragment.fragment_id
+            count = 0
+            for machine_id in self.placement.machines_of(fragment_id):
+                for rt in self.machines[machine_id]:
+                    if rt.fragment.fragment_id == fragment_id:
+                        rt.refresh(fragment, index)
+                        count += 1
+            refreshed[fragment_id] = count
+        self._epoch = epoch
+        return refreshed

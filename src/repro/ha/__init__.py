@@ -1,0 +1,28 @@
+"""repro.ha — the replica-group serving tier.
+
+Promotes the placement/routing core of :mod:`repro.dist.replication`
+from simulation into the real multiprocess serving path:
+
+* :class:`HACluster` — forked workers hosting fragment replica groups
+  (chained declustering, anti-affine), load-aware per-fragment routing,
+  failover re-routing on worker death (exact answers, not degraded
+  mode), and epoch-atomic replicated applies.
+* :class:`FrontendGuard` — idempotency-keyed update submission and
+  per-client token-bucket rate limits, shared across frontends.
+* :func:`frontend_group` — several :class:`repro.serve.DisksServer`
+  frontends over one cluster, so no single asyncio loop is the
+  throughput ceiling.
+"""
+
+from repro.ha.cluster import HACluster
+from repro.ha.frontend import Frontend, frontend_group
+from repro.ha.guard import FrontendGuard, IdempotencyIndex, TokenBucketLimiter
+
+__all__ = [
+    "HACluster",
+    "Frontend",
+    "frontend_group",
+    "FrontendGuard",
+    "IdempotencyIndex",
+    "TokenBucketLimiter",
+]

@@ -1,0 +1,99 @@
+"""Multi-frontend scale-out: several DisksServers over one cluster.
+
+One :class:`repro.serve.DisksServer` is one asyncio loop — a hard
+single-thread ceiling on frame decode, admission, and reply encode, and
+its ``max_inflight`` admission gate caps the concurrency one frontend
+will push into the workers.  :func:`frontend_group` stands up ``count``
+independent frontends (each its own loop thread, port, metrics
+registry, and admission gate) over the **same** cluster coordinator,
+which is thread-safe by construction.  Closed-loop clients spread
+across the group get ``count ×`` the in-flight budget and decode
+capacity.
+
+A single shared :class:`repro.ha.FrontendGuard` makes the hardening
+semantics group-wide: a duplicate update keyed the same way applies
+exactly once no matter which frontend each copy lands on, and a
+client's token bucket drains across all of them.
+
+In-process threads are the honest ceiling test on CPython (the loops
+share the GIL but worker processes dominate query latency); real
+deployments run the same topology as separate frontend processes, which
+needs the guard state in an external store — the guard interface is
+shaped for that swap.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.ha.guard import FrontendGuard
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.server import DisksServer, ServeConfig, serve_in_thread
+
+__all__ = ["Frontend", "frontend_group"]
+
+
+@dataclass(frozen=True)
+class Frontend:
+    """One running frontend of a group: its server plus shared guard."""
+
+    server: DisksServer
+    guard: FrontendGuard
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port or 0
+
+
+@contextlib.contextmanager
+def frontend_group(
+    cluster,
+    count: int = 2,
+    *,
+    config: ServeConfig | None = None,
+    updater=None,
+    sub_engine=None,
+    guard: FrontendGuard | None = None,
+) -> Iterator[list[Frontend]]:
+    """Run ``count`` frontends over ``cluster``; yields one per port.
+
+    Each frontend binds its own ephemeral port (any ``port`` in
+    ``config`` is ignored beyond the first — ephemeral ports avoid
+    collisions) and owns a fresh :class:`MetricsRegistry`; the guard is
+    shared, defaulting to a new :class:`FrontendGuard` with no rate
+    limit.
+    """
+    if count < 1:
+        raise ValueError("a frontend group needs at least one frontend")
+    base = config or ServeConfig()
+    shared_guard = guard or FrontendGuard()
+    with contextlib.ExitStack() as stack:
+        frontends: list[Frontend] = []
+        for i in range(count):
+            front_config = base if i == 0 else _ephemeral(base)
+            server = stack.enter_context(
+                serve_in_thread(
+                    cluster,
+                    config=front_config,
+                    metrics=MetricsRegistry(),
+                    updater=updater,
+                    sub_engine=sub_engine,
+                    guard=shared_guard,
+                )
+            )
+            frontends.append(Frontend(server=server, guard=shared_guard))
+        yield frontends
+
+
+def _ephemeral(config: ServeConfig) -> ServeConfig:
+    if config.port == 0:
+        return config
+    from dataclasses import replace
+
+    return replace(config, port=0)

@@ -1,0 +1,172 @@
+"""Frontend hardening: idempotency keys and per-client rate limits.
+
+Both pieces are plain thread-safe objects so one instance can be shared
+by every frontend thread of a process (see
+:func:`repro.ha.frontend.frontend_group`) — that sharing is what makes
+"apply exactly once **across** frontends" hold.  Multi-*process*
+frontends would need the same state in an external store; the
+interfaces here are deliberately tiny (``begin``/``finish``/``fail``,
+``allow``) so such a backend can slot in behind them.
+
+* :class:`IdempotencyIndex` — at-most-once update submission.  The
+  first frontend to ``begin(key)`` becomes the owner and actually
+  applies; concurrent duplicates block until the owner finishes and
+  then receive the owner's recorded reply; later duplicates get it
+  straight from the (bounded, LRU) replay window.  A failed owner
+  clears the key so the client's retry genuinely re-runs.
+* :class:`TokenBucketLimiter` — a token bucket per client key.  Burst
+  capacity ``burst``, refill ``rate`` tokens/second, monotonic clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+__all__ = ["IdempotencyIndex", "TokenBucketLimiter", "FrontendGuard"]
+
+
+class IdempotencyIndex:
+    """At-most-once bookkeeping for keyed update submissions."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._capacity = max(1, capacity)
+        self._inflight: dict[str, threading.Event] = {}
+        self._replies: OrderedDict[str, dict] = OrderedDict()
+        self.deduped = 0
+        self.owned = 0
+
+    def begin(self, key: str, timeout_seconds: float = 60.0) -> tuple[bool, dict | None]:
+        """Claim ``key``. Returns ``(owner, cached_reply)``.
+
+        ``(True, None)`` — caller owns the key and must ``finish`` or
+        ``fail`` it.  ``(False, reply)`` — a twin already completed (or
+        completed while we waited); serve its recorded reply.
+        ``(False, None)`` — the owner failed or the wait timed out;
+        treat as a retryable miss (callers re-``begin``).
+        """
+        while True:
+            with self._lock:
+                reply = self._replies.get(key)
+                if reply is not None:
+                    self._replies.move_to_end(key)
+                    self.deduped += 1
+                    return False, dict(reply)
+                event = self._inflight.get(key)
+                if event is None:
+                    self._inflight[key] = threading.Event()
+                    self.owned += 1
+                    return True, None
+            if not event.wait(timeout_seconds):
+                return False, None
+            with self._lock:
+                reply = self._replies.get(key)
+                if reply is not None:
+                    self._replies.move_to_end(key)
+                    self.deduped += 1
+                    return False, dict(reply)
+                if key not in self._inflight:
+                    # Owner failed and cleared the key: the caller's own
+                    # attempt should re-run, so report a miss.
+                    return False, None
+            # The event fired but a new owner re-claimed in between —
+            # loop and wait on the fresh event.
+
+    def finish(self, key: str, reply: dict) -> None:
+        """Record the owner's reply and wake every waiting duplicate."""
+        with self._lock:
+            self._replies[key] = dict(reply)
+            self._replies.move_to_end(key)
+            while len(self._replies) > self._capacity:
+                self._replies.popitem(last=False)
+            event = self._inflight.pop(key, None)
+        if event is not None:
+            event.set()
+
+    def fail(self, key: str) -> None:
+        """Clear a failed attempt so a retry with the same key re-runs."""
+        with self._lock:
+            event = self._inflight.pop(key, None)
+        if event is not None:
+            event.set()
+
+    def stats(self) -> dict[str, int]:
+        """Return counters for owned, deduplicated, and in-flight keys."""
+        with self._lock:
+            return {
+                "owned": self.owned,
+                "deduped": self.deduped,
+                "inflight": len(self._inflight),
+                "replay_window": len(self._replies),
+            }
+
+
+class TokenBucketLimiter:
+    """Per-client token buckets: ``burst`` capacity, ``rate``/s refill."""
+
+    def __init__(self, rate: float, burst: float, max_clients: int = 8192) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self._rate = rate
+        self._burst = burst
+        self._max_clients = max(1, max_clients)
+        self._lock = threading.Lock()
+        # key -> (tokens, last_refill); LRU-bounded so hostile clients
+        # can't grow the table without bound.
+        self._buckets: OrderedDict[str, tuple[float, float]] = OrderedDict()
+        self.limited = 0
+
+    def allow(self, key: str, cost: float = 1.0) -> bool:
+        """Take ``cost`` tokens from ``key``'s bucket; False when exhausted."""
+        now = time.monotonic()
+        with self._lock:
+            tokens, last = self._buckets.get(key, (self._burst, now))
+            tokens = min(self._burst, tokens + (now - last) * self._rate)
+            allowed = tokens >= cost
+            if allowed:
+                tokens -= cost
+            else:
+                self.limited += 1
+            self._buckets[key] = (tokens, now)
+            self._buckets.move_to_end(key)
+            while len(self._buckets) > self._max_clients:
+                self._buckets.popitem(last=False)
+        return allowed
+
+    def stats(self) -> dict[str, float]:
+        """Return the configured rate/burst and throttling counters."""
+        with self._lock:
+            return {
+                "rate": self._rate,
+                "burst": self._burst,
+                "clients": len(self._buckets),
+                "limited": self.limited,
+            }
+
+
+@dataclass
+class FrontendGuard:
+    """The shared hardening state of a frontend group.
+
+    ``rate_limiter`` is optional (``None`` = unlimited); the idempotency
+    index is always on — an unkeyed update simply bypasses it.
+    """
+
+    idempotency: IdempotencyIndex = field(default_factory=IdempotencyIndex)
+    rate_limiter: TokenBucketLimiter | None = None
+
+    def allow(self, client_key: str) -> bool:
+        """Check ``client_key`` against the rate limiter (always True if none)."""
+        if self.rate_limiter is None:
+            return True
+        return self.rate_limiter.allow(client_key)
+
+    def stats(self) -> dict[str, object]:
+        """Combined idempotency + rate-limiter stats for the ``ha`` block."""
+        out: dict[str, object] = {"idempotency": self.idempotency.stats()}
+        if self.rate_limiter is not None:
+            out["rate_limiter"] = self.rate_limiter.stats()
+        return out

@@ -98,6 +98,10 @@ class EpochSwap:
     swap_seconds: float
     changed_keywords: tuple[str, ...] = ()
     topology_changed: bool = False
+    # One ack summary per bound cluster that swapped during this apply
+    # (replica clusters report which machines acked — the HA audit trail
+    # that an epoch reached every replica).
+    cluster_acks: tuple[dict, ...] = ()
 
     def to_dict(self) -> dict[str, object]:
         """JSON-friendly form for metrics and the serve layer."""
@@ -110,6 +114,7 @@ class EpochSwap:
             "swap_seconds": self.swap_seconds,
             "changed_keywords": list(self.changed_keywords),
             "topology_changed": self.topology_changed,
+            "cluster_acks": [dict(ack) for ack in self.cluster_acks],
         }
 
 
@@ -136,6 +141,10 @@ class EpochManager:
         default_factory=list, init=False, repr=False
     )
     _history: list[EpochSwap] = field(default_factory=list, init=False, repr=False)
+    # Ack summaries collected from bound clusters during the current
+    # apply; drained into EpochSwap.cluster_acks.  Guarded by _lock
+    # (subscribers run inside it).
+    _pending_acks: list[dict] = field(default_factory=list, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if len(self.fragments) != len(self.indexes):
@@ -197,11 +206,15 @@ class EpochManager:
         when the cluster shuts down before the manager does.
         """
 
+        cluster_name = type(cluster).__name__
+
         def _push(state: EpochState, delta: dict[int, tuple[Fragment, NPDIndex]]) -> None:
             if delta:
-                cluster.apply_updates(state.epoch, list(delta.values()))
+                summary = cluster.apply_updates(state.epoch, list(delta.values()))
+                if isinstance(summary, dict):
+                    self._pending_acks.append({"cluster": cluster_name, **summary})
 
-        _push.__qualname__ = f"bind_cluster({type(cluster).__name__})"
+        _push.__qualname__ = f"bind_cluster({cluster_name})"
         self.subscribe(_push)
         return _push
 
@@ -278,8 +291,11 @@ class EpochManager:
             )
             self._state = new_state  # the atomic swap: readers now see N+1
             delta = new_state.delta_from(sorted(changed))
+            self._pending_acks.clear()
             for subscriber in list(self._subscribers):
                 self._notify(subscriber, new_state, delta)
+            cluster_acks = tuple(self._pending_acks)
+            self._pending_acks.clear()
             swap_seconds = time.perf_counter() - swap_started
 
             if self.log is not None:
@@ -304,6 +320,7 @@ class EpochManager:
                 swap_seconds=swap_seconds,
                 changed_keywords=tuple(sorted(keywords)),
                 topology_changed=topology,
+                cluster_acks=cluster_acks,
             )
             self._history.append(swap)
             # Structured obs event so `repro trace` can interleave epoch

@@ -168,16 +168,27 @@ class ServeClient:
             raise ClusterError(f"metrics failed: {reply}")
         return reply["text"]
 
-    def update(self, ops, request_id=None) -> dict:
+    def update(self, ops, request_id=None, *, idempotency_key: str | None = None) -> dict:
         """Apply one live-update batch.
 
         ``ops`` may be :class:`~repro.live.ops.UpdateOp` objects or
-        already-encoded op records (dicts).
+        already-encoded op records (dicts).  ``idempotency_key`` makes
+        the submission at-most-once on guarded servers: a retry (or a
+        duplicate through another frontend) with the same key returns
+        the original reply with ``deduped: True`` instead of
+        re-applying.
         """
         records = [
             op.to_record() if hasattr(op, "to_record") else op for op in ops
         ]
-        return self.request({"id": request_id, "op": "update", "ops": records})
+        payload: dict = {"id": request_id, "op": "update", "ops": records}
+        if idempotency_key is not None:
+            payload["idem"] = idempotency_key
+        return self.request(payload)
+
+    def chaos_kill(self, machine_id: int, request_id=None) -> dict:
+        """Ask an ``allow_chaos`` server to kill a worker (fault drill)."""
+        return self.request({"id": request_id, "op": "chaos", "kill": machine_id})
 
     # Standing queries --------------------------------------------------
     def subscribe(
@@ -339,11 +350,19 @@ class BinaryServeClient:
         replies = {reply["id"]: reply for reply in (self.read_reply() for _ in entries)}
         return [replies[request_id] for request_id, _ in entries]
 
-    def update(self, ops, request_id: int | None = None) -> dict:
+    def update(
+        self,
+        ops,
+        request_id: int | None = None,
+        *,
+        idempotency_key: str | None = None,
+    ) -> dict:
         """Apply one live-update batch over an UPDATE frame."""
         records = [op.to_record() if hasattr(op, "to_record") else op for op in ops]
         request_id = self._allocate_id(request_id)
-        self._sock.sendall(wire.encode_update(request_id, records))
+        self._sock.sendall(
+            wire.encode_update(request_id, records, idempotency_key=idempotency_key)
+        )
         return self.read_reply()
 
     def request(self, payload: dict) -> dict:
@@ -452,6 +471,7 @@ def run_loadgen(
     timeout_seconds: float = 60.0,
     protocol: str = "ndjson",
     batch: int = 1,
+    kill_workers: list[tuple[int, float]] | None = None,
 ) -> LoadgenReport:
     """Replay ``expressions`` closed-loop from ``num_clients`` connections.
 
@@ -460,6 +480,13 @@ def run_loadgen(
     once per connection).  ``batch`` > 1 packs that many queries into
     each BATCH frame on the binary path — per-query latency is then the
     batch round trip divided by its size.
+
+    ``kill_workers`` schedules fault injection: each ``(machine_id,
+    at_seconds)`` sends a ``chaos`` kill op that long after the run
+    starts (the server must be started with ``allow_chaos``).  The kill
+    itself is fire-and-forget; its effect shows up in the outcome
+    counts — on an HA cluster with live replicas, ``errors`` should
+    stay at zero.
     """
     if not expressions:
         raise DisksError("the load generator needs a non-empty query stream")
@@ -528,15 +555,31 @@ def run_loadgen(
             with lock:
                 outcomes["errors"] += len(shard)
 
+    def _kill(machine_id: int) -> None:
+        try:
+            with ServeClient(host, port, timeout_seconds=timeout_seconds) as client:
+                client.chaos_kill(machine_id)
+        except (ClusterError, OSError):
+            pass  # the drill is best-effort; the report tells the story
+
     threads = [
         threading.Thread(target=_drive, args=(shard,), name=f"loadgen-{i}")
         for i, shard in enumerate(shards)
     ]
+    timers = [
+        threading.Timer(at_seconds, _kill, args=(machine_id,))
+        for machine_id, at_seconds in (kill_workers or [])
+    ]
     started = time.perf_counter()
+    for timer in timers:
+        timer.daemon = True
+        timer.start()
     for thread in threads:
         thread.start()
     for thread in threads:
         thread.join()
+    for timer in timers:
+        timer.cancel()
     wall = time.perf_counter() - started
     return LoadgenReport(
         sent=len(expressions),

@@ -236,6 +236,9 @@ class ServeConfig:
     cache_max_entries: int = 1024
     cache_max_bytes: int = 32 * 1024 * 1024
     cache_subsumption: bool = True
+    # Fault injection: lets the `chaos` op kill workers (HA clusters
+    # only).  Off by default — enable for chaos drills, never blindly.
+    allow_chaos: bool = False
 
 
 class DisksServer:
@@ -249,10 +252,14 @@ class DisksServer:
         metrics: MetricsRegistry | None = None,
         updater=None,
         sub_engine=None,
+        guard=None,
     ) -> None:
         self._cluster = cluster
         self._updater = updater
         self.sub_engine = sub_engine
+        # A repro.ha.FrontendGuard (idempotency + rate limits), shared
+        # across every frontend of a group.  None = no hardening.
+        self.guard = guard
         self.config = config or ServeConfig()
         self.metrics = metrics or MetricsRegistry()
         self.admission = AdmissionController(self.config.max_inflight)
@@ -460,8 +467,8 @@ class DisksServer:
         if frame_type == wire.FRAME_BATCH:
             return [self._handle_wire_batch(wire.decode_batch(payload), conn)]
         if frame_type == wire.FRAME_UPDATE:
-            request_id, records = wire.decode_update(payload)
-            return [self._handle_wire_update(request_id, records, conn)]
+            request_id, records, idem_key = wire.decode_update(payload)
+            return [self._handle_wire_update(request_id, records, conn, idem_key)]
         if frame_type == wire.FRAME_JSON:
             request = wire.decode_json_payload(payload)
             return [self._dispatch_request(request, conn)]
@@ -494,9 +501,27 @@ class DisksServer:
             return
         await self._dispatch_request(request, conn)
 
+    def _client_key(self, request: dict, conn: _Connection) -> str:
+        """The rate-limit bucket key: explicit client id, else peer host."""
+        client = request.get("client")
+        if isinstance(client, str) and client:
+            return client
+        peer = conn.writer.get_extra_info("peername")
+        return str(peer[0]) if isinstance(peer, tuple) and peer else "unknown"
+
     async def _dispatch_request(self, request: dict, conn: _Connection) -> None:
         request_id = request.get("id")
         op = request.get("op", "query")
+        if (
+            op in ("query", "update")
+            and self.guard is not None
+            and not self.guard.allow(self._client_key(request, conn))
+        ):
+            self.metrics.increment("ha_rate_limited")
+            await self._respond(
+                conn, {"id": request_id, "ok": False, "error": "rate-limited"}
+            )
+            return
         if op == "stats":
             # Off the loop: collecting cluster-wide coverage-cache
             # counters round-trips the worker pipes behind any queries
@@ -524,6 +549,7 @@ class DisksServer:
         elif op == "trace":
             await self._respond(conn, self._trace_payload(request_id, request))
         elif op == "metrics":
+            self._sync_ha_gauges()
             await self._respond(
                 conn,
                 {
@@ -534,6 +560,8 @@ class DisksServer:
             )
         elif op == "update":
             await self._handle_update(request_id, request, conn)
+        elif op == "chaos":
+            await self._handle_chaos(request_id, request, conn)
         elif op == "subscribe":
             await self._handle_subscribe(request_id, request, conn)
         elif op == "unsubscribe":
@@ -630,14 +658,90 @@ class DisksServer:
             self.admission.release()
             self.metrics.observe_gauge("inflight", self.admission.depth)
 
+    async def _guarded_update(self, request_id, records, idem_key) -> dict:
+        """At-most-once wrapper: the idempotency key gates the apply.
+
+        The first submission with a key owns the apply; duplicates —
+        concurrent or later, on this frontend or a sibling sharing the
+        guard — get the owner's recorded reply with ``deduped: True``.
+        A failed owner clears the key, so a retry re-runs for real.
+        """
+        if self.guard is None or not idem_key:
+            return await self._apply_update_records(request_id, records)
+        index = self.guard.idempotency
+        while True:
+            owner, cached = await asyncio.to_thread(index.begin, idem_key)
+            if owner:
+                break
+            if cached is not None:
+                self.metrics.increment("ha_deduped_updates")
+                reply = dict(cached)
+                reply["id"] = request_id
+                reply["deduped"] = True
+                return reply
+            # The previous owner failed (or the wait timed out): loop to
+            # claim the key and run the apply ourselves.
+        try:
+            reply = await self._apply_update_records(request_id, records)
+        except BaseException:
+            index.fail(idem_key)
+            raise
+        if reply.get("ok"):
+            index.finish(idem_key, reply)
+        else:
+            index.fail(idem_key)
+        return reply
+
     async def _handle_update(self, request_id, request: dict, conn: _Connection) -> None:
-        reply = await self._apply_update_records(request_id, request.get("ops"))
+        reply = await self._guarded_update(
+            request_id, request.get("ops"), request.get("idem")
+        )
         await self._respond(conn, reply)
 
+    async def _handle_chaos(self, request_id, request: dict, conn: _Connection) -> None:
+        """Fault injection: kill a worker process (``allow_chaos`` only)."""
+        if not self.config.allow_chaos:
+            await self._respond(
+                conn,
+                {
+                    "id": request_id,
+                    "ok": False,
+                    "error": "chaos-disabled",
+                    "detail": "start the server with allow_chaos to inject faults",
+                },
+            )
+            return
+        kill = request.get("kill")
+        kill_worker = getattr(self._cluster, "kill_worker", None)
+        if not isinstance(kill, int) or not callable(kill_worker):
+            await self._respond(
+                conn,
+                {
+                    "id": request_id,
+                    "ok": False,
+                    "error": "bad-chaos",
+                    "detail": "needs an integer 'kill' and a cluster with kill_worker",
+                },
+            )
+            return
+        try:
+            was_alive = await asyncio.to_thread(kill_worker, kill)
+        except ClusterError as error:
+            await self._respond(
+                conn,
+                {"id": request_id, "ok": False, "error": "chaos", "detail": str(error)},
+            )
+            return
+        self.metrics.increment("ha_chaos_kills")
+        await self._respond(
+            conn,
+            {"id": request_id, "ok": True, "killed": kill, "was_alive": was_alive},
+        )
+
     async def _handle_wire_update(
-        self, request_id: int, records: list, conn: _Connection
+        self, request_id: int, records: list, conn: _Connection, idem_key=None
     ) -> None:
-        reply = await self._apply_update_records(request_id, records)
+        reply = await self._guarded_update(request_id, records, idem_key)
         if reply.get("ok"):
             frame = wire.encode_update_ack(
                 request_id,
@@ -1059,8 +1163,41 @@ class DisksServer:
     # ------------------------------------------------------------------
     # Stats
     # ------------------------------------------------------------------
+    def _ha_block(self) -> dict | None:
+        """Replication + guard state, when either is present (duck-typed)."""
+        block: dict = {}
+        ha_stats = getattr(self._cluster, "ha_stats", None)
+        if callable(ha_stats):
+            block.update(ha_stats())
+        if self.guard is not None:
+            block["guard"] = self.guard.stats()
+        return block or None
+
+    def _sync_ha_gauges(self) -> None:
+        """Mirror replication state into ``repro_ha_*`` gauges."""
+        ha_stats = getattr(self._cluster, "ha_stats", None)
+        if callable(ha_stats):
+            state = ha_stats()
+            self.metrics.observe_gauge("ha_machines_alive", state["machines_alive"])
+            self.metrics.observe_gauge(
+                "ha_replicas_alive_min", state["replicas_alive_min"]
+            )
+            self.metrics.observe_gauge("ha_reroutes", state["reroutes"])
+            self.metrics.observe_gauge("ha_failovers", state["failovers"])
+            self.metrics.observe_gauge("ha_restarts", state["restarts"])
+        if self.guard is not None:
+            guard_stats = self.guard.stats()
+            idem = guard_stats.get("idempotency", {})
+            self.metrics.observe_gauge("ha_deduped_total", idem.get("deduped", 0))
+            limiter = guard_stats.get("rate_limiter")
+            if limiter:
+                self.metrics.observe_gauge(
+                    "ha_rate_limited_total", limiter.get("limited", 0)
+                )
+
     def stats(self) -> dict:
         """The ``stats`` admin payload: metrics + admission + cluster."""
+        self._sync_ha_gauges()
         snapshot = self.metrics.snapshot()
         snapshot["admission"] = {
             "depth": self.admission.depth,
@@ -1090,6 +1227,9 @@ class DisksServer:
         }
         if self.sub_engine is not None:
             snapshot["subscriptions"] = self.sub_engine.stats()
+        ha_block = self._ha_block()
+        if ha_block is not None:
+            snapshot["ha"] = ha_block
         epoch = self._current_epoch()
         if epoch is not None:
             live: dict = {"epoch": epoch}
@@ -1110,6 +1250,7 @@ def serve_in_thread(
     metrics: MetricsRegistry | None = None,
     updater=None,
     sub_engine=None,
+    guard=None,
 ) -> Iterator[DisksServer]:
     """Run a :class:`DisksServer` on a background event loop.
 
@@ -1120,7 +1261,12 @@ def serve_in_thread(
             client = ServeClient(server.host, server.port)
     """
     server = DisksServer(
-        cluster, config=config, metrics=metrics, updater=updater, sub_engine=sub_engine
+        cluster,
+        config=config,
+        metrics=metrics,
+        updater=updater,
+        sub_engine=sub_engine,
+        guard=guard,
     )
     loop = asyncio.new_event_loop()
     started = threading.Event()

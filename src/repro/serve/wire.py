@@ -515,8 +515,18 @@ _OP_KINDS = {"add_keyword": 1, "remove_keyword": 2, "set_edge_weight": 3}
 _OP_NAMES = {code: name for name, code in _OP_KINDS.items()}
 
 
-def encode_update(request_id: int, op_records: list[dict]) -> bytes:
-    """An UPDATE frame from :mod:`repro.live.ops` ``to_record`` dicts."""
+def encode_update(
+    request_id: int,
+    op_records: list[dict],
+    *,
+    idempotency_key: str | None = None,
+) -> bytes:
+    """An UPDATE frame from :mod:`repro.live.ops` ``to_record`` dicts.
+
+    ``idempotency_key`` is an optional trailing string — decoders that
+    predate it simply never read past the op list, and its absence
+    leaves the frame byte-identical to the pre-key encoding.
+    """
     out = bytearray(_U64.pack(request_id))
     out += _U32.pack(len(op_records))
     for record in op_records:
@@ -531,11 +541,13 @@ def encode_update(request_id: int, op_records: list[dict]) -> bytes:
             out += _U64.pack(record["u"])
             out += _U64.pack(record["v"])
             out += _F64.pack(record["weight"])
+    if idempotency_key is not None:
+        _put_string(out, idempotency_key)
     return encode_frame(FRAME_UPDATE, bytes(out))
 
 
-def decode_update(payload: bytes) -> tuple[int, list[dict]]:
-    """``(request_id, op records)`` from an UPDATE payload."""
+def decode_update(payload: bytes) -> tuple[int, list[dict], str | None]:
+    """``(request_id, op records, idempotency key)`` from an UPDATE payload."""
     reader = _Reader(payload)
     request_id = reader.u64()
     count = reader.u32()
@@ -560,8 +572,11 @@ def decode_update(payload: bytes) -> tuple[int, list[dict]]:
                     "weight": reader.f64(),
                 }
             )
+    idempotency_key = None
+    if reader.pos < len(reader.data):
+        idempotency_key = reader.string()
     reader.finish()
-    return request_id, records
+    return request_id, records, idempotency_key
 
 
 def encode_update_ack(

@@ -323,9 +323,24 @@ class SharedSegmentStore:
         self._leases: dict[int, dict[int, int]] = {}
 
     def publish(self, fragment: Fragment, index: NPDIndex, *, epoch: int) -> SegmentManifest:
-        """Pack a fragment into a new segment and start tracking it."""
+        """Pack a fragment into a new segment and start tracking it.
+
+        Idempotent per ``(fragment, epoch)``: with replica groups the
+        same fragment is published once per hosting machine, and packing
+        a second segment would orphan the first (the dict overwrite
+        drops its only handle).  The existing manifest is returned
+        instead — replicas attach the same read-only pages.
+        """
+        with self._lock:
+            tracked = self._segments.get((fragment.fragment_id, epoch))
+            if tracked is not None:
+                return tracked[0]
         manifest, shm = pack_fragment(fragment, index, epoch=epoch)
         with self._lock:
+            raced = self._segments.get((manifest.fragment_id, epoch))
+            if raced is not None:
+                _destroy(shm)
+                return raced[0]
             self._segments[(manifest.fragment_id, epoch)] = (manifest, shm)
         return manifest
 
@@ -356,6 +371,11 @@ class SharedSegmentStore:
             if held and all(e > epoch for e in held):
                 _manifest, shm = self._segments.pop(key)
                 _destroy(shm)
+
+    def leases_snapshot(self) -> dict[int, dict[int, int]]:
+        """machine id → {fragment id → leased epoch} (introspection)."""
+        with self._lock:
+            return {m: dict(held) for m, held in self._leases.items()}
 
     def segment_names(self) -> list[str]:
         """Names of every live segment (test/debug introspection)."""

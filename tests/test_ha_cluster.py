@@ -1,0 +1,213 @@
+"""repro.ha serving tier: placement, routing, failover, replicated applies.
+
+The contract: an :class:`HACluster` with replication factor >= 2 answers
+every query bit-identically to a centralized oracle before, during, and
+after losing a worker — failover re-routes the dead machine's tasks to
+surviving replicas instead of degrading the answer.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import pytest
+
+from repro import sgkq
+from repro.baselines import CentralizedEvaluator
+from repro.core import NPDBuildConfig, build_all_indexes, build_fragments
+from repro.dist import ReplicaPlacement
+from repro.exceptions import ClusterError
+from repro.ha import HACluster
+from repro.live import EpochManager
+from repro.partition import BfsPartitioner
+from repro.workloads import UpdateGenConfig, UpdateStreamGenerator
+
+from helpers import make_random_network
+
+
+@pytest.fixture(scope="module")
+def built():
+    net = make_random_network(seed=650, num_junctions=24, num_objects=12, vocabulary=4)
+    partition = BfsPartitioner(seed=6).partition(net, 4)
+    fragments = build_fragments(net, partition)
+    indexes, _ = build_all_indexes(net, fragments, NPDBuildConfig(max_radius=math.inf))
+    return net, partition, fragments, indexes
+
+
+def probe_queries(network):
+    keywords = sorted(network.all_keywords())[:2]
+    for radius in (1.5, 4.0):
+        yield sgkq(keywords, radius)
+
+
+def wait_until_dead(cluster, machine_id, timeout_seconds=10.0):
+    deadline = time.time() + timeout_seconds
+    while machine_id not in cluster.dead_machines:
+        if time.time() > deadline:  # pragma: no cover - diagnostic
+            raise AssertionError(f"worker {machine_id} death was never detected")
+        time.sleep(0.01)
+
+
+class TestReplicaPlacement:
+    def test_chained_layout_is_anti_affine(self):
+        placement = ReplicaPlacement.chained(8, 4, 3)
+        for fid, machines in enumerate(placement.replicas):
+            assert machines == tuple((fid + j) % 4 for j in range(3))
+            assert len(set(machines)) == 3
+        for machine in range(4):
+            assert set(placement.fragments_of(machine)) == {
+                fid for fid in range(8) if machine in placement.replicas[fid]
+            }
+        assert placement.assignments() == [
+            list(placement.fragments_of(machine)) for machine in range(4)
+        ]
+
+    def test_replication_factor_bounds(self):
+        with pytest.raises(ClusterError, match="must be in"):
+            ReplicaPlacement.chained(4, 2, 3)
+        with pytest.raises(ClusterError, match="at least one machine"):
+            ReplicaPlacement.chained(4, 0, 1)
+
+    def test_load_policy_prefers_least_busy(self):
+        placement = ReplicaPlacement.chained(4, 4, 2)
+        plan = placement.plan(range(4), alive=range(4), load={0: 5.0})
+        # Fragment 0 lives on {0, 1}; machine 0 is drowning, so 1 wins.
+        assert plan[0] == 1
+        assert set(plan) == {0, 1, 2, 3}
+
+    def test_load_policy_spreads_an_even_start(self):
+        placement = ReplicaPlacement.chained(4, 2, 2)
+        plan = placement.plan(range(4), alive=range(2))
+        # The plan's own +1 per assignment alternates equal machines.
+        assert sorted(plan.values()) == [0, 0, 1, 1]
+
+    def test_rr_policy_rotates_with_start(self):
+        placement = ReplicaPlacement.chained(4, 2, 2)
+        plans = {
+            tuple(sorted(placement.plan(range(4), alive=range(2),
+                                        policy="rr", start=s).items()))
+            for s in range(2)
+        }
+        assert len(plans) == 2
+
+    def test_unknown_policy_rejected(self):
+        placement = ReplicaPlacement.chained(2, 2, 1)
+        with pytest.raises(ClusterError, match="unknown routing policy"):
+            placement.plan([0], alive=[0, 1], policy="weird")
+
+    def test_total_failure_and_unreplicated_loss(self):
+        placement = ReplicaPlacement.chained(4, 4, 1)
+        with pytest.raises(ClusterError, match="every machine has failed"):
+            placement.plan(range(4), alive=[])
+        with pytest.raises(ClusterError, match="fragment 2 has no alive replica"):
+            placement.plan(range(4), alive=[0, 1, 3])
+
+
+class TestHAClusterServing:
+    def test_exact_answers_across_worker_loss(self, built):
+        net, _partition, fragments, indexes = built
+        oracle = CentralizedEvaluator(net)
+        queries = list(probe_queries(net))
+        with HACluster.start(
+            fragments, indexes, num_machines=4, replication_factor=2
+        ) as cluster:
+            assert cluster.replication_factor == 2
+            assert not cluster.degraded
+            for query in queries:
+                assert cluster.execute(query).result_nodes == oracle.results(query)
+
+            assert cluster.kill_worker(1) is True
+            wait_until_dead(cluster, 1)
+            # Every fragment still has a live replica: answers stay exact.
+            for query in queries:
+                assert cluster.execute(query).result_nodes == oracle.results(query)
+            assert not cluster.degraded
+            stats = cluster.ha_stats()
+            assert stats["machines_alive"] == 3
+            assert stats["dead_machines"] == [1]
+            assert stats["replicas_alive_min"] == 1
+            assert stats["failovers"] == 1
+            assert cluster.kill_worker(1) is False
+            with pytest.raises(ClusterError, match="no machine 99"):
+                cluster.kill_worker(99)
+
+            # Losing the neighbour too orphans the fragment they shared.
+            cluster.kill_worker(2)
+            wait_until_dead(cluster, 2)
+            assert cluster.degraded
+            stats = cluster.ha_stats()
+            assert stats["fragments_unservable"] >= 1
+            # The cluster keeps serving what it can rather than erroring.
+            for query in queries:
+                served = cluster.execute(query).result_nodes
+                assert served <= oracle.results(query)
+
+    @pytest.mark.parametrize("routing", ["load", "rr"])
+    def test_shm_replica_groups_stay_exact(self, built, routing):
+        net, _partition, fragments, indexes = built
+        oracle = CentralizedEvaluator(net)
+        queries = list(probe_queries(net))
+        with HACluster.start(
+            fragments,
+            indexes,
+            num_machines=3,
+            replication_factor=2,
+            routing=routing,
+            use_shm=True,
+        ) as cluster:
+            for query in queries:
+                assert cluster.execute(query).result_nodes == oracle.results(query)
+            cluster.kill_worker(0)
+            wait_until_dead(cluster, 0)
+            for query in queries:
+                assert cluster.execute(query).result_nodes == oracle.results(query)
+
+    @pytest.mark.parametrize("use_shm", [False, True])
+    def test_replicated_apply_reaches_every_replica(self, built, use_shm):
+        net, partition, fragments, indexes = built
+        manager = EpochManager(
+            network=net,
+            partition=partition,
+            fragments=list(fragments),
+            indexes=list(indexes),
+        )
+        ops = UpdateStreamGenerator(net, UpdateGenConfig(seed=31)).ops(10)
+        swap = manager.apply(ops)
+        delta = list(manager.state.delta_from(swap.changed_fragments).values())
+        oracle = CentralizedEvaluator(manager.state.network)
+        with HACluster.start(
+            fragments,
+            indexes,
+            num_machines=4,
+            replication_factor=2,
+            use_shm=use_shm,
+        ) as cluster:
+            summary = cluster.apply_updates(swap.epoch, delta)
+            assert summary["epoch"] == swap.epoch
+            assert cluster.current_epoch == swap.epoch
+            # Every alive machine hosting a changed fragment acked.
+            expected = sorted(
+                {
+                    machine
+                    for fragment, _index in delta
+                    for machine in cluster.placement.machines_of(fragment.fragment_id)
+                }
+            )
+            assert summary["acked_machines"] == expected
+            for query in probe_queries(manager.state.network):
+                assert cluster.execute(query).result_nodes == oracle.results(query)
+            with pytest.raises(ClusterError, match="epoch must advance"):
+                cluster.apply_updates(swap.epoch, delta)
+
+    def test_total_cluster_loss_is_an_error(self, built):
+        _net, _partition, fragments, indexes = built
+        query = next(probe_queries(_net))
+        with HACluster.start(
+            fragments, indexes, num_machines=2, replication_factor=2
+        ) as cluster:
+            for machine in range(2):
+                cluster.kill_worker(machine)
+                wait_until_dead(cluster, machine)
+            with pytest.raises(ClusterError, match="every worker has died"):
+                cluster.execute(query)

@@ -1,0 +1,195 @@
+"""Failover exactness under interleaved queries, epoch applies, and kills.
+
+Two layers of assurance:
+
+* a hypothesis-driven interleaving: arbitrary sequences of queries,
+  committed epoch applies, and replica kills, with every query answer
+  checked bit-identically against a centralized oracle at the epoch the
+  query was issued;
+* a deterministic race: queries piling into the pipes while an epoch
+  swap and a worker kill land concurrently — every observed answer must
+  be exactly the pre-swap or the post-swap result, never a blend
+  (a blend is precisely what a half-applied epoch or a mixed-epoch
+  failover re-dispatch would produce).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import sgkq
+from repro.baselines import CentralizedEvaluator
+from repro.core import NPDBuildConfig, build_all_indexes, build_fragments
+from repro.exceptions import ClusterError
+from repro.ha import HACluster
+from repro.live import AddKeyword, EpochManager, RemoveKeyword
+from repro.partition import BfsPartitioner
+from repro.workloads import UpdateGenConfig, UpdateStreamGenerator
+
+from helpers import make_random_network
+
+# Machines that may be killed while every fragment keeps a live replica
+# under chained declustering with m=4, R=2 (kill set {1, 3} leaves
+# machines 0 and 2, and every fragment touches an even machine).
+SAFE_KILLS = (1, 3)
+
+
+@pytest.fixture(scope="module")
+def built():
+    net = make_random_network(seed=650, num_junctions=24, num_objects=12, vocabulary=4)
+    partition = BfsPartitioner(seed=6).partition(net, 4)
+    fragments = build_fragments(net, partition)
+    indexes, _ = build_all_indexes(net, fragments, NPDBuildConfig(max_radius=math.inf))
+    return net, partition, fragments, indexes
+
+
+def probe_queries(network):
+    keywords = sorted(network.all_keywords())
+    return [
+        sgkq(keywords[:2], 1.5),
+        sgkq(keywords[:2], 4.0),
+        sgkq(keywords[2:3], 2.5),
+    ]
+
+
+def wait_until_dead(cluster, machine_id, timeout_seconds=10.0):
+    deadline = time.time() + timeout_seconds
+    while machine_id not in cluster.dead_machines:
+        if time.time() > deadline:  # pragma: no cover - diagnostic
+            raise AssertionError(f"worker {machine_id} death was never detected")
+        time.sleep(0.01)
+
+
+class TestInterleavedFailover:
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            HealthCheck.function_scoped_fixture,
+        ],
+    )
+    @given(
+        actions=st.lists(
+            st.sampled_from(["query", "apply", "kill"]), min_size=4, max_size=9
+        ),
+        ops_seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_any_interleaving_stays_exact(self, built, actions, ops_seed):
+        net, partition, fragments, indexes = built
+        manager = EpochManager(
+            network=net,
+            partition=partition,
+            fragments=list(fragments),
+            indexes=list(indexes),
+        )
+        generator = UpdateStreamGenerator(net, UpdateGenConfig(seed=ops_seed))
+        oracle = CentralizedEvaluator(manager.state.network)
+        kills = iter(SAFE_KILLS)
+        with HACluster.start(
+            fragments, indexes, num_machines=4, replication_factor=2
+        ) as cluster:
+            for action in actions:
+                if action == "query":
+                    for query in probe_queries(manager.state.network):
+                        assert (
+                            cluster.execute(query).result_nodes
+                            == oracle.results(query)
+                        )
+                elif action == "apply":
+                    swap = manager.apply(generator.ops(6))
+                    delta = manager.state.delta_from(swap.changed_fragments)
+                    cluster.apply_updates(swap.epoch, list(delta.values()))
+                    oracle = CentralizedEvaluator(manager.state.network)
+                else:  # kill
+                    machine = next(kills, None)
+                    if machine is None or machine in cluster.dead_machines:
+                        continue
+                    cluster.kill_worker(machine)
+                    wait_until_dead(cluster, machine)
+            assert not cluster.degraded
+            for query in probe_queries(manager.state.network):
+                assert cluster.execute(query).result_nodes == oracle.results(query)
+
+
+class TestConcurrentSwapAndKill:
+    @pytest.mark.parametrize("use_shm", [False, True])
+    def test_no_torn_epoch_across_failover(self, built, use_shm):
+        """Queries racing a swap AND a kill see all-old or all-new.
+
+        The update flips every carrier of one keyword, so the old and
+        new answer sets are disjoint: a mixed-epoch merge (some
+        fragments answering at epoch 0, others at epoch 1 — e.g. a
+        failover re-dispatch landing on a replica that already swapped)
+        would surface as a blended, never-valid set.
+        """
+        net, partition, fragments, indexes = built
+        keyword = "w0"
+        carriers = sorted(n for n in net.object_nodes() if keyword in net.keywords(n))
+        others = sorted(n for n in net.object_nodes() if keyword not in net.keywords(n))
+        assert carriers and len(others) >= 2
+        flipped = others[:4]
+        ops = [RemoveKeyword(n, keyword) for n in carriers] + [
+            AddKeyword(n, keyword) for n in flipped
+        ]
+        manager = EpochManager(
+            network=net,
+            partition=partition,
+            fragments=list(fragments),
+            indexes=list(indexes),
+        )
+        query = sgkq([keyword], 0.01)
+        old_answer = frozenset(carriers)
+        new_answer = frozenset(flipped)
+
+        observed: list[frozenset[int]] = []
+        failures: list[str] = []
+        stop = threading.Event()
+        with HACluster.start(
+            fragments,
+            indexes,
+            num_machines=4,
+            replication_factor=2,
+            use_shm=use_shm,
+        ) as cluster:
+            assert cluster.execute(query).result_nodes == old_answer
+
+            def _probe() -> None:
+                while not stop.is_set():
+                    try:
+                        observed.append(
+                            frozenset(
+                                cluster.execute(query, timeout_seconds=30).result_nodes
+                            )
+                        )
+                    except ClusterError as error:  # pragma: no cover
+                        failures.append(str(error))
+                        return
+
+            threads = [threading.Thread(target=_probe) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.05)  # let queries pile into the pipes
+            cluster.kill_worker(1)
+            swap = manager.apply(ops)
+            delta = manager.state.delta_from(swap.changed_fragments)
+            cluster.apply_updates(swap.epoch, list(delta.values()))
+            post = frozenset(cluster.execute(query).result_nodes)
+            time.sleep(0.05)
+            stop.set()
+            for thread in threads:
+                thread.join()
+            stats = cluster.ha_stats()
+
+        assert not failures, failures
+        assert post == new_answer
+        assert stats["dead_machines"] == [1]
+        torn = [o for o in observed if o not in (old_answer, new_answer)]
+        assert not torn, f"torn answers observed: {torn[:3]}"
+        # After the swap the steady state is the new answer.
+        assert observed[-1] == new_answer

@@ -1,0 +1,196 @@
+"""Frontend hardening: idempotency keys, rate limits, multi-frontend scale-out.
+
+The group-wide contract: two copies of an update carrying the same
+idempotency key apply exactly once even when they land on *different*
+frontends of the same cluster, and a rate-limited client is throttled
+across the whole group.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+import pytest
+
+from repro.core import NPDBuildConfig, build_all_indexes, build_fragments
+from repro.ha import (
+    FrontendGuard,
+    HACluster,
+    IdempotencyIndex,
+    TokenBucketLimiter,
+    frontend_group,
+)
+from repro.live import AddKeyword, EpochManager
+from repro.partition import BfsPartitioner
+from repro.serve import ServeClient, ServeConfig
+
+from helpers import make_random_network
+
+
+@pytest.fixture(scope="module")
+def built():
+    net = make_random_network(seed=650, num_junctions=24, num_objects=12, vocabulary=4)
+    partition = BfsPartitioner(seed=6).partition(net, 4)
+    fragments = build_fragments(net, partition)
+    indexes, _ = build_all_indexes(net, fragments, NPDBuildConfig(max_radius=math.inf))
+    return net, partition, fragments, indexes
+
+
+class TestIdempotencyIndex:
+    def test_owner_then_replay(self):
+        index = IdempotencyIndex()
+        owner, cached = index.begin("k1")
+        assert owner and cached is None
+        index.finish("k1", {"ok": True, "epoch": 3})
+        owner, cached = index.begin("k1")
+        assert not owner
+        assert cached == {"ok": True, "epoch": 3}
+        stats = index.stats()
+        assert stats["owned"] == 1
+        assert stats["deduped"] == 1
+        assert stats["inflight"] == 0
+
+    def test_concurrent_duplicates_get_the_owners_reply(self):
+        index = IdempotencyIndex()
+        assert index.begin("k")[0]
+        results: list[tuple[bool, dict | None]] = []
+
+        def _dup() -> None:
+            results.append(index.begin("k", timeout_seconds=10))
+
+        threads = [threading.Thread(target=_dup) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.05)  # let the duplicates block on the owner
+        index.finish("k", {"ok": True, "applied": 7})
+        for thread in threads:
+            thread.join()
+        assert all(not owner and cached == {"ok": True, "applied": 7}
+                   for owner, cached in results)
+
+    def test_failed_owner_clears_the_key_for_retry(self):
+        index = IdempotencyIndex()
+        assert index.begin("k")[0]
+        index.fail("k")
+        owner, cached = index.begin("k")
+        assert owner and cached is None
+
+    def test_replay_window_is_lru_bounded(self):
+        index = IdempotencyIndex(capacity=2)
+        for i in range(3):
+            assert index.begin(f"k{i}")[0]
+            index.finish(f"k{i}", {"i": i})
+        assert index.begin("k0")[0]  # evicted: the retry owns it again
+        assert index.begin("k2") == (False, {"i": 2})
+
+
+class TestTokenBucketLimiter:
+    def test_burst_then_throttle_then_refill(self):
+        limiter = TokenBucketLimiter(rate=1000.0, burst=2.0)
+        assert limiter.allow("c") and limiter.allow("c")
+        assert not limiter.allow("c")
+        assert limiter.stats()["limited"] == 1
+        time.sleep(0.01)  # ~10 tokens refilled, capped at burst
+        assert limiter.allow("c")
+
+    def test_clients_are_isolated(self):
+        limiter = TokenBucketLimiter(rate=0.001, burst=1.0)
+        assert limiter.allow("a")
+        assert not limiter.allow("a")
+        assert limiter.allow("b")
+
+    def test_bucket_table_is_lru_bounded(self):
+        limiter = TokenBucketLimiter(rate=0.001, burst=1.0, max_clients=2)
+        assert limiter.allow("a")
+        assert limiter.allow("b")
+        assert limiter.allow("c")  # evicts a's drained bucket
+        assert limiter.allow("a")  # a comes back with a fresh burst
+        assert limiter.stats()["clients"] == 2
+
+    def test_rejects_nonsense_config(self):
+        with pytest.raises(ValueError, match="positive"):
+            TokenBucketLimiter(rate=0.0, burst=1.0)
+
+
+class TestFrontendGuard:
+    def test_no_limiter_means_unlimited(self):
+        guard = FrontendGuard()
+        assert all(guard.allow("c") for _ in range(100))
+        assert "rate_limiter" not in guard.stats()
+
+    def test_limiter_is_exposed_in_stats(self):
+        guard = FrontendGuard(rate_limiter=TokenBucketLimiter(rate=1.0, burst=1.0))
+        assert guard.allow("c")
+        assert not guard.allow("c")
+        assert guard.stats()["rate_limiter"]["limited"] == 1
+
+
+class TestMultiFrontend:
+    def test_duplicate_update_across_frontends_applies_once(self, built):
+        net, partition, fragments, indexes = built
+        manager = EpochManager(
+            network=net,
+            partition=partition,
+            fragments=list(fragments),
+            indexes=list(indexes),
+        )
+        node = sorted(net.object_nodes())[0]
+        ops = [AddKeyword(node, "dupkw")]
+        with HACluster.start(
+            fragments, indexes, num_machines=3, replication_factor=2
+        ) as cluster:
+            manager.bind_cluster(cluster)
+            with frontend_group(
+                cluster, count=2, config=ServeConfig(port=0), updater=manager
+            ) as frontends:
+                assert len({front.port for front in frontends}) == 2
+                replies = []
+                for front in frontends:  # same key, different frontends
+                    with ServeClient(front.host, front.port) as client:
+                        replies.append(
+                            client.update(ops, request_id="u", idempotency_key="once")
+                        )
+                assert all(reply["ok"] for reply in replies)
+                assert manager.epoch == 1  # applied exactly once
+                assert [reply.get("deduped", False) for reply in replies] == [
+                    False,
+                    True,
+                ]
+                assert replies[1]["epoch"] == replies[0]["epoch"]
+                assert frontends[0].guard.idempotency.stats()["deduped"] == 1
+
+    def test_rate_limit_spans_the_group(self, built):
+        _net, _partition, fragments, indexes = built
+        guard = FrontendGuard(
+            rate_limiter=TokenBucketLimiter(rate=0.001, burst=2.0)
+        )
+        with HACluster.start(
+            fragments, indexes, num_machines=2, replication_factor=2
+        ) as cluster:
+            with frontend_group(
+                cluster, count=2, config=ServeConfig(port=0), guard=guard
+            ) as frontends:
+                expression = "HAS(w0)"
+                outcomes = []
+                for front in frontends:
+                    with ServeClient(front.host, front.port) as client:
+                        reply = client.request(
+                            {"id": 1, "q": expression, "client": "tenant-a"}
+                        )
+                        outcomes.append((reply.get("ok"), reply.get("error")))
+                # Burst of 2 is spent by the two frontends; the third
+                # request is throttled no matter which frontend it hits.
+                with ServeClient(frontends[0].host, frontends[0].port) as client:
+                    reply = client.request(
+                        {"id": 2, "q": expression, "client": "tenant-a"}
+                    )
+                assert outcomes == [(True, None), (True, None)]
+                assert reply["ok"] is False
+                assert reply["error"] == "rate-limited"
+                # An unrelated client is untouched.
+                with ServeClient(frontends[1].host, frontends[1].port) as client:
+                    assert client.request(
+                        {"id": 3, "q": expression, "client": "tenant-b"}
+                    )["ok"]

@@ -205,7 +205,19 @@ class TestRoundTrips:
     def test_update(self, request_id, records):
         frame_type, payload = _decode_one(wire.encode_update(request_id, records))
         assert frame_type == wire.FRAME_UPDATE
-        assert wire.decode_update(payload) == (request_id, records)
+        assert wire.decode_update(payload) == (request_id, records, None)
+
+    @given(
+        request_id=_request_id,
+        records=st.lists(_op_records, max_size=8),
+        key=st.text(min_size=1, max_size=64),
+    )
+    def test_update_idempotency_key(self, request_id, records, key):
+        frame_type, payload = _decode_one(
+            wire.encode_update(request_id, records, idempotency_key=key)
+        )
+        assert frame_type == wire.FRAME_UPDATE
+        assert wire.decode_update(payload) == (request_id, records, key)
 
     @given(
         request_id=_request_id,
