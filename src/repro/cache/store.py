@@ -180,19 +180,33 @@ class SemanticResultCache:
         partials: dict[int, dict[int, tuple]] | None,
     ) -> bool:
         """Insert a computed answer — unless the epoch moved since the probe."""
+        return self.admit_outcome(ticket, answer, partials) == "admitted"
+
+    def admit_outcome(
+        self,
+        ticket: AdmissionTicket,
+        answer: frozenset[int],
+        partials: dict[int, dict[int, tuple]] | None,
+    ) -> str:
+        """Like :meth:`admit`, but names the outcome.
+
+        Returns ``"admitted"``, ``"stale"`` (epoch moved since the
+        probe — the race window tail-based trace retention keeps),
+        ``"oversize"`` or ``"duplicate"``.
+        """
         scope = self._compute_scope(ticket.query)
         size = _entry_bytes(answer, partials)
         with self._lock:
             if ticket.epoch != self._epoch:
                 self._stale_rejects += 1
-                return False
+                return "stale"
             if size > self._max_bytes:
                 self._oversize_rejects += 1
-                return False
+                return "oversize"
             key = ticket.canonical.key
             if key in self._entries:  # concurrent identical miss already landed
                 self._entries.move_to_end(key)
-                return False
+                return "duplicate"
             entry = _Entry(
                 canonical=ticket.canonical,
                 answer=frozenset(answer),
@@ -212,7 +226,7 @@ class SemanticResultCache:
                 self._evictions += 1
                 self._count("cache_evictions")
             self._gauges()
-        return True
+        return "admitted"
 
     def _compute_scope(self, query: QClassQuery) -> frozenset[int] | None:
         """Fragment-dependency scope, from the updater's current indexes.

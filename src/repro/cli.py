@@ -25,6 +25,9 @@ Commands
 ``trace``   — fetch a running server's sampled traces, slow-query ring
               and epoch-swap events; render span trees, or export them
               as a Chrome trace-event file for Perfetto.
+``top``     — live refreshing dashboard of a running server: qps, tail
+              latency, SLO burn rates, cache hit rate, per-machine
+              load, hot keywords/fragments and recent slow queries.
 ``updates`` — generate a synthetic update stream into a write-ahead
               log, or ``--replay`` a log against a built directory and
               report every epoch swap.
@@ -131,8 +134,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="sample queries for end-to-end tracing (bare flag: 1%%)",
     )
     serve.add_argument(
+        "--tail", action="store_true",
+        help="tail-based trace retention: decide after completion, keeping "
+        "slow/errored/rerouted/stale-reject/epoch-adjacent traces "
+        "(replaces --trace head sampling)",
+    )
+    serve.add_argument(
         "--slow-ms", type=float, default=250.0, dest="slow_ms",
         help="queries slower than this always enter the slow-query ring",
+    )
+    serve.add_argument(
+        "--slow-ring", type=int, default=64, dest="slow_ring",
+        help="slow-query ring capacity (entries)",
+    )
+    serve.add_argument(
+        "--slo", action="store_true",
+        help="multi-window SLO burn-rate accounting per op; burn gauges in "
+        "the metrics op, attainment in stats, slo_burn alert events",
+    )
+    serve.add_argument(
+        "--slo-availability", type=float, default=0.999,
+        dest="slo_availability",
+        help="availability objective for --slo (fraction of requests ok)",
+    )
+    serve.add_argument(
+        "--slo-latency-target", type=float, default=0.99,
+        dest="slo_latency_target",
+        help="latency objective for --slo: this fraction of ok queries "
+        "must finish under --slow-ms",
     )
     serve.add_argument(
         "--trace-log", default=None, dest="trace_log",
@@ -293,6 +322,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--chrome", default=None, metavar="OUT.json",
         help="write the fetched traces as a Chrome trace-event file "
         "(open in Perfetto or chrome://tracing)",
+    )
+
+    top = sub.add_parser(
+        "top", help="live refreshing dashboard of a running server"
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=7474)
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="stop after N frames (default: run until interrupted)",
+    )
+    top.add_argument(
+        "--wire", default="ndjson", choices=("ndjson", "binary"),
+        help="poll over NDJSON lines or DSKW binary frames",
+    )
+    top.add_argument(
+        "-n", type=int, default=5, dest="top_n",
+        help="entries per section (hot keys, slow queries)",
+    )
+    top.add_argument(
+        "--no-clear", action="store_false", dest="clear",
+        help="append frames instead of redrawing the terminal",
     )
 
     updates = sub.add_parser(
@@ -490,8 +545,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             query_timeout_seconds=args.timeout,
             max_radius=manifest.get("max_radius"),
             trace_sample_rate=args.trace,
+            tail_sampling=args.tail,
             slow_query_ms=args.slow_ms,
+            slow_ring_size=args.slow_ring,
             trace_log=args.trace_log,
+            slo=args.slo,
+            slo_availability_target=args.slo_availability,
+            slo_latency_ms=args.slow_ms,
+            slo_latency_target=args.slo_latency_target,
             cache=args.cache,
             cache_max_entries=args.cache_entries,
             cache_max_bytes=args.cache_bytes,
@@ -534,11 +595,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "— result diffs are pushed as {\"push\": \"notify\", ...} frames "
                 f"(try `python -m repro subscriptions --port {server.port}`)"
             )
-        if args.trace > 0.0:
+        if args.tail:
+            print(
+                f"tracing: tail-based retention — every query spanned, "
+                f"slow/errored/rerouted/stale-reject/epoch-adjacent traces "
+                f"kept (slow >= {args.slow_ms:g}ms or dynamic p99) — inspect "
+                f"with `python -m repro trace --port {server.port}`"
+            )
+        elif args.trace > 0.0:
             print(
                 f"tracing: sampling {args.trace:.1%} of queries "
                 f"(slow >= {args.slow_ms:g}ms always ringed) — inspect with "
                 f"`python -m repro trace --port {server.port}`"
+            )
+        if args.slo:
+            print(
+                f"slo: availability {args.slo_availability:.3%}, "
+                f"{args.slo_latency_target:.0%} of queries under "
+                f"{args.slow_ms:g}ms — burn rates in stats/metrics, live view "
+                f"via `python -m repro top --port {server.port}`"
             )
         if args.cache:
             print(
@@ -721,6 +796,34 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         total = sum(busy.values())
         shares = ", ".join(f"m{m}={s / total:.0%}" for m, s in sorted(busy.items()))
         print(f"worker busy-time shares: {shares}")
+    for op, block in sorted(stats.get("slo", {}).items()):
+        burn = block.get("burn", {})
+        burn_note = ", ".join(
+            f"{objective} burn " + "/".join(
+                f"{window}={rate:.2f}" for window, rate in sorted(rates.items())
+            )
+            for objective, rates in sorted(burn.items())
+            if rates
+        )
+        print(
+            f"slo {op}: availability {block.get('availability', 1.0):.4%}, "
+            f"latency attainment {block.get('latency_attainment', 1.0):.4%} "
+            f"over {block.get('total', 0)} requests"
+            + (f" ({burn_note})" if burn_note else "")
+            + (f" — {block['alerts']} burn alerts" if block.get("alerts") else "")
+        )
+    retention = stats.get("tracing", {}).get("retention")
+    if retention:
+        kept = ", ".join(
+            f"{category}={count}"
+            for category, count in sorted(retention.get("retained", {}).items())
+            if count
+        )
+        print(
+            f"trace retention: kept {retention.get('kept', 0)}/"
+            f"{retention.get('seen', 0)} traces"
+            + (f" ({kept})" if kept else "")
+        )
     _print_stage_table(args.host, args.port)
     return 0
 
@@ -823,6 +926,170 @@ def _print_stage_table(host: str, port: int) -> None:
     print(f"  {'stage':<10} {'spans':>7} {'p50_ms':>9} {'p95_ms':>9} {'p99_ms':>9}")
     for label, count, p50, p95, p99 in rows:
         print(f"  {label:<10} {count:>7} {p50:>9.3f} {p95:>9.3f} {p99:>9.3f}")
+
+
+def _render_top(
+    stats: dict,
+    trace_reply: dict | None,
+    *,
+    endpoint: str,
+    qps: float | None = None,
+    top_n: int = 5,
+) -> str:
+    """One ``repro top`` frame as a string.
+
+    Pure function of the ``stats``/``trace`` payloads so tests can feed
+    canned snapshots; ``qps`` is the caller-computed completion rate
+    between frames (None on the first frame).
+    """
+    counters = stats.get("counters", {})
+    gauges = stats.get("gauges", {})
+    histogram = stats.get("histograms", {}).get("latency_seconds", {})
+    tracing = stats.get("tracing", {})
+    lines = []
+
+    header = f"repro top — {endpoint}  tracing={tracing.get('mode', 'head')}"
+    epoch = stats.get("live", {}).get("epoch")
+    if epoch is not None:
+        header += f"  epoch={epoch}"
+    lines.append(header)
+
+    inflight = gauges.get("inflight", {})
+    lines.append(
+        f"queries    {counters.get('completed', 0)} completed"
+        + (f" ({qps:.1f} q/s)" if qps is not None else "")
+        + f", {counters.get('shed', 0)} shed, "
+        f"{counters.get('timeouts', 0)} timeouts, in-flight "
+        f"{inflight.get('current', 0):.0f} (peak {inflight.get('peak', 0):.0f})"
+    )
+    if histogram:
+        lines.append(
+            f"latency    p50 {histogram.get('p50_ms', 0.0):.1f}ms  "
+            f"p95 {histogram.get('p95_ms', 0.0):.1f}ms  "
+            f"p99 {histogram.get('p99_ms', 0.0):.1f}ms  "
+            f"max {histogram.get('max_ms', 0.0):.1f}ms"
+        )
+
+    for op, block in sorted(stats.get("slo", {}).items()):
+        burn = block.get("burn", {})
+
+        def _rates(objective: str) -> str:
+            rates = burn.get(objective, {})
+            return " ".join(f"{w}={rates[w]:.2f}" for w in sorted(rates))
+
+        lines.append(
+            f"slo {op:<6} avail {block.get('availability', 1.0):.4%} "
+            f"[{_rates('availability')}]  "
+            f"latency {block.get('latency_attainment', 1.0):.4%} "
+            f"[{_rates('latency')}]"
+            + (f"  ALERTS {block['alerts']}" if block.get("alerts") else "")
+        )
+
+    cache = stats.get("result_cache")
+    if cache:
+        probes = cache.get("hits", 0) + cache.get("misses", 0)
+        rate = cache.get("hits", 0) / probes if probes else 0.0
+        lines.append(
+            f"cache      {rate:.0%} hit ({cache.get('hits', 0)}/{probes}), "
+            f"{cache.get('subsumption_hits', 0)} subsumption, "
+            f"{cache.get('entries', 0)} entries, "
+            f"{cache.get('stale_rejects', 0)} stale rejects"
+        )
+
+    retention = tracing.get("retention")
+    if retention:
+        kept = ", ".join(
+            f"{category}={count}"
+            for category, count in sorted(retention.get("retained", {}).items())
+            if count
+        )
+        threshold = retention.get("slow_threshold_ms")
+        lines.append(
+            f"retention  {retention.get('kept', 0)}/{retention.get('seen', 0)} kept"
+            + (f", p99 gate {threshold:.1f}ms" if threshold else "")
+            + (f" ({kept})" if kept else "")
+        )
+
+    ha = stats.get("ha")
+    if ha and "machines" in ha:
+        busy = ha.get("busy_seconds", {})
+        outstanding = ha.get("outstanding_tasks", {})
+        total_busy = sum(busy.values()) or 1.0
+        machines = " ".join(
+            f"m{machine}:{busy.get(machine, 0.0) / total_busy:.0%}"
+            f"/{outstanding.get(machine, 0)}"
+            for machine in sorted(busy, key=lambda m: int(m))
+        )
+        lines.append(
+            f"ha         {ha.get('machines_alive', 0)}/{ha.get('machines', 0)} alive "
+            f"(x{ha.get('replication_factor', 1)}), "
+            f"{ha.get('reroutes', 0)} reroutes, {ha.get('restarts', 0)} restarts"
+            + (f" — busy/outstanding {machines}" if machines else "")
+        )
+
+    hotspots = stats.get("hotspots")
+    if hotspots:
+        for dim in ("keyword", "fragment"):
+            entries = hotspots.get("by_seconds", {}).get(dim, [])[:top_n]
+            if entries:
+                lines.append(
+                    f"hot {dim + 's':<6} " + "  ".join(
+                        f"{entry['key']}={entry['seconds'] * 1000:.1f}ms"
+                        for entry in entries
+                    )
+                )
+
+    slow = (trace_reply or {}).get("slow", [])
+    if slow:
+        lines.append("recent slow:")
+        for entry in slow[-top_n:]:
+            traced = entry.get("trace_id")
+            lines.append(
+                f"  {entry.get('latency_ms', 0.0):8.1f}ms  "
+                f"q={entry.get('query', '?')!r}"
+                + (f"  attempt={entry['attempt']}" if entry.get("attempt") else "")
+                + (f"  trace={traced[:16]}" if traced else "")
+            )
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.serve import BinaryServeClient, ServeClient
+
+    client_class = BinaryServeClient if args.wire == "binary" else ServeClient
+    endpoint = f"{args.host}:{args.port} ({args.wire})"
+    frames = 0
+    previous: tuple[int, float] | None = None
+    try:
+        with client_class(args.host, args.port) as client:
+            while args.iterations is None or frames < args.iterations:
+                if frames:
+                    time.sleep(args.interval)
+                stats = client.stats()
+                trace_reply = client.request({"op": "trace", "n": args.top_n})
+                now = time.monotonic()
+                completed = stats.get("counters", {}).get("completed", 0)
+                qps = None
+                if previous is not None and now > previous[1]:
+                    qps = (completed - previous[0]) / (now - previous[1])
+                previous = (completed, now)
+                frame = _render_top(
+                    stats,
+                    trace_reply if trace_reply.get("ok") else None,
+                    endpoint=endpoint,
+                    qps=qps,
+                    top_n=args.top_n,
+                )
+                if args.clear:
+                    print("\x1b[2J\x1b[H" + frame, flush=True)
+                else:
+                    print(frame, flush=True)
+                frames += 1
+    except KeyboardInterrupt:
+        print()
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -1110,6 +1377,7 @@ _COMMANDS = {
     "subscriptions": _cmd_subscriptions,
     "chaos": _cmd_chaos,
     "trace": _cmd_trace,
+    "top": _cmd_top,
     "updates": _cmd_updates,
     "demo": _cmd_demo,
 }

@@ -57,10 +57,13 @@ from repro.dist.network import NetworkModel
 from repro.dist.process_cluster import (
     build_worker_runtimes,
     emulate_delivery,
+    finish_worker_spans,
     spawn_workers,
+    worker_trace_collector,
 )
 from repro.dist.replication import ROUTING_POLICIES, ReplicaPlacement
 from repro.exceptions import ClusterError
+from repro.obs.trace import Span, SpanCollector
 from repro.serve.pipeline import PendingApply, PendingQuery, PipelinedResponse
 from repro.shm import SharedSegmentStore
 
@@ -76,7 +79,9 @@ def _ha_worker_main(connection: Connection, payload: bytes) -> None:
     a query message carries an explicit fragment-id list (the
     coordinator may route different fragments of one query to different
     replicas), plus an ``attempt`` number echoed back so the coordinator
-    can discard replies from restarted queries.  ``config`` messages set
+    can discard replies from restarted queries, plus an optional trace
+    wire context — traced tasks piggyback their stage spans on the
+    reply, exactly like the pipelined worker.  ``config`` messages set
     a per-task artificial delay — the benchmark's skew knob.
     """
     registry = None
@@ -142,8 +147,12 @@ def _ha_worker_main(connection: Connection, payload: bytes) -> None:
             if kind != "query":  # pragma: no cover - protocol guard
                 connection.send(("error", (None, f"unknown message kind {kind!r}")))
                 continue
-            request_id, attempt, query, fragment_ids = body
+            received = time.perf_counter()
+            request_id, attempt, query, fragment_ids, trace_wire = body
             try:
+                collector, parent_id = worker_trace_collector(
+                    trace_wire, meta[0] if meta else None, received, len(raw)
+                )
                 started = time.perf_counter()
                 reply = []
                 for fragment_id in fragment_ids:
@@ -154,14 +163,21 @@ def _ha_worker_main(connection: Connection, payload: bytes) -> None:
                         )
                     if machine_delay > 0.0:
                         time.sleep(machine_delay)
-                    result = execute_fragment_task(runtime, query)
+                    result = execute_fragment_task(
+                        runtime, query, collector=collector, parent_id=parent_id
+                    )
                     reply.append(
                         (result.fragment_id, set(result.local_result),
                          result.wall_seconds)
                     )
                 elapsed = time.perf_counter() - started
+                spans = None
+                if collector is not None:
+                    spans = finish_worker_spans(
+                        collector, parent_id, (request_id, attempt, reply), elapsed
+                    )
                 connection.send(
-                    ("results", (request_id, attempt, reply, elapsed),
+                    ("results", (request_id, attempt, reply, elapsed, spans),
                      time.perf_counter())
                 )
             except Exception:
@@ -180,6 +196,7 @@ class _InFlightHA:
         "future",
         "query",
         "attempt",
+        "valid_from",  # replies from attempts before this are discarded
         "awaiting",  # fragment_id -> machine the task is routed to
         "apply_seq",
         "started",
@@ -188,6 +205,9 @@ class _InFlightHA:
         "fragment_seconds",
         "machine_seconds",
         "message_bytes",
+        "collector",  # SpanCollector when the query is traced, else None
+        "root",  # the open "query" span
+        "dispatch_spans",  # machine_id -> open dispatch spans
     )
 
     def __init__(self, query: QClassQuery, awaiting: dict[int, int],
@@ -195,6 +215,7 @@ class _InFlightHA:
         self.future: Future[PipelinedResponse] = Future()
         self.query = query
         self.attempt = 0
+        self.valid_from = 0
         self.awaiting = awaiting
         self.apply_seq = apply_seq
         self.started = time.perf_counter()
@@ -203,6 +224,9 @@ class _InFlightHA:
         self.fragment_seconds: dict[int, float] = {}
         self.machine_seconds: dict[int, float] = {}
         self.message_bytes = 0
+        self.collector: SpanCollector | None = None
+        self.root: Span | None = None
+        self.dispatch_spans: dict[int, list[Span]] = {}
 
 
 class _InFlightApplyHA:
@@ -514,8 +538,10 @@ class HACluster:
                 request_id, totals = body
                 self._absorb_stats(machine_id, request_id, totals)
                 continue
-            request_id, attempt, reply, elapsed = body
-            self._absorb_reply(machine_id, request_id, attempt, reply, elapsed, len(raw))
+            request_id, attempt, reply, elapsed, spans = body
+            self._absorb_reply(
+                machine_id, request_id, attempt, reply, elapsed, spans, len(raw)
+            )
 
     def _absorb_reply(
         self,
@@ -524,6 +550,7 @@ class HACluster:
         attempt: int,
         reply: list[tuple[int, set[int], float]],
         elapsed: float,
+        spans: list[Span] | None,
         wire_bytes: int,
     ) -> None:
         with self._lock:
@@ -534,8 +561,14 @@ class HACluster:
             )
             self._busy[machine_id] = self._busy.get(machine_id, 0.0) + elapsed
             inflight = self._pending.get(request_id)
-            if inflight is None or attempt != inflight.attempt:
+            if inflight is None or attempt < inflight.valid_from:
                 return  # timed out, forgotten, or a restarted query's old attempt
+            if spans and inflight.collector is not None:
+                for span in spans:
+                    span.machine_id = machine_id
+                inflight.collector.extend(spans)
+            for span in inflight.dispatch_spans.pop(machine_id, ()):
+                span.finish()
             for fragment_id, nodes, seconds in reply:
                 if inflight.awaiting.get(fragment_id) != machine_id:
                     continue  # task was rerouted away; a twin answer is coming
@@ -552,6 +585,15 @@ class HACluster:
         self._complete_query(inflight)
 
     def _complete_query(self, inflight: _InFlightHA) -> None:
+        spans: tuple[Span, ...] = ()
+        if inflight.collector is not None:
+            for open_spans in inflight.dispatch_spans.values():
+                for span in open_spans:
+                    span.finish()
+            inflight.dispatch_spans.clear()
+            if inflight.root is not None:
+                inflight.root.finish()
+            spans = tuple(inflight.collector.spans)
         response = PipelinedResponse(
             result_nodes=frozenset(inflight.merged),
             fragment_seconds=dict(inflight.fragment_seconds),
@@ -559,6 +601,8 @@ class HACluster:
             wall_seconds=time.perf_counter() - inflight.started,
             message_bytes=inflight.message_bytes,
             degraded=inflight.degraded,
+            spans=spans,
+            attempt=inflight.attempt,
         )
         if not inflight.future.done():
             inflight.future.set_result(response)
@@ -640,9 +684,10 @@ class HACluster:
                 machine_id
             )
             for target, sends in dispatches.items():
-                for request_id, attempt, query, fragment_ids in sends:
+                for request_id, attempt, query, fragment_ids, trace_wire in sends:
                     payload = pickle.dumps(
-                        ("query", (request_id, attempt, query, fragment_ids),
+                        ("query",
+                         (request_id, attempt, query, fragment_ids, trace_wire),
                          time.perf_counter())
                     )
                     try:
@@ -659,9 +704,32 @@ class HACluster:
         for inflight in completed:
             self._complete_query(inflight)
 
+    @staticmethod
+    def _open_dispatch_span(
+        inflight: _InFlightHA, target: int, rerouted: bool
+    ) -> tuple[str, str | None] | None:
+        """Open a dispatch span for a (re)dispatch; returns its wire context.
+
+        Caller holds ``_lock``.  Returns ``None`` for untraced queries.
+        """
+        if inflight.collector is None or inflight.root is None:
+            return None
+        span = inflight.collector.start(
+            "dispatch",
+            parent_id=inflight.root.span_id,
+            machine_id=target,
+            attempt=inflight.attempt,
+            **({"rerouted": True} if rerouted else {}),
+        )
+        inflight.dispatch_spans.setdefault(target, []).append(span)
+        return (inflight.collector.trace_id, span.span_id)
+
     def _plan_failover(self, machine_id: int):
         """Under ``_lock``: mark dead, decide reroute/restart per query."""
-        dispatches: dict[int, list[tuple[int, int, QClassQuery, tuple[int, ...]]]] = {}
+        dispatches: dict[
+            int,
+            list[tuple[int, int, QClassQuery, tuple[int, ...], tuple | None]],
+        ] = {}
         applies_done: list[_InFlightApplyHA] = []
         stats_done: list[_InFlightStatsHA] = []
         completed: list[_InFlightHA] = []
@@ -678,10 +746,18 @@ class HACluster:
                 ]
                 if not owed:
                     continue
+                # The dead machine's dispatch spans will never see a
+                # reply; close them so the trace tree stays well-formed.
+                for span in inflight.dispatch_spans.pop(machine_id, ()):
+                    span.finish()
                 if inflight.apply_seq == self._apply_seq:
                     # No apply fanned out since this query's own fan-out:
                     # surviving replicas serve the same epoch, so only the
-                    # dead machine's tasks move.
+                    # dead machine's tasks move.  The attempt number still
+                    # bumps (``attempt > 0`` marks every failover-touched
+                    # query) but ``valid_from`` stays put, so replies from
+                    # the original dispatch remain mergeable.
+                    inflight.attempt += 1
                     routed = self._route_tasks(owed, alive, inflight.awaiting)
                     self._reroutes += len(routed)
                     for fid in owed:
@@ -697,19 +773,32 @@ class HACluster:
                         )
                         by_machine.setdefault(target, []).append(fid)
                     for target, fids in by_machine.items():
+                        wire = self._open_dispatch_span(inflight, target, True)
                         dispatches.setdefault(target, []).append(
                             (request_id, inflight.attempt, inflight.query,
-                             tuple(fids))
+                             tuple(fids), wire)
                         )
                 else:
                     # An apply raced this query: partials may span epochs.
-                    # Restart the whole query under a fresh attempt.
+                    # Restart the whole query under a fresh attempt and
+                    # discard replies from before it (``valid_from``).
                     self._restarts += 1
                     inflight.attempt += 1
+                    inflight.valid_from = inflight.attempt
                     inflight.apply_seq = self._apply_seq
                     inflight.merged.clear()
                     inflight.fragment_seconds.clear()
                     inflight.degraded = False
+                    if inflight.collector is not None:
+                        # Partial spans belong to discarded work; keep only
+                        # the root so the restarted tree reads cleanly.
+                        for open_spans in inflight.dispatch_spans.values():
+                            for span in open_spans:
+                                span.finish()
+                        inflight.dispatch_spans.clear()
+                        inflight.collector.spans[:] = (
+                            [inflight.root] if inflight.root is not None else []
+                        )
                     all_ids = range(self._placement.num_fragments)
                     routed = self._route_tasks(all_ids, alive, None)
                     inflight.awaiting = dict(routed)
@@ -722,9 +811,10 @@ class HACluster:
                         )
                         by_machine.setdefault(target, []).append(fid)
                     for target, fids in by_machine.items():
+                        wire = self._open_dispatch_span(inflight, target, True)
                         dispatches.setdefault(target, []).append(
                             (request_id, inflight.attempt, inflight.query,
-                             tuple(fids))
+                             tuple(fids), wire)
                         )
                 if not inflight.awaiting:
                     del self._pending[request_id]
@@ -784,40 +874,69 @@ class HACluster:
     def submit(self, query: QClassQuery, *, trace=None) -> PendingQuery:
         """Route one task per fragment to an alive replica; don't block.
 
-        ``trace`` is accepted for frontend compatibility but ignored —
-        the HA pipe protocol does not carry spans (the response's
-        ``spans`` is empty).
+        ``trace`` (a :class:`~repro.obs.trace.TraceContext`) opts into
+        end-to-end tracing: the coordinator opens the root ``query``
+        span and one ``dispatch`` span per routed machine, workers
+        piggyback their stage spans on replies, and failover re-dispatch
+        opens fresh ``dispatch`` spans tagged with the new attempt —
+        the rerouted work shows up on the surviving machine's row.
         """
         if not self._alive:
             raise ClusterError("the cluster has been shut down")
-        with self._lock:
-            alive = set(range(len(self._connections))) - self._dead
-            if not alive:
-                raise ClusterError("every worker has died; the cluster cannot serve")
-            routed = self._route_tasks(range(self._placement.num_fragments),
-                                       alive, None)
-            if not routed:
-                raise ClusterError("no fragment has an alive replica")
-            request_id = next(self._ids)
-            degraded = len(routed) < self._placement.num_fragments
-            inflight = _InFlightHA(query, dict(routed), self._apply_seq, degraded)
-            self._pending[request_id] = inflight
-            # Count the tasks as outstanding *before* anything is sent:
-            # a fast worker's reply must never decrement first and leave
-            # a phantom task behind.
-            for machine_id in routed.values():
-                self._outstanding[machine_id] = (
-                    self._outstanding.get(machine_id, 0) + 1
-                )
-        by_machine: dict[int, list[int]] = {}
-        for fid, m in routed.items():
-            by_machine.setdefault(m, []).append(fid)
+        # The whole route-register-send sequence holds _fanout_lock: if a
+        # worker death could interleave between registering the inflight
+        # and sending its payloads, _plan_failover would re-dispatch the
+        # not-yet-sent tasks and a subsequent apply could slip between
+        # the two dispatches — the rerouted fragments would evaluate on
+        # the old epoch and the original ones on the new (a torn answer
+        # the apply_seq guard cannot see, because the seq was equal at
+        # kill time).
         sent_bytes = 0
         with self._fanout_lock:
-            inflight.apply_seq = self._apply_seq
+            with self._lock:
+                alive = set(range(len(self._connections))) - self._dead
+                if not alive:
+                    raise ClusterError(
+                        "every worker has died; the cluster cannot serve"
+                    )
+                routed = self._route_tasks(range(self._placement.num_fragments),
+                                           alive, None)
+                if not routed:
+                    raise ClusterError("no fragment has an alive replica")
+                request_id = next(self._ids)
+                degraded = len(routed) < self._placement.num_fragments
+                inflight = _InFlightHA(query, dict(routed), self._apply_seq,
+                                       degraded)
+                if trace is not None:
+                    inflight.collector = SpanCollector(trace.trace_id)
+                    inflight.root = inflight.collector.start(
+                        "query", parent_id=trace.span_id
+                    )
+                self._pending[request_id] = inflight
+                # Count the tasks as outstanding *before* anything is sent:
+                # a fast worker's reply must never decrement first and leave
+                # a phantom task behind.
+                for machine_id in routed.values():
+                    self._outstanding[machine_id] = (
+                        self._outstanding.get(machine_id, 0) + 1
+                    )
+                by_machine: dict[int, list[int]] = {}
+                for fid, m in routed.items():
+                    by_machine.setdefault(m, []).append(fid)
+                wires = {
+                    machine_id: self._open_dispatch_span(
+                        inflight, machine_id, False
+                    )
+                    for machine_id in by_machine
+                }
+            # _apply_seq only moves under _fanout_lock, which we still
+            # hold, so the snapshot taken at registration is the seq the
+            # payloads below actually ship under.
             for machine_id, fids in by_machine.items():
                 payload = pickle.dumps(
-                    ("query", (request_id, inflight.attempt, query, tuple(fids)),
+                    ("query",
+                     (request_id, inflight.attempt, query, tuple(fids),
+                      wires[machine_id]),
                      time.perf_counter())
                 )
                 try:
@@ -896,6 +1015,14 @@ class HACluster:
         sent_bytes = 0
         with self._fanout_lock:
             self._apply_seq += 1
+            # A send failure here must NOT trigger failover inline: the
+            # seq is already bumped, so _plan_failover would take the
+            # restart branch and re-dispatch query tasks mid-loop —
+            # machines later in `involved` would see the restarted tasks
+            # *before* their apply payload and answer on the old epoch
+            # (a torn answer).  Collect the dead and fail them over only
+            # once every apply payload is on its pipe.
+            failed: list[int] = []
             for machine_id in involved:
                 mine = [
                     (fragment, index)
@@ -920,7 +1047,9 @@ class HACluster:
                         self._connections[machine_id].send_bytes(payload)
                     sent_bytes += len(payload)
                 except (BrokenPipeError, OSError):
-                    self._on_worker_death(machine_id)
+                    failed.append(machine_id)
+            for machine_id in failed:
+                self._on_worker_death(machine_id)
         with self._lock:
             apply.message_bytes += sent_bytes
         return PendingApply(request_id=request_id, epoch=epoch, future=apply.future)

@@ -12,7 +12,13 @@ traffic* rather than only derivable from ``core/report.py``:
 * :mod:`repro.obs.export` — JSONL trace sink with rotation and Chrome
   trace-event (``chrome://tracing`` / Perfetto) export;
 * :mod:`repro.obs.prometheus` — Prometheus text-format exposition of
-  the serve layer's :class:`~repro.serve.metrics.MetricsRegistry`.
+  the serve layer's :class:`~repro.serve.metrics.MetricsRegistry`;
+* :mod:`repro.obs.tail` — tail-based (decide-after-completion) trace
+  retention with per-category token buckets;
+* :mod:`repro.obs.slo` — multi-window SLO burn-rate engine with
+  ``slo_burn`` alert events;
+* :mod:`repro.obs.hotspots` — Space-Saving heavy-hitter attribution of
+  eval time to keywords, fragments, and pairs.
 
 Layering: ``obs`` imports nothing from the rest of the package, so
 ``core``, ``dist``, ``serve`` and ``live`` may all use it freely.
@@ -20,7 +26,14 @@ Layering: ``obs`` imports nothing from the rest of the package, so
 
 from repro.obs.events import Event, EventLog, emit, global_events
 from repro.obs.export import JsonlTraceSink, chrome_trace_events, write_chrome_trace
-from repro.obs.prometheus import parse_prometheus_text, render_prometheus
+from repro.obs.hotspots import HotSpotSketch, SpaceSaving, render_hotspots
+from repro.obs.prometheus import (
+    escape_label_value,
+    parse_prometheus_text,
+    render_prometheus,
+)
+from repro.obs.slo import SLOEngine, SLOObjectives, SLOTracker
+from repro.obs.tail import LatencyThreshold, RetentionPolicy, TokenBucket
 from repro.obs.trace import (
     Span,
     SpanCollector,
@@ -50,4 +63,14 @@ __all__ = [
     "write_chrome_trace",
     "render_prometheus",
     "parse_prometheus_text",
+    "escape_label_value",
+    "RetentionPolicy",
+    "LatencyThreshold",
+    "TokenBucket",
+    "SLOEngine",
+    "SLOTracker",
+    "SLOObjectives",
+    "HotSpotSketch",
+    "SpaceSaving",
+    "render_hotspots",
 ]

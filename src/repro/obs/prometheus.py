@@ -25,15 +25,39 @@ from __future__ import annotations
 
 import re
 
-__all__ = ["render_prometheus", "parse_prometheus_text"]
+__all__ = ["render_prometheus", "parse_prometheus_text", "escape_label_value"]
 
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+# A label block may contain "}" inside quoted values, so the block is
+# matched as runs of non-quote/non-brace characters or quoted strings.
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
+    r'(?:\{(?P<labels>(?:[^"}]|"(?:[^"\\]|\\.)*")*)\})?'
     r"\s+(?P<value>[^\s]+)\s*$"
 )
 _LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_UNESCAPE_RE = re.compile(r"\\(.)")
+_UNESCAPES = {"\\": "\\", '"': '"', "n": "\n"}
+
+
+def escape_label_value(value: str) -> str:
+    """A label value escaped per the exposition format (0.0.4).
+
+    Backslash, double quote and newline — exactly the three characters
+    :func:`parse_prometheus_text` unescapes, so arbitrary values
+    round-trip.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    # Single pass, so "\\n" (escaped backslash + n) stays backslash-n
+    # instead of being re-read as an escaped newline.
+    return _UNESCAPE_RE.sub(
+        lambda match: _UNESCAPES.get(match.group(1), match.group(0)), value
+    )
 
 
 def _metric_name(namespace: str, name: str) -> str:
@@ -75,7 +99,14 @@ def render_prometheus(state: dict, *, namespace: str = "repro") -> str:
         metric = _metric_name(namespace, name)
         lines.append(f"# TYPE {metric} summary")
         for quantile, seconds in sorted(summary.get("quantiles", {}).items()):
-            lines.append(f'{metric}{{quantile="{quantile}"}} {_format_value(seconds)}')
+            escaped = escape_label_value(str(quantile))
+            lines.append(f'{metric}{{quantile="{escaped}"}} {_format_value(seconds)}')
+        for exemplar in summary.get("exemplars", ()):
+            trace_id = escape_label_value(str(exemplar.get("trace_id", "")))
+            lines.append(
+                f'{metric}_exemplar{{trace_id="{trace_id}"}} '
+                f"{_format_value(exemplar.get('seconds', 0.0))}"
+            )
         lines.append(f"{metric}_sum {_format_value(summary.get('sum', 0.0))}")
         lines.append(f"{metric}_count {_format_value(summary.get('count', 0))}")
         lines.append(f"# TYPE {metric}_max gauge")
@@ -86,8 +117,9 @@ def render_prometheus(state: dict, *, namespace: str = "repro") -> str:
         metric = _metric_name(namespace, "machine_busy_seconds")
         lines.append(f"# TYPE {metric}_total counter")
         for machine, seconds in sorted(busy.items(), key=lambda kv: str(kv[0])):
+            escaped = escape_label_value(str(machine))
             lines.append(
-                f'{metric}_total{{machine="{machine}"}} {_format_value(seconds)}'
+                f'{metric}_total{{machine="{escaped}"}} {_format_value(seconds)}'
             )
 
     return "\n".join(lines) + "\n"
@@ -112,9 +144,7 @@ def parse_prometheus_text(text: str) -> dict[tuple[str, tuple[tuple[str, str], .
         raw = match.group("labels")
         if raw:
             for key, value in _LABEL_RE.findall(raw):
-                labels.append(
-                    (key, value.replace('\\"', '"').replace("\\\\", "\\"))
-                )
+                labels.append((key, _unescape_label_value(value)))
         try:
             value = float(match.group("value"))
         except ValueError:

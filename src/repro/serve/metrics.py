@@ -21,9 +21,14 @@ __all__ = ["LatencyHistogram", "MetricsRegistry"]
 
 
 class LatencyHistogram:
-    """Sliding-window latency distribution with exact totals."""
+    """Sliding-window latency distribution with exact totals.
 
-    def __init__(self, capacity: int = 8192) -> None:
+    Samples may carry an *exemplar* trace id; the histogram keeps the
+    ``exemplar_capacity`` slowest ``(seconds, trace_id)`` pairs so the
+    exposition can link its tail quantiles to concrete retained traces.
+    """
+
+    def __init__(self, capacity: int = 8192, exemplar_capacity: int = 4) -> None:
         if capacity < 1:
             raise DisksError("histogram capacity must be positive")
         self._capacity = capacity
@@ -32,10 +37,12 @@ class LatencyHistogram:
         self._count = 0
         self._sum = 0.0
         self._max = 0.0
+        self._exemplar_capacity = exemplar_capacity
+        self._exemplars: list[tuple[float, str]] = []
         self._lock = threading.Lock()
 
-    def observe(self, seconds: float) -> None:
-        """Record one latency sample (seconds)."""
+    def observe(self, seconds: float, trace_id: str | None = None) -> None:
+        """Record one latency sample (seconds), optionally with a trace id."""
         with self._lock:
             self._count += 1
             self._sum += seconds
@@ -46,6 +53,14 @@ class LatencyHistogram:
             else:  # ring buffer: overwrite the oldest sample
                 self._window[self._cursor] = seconds
                 self._cursor = (self._cursor + 1) % self._capacity
+            if trace_id is not None and self._exemplar_capacity > 0:
+                if len(self._exemplars) < self._exemplar_capacity:
+                    self._exemplars.append((seconds, trace_id))
+                else:
+                    floor = min(range(len(self._exemplars)),
+                                key=lambda i: self._exemplars[i][0])
+                    if seconds > self._exemplars[floor][0]:
+                        self._exemplars[floor] = (seconds, trace_id)
 
     @property
     def count(self) -> int:
@@ -92,6 +107,7 @@ class LatencyHistogram:
         with self._lock:
             count, total, peak = self._count, self._sum, self._max
             window = list(self._window)
+            exemplars = sorted(self._exemplars, reverse=True)
         ordered = sorted(window)
         return {
             "count": count,
@@ -102,6 +118,10 @@ class LatencyHistogram:
                 "0.95": self._rank(ordered, 0.95),
                 "0.99": self._rank(ordered, 0.99),
             },
+            "exemplars": [
+                {"seconds": seconds, "trace_id": trace_id}
+                for seconds, trace_id in exemplars
+            ],
         }
 
     def snapshot(self) -> dict:
@@ -161,13 +181,13 @@ class MetricsRegistry:
             return dict(self._gauges.get(name, {"current": 0.0, "peak": 0.0}))
 
     # Histograms --------------------------------------------------------
-    def observe(self, name: str, seconds: float) -> None:
+    def observe(self, name: str, seconds: float, exemplar: str | None = None) -> None:
         """Record a sample into the named histogram (created on demand)."""
         with self._lock:
             histogram = self._histograms.get(name)
             if histogram is None:
                 histogram = self._histograms[name] = LatencyHistogram()
-        histogram.observe(seconds)
+        histogram.observe(seconds, trace_id=exemplar)
 
     def histogram(self, name: str) -> LatencyHistogram:
         """The named histogram (created on demand)."""

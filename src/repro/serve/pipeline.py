@@ -256,6 +256,8 @@ class PipelinedResponse:
     spans: tuple[Span, ...] = ()
     # Explain mode only: fragment_id -> {node -> per-term distances}.
     partials: dict[int, dict[int, tuple]] | None = None
+    # HA only: >0 when any failover (reroute or restart) touched this query.
+    attempt: int = 0
 
 
 @dataclass(frozen=True)

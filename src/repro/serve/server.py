@@ -60,8 +60,11 @@ from repro.exceptions import ClusterError, DisksError, LiveUpdateError, QueryErr
 from repro.live.ops import op_from_record
 from repro.obs.events import global_events
 from repro.obs.export import JsonlTraceSink
+from repro.obs.hotspots import HotSpotSketch, render_hotspots
 from repro.obs.prometheus import render_prometheus
-from repro.obs.trace import Tracer
+from repro.obs.slo import SLOEngine, SLOObjectives
+from repro.obs.tail import RetentionPolicy
+from repro.obs.trace import TraceContext, Tracer, new_trace_id
 from repro.serve import wire
 from repro.serve.admission import AdmissionController
 from repro.serve.metrics import MetricsRegistry
@@ -89,6 +92,7 @@ class _CachedResponse:
     spans: tuple = ()
     partials: None = None
     cached: bool = True
+    attempt: int = 0
 
 
 class _Connection:
@@ -210,8 +214,23 @@ class ServeConfig:
     in-memory store (``trace_capacity``) served by the ``trace`` wire
     op, and optionally stream to a rotating JSONL file (``trace_log``).
     Queries slower than ``slow_query_ms`` always enter the slow-query
-    ring — with full spans when sampled, as a coarse entry otherwise
-    (spans cannot be collected retroactively).
+    ring (sized by ``slow_ring_size``) — with full spans when sampled,
+    as a coarse entry otherwise (spans cannot be collected
+    retroactively).
+
+    ``tail_sampling=True`` replaces head sampling with tail-based
+    retention (:mod:`repro.obs.tail`): every query is traced, and the
+    spans are kept only when the completed query turns out interesting
+    — slow (dynamic p99 threshold), errored/degraded, HA-rerouted,
+    cache stale-reject, epoch-adjacent, or a small uniform reservoir.
+    ``trace_sample_rate`` stays available as the head-sampling
+    fallback when tail mode is off.
+
+    ``slo=True`` turns on the burn-rate engine (:mod:`repro.obs.slo`):
+    per-op availability/latency objectives (``slo_availability_target``
+    / ``slo_latency_ms`` / ``slo_latency_target``), multi-window burn
+    in the ``slo`` stats block and ``repro_slo_*`` gauges, and
+    ``slo_burn`` events when both alert windows run hot.
 
     Cache knobs: ``cache=True`` layers the epoch-aware semantic result
     cache (:mod:`repro.cache`) in front of dispatch — both NDJSON and
@@ -227,8 +246,15 @@ class ServeConfig:
     max_radius: float | None = None
     trace_sample_rate: float = 0.0
     slow_query_ms: float = 250.0
+    slow_ring_size: int = 64
     trace_log: str | None = None
     trace_capacity: int = 256
+    tail_sampling: bool = False
+    hotspot_capacity: int = 32
+    slo: bool = False
+    slo_availability_target: float = 0.999
+    slo_latency_ms: float = 250.0
+    slo_latency_target: float = 0.99
     sub_queue_limit: int = 256
     max_frame_bytes: int = wire.MAX_FRAME_BYTES
     frame_timeout_seconds: float = 5.0
@@ -270,6 +296,25 @@ class DisksServer:
         self._trace_sink = (
             JsonlTraceSink(self.config.trace_log) if self.config.trace_log else None
         )
+        self.retention = (
+            RetentionPolicy(slow_ms=self.config.slow_query_ms)
+            if self.config.tail_sampling
+            else None
+        )
+        self.hotspots = HotSpotSketch(self.config.hotspot_capacity)
+        self.slo = None
+        if self.config.slo:
+            objectives = SLOObjectives(
+                availability_target=self.config.slo_availability_target,
+                latency_threshold_ms=self.config.slo_latency_ms,
+                latency_target=self.config.slo_latency_target,
+            )
+            self.slo = SLOEngine(
+                {op: objectives for op in ("query", "update", "subscribe")}
+            )
+        self._last_swap: float | None = None
+        if updater is not None and self.retention is not None:
+            updater.subscribe_swaps(self._note_swap)
         self.result_cache = None
         self._cluster_explains = False
         if self.config.cache:
@@ -290,7 +335,9 @@ class DisksServer:
                 )
             except (TypeError, ValueError):  # pragma: no cover - exotic callables
                 self._cluster_explains = False
-        self._slow_queries: deque[dict] = deque(maxlen=64)
+        self._slow_queries: deque[dict] = deque(
+            maxlen=max(1, self.config.slow_ring_size)
+        )
         self._server: asyncio.AbstractServer | None = None
         self.host = self.config.host
         self.port: int | None = None
@@ -550,13 +597,14 @@ class DisksServer:
             await self._respond(conn, self._trace_payload(request_id, request))
         elif op == "metrics":
             self._sync_ha_gauges()
+            if self.slo is not None:
+                self.slo.sync_gauges(self.metrics)
+            text = render_prometheus(self.metrics.exposition_state())
+            hotspots = self.hotspots.snapshot()
+            if hotspots["evals"]:
+                text += render_hotspots(hotspots)
             await self._respond(
-                conn,
-                {
-                    "id": request_id,
-                    "ok": True,
-                    "text": render_prometheus(self.metrics.exposition_state()),
-                },
+                conn, {"id": request_id, "ok": True, "text": text}
             )
         elif op == "update":
             await self._handle_update(request_id, request, conn)
@@ -693,9 +741,14 @@ class DisksServer:
         return reply
 
     async def _handle_update(self, request_id, request: dict, conn: _Connection) -> None:
+        started = time.perf_counter()
         reply = await self._guarded_update(
             request_id, request.get("ops"), request.get("idem")
         )
+        if self.slo is not None:
+            self.slo.record(
+                "update", bool(reply.get("ok")), time.perf_counter() - started
+            )
         await self._respond(conn, reply)
 
     async def _handle_chaos(self, request_id, request: dict, conn: _Connection) -> None:
@@ -741,7 +794,12 @@ class DisksServer:
     async def _handle_wire_update(
         self, request_id: int, records: list, conn: _Connection, idem_key=None
     ) -> None:
+        started = time.perf_counter()
         reply = await self._guarded_update(request_id, records, idem_key)
+        if self.slo is not None:
+            self.slo.record(
+                "update", bool(reply.get("ok")), time.perf_counter() - started
+            )
         if reply.get("ok"):
             frame = wire.encode_update_ack(
                 request_id,
@@ -828,10 +886,13 @@ class DisksServer:
             return
         if not self.admission.try_acquire():
             self.metrics.increment("shed")
+            if self.slo is not None:
+                self.slo.record("subscribe", False, 0.0)
             await self._respond(
                 conn, {"id": request_id, "ok": False, "error": "overloaded"}
             )
             return
+        started = time.perf_counter()
         try:
             # Registration materializes the initial result (runs every
             # in-scope fragment task), so it goes off the event loop.
@@ -845,6 +906,10 @@ class DisksServer:
                 )
             except DisksError as error:
                 self.metrics.increment("update_errors")
+                if self.slo is not None:
+                    self.slo.record(
+                        "subscribe", False, time.perf_counter() - started
+                    )
                 await self._respond(
                     conn,
                     {
@@ -856,6 +921,8 @@ class DisksServer:
                 )
                 return
             channel.subs.add(subscription.sub_id)
+            if self.slo is not None:
+                self.slo.record("subscribe", True, time.perf_counter() - started)
             await self._respond(
                 conn,
                 {
@@ -893,89 +960,167 @@ class DisksServer:
             conn, {"id": request_id, "ok": True, "sub": sub_id, "removed": removed}
         )
 
+    def _note_swap(self, _state, _delta, _swap) -> None:
+        """Swap subscriber: remember when the last epoch published."""
+        self._last_swap = time.monotonic()
+
+    def _seconds_since_swap(self) -> float | None:
+        last = self._last_swap
+        return None if last is None else time.monotonic() - last
+
+    def _query_failed(self, arrived: float) -> None:
+        """SLO + retention accounting for a timed-out/errored query."""
+        latency = time.perf_counter() - arrived
+        if self.slo is not None:
+            self.slo.record("query", False, latency)
+        if self.retention is not None:
+            # Nothing to retain (the spans never came back), but the
+            # error still counts against the category counters.
+            self.retention.decide(latency, error=True)
+
     async def _run_query(self, query, text):
         """Submit + await one parsed query; ``(response, trace, latency)``.
 
         Raises :class:`ClusterError` and :class:`asyncio.TimeoutError`
         for the caller to encode; on success all completion metrics,
-        tracing and the slow ring are already fed.  Shared by the NDJSON
-        query op and the binary QUERY/BATCH frames, which is what makes
-        the two protocol paths answer-identical by construction — and
-        what makes the semantic result cache cover both with one probe
-        site.
+        tracing, SLO accounting and the slow ring are already fed.
+        Shared by the NDJSON query op and the binary QUERY/BATCH frames,
+        which is what makes the two protocol paths answer-identical by
+        construction — and what makes the semantic result cache cover
+        both with one probe site.
 
         ``text`` is the query-language rendering for traces and the
         slow-query ring — either a string or a zero-arg callable, so the
         binary path only pays for rendering on the sampled/slow queries
         that actually record it.
 
-        Cache interplay: traced queries bypass the cache (their spans
-        must describe a real dispatch), degraded clusters bypass it
-        (partial answers must be neither served from nor admitted to
-        it), and a miss dispatches in explain mode so the admission
-        carries the per-term distance maps subsumption filters on.  The
+        Cache interplay: head-sampled traced queries bypass the cache
+        (their spans must describe a real dispatch), degraded clusters
+        bypass it (partial answers must be neither served from nor
+        admitted to it), and a miss dispatches in explain mode so the
+        admission carries the per-term distance maps subsumption
+        filters on.  Under tail sampling every query is traced, so the
+        cache is probed anyway and a miss dispatches traced — the
+        admission then carries no partials (exact-key entry only).  The
         epoch recheck lives in :meth:`SemanticResultCache.admit`.
+
+        Tail mode: the returned ``trace`` is non-``None`` only when the
+        retention policy kept the spans — a dropped trace never leaks a
+        dangling ``trace_id`` to the client.
         """
         arrived = time.perf_counter()
-        trace = self.tracer.maybe_trace()
+        tail = self.retention is not None
+        if tail:
+            trace = TraceContext(trace_id=new_trace_id())
+        else:
+            trace = self.tracer.maybe_trace()
         cache = self.result_cache
         ticket = None
-        if cache is not None and trace is None and not self._cluster.degraded:
+        if (
+            cache is not None
+            and (tail or trace is None)
+            and not self._cluster.degraded
+        ):
             hit, ticket = cache.probe(query)
             if hit is not None:
                 latency = time.perf_counter() - arrived
                 self.metrics.observe("latency_seconds", latency)
                 self.metrics.increment("completed")
+                if self.slo is not None:
+                    self.slo.record("query", True, latency)
+                if tail:
+                    # Cache hits feed the latency window (the p99 must
+                    # reflect real traffic) but carry no spans to keep.
+                    self.retention.decide(latency)
                 response = _CachedResponse(
                     result_nodes=hit.nodes, wall_seconds=latency
                 )
                 return response, None, latency
-        if trace is not None:
-            pending = self._cluster.submit(query, trace=trace)
-        elif ticket is not None and self._cluster_explains:
-            pending = self._cluster.submit(query, explain=True)
-        else:
-            pending = self._cluster.submit(query)
         try:
-            response = await asyncio.wait_for(
-                asyncio.wrap_future(pending.future),
-                self.config.query_timeout_seconds,
-            )
-        except asyncio.TimeoutError:
-            self._cluster.forget(pending.request_id)
-            self.metrics.increment("timeouts")
+            if trace is not None:
+                pending = self._cluster.submit(query, trace=trace)
+            elif ticket is not None and self._cluster_explains:
+                pending = self._cluster.submit(query, explain=True)
+            else:
+                pending = self._cluster.submit(query)
+            try:
+                response = await asyncio.wait_for(
+                    asyncio.wrap_future(pending.future),
+                    self.config.query_timeout_seconds,
+                )
+            except asyncio.TimeoutError:
+                self._cluster.forget(pending.request_id)
+                self.metrics.increment("timeouts")
+                raise
+        except (asyncio.TimeoutError, ClusterError):
+            self._query_failed(arrived)
             raise
         latency = time.perf_counter() - arrived
-        self.metrics.observe("latency_seconds", latency)
         self.metrics.increment("completed")
         for machine_id, seconds in response.machine_seconds.items():
             self.metrics.add_busy(machine_id, seconds)
+        cache_stale = False
         if (
             ticket is not None
             and not response.degraded
             and not self._cluster.degraded
         ):
-            self.result_cache.admit(
+            outcome = self.result_cache.admit_outcome(
                 ticket, response.result_nodes, getattr(response, "partials", None)
             )
+            cache_stale = outcome == "stale"
+        degraded = bool(response.degraded or self._cluster.degraded)
+        attempt = getattr(response, "attempt", 0)
+        if self.slo is not None:
+            self.slo.record("query", True, latency)
+        spans = getattr(response, "spans", ())
+        if spans:
+            self.hotspots.feed_spans(spans)
         slow = latency * 1000.0 >= self.config.slow_query_ms
-        if trace is not None or slow:
-            rendered = text() if callable(text) else text
-            if trace is not None:
-                self._finish_trace(trace, rendered, response, latency, slow)
-            else:
-                # Unsampled slow query: spans cannot be collected after
-                # the fact, so the ring gets a coarse entry instead.
+        if tail:
+            kept = self.retention.decide(
+                latency,
+                degraded=degraded,
+                attempt=attempt,
+                cache_stale=cache_stale,
+                seconds_since_swap=self._seconds_since_swap(),
+            )
+            slow = slow or "slow" in kept
+            if kept:
+                rendered = text() if callable(text) else text
+                self._finish_trace(
+                    trace, rendered, response, latency, slow, categories=kept
+                )
+            elif slow:
+                rendered = text() if callable(text) else text
                 self.metrics.increment("slow_queries")
                 self._slow_queries.append(
                     self._slow_entry(None, rendered, response, latency)
                 )
+            exemplar = trace.trace_id if kept else None
+            trace = trace if kept else None
+        else:
+            exemplar = trace.trace_id if trace is not None else None
+            if trace is not None or slow:
+                rendered = text() if callable(text) else text
+                if trace is not None:
+                    self._finish_trace(trace, rendered, response, latency, slow)
+                else:
+                    # Unsampled slow query: spans cannot be collected after
+                    # the fact, so the ring gets a coarse entry instead.
+                    self.metrics.increment("slow_queries")
+                    self._slow_queries.append(
+                        self._slow_entry(None, rendered, response, latency)
+                    )
+        self.metrics.observe("latency_seconds", latency, exemplar=exemplar)
         return response, trace, latency
 
     async def _handle_query(self, request_id, request: dict, conn: _Connection) -> None:
         self.metrics.increment("received")
         if not self.admission.try_acquire():
             self.metrics.increment("shed")
+            if self.slo is not None:
+                self.slo.record("query", False, 0.0)
             await self._respond(
                 conn, {"id": request_id, "ok": False, "error": "overloaded"}
             )
@@ -1032,6 +1177,8 @@ class DisksServer:
         self.metrics.increment("received")
         if not self.admission.try_acquire():
             self.metrics.increment("shed")
+            if self.slo is not None:
+                self.slo.record("query", False, 0.0)
             return wire.encode_error(request_id, "overloaded")
         self.metrics.observe_gauge("inflight", self.admission.depth)
         try:
@@ -1098,13 +1245,18 @@ class DisksServer:
         "serialize": "stage_serialize_seconds",
     }
 
-    def _finish_trace(self, trace, text, response, latency, slow) -> None:
-        """Store a sampled query's spans; feed stage histograms and sinks."""
+    def _finish_trace(
+        self, trace, text, response, latency, slow, categories=()
+    ) -> None:
+        """Store a retained query's spans; feed stage histograms and sinks."""
         spans = getattr(response, "spans", ())
         for span in spans:
             histogram = self._STAGE_HISTOGRAMS.get(span.name)
             if histogram is not None and span.end is not None:
                 self.metrics.observe(histogram, span.duration_seconds)
+        meta = {}
+        if categories:
+            meta["retained_by"] = list(categories)
         record = self.tracer.record(
             trace.trace_id,
             spans,
@@ -1112,6 +1264,7 @@ class DisksServer:
             latency_ms=latency * 1000.0,
             slow=slow,
             degraded=bool(response.degraded or self._cluster.degraded),
+            **meta,
         )
         if slow:
             self.metrics.increment("slow_queries")
@@ -1121,14 +1274,18 @@ class DisksServer:
         if self._trace_sink is not None:
             self._trace_sink.write(record)
 
-    @staticmethod
-    def _slow_entry(trace_id, text, response, latency) -> dict:
+    def _slow_entry(self, trace_id, text, response, latency) -> dict:
+        # Epoch and degraded/attempt flags stamp even the coarse
+        # unsampled entries, so tail retention (and `repro top`) can
+        # triage them without the full span tree.
         return {
             "trace_id": trace_id,
             "query": text,
             "latency_ms": latency * 1000.0,
             "wall_ms": response.wall_seconds * 1000.0,
             "degraded": bool(response.degraded),
+            "attempt": getattr(response, "attempt", 0),
+            "epoch": self._current_epoch(),
             "wall_time": time.time(),
         }
 
@@ -1221,10 +1378,18 @@ class DisksServer:
         if self.result_cache is not None:
             snapshot["result_cache"] = self.result_cache.stats()
         snapshot["tracing"] = {
+            "mode": "tail" if self.retention is not None else "head",
             "rate": self.tracer.sample_rate,
             **self.tracer.counts,
             "slow_ring": len(self._slow_queries),
         }
+        if self.retention is not None:
+            snapshot["tracing"]["retention"] = self.retention.snapshot()
+        if self.slo is not None:
+            snapshot["slo"] = self.slo.snapshot()
+        hotspots = self.hotspots.snapshot()
+        if hotspots["evals"]:
+            snapshot["hotspots"] = hotspots
         if self.sub_engine is not None:
             snapshot["subscriptions"] = self.sub_engine.stats()
         ha_block = self._ha_block()

@@ -193,3 +193,112 @@ class TestPipelinedClusterDifferential:
         assert plain.spans == ()
         assert traced.spans
         assert plain.result_nodes == traced.result_nodes
+
+
+class TestHAClusterTracing:
+    def test_traced_answers_and_structure(self, built):
+        from repro.ha import HACluster
+
+        _net, fragments, indexes = built
+        with HACluster.start(
+            fragments, indexes, num_machines=NUM_FRAGMENTS, replication_factor=2
+        ) as cluster:
+            for text in QUERIES:
+                sim_plain, _ = simulated_reference(built, text)
+                query = parse_query(text)
+                plain = cluster.execute(query)
+                traced = cluster.execute(query, trace=TraceContext(new_trace_id()))
+                assert plain.result_nodes == traced.result_nodes
+                assert traced.result_nodes == sim_plain.result_nodes
+                assert plain.spans == ()
+                assert plain.attempt == 0 and traced.attempt == 0
+                assert all(span.end is not None for span in traced.spans)
+                assert len({span.trace_id for span in traced.spans}) == 1
+                roots = assemble_tree([s.to_dict() for s in traced.spans])
+                assert len(roots) == 1 and roots[0]["name"] == "query"
+                dispatches = roots[0]["children"]
+                assert dispatches and {d["name"] for d in dispatches} == {"dispatch"}
+                for dispatch in dispatches:
+                    names = {c["name"] for c in dispatch["children"]}
+                    assert names == {"queue-wait", "task", "serialize"}
+                # every fragment computed exactly once, attempt 0 throughout
+                task_fragments = [
+                    span.fragment_id for span in traced.spans if span.name == "task"
+                ]
+                assert sorted(task_fragments) == list(range(NUM_FRAGMENTS))
+                dispatch_spans = [
+                    span for span in traced.spans if span.name == "dispatch"
+                ]
+                assert all(s.tags.get("attempt") == 0 for s in dispatch_spans)
+                assert all("rerouted" not in s.tags for s in dispatch_spans)
+
+    def test_failover_redispatch_lands_on_survivor(self, built, tmp_path):
+        """Satellite: a killed worker's traced query keeps a full span tree.
+
+        The re-dispatched spans must carry the bumped attempt number,
+        sit on the *surviving* machine, and export under that machine's
+        process row in the Chrome trace file.
+        """
+        import json
+        import time
+
+        from repro.ha import HACluster
+        from repro.obs.export import write_chrome_trace
+
+        _net, fragments, indexes = built
+        victim, survivor = 0, 1
+        with HACluster.start(
+            fragments,
+            indexes,
+            num_machines=2,
+            replication_factor=2,
+            machine_delays={victim: 0.5},
+        ) as cluster:
+            sim_plain, _ = simulated_reference(built, QUERIES[0])
+            context = TraceContext(new_trace_id())
+            pending = cluster.submit(parse_query(QUERIES[0]), trace=context)
+            time.sleep(0.15)  # far less than the victim's per-task delay
+            assert cluster.kill_worker(victim)
+            response = pending.future.result(timeout=60.0)
+
+        assert response.result_nodes == sim_plain.result_nodes
+        assert not response.degraded
+        assert response.attempt > 0  # failover touched the query
+        assert all(span.end is not None for span in response.spans)
+
+        rerouted = [
+            span
+            for span in response.spans
+            if span.name == "dispatch" and span.tags.get("rerouted")
+        ]
+        assert rerouted
+        assert {span.machine_id for span in rerouted} == {survivor}
+        assert all(span.tags["attempt"] == response.attempt for span in rerouted)
+        # the rerouted tasks themselves ran on the survivor, one per fragment
+        tasks = [span for span in response.spans if span.name == "task"]
+        assert {span.machine_id for span in tasks} == {survivor}
+        assert sorted(s.fragment_id for s in tasks) == list(range(NUM_FRAGMENTS))
+
+        out = tmp_path / "failover.json"
+        record = {
+            "trace_id": context.trace_id,
+            "spans": [span.to_dict() for span in response.spans],
+        }
+        count = write_chrome_trace(out, [record])
+        assert count == len(response.spans)
+        payload = json.loads(out.read_text())
+        events = payload["traceEvents"]
+        rows = {
+            event["pid"]: event["args"]["name"]
+            for event in events
+            if event.get("ph") == "M"
+        }
+        rerouted_events = [
+            event
+            for event in events
+            if event.get("ph") == "X" and event["args"].get("rerouted")
+        ]
+        assert rerouted_events
+        for event in rerouted_events:
+            assert rows[event["pid"]] == f"machine {survivor}"
+            assert event["args"]["attempt"] == response.attempt

@@ -253,6 +253,215 @@ class TestHistogramSnapshotPath:
         assert state["busy_seconds"]["0"] == 1.25
 
 
+class TestTailRetention:
+    def test_slow_query_retained_with_full_span_tree(self, cluster):
+        config = ServeConfig(tail_sampling=True, slow_query_ms=0.0)
+        with serve_in_thread(cluster, config) as server:
+            with ServeClient(server.host, server.port) as client:
+                reply = client.query(QUERY)
+                assert reply["ok"] and "trace_id" in reply
+                record = client.trace(trace_id=reply["trace_id"])["trace"]
+                stats = client.stats()
+        assert "slow" in record["retained_by"]
+        names = {span["name"] for span in record["spans"]}
+        assert {"query", "dispatch", "task", "eval"} <= names
+        tracing = stats["tracing"]
+        assert tracing["mode"] == "tail"
+        retention = tracing["retention"]
+        assert retention["seen"] >= 1
+        assert retention["retained"]["slow"] >= 1
+
+    def test_unremarkable_queries_drop_their_spans(self, cluster):
+        config = ServeConfig(tail_sampling=True, slow_query_ms=60_000.0)
+        with serve_in_thread(cluster, config) as server:
+            server.retention.normal_rate = 0.0  # pin the reservoir shut
+            with ServeClient(server.host, server.port) as client:
+                for _ in range(3):
+                    reply = client.query(QUERY)
+                    assert reply["ok"]
+                    assert "trace_id" not in reply
+                listing = client.trace()
+                stats = client.stats()
+        assert listing["traces"] == []
+        retention = stats["tracing"]["retention"]
+        assert retention["seen"] == 3 and retention["kept"] == 0
+
+    def test_tail_mode_still_probes_the_result_cache(self, cluster):
+        """Head sampling bypasses the cache for traced queries; tail
+        mode traces everything, so it must not turn the cache off."""
+        config = ServeConfig(
+            tail_sampling=True, slow_query_ms=60_000.0, cache=True
+        )
+        with serve_in_thread(cluster, config) as server:
+            server.retention.normal_rate = 0.0
+            with ServeClient(server.host, server.port) as client:
+                first = client.query(QUERY)
+                second = client.query(QUERY)
+                stats = client.stats()
+        assert first["nodes"] == second["nodes"]
+        assert stats["result_cache"]["inserts"] == 1
+        assert stats["result_cache"]["hits"] == 1
+
+    def test_epoch_adjacent_queries_are_retained(self, built):
+        net, partition, fragments, indexes = built
+        manager = EpochManager(
+            network=net,
+            partition=partition,
+            fragments=list(fragments),
+            indexes=[index.copy() for index in indexes],
+        )
+        config = ServeConfig(tail_sampling=True, slow_query_ms=60_000.0)
+        with PipelinedCluster.start(
+            list(manager.state.fragments),
+            list(manager.state.indexes),
+            num_machines=NUM_FRAGMENTS,
+        ) as cluster:
+            manager.subscribe(
+                lambda state, delta: cluster.apply_updates(
+                    state.epoch, list(delta.values())
+                )
+            )
+            with serve_in_thread(cluster, config, updater=manager) as server:
+                server.retention.normal_rate = 0.0
+                with ServeClient(server.host, server.port) as client:
+                    node = next(net.object_nodes())
+                    assert client.update([AddKeyword(node=node, keyword="w9")])["ok"]
+                    reply = client.query(QUERY)  # lands within the swap window
+                    assert reply["ok"] and "trace_id" in reply
+                    record = client.trace(trace_id=reply["trace_id"])["trace"]
+        assert record["retained_by"] == ["epoch_adjacent"]
+
+    def test_slow_entries_stamp_attempt_and_epoch(self, cluster):
+        config = ServeConfig(tail_sampling=True, slow_query_ms=0.0)
+        with serve_in_thread(cluster, config) as server:
+            with ServeClient(server.host, server.port) as client:
+                assert client.query(QUERY)["ok"]
+                entry = client.trace()["slow"][-1]
+        assert entry["attempt"] == 0
+        assert "epoch" in entry
+
+    def test_slow_ring_size_is_configurable(self, cluster):
+        config = ServeConfig(
+            trace_sample_rate=0.0, slow_query_ms=0.0, slow_ring_size=2
+        )
+        with serve_in_thread(cluster, config) as server:
+            with ServeClient(server.host, server.port) as client:
+                for _ in range(5):
+                    assert client.query(QUERY)["ok"]
+                listing = client.trace(n=8)
+                stats = client.stats()
+        assert len(listing["slow"]) == 2
+        assert stats["counters"]["slow_queries"] == 5
+        assert stats["tracing"]["slow_ring"] == 2
+
+
+class TestSLOServing:
+    def test_slo_stats_block_and_burn_gauges(self, cluster):
+        config = ServeConfig(slo=True, slo_latency_ms=60_000.0)
+        with serve_in_thread(cluster, config) as server:
+            with ServeClient(server.host, server.port) as client:
+                for _ in range(3):
+                    assert client.query(QUERY)["ok"]
+                stats = client.stats()
+                samples = parse_prometheus_text(client.metrics_text())
+        block = stats["slo"]["query"]
+        assert block["total"] == 3
+        assert block["errors"] == 0 and block["slow"] == 0
+        assert block["availability"] == 1.0
+        assert block["objectives"]["latency_threshold_ms"] == 60_000.0
+        assert set(block["burn"]) == {"availability", "latency"}
+        assert samples[("repro_slo_query_availability_burn_1m", ())] == 0.0
+        assert ("repro_slo_query_latency_burn_1h", ()) in samples
+
+    def test_no_slo_block_without_the_flag(self, cluster):
+        with serve_in_thread(cluster, ServeConfig()) as server:
+            with ServeClient(server.host, server.port) as client:
+                assert client.query(QUERY)["ok"]
+                stats = client.stats()
+        assert "slo" not in stats
+
+    def test_latency_objective_counts_slow_queries(self, cluster):
+        config = ServeConfig(slo=True, slo_latency_ms=0.0)
+        with serve_in_thread(cluster, config) as server:
+            with ServeClient(server.host, server.port) as client:
+                assert client.query(QUERY)["ok"]
+                stats = client.stats()
+        block = stats["slo"]["query"]
+        assert block["slow"] == 1
+        assert block["latency_attainment"] == 0.0
+
+
+class TestExemplarsAndHotspots:
+    def test_latency_exemplars_link_to_retained_traces(self, cluster):
+        config = ServeConfig(tail_sampling=True, slow_query_ms=0.0)
+        with serve_in_thread(cluster, config) as server:
+            with ServeClient(server.host, server.port) as client:
+                reply = client.query(QUERY)
+                samples = parse_prometheus_text(client.metrics_text())
+        exemplars = {
+            labels
+            for (name, labels) in samples
+            if name == "repro_latency_seconds_exemplar"
+        }
+        assert (("trace_id", reply["trace_id"]),) in exemplars
+
+    def test_hotspot_series_and_stats_block(self, cluster):
+        config = ServeConfig(tail_sampling=True, slow_query_ms=0.0)
+        with serve_in_thread(cluster, config) as server:
+            with ServeClient(server.host, server.port) as client:
+                for _ in range(2):
+                    assert client.query(QUERY)["ok"]
+                stats = client.stats()
+                samples = parse_prometheus_text(client.metrics_text())
+        hotspots = stats["hotspots"]
+        assert hotspots["evals"] > 0
+        keywords = {e["key"] for e in hotspots["by_count"]["keyword"]}
+        assert {"w0", "w1"} <= keywords
+        hotspot_samples = [
+            labels
+            for (name, labels) in samples
+            if name == "repro_hotspot_evals_total"
+        ]
+        assert any(("key", "w0") in labels for labels in hotspot_samples)
+
+    def test_untraced_serving_collects_no_hotspots(self, cluster):
+        with serve_in_thread(cluster, ServeConfig()) as server:
+            with ServeClient(server.host, server.port) as client:
+                assert client.query(QUERY)["ok"]
+                stats = client.stats()
+        assert "hotspots" not in stats
+
+
+class TestTopDashboard:
+    def test_render_top_against_a_live_server_both_wires(self, cluster):
+        from repro.cli import _render_top
+        from repro.serve import BinaryServeClient
+
+        config = ServeConfig(tail_sampling=True, slo=True, cache=True)
+        with serve_in_thread(cluster, config) as server:
+            for client_class, wire in (
+                (ServeClient, "ndjson"),
+                (BinaryServeClient, "binary"),
+            ):
+                with client_class(server.host, server.port) as client:
+                    assert client.query(QUERY)["ok"]
+                    stats = client.stats()
+                    trace_reply = client.request({"op": "trace", "n": 5})
+                    frame = _render_top(
+                        stats,
+                        trace_reply,
+                        endpoint=f"{server.host}:{server.port} ({wire})",
+                        qps=12.5,
+                        top_n=5,
+                    )
+                assert frame.startswith("repro top")
+                assert "tracing=tail" in frame
+                assert "(12.5 q/s)" in frame
+                assert "slo query" in frame
+                assert "cache" in frame
+                assert "retention" in frame
+
+
 class TestCliWiring:
     def test_trace_parser(self):
         from repro.cli import build_parser
@@ -279,3 +488,34 @@ class TestCliWiring:
         assert explicit.trace_log == "t.jsonl"
         off = build_parser().parse_args(["serve", "--dir", "d"])
         assert off.trace == 0.0
+
+    def test_serve_tail_and_slo_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--dir", "d", "--tail", "--slo", "--slow-ring", "32",
+             "--slo-availability", "0.99", "--slo-latency-target", "0.95"]
+        )
+        assert args.tail is True and args.slo is True
+        assert args.slow_ring == 32
+        assert args.slo_availability == 0.99
+        assert args.slo_latency_target == 0.95
+        off = build_parser().parse_args(["serve", "--dir", "d"])
+        assert off.tail is False and off.slo is False
+        assert off.slow_ring == 64
+
+    def test_top_parser(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["top", "--port", "7500", "--interval", "0.5", "--iterations", "3",
+             "--wire", "binary", "-n", "7", "--no-clear"]
+        )
+        assert args.command == "top"
+        assert args.interval == 0.5
+        assert args.iterations == 3
+        assert args.wire == "binary"
+        assert args.top_n == 7
+        assert args.clear is False
+        defaults = build_parser().parse_args(["top"])
+        assert defaults.iterations is None and defaults.clear is True
